@@ -1,0 +1,50 @@
+//! The FPT growth curve (Corollary 3.5): REF's cost as the number of
+//! organizations grows, with everything else held fixed. The per-decision
+//! cost is `Θ(k·2^k)` plus lattice bookkeeping — this bench makes the
+//! exponential visible and shows RAND's polynomial alternative staying
+//! flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsched_core::scheduler::{RandScheduler, RefScheduler};
+use fairsched_sim::simulate;
+use fairsched_workloads::{generate, to_trace, MachineSplit, SynthConfig};
+use std::hint::black_box;
+
+fn workload(k: usize, seed: u64) -> fairsched_core::Trace {
+    let config = SynthConfig {
+        n_users: 2 * k,
+        horizon: 2_000,
+        n_machines: 2 * k,
+        load: 0.8,
+        duration_median: 40.0,
+        duration_sigma: 1.0,
+        max_duration: 500,
+        ..SynthConfig::default()
+    };
+    let jobs = generate(&config, seed);
+    to_trace(&jobs, k, 2 * k, MachineSplit::Equal, seed).unwrap()
+}
+
+fn bench_ref_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ref_fpt_growth");
+    group.sample_size(10);
+    for k in [2usize, 4, 6, 8, 10] {
+        let trace = workload(k, 5);
+        group.bench_with_input(BenchmarkId::new("ref", k), &trace, |b, trace| {
+            b.iter(|| {
+                let mut s = RefScheduler::new(trace);
+                black_box(simulate(trace, &mut s, 2_000))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rand15", k), &trace, |b, trace| {
+            b.iter(|| {
+                let mut s = RandScheduler::new(trace, 15, 9);
+                black_box(simulate(trace, &mut s, 2_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ref_vs_k);
+criterion_main!(benches);

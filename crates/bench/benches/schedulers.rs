@@ -1,0 +1,49 @@
+//! End-to-end scheduler throughput: full simulation of an LPC-EGEE-like
+//! instance under every algorithm. This is the per-decision overhead
+//! comparison behind the paper's "all the other algorithms are about
+//! equally computationally efficient" observation (Section 7.3), with REF
+//! and RAND showing their exponential/sampling surcharges.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairsched_bench::runner::Algo;
+use fairsched_core::scheduler::RefScheduler;
+use fairsched_sim::simulate;
+use fairsched_workloads::{generate, preset, to_trace, MachineSplit, PresetName};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let horizon = 20_000;
+    let p = preset(PresetName::LpcEgee, 0.5, horizon);
+    let jobs = generate(&p.synth, 11);
+    let trace = to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), 11).unwrap();
+
+    let mut group = c.benchmark_group("simulate_lpc_half_scale");
+    group.sample_size(20);
+    for algo in [
+        Algo::RoundRobin,
+        Algo::Fifo,
+        Algo::FairShare,
+        Algo::UtFairShare,
+        Algo::CurrFairShare,
+        Algo::DirectContr,
+        Algo::Rand(15),
+        Algo::Rand(75),
+    ] {
+        group.bench_function(algo.label(), |b| {
+            b.iter(|| {
+                let mut s = algo.build(&trace, 3);
+                black_box(simulate(&trace, s.as_mut(), horizon))
+            });
+        });
+    }
+    group.bench_function("Ref (exact)", |b| {
+        b.iter(|| {
+            let mut s = RefScheduler::new(&trace);
+            black_box(simulate(&trace, &mut s, horizon))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Shapley computation benchmarks: the `O(n·2^n)` exact enumeration
+//! (Proposition 3.4's cost driver) vs permutation sampling (the RAND
+//! estimator), across player counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coopgame::sampling::shapley_sample;
+use coopgame::shapley::{shapley_exact, shapley_exact_scaled};
+use coopgame::Coalition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn game_value(c: Coalition) -> f64 {
+    // A non-trivial, cheap characteristic function.
+    let s = c.len() as f64;
+    s * s + (c.bits() % 7) as f64
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley_exact");
+    for n in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(shapley_exact(n, game_value)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_scaled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley_exact_scaled_int");
+    for n in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(shapley_exact_scaled(n, |c| {
+                    (c.len() * c.len()) as i128 + (c.bits() % 7) as i128
+                }))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley_sampled_n16");
+    for perms in [15usize, 75, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(perms), &perms, |b, &perms| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(shapley_sample(16, perms, game_value, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_exact_scaled, bench_sampled);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerates **Figure 10**: the effect of the number of organizations on
+//! Δψ/p_tot (LPC-EGEE workload). As organizations are added, unfairness
+//! grows for every polynomial algorithm and the gap between the
+//! Shapley-based heuristics and the fair-share family widens.
+//!
+//! `cargo run -p fairsched-bench --release --bin fig10`
+//! Flags: --min-orgs K --max-orgs K --instances N --scale F --horizon T
+//!        --seed S --json
+
+use fairsched_bench::cli::Cli;
+use fairsched_bench::runner::{run_delay_experiment, Algo, DelayExperiment};
+use fairsched_bench::table::format_sig;
+use fairsched_workloads::{MachineSplit, PresetName};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig10Point {
+    n_orgs: usize,
+    series: Vec<(String, f64)>,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let min_orgs = cli.get_or("min-orgs", 2usize);
+    let max_orgs = cli.get_or("max-orgs", 10usize);
+    assert!(min_orgs >= 1 && max_orgs >= min_orgs && max_orgs <= 14);
+    let instances = cli.get_or("instances", 5usize);
+    let scale = cli.get_or("scale", 1.0f64);
+    let horizon = cli.get_or("horizon", 50_000u64);
+    let seed = cli.get_or("seed", 42u64);
+
+    // The figure's five series.
+    let algos = vec![
+        Algo::RoundRobin,
+        Algo::CurrFairShare,
+        Algo::FairShare,
+        Algo::DirectContr,
+        Algo::Rand(15),
+    ];
+
+    let mut points = Vec::new();
+    for n_orgs in min_orgs..=max_orgs {
+        eprintln!("orgs = {n_orgs} ({instances} instances)...");
+        let exp = DelayExperiment {
+            preset: PresetName::LpcEgee,
+            scale,
+            horizon,
+            n_orgs,
+            n_instances: instances,
+            base_seed: seed,
+            split: MachineSplit::Zipf(1.0),
+            algos: algos.clone(),
+        };
+        let stats = run_delay_experiment(&exp);
+        points.push(Fig10Point {
+            n_orgs,
+            series: stats.into_iter().map(|s| (s.label, s.mean)).collect(),
+        });
+    }
+
+    if cli.has("json") {
+        println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        return;
+    }
+    println!(
+        "Figure 10 — Δψ/p_tot vs number of organizations (LPC-EGEE, horizon {horizon}, {instances} instances)"
+    );
+    print!("{:<16}", "algorithm");
+    for p in &points {
+        print!("{:>10}", format!("k={}", p.n_orgs));
+    }
+    println!();
+    for (ai, (label, _)) in points[0].series.iter().enumerate() {
+        print!("{label:<16}");
+        for p in &points {
+            print!("{:>10}", format_sig(p.series[ai].1));
+        }
+        println!();
+    }
+    println!("\n(expected shape: every series grows with k; RoundRobin on top,");
+    println!(" CurrFairShare > FairShare > DirectContr ≳ Rand at every k)");
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Figure 2**: the worked `ψ_sp` example — 9 jobs of O(1)
+//! and one job of O(2) on 3 machines — reproducing every number quoted in
+//! the paper's caption (utilities 262 and 297, flow time 70, and the three
+//! marginal what-ifs).
+//!
+//! `cargo run -p fairsched-bench --release --bin fig2`
+
+use fairsched_core::model::Time;
+use fairsched_core::utility::sp_value_of_parts;
+
+fn main() {
+    // O(1)'s jobs as (start, processing time), reconstructed from Figure 2;
+    // J9 starts at 10 because O(2)'s job occupies a machine at 9.
+    let o1: Vec<(Time, Time)> = vec![
+        (0, 3),  // J1
+        (0, 4),  // J2
+        (0, 3),  // J3
+        (3, 6),  // J4
+        (3, 3),  // J5
+        (4, 6),  // J6
+        (6, 3),  // J7
+        (9, 3),  // J8
+        (10, 4), // J9
+    ];
+    let flow_time: Time = o1.iter().map(|&(s, p)| s + p).sum(); // releases all 0
+
+    println!("Figure 2 — the strategy-proof utility ψ_sp vs flow time");
+    println!("O(1): 9 jobs on 3 machines (one machine also runs O(2)'s 5-unit job)\n");
+    println!("{:<44}{:>8}{:>8}", "quantity", "paper", "ours");
+    let rows: Vec<(&str, i128, i128)> = vec![
+        ("ψ_sp(O1) at t=13 (J9's last unit not counted)", 262, sp_value_of_parts(&o1, 13)),
+        ("ψ_sp(O1) at t=14 (all parts counted)", 297, sp_value_of_parts(&o1, 14)),
+        ("flow time at t=14", 70, flow_time as i128),
+    ];
+    let mut all_match = true;
+    for (label, paper, ours) in &rows {
+        println!("{label:<44}{paper:>8}{ours:>8}");
+        all_match &= paper == ours;
+    }
+
+    // Marginal what-ifs from the caption.
+    let mut early9 = o1.clone();
+    *early9.last_mut().unwrap() = (9, 4);
+    let gain9 = sp_value_of_parts(&early9, 14) - sp_value_of_parts(&o1, 14);
+    println!("{:<44}{:>8}{:>8}", "Δψ if J9 started at 9 instead of 10", 4, gain9);
+    all_match &= gain9 == 4;
+
+    let mut late6 = o1.clone();
+    late6[5] = (5, 6);
+    let loss6 = sp_value_of_parts(&o1, 14) - sp_value_of_parts(&late6, 14);
+    println!("{:<44}{:>8}{:>8}", "Δψ if J6 started one unit later", 6, loss6);
+    all_match &= loss6 == 6;
+
+    let drop9 = sp_value_of_parts(&o1, 14) - sp_value_of_parts(&o1[..8], 14);
+    println!("{:<44}{:>8}{:>8}", "Δψ if J9 not scheduled at all", 10, drop9);
+    all_match &= drop9 == 10;
+
+    println!(
+        "\n{}",
+        if all_match {
+            "all six quantities match the paper exactly ✓"
+        } else {
+            "MISMATCH against the paper ✗"
+        }
+    );
+    std::process::exit(if all_match { 0 } else { 1 });
+}

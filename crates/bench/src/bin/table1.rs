@@ -1,0 +1,16 @@
+//! Regenerates **Table 1**: average Δψ/p_tot (± sd) for six scheduling
+//! algorithms over the four workloads, horizon 5·10⁴, 5 organizations,
+//! REF as the fairness reference.
+//!
+//! `cargo run -p fairsched-bench --release --bin table1`
+//! Flags: --instances N --orgs K --scale F --paper-scale --extended
+//!        --uniform-split --workload NAME --seed S --json
+
+use fairsched_bench::cli::Cli;
+use fairsched_bench::experiments::run_delay_table;
+
+fn main() {
+    let cli = Cli::parse();
+    let horizon = cli.get_or("horizon", 50_000u64);
+    run_delay_table(&cli, "Table 1", horizon, 20);
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Table 2**: the Table 1 experiment at horizon 5·10⁵ —
+//! showing that unfairness grows with trace length, so the gap between
+//! Shapley-based schedulers and fair share widens on long-running systems.
+//!
+//! `cargo run -p fairsched-bench --release --bin table2`
+//! Flags: as table1 (default instances 10; use --instances to override).
+
+use fairsched_bench::cli::Cli;
+use fairsched_bench::experiments::run_delay_table;
+
+fn main() {
+    let cli = Cli::parse();
+    let horizon = cli.get_or("horizon", 500_000u64);
+    run_delay_table(&cli, "Table 2", horizon, 10);
+}

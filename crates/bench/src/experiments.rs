@@ -1,0 +1,100 @@
+//! Shared experiment drivers used by the table/figure binaries.
+
+use crate::cli::Cli;
+use crate::runner::{default_scale, run_delay_experiment, Algo, DelayExperiment};
+use crate::table::DelayTable;
+use fairsched_core::model::Time;
+use fairsched_workloads::{MachineSplit, PresetName};
+
+/// Builds and runs a Table 1/2-style experiment across all four workloads.
+///
+/// Recognized flags: `--instances N`, `--orgs K`, `--seed S`,
+/// `--scale F` (overrides per-preset defaults), `--paper-scale`
+/// (full archive sizes + 100 instances), `--uniform-split`,
+/// `--extended` (adds Rand(75), Fifo, Random rows), `--json`,
+/// `--workload NAME` (restrict to one workload).
+pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances: usize) {
+    let paper_scale = cli.has("paper-scale");
+    let n_instances = cli.get_or(
+        "instances",
+        if paper_scale { 100 } else { default_instances },
+    );
+    let n_orgs = cli.get_or("orgs", 5usize);
+    let base_seed = cli.get_or("seed", 42u64);
+    let split = if cli.has("uniform-split") {
+        MachineSplit::Uniform
+    } else {
+        MachineSplit::Zipf(1.0)
+    };
+    let mut algos = Algo::TABLE_SET.to_vec();
+    if cli.has("extended") {
+        algos.extend([Algo::Rand(75), Algo::Fifo, Algo::Random]);
+    }
+    let workloads: Vec<PresetName> = match cli.get("workload") {
+        Some(w) => vec![PresetName::parse(w).unwrap_or_else(|| panic!("unknown workload {w:?}"))],
+        None => PresetName::ALL.to_vec(),
+    };
+
+    let mut cells = Vec::new();
+    for name in &workloads {
+        let scale = if paper_scale {
+            1.0
+        } else {
+            cli.get_or("scale", default_scale(*name))
+        };
+        let exp = DelayExperiment {
+            preset: *name,
+            scale,
+            horizon,
+            n_orgs,
+            n_instances,
+            base_seed,
+            split,
+            algos: algos.clone(),
+        };
+        eprintln!(
+            "running {} (scale {scale}, {n_instances} instances, horizon {horizon}, {n_orgs} orgs)...",
+            name.label()
+        );
+        cells.push(run_delay_experiment(&exp));
+    }
+
+    let table = DelayTable {
+        title: format!(
+            "{title} — Δψ/p_tot (avg over {n_instances} instances, horizon {horizon}, {n_orgs} orgs)"
+        ),
+        workloads: workloads.iter().map(|w| w.label().to_string()).collect(),
+        cells,
+    };
+    if cli.has("json") {
+        println!("{}", table.to_json());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_end_to_end_table() {
+        // Smoke: one workload, tiny scale/instances; must not panic and
+        // must print a table (stdout not captured here, just run it).
+        let cli = Cli::from_args(
+            [
+                "--instances",
+                "1",
+                "--orgs",
+                "2",
+                "--scale",
+                "0.05",
+                "--workload",
+                "lpc",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        run_delay_table(&cli, "smoke", 500, 1);
+    }
+}

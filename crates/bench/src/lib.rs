@@ -1,0 +1,26 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 7), plus ablations.
+//!
+//! Each binary regenerates one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — Δψ/p_tot per algorithm × workload, horizon 5·10⁴ |
+//! | `table2` | Table 2 — same at horizon 5·10⁵ |
+//! | `fig10` | Figure 10 — Δψ/p_tot vs number of organizations |
+//! | `fig2` | Figure 2 — the worked `ψ_sp` example |
+//! | `fig7` | Figure 7 / Theorem 6.2 — greedy utilization envelope |
+//! | `fpras` | Theorem 5.6 — RAND's ε-approximation vs sample count |
+//!
+//! Run e.g. `cargo run -p fairsched-bench --release --bin table1 -- --help`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod parallel;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_delay_experiment, AlgoStats, Algo, DelayExperiment};

@@ -1,0 +1,227 @@
+//! The delay-table experiment runner (Tables 1–2, Figure 10).
+
+use crate::parallel::parallel_map;
+use fairsched_core::fairness::FairnessReport;
+use fairsched_core::model::{Time, Trace};
+use fairsched_core::scheduler::{
+    CurrFairShareScheduler, DirectContrScheduler, FairShareScheduler, FifoScheduler,
+    RandScheduler, RandomScheduler, RefScheduler, RoundRobinScheduler, Scheduler,
+    UtFairShareScheduler,
+};
+use fairsched_sim::simulate;
+use fairsched_workloads::{generate, preset, to_trace, MachineSplit, PresetName};
+use serde::Serialize;
+
+/// An evaluated algorithm.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// ROUNDROBIN baseline.
+    RoundRobin,
+    /// RAND with the given number of sampled permutations.
+    Rand(usize),
+    /// DIRECTCONTR heuristic.
+    DirectContr,
+    /// FAIRSHARE (usage/share balancing).
+    FairShare,
+    /// UTFAIRSHARE (utility/share balancing).
+    UtFairShare,
+    /// CURRFAIRSHARE (running-jobs/share balancing).
+    CurrFairShare,
+    /// Global FIFO (extra baseline).
+    Fifo,
+    /// Uniform random (extra baseline).
+    Random,
+}
+
+impl Algo {
+    /// The paper's Table 1/2 row set, in row order.
+    pub const TABLE_SET: [Algo; 6] = [
+        Algo::RoundRobin,
+        Algo::Rand(15),
+        Algo::DirectContr,
+        Algo::FairShare,
+        Algo::UtFairShare,
+        Algo::CurrFairShare,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Algo::RoundRobin => "RoundRobin".into(),
+            Algo::Rand(n) => format!("Rand (N={n})"),
+            Algo::DirectContr => "DirectContr".into(),
+            Algo::FairShare => "FairShare".into(),
+            Algo::UtFairShare => "UtFairShare".into(),
+            Algo::CurrFairShare => "CurrFairShare".into(),
+            Algo::Fifo => "Fifo".into(),
+            Algo::Random => "Random".into(),
+        }
+    }
+
+    /// Instantiates the scheduler for a trace (seed drives any internal
+    /// randomness deterministically).
+    pub fn build(&self, trace: &Trace, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            Algo::RoundRobin => Box::new(RoundRobinScheduler::new()),
+            Algo::Rand(n) => Box::new(RandScheduler::new(trace, *n, seed)),
+            Algo::DirectContr => Box::new(DirectContrScheduler::new(seed)),
+            Algo::FairShare => Box::new(FairShareScheduler::new()),
+            Algo::UtFairShare => Box::new(UtFairShareScheduler::new()),
+            Algo::CurrFairShare => Box::new(CurrFairShareScheduler::new()),
+            Algo::Fifo => Box::new(FifoScheduler::new()),
+            Algo::Random => Box::new(RandomScheduler::new(seed)),
+        }
+    }
+}
+
+/// Configuration of a delay-table experiment (one workload cell of
+/// Table 1/2, or one x-axis point of Figure 10).
+#[derive(Clone, Debug)]
+pub struct DelayExperiment {
+    /// The workload preset.
+    pub preset: PresetName,
+    /// Machine/user scale (1.0 = the archive's published size).
+    pub scale: f64,
+    /// Evaluation horizon (5·10⁴ for Table 1, 5·10⁵ for Table 2).
+    pub horizon: Time,
+    /// Number of organizations (the paper uses 5; Figure 10 sweeps 2–10).
+    pub n_orgs: usize,
+    /// Instances to average over (the paper uses 100).
+    pub n_instances: usize,
+    /// Base RNG seed; instance `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Machine split between organizations.
+    pub split: MachineSplit,
+    /// Algorithms to evaluate.
+    pub algos: Vec<Algo>,
+}
+
+/// Mean/sd of `Δψ/p_tot` for one algorithm.
+#[derive(Clone, Debug, Serialize)]
+pub struct AlgoStats {
+    /// Algorithm label.
+    pub label: String,
+    /// Mean unfairness over instances.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sd: f64,
+    /// Per-instance values.
+    pub values: Vec<f64>,
+}
+
+impl AlgoStats {
+    fn from_values(label: String, values: Vec<f64>) -> AlgoStats {
+        let n = values.len().max(1) as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        AlgoStats { label, mean, sd: var.sqrt(), values }
+    }
+}
+
+/// Runs one seeded instance: generates the workload, computes the REF
+/// reference schedule, then evaluates every algorithm's `Δψ/p_tot`.
+pub fn run_instance(exp: &DelayExperiment, seed: u64) -> Vec<(String, f64)> {
+    let p = preset(exp.preset, exp.scale, exp.horizon);
+    let jobs = generate(&p.synth, seed);
+    let trace = to_trace(&jobs, exp.n_orgs, p.synth.n_machines, exp.split, seed)
+        .expect("generated trace is valid");
+
+    let mut reference = RefScheduler::new(&trace);
+    let ref_result = simulate(&trace, &mut reference, exp.horizon);
+
+    exp.algos
+        .iter()
+        .map(|algo| {
+            let mut scheduler = algo.build(&trace, seed ^ 0x5eed);
+            let result = simulate(&trace, scheduler.as_mut(), exp.horizon);
+            let report = FairnessReport::from_schedules(
+                &trace,
+                &result.schedule,
+                &ref_result.schedule,
+                exp.horizon,
+            );
+            (algo.label(), report.unfairness())
+        })
+        .collect()
+}
+
+/// Runs the full experiment (instances in parallel) and aggregates.
+pub fn run_delay_experiment(exp: &DelayExperiment) -> Vec<AlgoStats> {
+    let seeds: Vec<u64> = (0..exp.n_instances as u64).map(|i| exp.base_seed + i).collect();
+    let per_instance = parallel_map(seeds, |seed| run_instance(exp, seed));
+    exp.algos
+        .iter()
+        .enumerate()
+        .map(|(ai, algo)| {
+            let values: Vec<f64> = per_instance.iter().map(|inst| inst[ai].1).collect();
+            AlgoStats::from_values(algo.label(), values)
+        })
+        .collect()
+}
+
+/// The default scale for a preset: full size for the small LPC-EGEE
+/// cluster, scaled-down pools (~120 machines) for the three big systems so
+/// the exponential REF reference stays laptop-friendly. `--paper-scale`
+/// overrides to 1.0 everywhere.
+pub fn default_scale(name: PresetName) -> f64 {
+    match name {
+        PresetName::LpcEgee => 1.0,
+        PresetName::PikIplex => 0.05,
+        PresetName::SharcnetWhale => 0.04,
+        PresetName::Ricc => 0.015,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_exp() -> DelayExperiment {
+        DelayExperiment {
+            preset: PresetName::LpcEgee,
+            scale: 0.1,
+            horizon: 2_000,
+            n_orgs: 3,
+            n_instances: 2,
+            base_seed: 7,
+            split: MachineSplit::Zipf(1.0),
+            algos: vec![Algo::RoundRobin, Algo::FairShare, Algo::Rand(5)],
+        }
+    }
+
+    #[test]
+    fn experiment_produces_stats_per_algo() {
+        let stats = run_delay_experiment(&tiny_exp());
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert_eq!(s.values.len(), 2);
+            assert!(s.mean >= 0.0);
+            assert!(s.sd >= 0.0);
+        }
+    }
+
+    #[test]
+    fn instance_is_deterministic() {
+        let exp = tiny_exp();
+        assert_eq!(run_instance(&exp, 3), run_instance(&exp, 3));
+    }
+
+    #[test]
+    fn labels_match_table_set() {
+        let labels: Vec<String> = Algo::TABLE_SET.iter().map(|a| a.label()).collect();
+        assert_eq!(labels[0], "RoundRobin");
+        assert_eq!(labels[1], "Rand (N=15)");
+        assert_eq!(labels[5], "CurrFairShare");
+    }
+
+    #[test]
+    fn stats_math() {
+        let s = AlgoStats::from_values("x".into(), vec![1.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.sd - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

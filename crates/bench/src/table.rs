@@ -1,0 +1,106 @@
+//! Table formatting for experiment output (plain text + JSON).
+
+use crate::runner::AlgoStats;
+use serde::Serialize;
+
+/// A table-1-style grid: one row per algorithm, one (avg, sd) column pair
+/// per workload.
+#[derive(Clone, Debug, Serialize)]
+pub struct DelayTable {
+    /// Table title.
+    pub title: String,
+    /// Column (workload) labels.
+    pub workloads: Vec<String>,
+    /// `cells[w]` = per-algorithm stats for workload `w`.
+    pub cells: Vec<Vec<AlgoStats>>,
+}
+
+impl DelayTable {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let algo_w = 16;
+        let col_w = 11;
+        // Header.
+        out.push_str(&format!("{:<algo_w$}", ""));
+        for w in &self.workloads {
+            out.push_str(&format!("{:>width$}", w, width = 2 * col_w));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<algo_w$}", "algorithm"));
+        for _ in &self.workloads {
+            out.push_str(&format!("{:>col_w$}{:>col_w$}", "Avg", "St.dev"));
+        }
+        out.push('\n');
+        let n_algos = self.cells.first().map_or(0, |c| c.len());
+        for a in 0..n_algos {
+            out.push_str(&format!("{:<algo_w$}", self.cells[0][a].label));
+            for w in 0..self.workloads.len() {
+                let s = &self.cells[w][a];
+                out.push_str(&format!(
+                    "{:>col_w$}{:>col_w$}",
+                    format_sig(s.mean),
+                    format_sig(s.sd)
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+}
+
+/// Formats with 3 significant-ish digits like the paper's tables (e.g.
+/// `238`, `0.014`, `2839`).
+pub fn format_sig(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(label: &str, mean: f64) -> AlgoStats {
+        AlgoStats { label: label.into(), mean, sd: mean / 2.0, values: vec![mean] }
+    }
+
+    #[test]
+    fn renders_grid() {
+        let t = DelayTable {
+            title: "Table 1".into(),
+            workloads: vec!["LPC-EGEE".into(), "RICC".into()],
+            cells: vec![
+                vec![stats("RoundRobin", 238.0), stats("FairShare", 16.0)],
+                vec![stats("RoundRobin", 2839.0), stats("FairShare", 626.0)],
+            ],
+        };
+        let r = t.render();
+        assert!(r.contains("RoundRobin"));
+        assert!(r.contains("LPC-EGEE"));
+        assert!(r.contains("238"));
+        assert!(r.contains("2839"));
+        let json = t.to_json();
+        assert!(json.contains("\"mean\""));
+    }
+
+    #[test]
+    fn significant_formatting() {
+        assert_eq!(format_sig(0.0), "0");
+        assert_eq!(format_sig(0.0144), "0.014");
+        assert_eq!(format_sig(6.04), "6.0");
+        assert_eq!(format_sig(238.4), "238");
+    }
+}

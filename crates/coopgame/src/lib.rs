@@ -1,0 +1,91 @@
+//! Cooperative game theory primitives.
+//!
+//! This crate provides the game-theoretic substrate used by the
+//! `fairsched` fair-scheduling library:
+//!
+//! * [`Coalition`] — a compact bitmask representation of player subsets with
+//!   fast subset enumeration,
+//! * [`shapley::shapley_exact`] / [`shapley::shapley_exact_scaled`] — exact
+//!   Shapley values computed by subset enumeration (floating point and exact
+//!   integer variants),
+//! * [`sampling::shapley_sample`] — the permutation-sampling Monte Carlo
+//!   estimator together with the Hoeffding sample-size bound used by the
+//!   paper's RAND algorithm (Theorem 5.6 of Skowron & Rzadca, SPAA 2013),
+//! * [`properties`] — checkers for the Shapley axioms (efficiency, symmetry,
+//!   dummy, additivity) and structural game properties (monotonicity,
+//!   supermodularity, core membership).
+//!
+//! A cooperative (transferable-utility) game on `n` players is a function
+//! `v : 2^N -> R` with `v(∅) = 0`. Games are passed as closures over
+//! [`Coalition`]; [`TabularGame`] offers a dense array-backed implementation
+//! convenient for tests and small games.
+//!
+//! # Example
+//!
+//! ```
+//! use coopgame::{Coalition, Player, TabularGame, shapley::shapley_exact};
+//!
+//! // A 2-player "gloves" game: a pair is worth 1, singletons nothing.
+//! let game = TabularGame::from_fn(2, |c| if c.len() == 2 { 1.0 } else { 0.0 });
+//! let phi = shapley_exact(2, |c| game.value(c));
+//! assert_eq!(phi, vec![0.5, 0.5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coalition;
+mod tabular;
+
+pub mod properties;
+pub mod sampling;
+pub mod shapley;
+
+pub use coalition::{Coalition, Player, SubsetIter};
+pub use tabular::TabularGame;
+
+/// Factorials as `u128`. Panics for `n > 34` (the largest factorial that
+/// fits in a `u128`).
+///
+/// Used by the exact integer Shapley computation, where values are scaled by
+/// `n!` to stay in integer arithmetic.
+#[inline]
+pub fn factorial(n: usize) -> u128 {
+    const TABLE_LEN: usize = 35;
+    static TABLE: [u128; TABLE_LEN] = {
+        let mut t = [1u128; TABLE_LEN];
+        let mut i = 1;
+        while i < TABLE_LEN {
+            t[i] = t[i - 1] * i as u128;
+            i += 1;
+        }
+        t
+    };
+    TABLE[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(10), 3_628_800);
+    }
+
+    #[test]
+    fn factorial_max_supported() {
+        // 34! is the largest factorial representable in u128.
+        let f34 = factorial(34);
+        assert_eq!(f34 / factorial(33), 34);
+    }
+
+    #[test]
+    #[should_panic]
+    fn factorial_overflow_panics() {
+        let _ = factorial(35);
+    }
+}

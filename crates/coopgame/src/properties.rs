@@ -1,0 +1,336 @@
+//! Structural property checks for cooperative games.
+//!
+//! These checkers power the paper-replication tests: Proposition 5.5 shows
+//! the scheduling game is **not** supermodular (which is why the
+//! Liben-Nowell et al. sampling bounds had to be re-derived), and the
+//! Shapley axioms of Section 3 are verified against the implementation on
+//! random games.
+
+use crate::{Coalition, Player, TabularGame};
+
+/// Tolerance used for floating-point property checks.
+const EPS: f64 = 1e-9;
+
+/// Whether the game is monotone: `S ⊆ T ⇒ v(S) ≤ v(T)`.
+pub fn is_monotone(game: &TabularGame) -> bool {
+    let n = game.n_players();
+    let grand = Coalition::grand(n);
+    // Checking one-element extensions suffices.
+    for bits in 0..(1u64 << n) {
+        let s = Coalition::from_bits(bits);
+        for p in grand.difference(s).members() {
+            if game.value(s.insert(p)) < game.value(s) - EPS {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether the game is supermodular (convex):
+/// `v(S ∪ {i}) − v(S) ≤ v(T ∪ {i}) − v(T)` for all `S ⊆ T`, `i ∉ T`.
+///
+/// Uses the standard pairwise criterion: supermodular iff for all `i ≠ j`
+/// and all `S ⊆ N∖{i,j}`:
+/// `v(S∪{i,j}) − v(S∪{j}) ≥ v(S∪{i}) − v(S)`.
+pub fn is_supermodular(game: &TabularGame) -> bool {
+    supermodularity_violation(game).is_none()
+}
+
+/// A witness that the game is not supermodular, if one exists:
+/// `(S, i, j)` with `v(S∪{i,j}) − v(S∪{j}) < v(S∪{i}) − v(S)`.
+pub fn supermodularity_violation(
+    game: &TabularGame,
+) -> Option<(Coalition, Player, Player)> {
+    let n = game.n_players();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let pi = Player(i);
+            let pj = Player(j);
+            let rest = Coalition::grand(n).remove(pi).remove(pj);
+            for s in rest.subsets() {
+                let lhs = game.value(s.insert(pi).insert(pj)) - game.value(s.insert(pj));
+                let rhs = game.value(s.insert(pi)) - game.value(s);
+                if lhs < rhs - EPS {
+                    return Some((s, pi, pj));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether the game is additive: `v(S) = Σ_{i∈S} v({i})`.
+pub fn is_additive(game: &TabularGame) -> bool {
+    let n = game.n_players();
+    for bits in 0..(1u64 << n) {
+        let s = Coalition::from_bits(bits);
+        let sum: f64 = s
+            .members()
+            .map(|p| game.value(Coalition::singleton(p)))
+            .sum();
+        if (game.value(s) - sum).abs() > EPS {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the game is superadditive:
+/// `v(S ∪ T) ≥ v(S) + v(T)` for disjoint `S`, `T`.
+pub fn is_superadditive(game: &TabularGame) -> bool {
+    let n = game.n_players();
+    for s_bits in 0..(1u64 << n) {
+        let s = Coalition::from_bits(s_bits);
+        let complement = Coalition::grand(n).difference(s);
+        for t in complement.subsets() {
+            if t.is_empty() {
+                continue;
+            }
+            if game.value(s.union(t)) < game.value(s) + game.value(t) - EPS {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether a payoff vector is an imputation: efficient
+/// (`Σx = v(N)`) and individually rational (`x_i ≥ v({i})`).
+pub fn is_imputation(game: &TabularGame, payoff: &[f64]) -> bool {
+    let n = game.n_players();
+    assert_eq!(payoff.len(), n);
+    let total: f64 = payoff.iter().sum();
+    if (total - game.value(game.grand())).abs() > 1e-6 {
+        return false;
+    }
+    (0..n).all(|i| payoff[i] >= game.value(Coalition::singleton(Player(i))) - EPS)
+}
+
+/// Whether a payoff vector lies in the core:
+/// efficient and `Σ_{i∈S} x_i ≥ v(S)` for every coalition `S`.
+pub fn is_in_core(game: &TabularGame, payoff: &[f64]) -> bool {
+    let n = game.n_players();
+    assert_eq!(payoff.len(), n);
+    let total: f64 = payoff.iter().sum();
+    if (total - game.value(game.grand())).abs() > 1e-6 {
+        return false;
+    }
+    for bits in 1..(1u64 << n) {
+        let s = Coalition::from_bits(bits);
+        let share: f64 = s.members().map(|p| payoff[p.0]).sum();
+        if share < game.value(s) - 1e-6 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks all four Shapley axioms of Section 3 of the paper against a
+/// candidate payoff division. Returns the list of violated axiom names
+/// (empty = all satisfied). `symmetry` and `dummy` are structural checks on
+/// the payoff given the game; `additivity` requires a second game and is
+/// checked separately by [`additivity_holds`].
+pub fn shapley_axiom_violations(game: &TabularGame, payoff: &[f64]) -> Vec<&'static str> {
+    let n = game.n_players();
+    assert_eq!(payoff.len(), n);
+    let mut violated = Vec::new();
+
+    // Efficiency.
+    let total: f64 = payoff.iter().sum();
+    if (total - game.value(game.grand())).abs() > 1e-6 {
+        violated.push("efficiency");
+    }
+
+    // Symmetry: players with identical marginal contributions get equal pay.
+    'sym: for i in 0..n {
+        for j in (i + 1)..n {
+            let (pi, pj) = (Player(i), Player(j));
+            let rest = Coalition::grand(n).remove(pi).remove(pj);
+            let symmetric = rest.subsets().all(|s| {
+                (game.value(s.insert(pi)) - game.value(s.insert(pj))).abs() < EPS
+            });
+            if symmetric && (payoff[i] - payoff[j]).abs() > 1e-6 {
+                violated.push("symmetry");
+                break 'sym;
+            }
+        }
+    }
+
+    // Dummy: zero marginal contribution everywhere ⇒ zero payoff.
+    for (i, &pay) in payoff.iter().enumerate() {
+        let pi = Player(i);
+        let rest = Coalition::grand(n).remove(pi);
+        let dummy = rest
+            .subsets()
+            .all(|s| (game.value(s.insert(pi)) - game.value(s)).abs() < EPS);
+        if dummy && pay.abs() > 1e-6 {
+            violated.push("dummy");
+            break;
+        }
+    }
+
+    violated
+}
+
+/// Checks the additivity axiom for a solution function `f` on a pair of
+/// games: `f(v+w) = f(v) + f(w)`.
+pub fn additivity_holds(
+    a: &TabularGame,
+    b: &TabularGame,
+    mut f: impl FnMut(&TabularGame) -> Vec<f64>,
+) -> bool {
+    let fa = f(a);
+    let fb = f(b);
+    let fs = f(&a.sum(b));
+    fa.iter()
+        .zip(&fb)
+        .zip(&fs)
+        .all(|((x, y), z)| (x + y - z).abs() < 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapley::shapley_exact;
+    use proptest::prelude::*;
+
+    fn size_game(n: usize, f: impl Fn(usize) -> f64) -> TabularGame {
+        TabularGame::from_fn(n, |c| f(c.len()))
+    }
+
+    #[test]
+    fn convex_size_game_is_supermodular() {
+        let g = size_game(4, |s| (s * s) as f64);
+        assert!(is_supermodular(&g));
+        assert!(is_monotone(&g));
+        assert!(is_superadditive(&g));
+    }
+
+    #[test]
+    fn concave_size_game_is_not_supermodular() {
+        let g = size_game(4, |s| (s as f64).sqrt());
+        let witness = supermodularity_violation(&g);
+        assert!(witness.is_some());
+    }
+
+    #[test]
+    fn paper_proposition_5_5_counterexample() {
+        // Organizations a, b, c each own one machine; a and b release two
+        // unit jobs at t=0; c has none. Values at t=2 (from the paper):
+        // v({a,c}) = v({b,c}) = 4, v({a,b,c}) = 7, v({c}) = 0.
+        // v({a,b})? Two machines, four unit jobs: all 4 scheduled by t=2
+        // (two at t=0 worth 2 each, two at t=1 worth 1 each) = 6.
+        // v({a}) = v({b}) = 3 (own machine: jobs at t=0 and t=1).
+        let (a, b, c) = (Player(0), Player(1), Player(2));
+        let g = TabularGame::from_fn(3, |coal| {
+            let machines = coal.len() as i64;
+            let jobs = [a, b].iter().filter(|p| coal.contains(**p)).count() as i64 * 2;
+            // Unit jobs, all released at 0: at each step min(machines, left)
+            // start; value at t=2 of a unit job started at s is (2 - s).
+            let mut left = jobs;
+            let mut value = 0i64;
+            for s in 0..2 {
+                let started = machines.min(left);
+                left -= started;
+                value += started * (2 - s);
+            }
+            value as f64
+        });
+        assert_eq!(g.value([a, c].into_iter().collect()), 4.0);
+        assert_eq!(g.value([b, c].into_iter().collect()), 4.0);
+        assert_eq!(g.value(Coalition::grand(3)), 7.0);
+        assert_eq!(g.value(Coalition::singleton(c)), 0.0);
+        // v({a,b,c}) + v({c}) < v({a,c}) + v({b,c})  (7 + 0 < 4 + 4)
+        assert!(!is_supermodular(&g));
+        let (s, _, _) = supermodularity_violation(&g).unwrap();
+        assert!(s.is_subset_of(Coalition::grand(3)));
+    }
+
+    #[test]
+    fn shapley_satisfies_axioms_on_fixed_game() {
+        let g = TabularGame::from_fn(4, |c| (c.bits() % 17) as f64 * c.len() as f64);
+        let phi = shapley_exact(4, |c| g.value(c));
+        assert!(shapley_axiom_violations(&g, &phi).is_empty());
+    }
+
+    #[test]
+    fn unequal_split_violates_symmetry() {
+        let g = size_game(2, |s| s as f64);
+        let bad = vec![1.5, 0.5];
+        let v = shapley_axiom_violations(&g, &bad);
+        assert!(v.contains(&"symmetry"));
+    }
+
+    #[test]
+    fn nonzero_dummy_detected() {
+        // Player 1 is dummy (value depends only on player 0).
+        let g = TabularGame::from_fn(2, |c| {
+            if c.contains(Player(0)) { 5.0 } else { 0.0 }
+        });
+        let bad = vec![4.0, 1.0];
+        let v = shapley_axiom_violations(&g, &bad);
+        assert!(v.contains(&"dummy"));
+    }
+
+    #[test]
+    fn additive_game_checks() {
+        let g = TabularGame::from_fn(3, |c| c.members().map(|p| (p.0 + 1) as f64).sum());
+        assert!(is_additive(&g));
+        assert!(is_superadditive(&g));
+        assert!(is_supermodular(&g));
+    }
+
+    #[test]
+    fn core_membership() {
+        // Supermodular game: Shapley value is in the core.
+        let g = size_game(3, |s| (s * s) as f64);
+        let phi = shapley_exact(3, |c| g.value(c));
+        assert!(is_in_core(&g, &phi));
+        assert!(is_imputation(&g, &phi));
+        // Giving everything to player 0 violates the core for {1,2}.
+        let unfair = vec![9.0, 0.0, 0.0];
+        assert!(!is_in_core(&g, &unfair));
+    }
+
+    #[test]
+    fn additivity_of_shapley() {
+        let a = TabularGame::from_fn(3, |c| (c.bits() * 3 % 7) as f64);
+        let b = TabularGame::from_fn(3, |c| (c.bits() * 5 % 11) as f64);
+        assert!(additivity_holds(&a, &b, |g| {
+            shapley_exact(g.n_players(), |c| g.value(c))
+        }));
+    }
+
+    proptest! {
+        // The exact Shapley value satisfies efficiency/symmetry/dummy on
+        // arbitrary random games.
+        #[test]
+        fn prop_shapley_axioms(values in proptest::collection::vec(-20.0f64..20.0, 16)) {
+            let mut values = values;
+            values[0] = 0.0;
+            let g = TabularGame::from_values(values);
+            let phi = shapley_exact(4, |c| g.value(c));
+            prop_assert!(shapley_axiom_violations(&g, &phi).is_empty());
+        }
+
+        // Supermodular games are superadditive.
+        #[test]
+        fn prop_supermodular_implies_superadditive(
+            w in proptest::collection::vec(0.0f64..5.0, 4)
+        ) {
+            // Convex size-based game scaled by random weights sum: still
+            // supermodular because it's a convex function of |C| only.
+            let total: f64 = w.iter().sum();
+            let g = TabularGame::from_fn(4, |c| {
+                let s = c.len() as f64;
+                total * s * s
+            });
+            prop_assert!(is_supermodular(&g));
+            prop_assert!(is_superadditive(&g));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Monte Carlo Shapley estimation by permutation sampling.
+//!
+//! The alternative form of the Shapley value (Equation 2 of the paper) is an
+//! expectation over uniformly random join orders:
+//!
+//! ```text
+//! φ_u(v) = E_{≺} [ v(pred_≺(u) ∪ {u}) − v(pred_≺(u)) ]
+//! ```
+//!
+//! Sampling `N` permutations and averaging the marginal contributions gives
+//! an unbiased estimator. For values bounded in `[0, v(N)]`, Hoeffding's
+//! inequality yields the paper's sample complexity (Theorem 5.6):
+//! `N = ⌈ k²/ε² · ln(k / (1−λ)) ⌉` permutations guarantee, with probability
+//! at least `λ`, that every player's estimate is within `ε·v(N)/k` of its
+//! exact value (so the Manhattan error is within `ε·v(N)`).
+
+use crate::{Coalition, Player};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The Hoeffding-based number of permutations used by the paper's RAND
+/// algorithm: `⌈ k²/ε² · ln(k / (1−λ)) ⌉`.
+///
+/// # Panics
+/// Panics unless `0 < epsilon` and `0 < lambda < 1`.
+pub fn hoeffding_permutations(k: usize, epsilon: f64, lambda: f64) -> usize {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!((0.0..1.0).contains(&lambda) && lambda > 0.0, "lambda must be in (0,1)");
+    let k_f = k as f64;
+    ((k_f * k_f) / (epsilon * epsilon) * (k_f / (1.0 - lambda)).ln()).ceil() as usize
+}
+
+/// Inverse of [`hoeffding_permutations`]: the ε guaranteed (w.p. λ) by a
+/// given number of sampled permutations. Useful for reporting the bound a
+/// heuristic configuration (e.g. `N = 15`) actually carries.
+pub fn hoeffding_epsilon(k: usize, n_permutations: usize, lambda: f64) -> f64 {
+    assert!(n_permutations > 0);
+    let k_f = k as f64;
+    (k_f * k_f * (k_f / (1.0 - lambda)).ln() / n_permutations as f64).sqrt()
+}
+
+/// A sampled set of join-order permutations together with the prefix
+/// coalitions each player sees, mirroring the `Subs` / `Subs'` bookkeeping of
+/// the paper's Figure 6: for every sampled ordering and every player `u`,
+/// the pair `(pred(u), pred(u) ∪ {u})`.
+#[derive(Clone, Debug)]
+pub struct SampledPrefixes {
+    n_players: usize,
+    n_permutations: usize,
+    /// `pairs[u]` lists, for each sampled permutation, the coalition of
+    /// players preceding `u` (the matching "with-u" coalition is
+    /// `pred.insert(u)`).
+    pairs: Vec<Vec<Coalition>>,
+}
+
+impl SampledPrefixes {
+    /// Draws `n_permutations` uniformly random orderings of `n_players`
+    /// players (with replacement, as in the paper) and records every
+    /// player's predecessor coalition in each.
+    pub fn draw(n_players: usize, n_permutations: usize, rng: &mut impl Rng) -> Self {
+        let mut order: Vec<usize> = (0..n_players).collect();
+        let mut pairs = vec![Vec::with_capacity(n_permutations); n_players];
+        for _ in 0..n_permutations {
+            order.shuffle(rng);
+            let mut prefix = Coalition::EMPTY;
+            for &u in &order {
+                pairs[u].push(prefix);
+                prefix = prefix.insert(Player(u));
+            }
+        }
+        SampledPrefixes { n_players, n_permutations, pairs }
+    }
+
+    /// Number of players.
+    pub fn n_players(&self) -> usize {
+        self.n_players
+    }
+
+    /// Number of sampled permutations.
+    pub fn n_permutations(&self) -> usize {
+        self.n_permutations
+    }
+
+    /// Predecessor coalitions of player `u`, one per sampled permutation.
+    pub fn prefixes_of(&self, u: Player) -> &[Coalition] {
+        &self.pairs[u.0]
+    }
+
+    /// Every distinct coalition whose value is needed to evaluate the
+    /// estimator: all predecessor sets and all predecessor-plus-player sets.
+    /// The caller typically keeps one (cheap) schedule per entry.
+    pub fn required_coalitions(&self) -> Vec<Coalition> {
+        let mut seen = std::collections::HashSet::new();
+        for (u, prefs) in self.pairs.iter().enumerate() {
+            for &p in prefs {
+                seen.insert(p);
+                seen.insert(p.insert(Player(u)));
+            }
+        }
+        let mut v: Vec<_> = seen.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Estimates all Shapley values given a coalition-value oracle.
+    pub fn estimate(&self, mut v: impl FnMut(Coalition) -> f64) -> Vec<f64> {
+        let inv = 1.0 / self.n_permutations as f64;
+        (0..self.n_players)
+            .map(|u| {
+                let player = Player(u);
+                self.pairs[u]
+                    .iter()
+                    .map(|&pred| v(pred.insert(player)) - v(pred))
+                    .sum::<f64>()
+                    * inv
+            })
+            .collect()
+    }
+}
+
+/// One-shot Monte Carlo Shapley estimate with `n_permutations` samples.
+pub fn shapley_sample(
+    n_players: usize,
+    n_permutations: usize,
+    v: impl FnMut(Coalition) -> f64,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    SampledPrefixes::draw(n_players, n_permutations, rng).estimate(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapley::shapley_exact;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hoeffding_matches_paper_formula() {
+        // k=5, eps=1, lambda=0.9: N = ceil(25 * ln(50)) = ceil(97.8) = 98.
+        let n = hoeffding_permutations(5, 1.0, 0.9);
+        assert_eq!(n, (25.0f64 * 50.0f64.ln()).ceil() as usize);
+    }
+
+    #[test]
+    fn hoeffding_epsilon_inverts() {
+        let k = 5;
+        let lambda = 0.9;
+        let n = hoeffding_permutations(k, 0.5, lambda);
+        let eps = hoeffding_epsilon(k, n, lambda);
+        assert!(eps <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hoeffding_rejects_bad_lambda() {
+        let _ = hoeffding_permutations(5, 0.5, 1.0);
+    }
+
+    #[test]
+    fn estimator_is_exact_for_additive_games() {
+        // For additive games every marginal contribution equals the weight,
+        // so even one permutation is exact.
+        let w = [3.0, 1.0, 4.0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = shapley_sample(3, 1, |c| c.members().map(|p| w[p.0]).sum(), &mut rng);
+        for (e, x) in est.iter().zip(&w) {
+            assert!((e - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimator_converges_to_exact() {
+        let v = |c: Coalition| {
+            // Non-additive: strictly convex in coalition size plus asymmetry.
+            let s = c.len() as f64;
+            s * s + if c.contains(Player(0)) { 3.0 } else { 0.0 }
+        };
+        let exact = shapley_exact(4, v);
+        let mut rng = StdRng::seed_from_u64(42);
+        let est = shapley_sample(4, 20_000, v, &mut rng);
+        for (e, x) in est.iter().zip(&exact) {
+            assert!((e - x).abs() < 0.15, "estimate {e} too far from exact {x}");
+        }
+    }
+
+    #[test]
+    fn prefixes_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = SampledPrefixes::draw(4, 10, &mut rng);
+        assert_eq!(s.n_players(), 4);
+        assert_eq!(s.n_permutations(), 10);
+        for u in 0..4 {
+            assert_eq!(s.prefixes_of(Player(u)).len(), 10);
+            for p in s.prefixes_of(Player(u)) {
+                assert!(!p.contains(Player(u)));
+            }
+        }
+    }
+
+    #[test]
+    fn required_coalitions_covers_all_pairs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = SampledPrefixes::draw(3, 5, &mut rng);
+        let req: std::collections::HashSet<_> =
+            s.required_coalitions().into_iter().collect();
+        for u in 0..3 {
+            for &p in s.prefixes_of(Player(u)) {
+                assert!(req.contains(&p));
+                assert!(req.contains(&p.insert(Player(u))));
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_efficiency_in_expectation() {
+        // Σφ̂ over one permutation telescopes to v(N) exactly.
+        let v = |c: Coalition| (c.bits() as f64).sqrt();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = SampledPrefixes::draw(5, 1, &mut rng);
+        let est = s.estimate(v);
+        let total: f64 = est.iter().sum();
+        assert!((total - v(Coalition::grand(5))).abs() < 1e-9);
+    }
+}

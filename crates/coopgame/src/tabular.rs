@@ -1,0 +1,123 @@
+//! Dense array-backed cooperative games.
+
+use crate::Coalition;
+
+/// A cooperative game stored as a dense table of `2^n` coalition values.
+///
+/// This is the convenient representation for small games (tests, property
+/// checks, the supermodularity counterexample of Proposition 5.5). The
+/// fair-scheduling algorithms never materialize the full table for the
+/// general case; they evaluate coalition values from per-coalition schedule
+/// state instead.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TabularGame {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl TabularGame {
+    /// Builds a game on `n` players by evaluating `v` on every coalition.
+    ///
+    /// The value of the empty coalition is forced to 0 (a characteristic
+    /// function must satisfy `v(∅) = 0`).
+    ///
+    /// # Panics
+    /// Panics if `n > 24` (the dense table would exceed 128 MiB).
+    pub fn from_fn(n: usize, mut v: impl FnMut(Coalition) -> f64) -> Self {
+        assert!(n <= 24, "dense tabular games support at most 24 players");
+        let size = 1usize << n;
+        let mut values = Vec::with_capacity(size);
+        values.push(0.0);
+        for bits in 1..size as u64 {
+            values.push(v(Coalition::from_bits(bits)));
+        }
+        TabularGame { n, values }
+    }
+
+    /// Builds a game directly from a table indexed by coalition bitmask.
+    ///
+    /// # Panics
+    /// Panics if the table length is not a power of two or `values[0] != 0`.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        assert!(values.len().is_power_of_two(), "table length must be 2^n");
+        assert_eq!(values[0], 0.0, "v(empty) must be 0");
+        let n = values.len().trailing_zeros() as usize;
+        TabularGame { n, values }
+    }
+
+    /// Number of players.
+    #[inline]
+    pub fn n_players(&self) -> usize {
+        self.n
+    }
+
+    /// The value `v(c)` of a coalition.
+    #[inline]
+    pub fn value(&self, c: Coalition) -> f64 {
+        self.values[c.bits() as usize]
+    }
+
+    /// The grand coalition of this game.
+    #[inline]
+    pub fn grand(&self) -> Coalition {
+        Coalition::grand(self.n)
+    }
+
+    /// Pointwise sum of two games on the same player set (used to exercise
+    /// the additivity axiom).
+    ///
+    /// # Panics
+    /// Panics if the player counts differ.
+    pub fn sum(&self, other: &TabularGame) -> TabularGame {
+        assert_eq!(self.n, other.n, "games must share the player set");
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a + b)
+            .collect();
+        TabularGame { n: self.n, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Player;
+
+    #[test]
+    fn from_fn_forces_empty_to_zero() {
+        let g = TabularGame::from_fn(3, |_| 42.0);
+        assert_eq!(g.value(Coalition::EMPTY), 0.0);
+        assert_eq!(g.value(Coalition::grand(3)), 42.0);
+    }
+
+    #[test]
+    fn from_values_roundtrip() {
+        let g = TabularGame::from_values(vec![0.0, 1.0, 2.0, 5.0]);
+        assert_eq!(g.n_players(), 2);
+        assert_eq!(g.value(Coalition::singleton(Player(0))), 1.0);
+        assert_eq!(g.value(Coalition::singleton(Player(1))), 2.0);
+        assert_eq!(g.value(Coalition::grand(2)), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_values_rejects_nonzero_empty() {
+        let _ = TabularGame::from_values(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_values_rejects_bad_length() {
+        let _ = TabularGame::from_values(vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_is_pointwise() {
+        let a = TabularGame::from_fn(2, |c| c.len() as f64);
+        let b = TabularGame::from_fn(2, |c| 2.0 * c.len() as f64);
+        let s = a.sum(&b);
+        assert_eq!(s.value(Coalition::grand(2)), 6.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The fairness evaluation metric of Section 7.2: `Δψ / p_tot`.
+//!
+//! A scheduler's fairness is measured against the reference fair schedule
+//! (produced by the exact REF algorithm): `Δψ = ‖ψ − ψ*‖_M` is the Manhattan
+//! distance between the realized and ideal utility vectors, and `p_tot` is
+//! the number of unit-size job parts completed in the reference schedule.
+//! Since delaying one unit part by one time moment costs exactly one unit of
+//! `ψ_sp`, the ratio is *the average unjustified delay (or speed-up) of a
+//! job unit caused by the scheduler's unfairness* — the quantity reported in
+//! Tables 1–2 and Figure 10.
+
+use crate::model::{OrgId, Time, Trace};
+use crate::schedule::Schedule;
+use crate::utility::{sp_vector, Util};
+use std::fmt;
+
+/// Per-organization fairness comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrgFairness {
+    /// The organization.
+    pub org: OrgId,
+    /// Its name (from the trace).
+    pub name: String,
+    /// Realized utility `ψ(u)` under the evaluated scheduler.
+    pub utility: Util,
+    /// Ideal utility `ψ*(u)` under the reference fair scheduler.
+    pub reference: Util,
+}
+
+impl OrgFairness {
+    /// Signed deviation `ψ(u) − ψ*(u)` (positive = favored).
+    pub fn deviation(&self) -> Util {
+        self.utility - self.reference
+    }
+}
+
+/// A fairness report: utilities vs the fair reference, `Δψ` and `Δψ/p_tot`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FairnessReport {
+    /// Per-organization rows.
+    pub per_org: Vec<OrgFairness>,
+    /// Manhattan distance `Σ_u |ψ(u) − ψ*(u)|`.
+    pub delta_psi: Util,
+    /// Unit parts completed in the reference schedule by the horizon.
+    pub p_tot: Time,
+    /// Evaluation horizon.
+    pub horizon: Time,
+}
+
+impl FairnessReport {
+    /// Builds a report from utility vectors.
+    ///
+    /// # Panics
+    /// Panics if vector lengths disagree with the trace.
+    pub fn from_vectors(
+        trace: &Trace,
+        psi: &[Util],
+        psi_ref: &[Util],
+        p_tot: Time,
+        horizon: Time,
+    ) -> Self {
+        assert_eq!(psi.len(), trace.n_orgs());
+        assert_eq!(psi_ref.len(), trace.n_orgs());
+        let per_org: Vec<OrgFairness> = (0..trace.n_orgs())
+            .map(|u| OrgFairness {
+                org: OrgId(u as u32),
+                name: trace.orgs()[u].name.clone(),
+                utility: psi[u],
+                reference: psi_ref[u],
+            })
+            .collect();
+        let delta_psi = per_org.iter().map(|o| o.deviation().abs()).sum();
+        FairnessReport { per_org, delta_psi, p_tot, horizon }
+    }
+
+    /// Builds a report by evaluating `ψ_sp` on two schedules at `horizon`.
+    pub fn from_schedules(
+        trace: &Trace,
+        schedule: &Schedule,
+        reference: &Schedule,
+        horizon: Time,
+    ) -> Self {
+        let psi = sp_vector(trace, schedule, horizon);
+        let psi_ref = sp_vector(trace, reference, horizon);
+        let p_tot = reference.completed_units(horizon);
+        Self::from_vectors(trace, &psi, &psi_ref, p_tot, horizon)
+    }
+
+    /// The headline metric `Δψ / p_tot` (0 when nothing completed).
+    pub fn unfairness(&self) -> f64 {
+        if self.p_tot == 0 {
+            0.0
+        } else {
+            self.delta_psi as f64 / self.p_tot as f64
+        }
+    }
+}
+
+/// A point of the unfairness time series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FairnessPoint {
+    /// Sample time.
+    pub t: Time,
+    /// `Δψ(t) = ‖ψ(t) − ψ*(t)‖₁`.
+    pub delta_psi: Util,
+    /// Units completed in the reference schedule by `t`.
+    pub p_tot: Time,
+}
+
+impl FairnessPoint {
+    /// `Δψ(t)/p_tot(t)` (0 when nothing completed).
+    pub fn unfairness(&self) -> f64 {
+        if self.p_tot == 0 {
+            0.0
+        } else {
+            self.delta_psi as f64 / self.p_tot as f64
+        }
+    }
+}
+
+/// The unfairness time series `Δψ(t)/p_tot(t)` at `samples` evenly spaced
+/// times in `(0, horizon]`.
+///
+/// Definition 3.1 requires fairness *at every time moment*, not just
+/// asymptotically ("we want to avoid the case in which an organization is
+/// disfavored in one, possibly long, time period and then favored in the
+/// next one"); this timeline makes a scheduler's responsiveness visible.
+pub fn fairness_timeline(
+    trace: &Trace,
+    schedule: &Schedule,
+    reference: &Schedule,
+    horizon: Time,
+    samples: usize,
+) -> Vec<FairnessPoint> {
+    assert!(samples > 0, "need at least one sample");
+    (1..=samples)
+        .map(|i| {
+            let t = horizon * i as Time / samples as Time;
+            let psi = sp_vector(trace, schedule, t);
+            let psi_ref = sp_vector(trace, reference, t);
+            let delta_psi = psi
+                .iter()
+                .zip(&psi_ref)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            FairnessPoint { t, delta_psi, p_tot: reference.completed_units(t) }
+        })
+        .collect()
+}
+
+impl fmt::Display for FairnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fairness @ t={} (Δψ = {}, p_tot = {}, Δψ/p_tot = {:.4})",
+            self.horizon,
+            self.delta_psi,
+            self.p_tot,
+            self.unfairness()
+        )?;
+        writeln!(f, "{:<16} {:>16} {:>16} {:>12}", "org", "ψ", "ψ*", "ψ−ψ*")?;
+        for o in &self.per_org {
+            writeln!(
+                f,
+                "{:<16} {:>16} {:>16} {:>12}",
+                o.name,
+                o.utility,
+                o.reference,
+                o.deviation()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{JobId, MachineId};
+    use crate::schedule::ScheduledJob;
+
+    fn trace2() -> Trace {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        let c = b.org("b", 1);
+        b.job(a, 0, 2).job(c, 0, 2);
+        b.build().unwrap()
+    }
+
+    fn sched(entries: &[(u32, u32, u32, Time, Time)]) -> Schedule {
+        entries
+            .iter()
+            .map(|&(j, o, m, s, p)| ScheduledJob {
+                job: JobId(j),
+                org: OrgId(o),
+                machine: MachineId(m),
+                start: s,
+                proc_time: p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_schedules_are_perfectly_fair() {
+        let t = trace2();
+        let s = sched(&[(0, 0, 0, 0, 2), (1, 1, 1, 0, 2)]);
+        let r = FairnessReport::from_schedules(&t, &s, &s, 10);
+        assert_eq!(r.delta_psi, 0);
+        assert_eq!(r.unfairness(), 0.0);
+        assert_eq!(r.p_tot, 4);
+    }
+
+    #[test]
+    fn deviation_counts_both_directions() {
+        let t = trace2();
+        // Reference: both in parallel. Evaluated: serial on one machine
+        // (org b delayed by 2).
+        let reference = sched(&[(0, 0, 0, 0, 2), (1, 1, 1, 0, 2)]);
+        let eval = sched(&[(0, 0, 0, 0, 2), (1, 1, 0, 2, 2)]);
+        let r = FairnessReport::from_schedules(&t, &eval, &reference, 10);
+        // Org b's two units each delayed 2 -> psi drops by 4.
+        assert_eq!(r.per_org[1].deviation(), -4);
+        assert_eq!(r.per_org[0].deviation(), 0);
+        assert_eq!(r.delta_psi, 4);
+        assert!((r.unfairness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_reference_yields_zero_ratio() {
+        let t = trace2();
+        let empty = Schedule::new();
+        let r = FairnessReport::from_schedules(&t, &empty, &empty, 0);
+        assert_eq!(r.unfairness(), 0.0);
+    }
+
+    #[test]
+    fn timeline_monotone_sampling() {
+        let t = trace2();
+        let reference = sched(&[(0, 0, 0, 0, 2), (1, 1, 1, 0, 2)]);
+        let eval = sched(&[(0, 0, 0, 0, 2), (1, 1, 0, 2, 2)]);
+        let series = fairness_timeline(&t, &eval, &reference, 8, 4);
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[0].t, 2);
+        assert_eq!(series[3].t, 8);
+        // Unfairness accumulates while org b's units are delayed.
+        assert!(series[3].delta_psi >= series[0].delta_psi);
+        // At the end: 4 (two units delayed 2 each).
+        assert_eq!(series[3].delta_psi, 4);
+        assert!(series[3].unfairness() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn timeline_rejects_zero_samples() {
+        let t = trace2();
+        let s = Schedule::new();
+        let _ = fairness_timeline(&t, &s, &s, 10, 0);
+    }
+
+    #[test]
+    fn display_contains_orgs() {
+        let t = trace2();
+        let s = sched(&[(0, 0, 0, 0, 2), (1, 1, 1, 0, 2)]);
+        let r = FairnessReport::from_schedules(&t, &s, &s, 10);
+        let text = format!("{r}");
+        assert!(text.contains("a"));
+        assert!(text.contains("p_tot = 4"));
+    }
+}

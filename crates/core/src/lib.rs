@@ -1,0 +1,56 @@
+//! Core model and algorithms for **non-monetary fair scheduling** in
+//! multi-organizational systems, reproducing Skowron & Rzadca,
+//! *"Non-monetary fair scheduling — a cooperative game theory approach"*
+//! (SPAA 2013, arXiv:1302.0948).
+//!
+//! # The model
+//!
+//! `k` independent organizations pool their clusters. Each organization
+//! contributes machines and a FIFO stream of sequential, non-preemptible
+//! jobs; scheduling is **online** (jobs unknown before release) and
+//! **non-clairvoyant** (processing times unknown until completion). All
+//! schedulers are *greedy*: a free machine is never left idle while a job
+//! waits.
+//!
+//! # Fairness
+//!
+//! Fairness is game-theoretic: the coalition's value is the sum of
+//! per-organization utilities under the strategy-proof utility
+//! [`utility::SpUtility`] (the unique utility satisfying the paper's three
+//! axioms, Theorem 4.1), and each organization's ideal payoff is its
+//! **Shapley value** in that game. A fair scheduler keeps realized utilities
+//! as close as possible (Manhattan metric) to the Shapley contributions at
+//! every time step, recursively for all subcoalitions (Definitions 3.1–3.2).
+//!
+//! # What's here
+//!
+//! * [`model`] — organizations, machines, jobs, traces.
+//! * [`schedule`] — schedules, validation of the model invariants
+//!   (no machine overlap, per-organization FIFO, greediness).
+//! * [`utility`] — the strategy-proof utility `ψ_sp` (exact integer
+//!   arithmetic), classic alternatives (flow time, resource utilization,
+//!   makespan, tardiness) and axiom checkers.
+//! * [`scheduler`] — the paper's algorithms: exact exponential [`scheduler::RefScheduler`]
+//!   (Figure 1/3), randomized [`scheduler::RandScheduler`] (Figure 6, the
+//!   FPRAS of Theorem 5.6), heuristic [`scheduler::DirectContrScheduler`]
+//!   (Figure 9), and the baselines (round robin and the fair-share family).
+//! * [`fairness`] — the evaluation metric `Δψ/p_tot` of Section 7.2 and
+//!   the per-moment unfairness timeline.
+//! * [`analysis`] — materialize the cooperative game a trace induces
+//!   (supermodularity/core checks, Shapley shares, the Theorem 5.3 gap).
+//! * [`reduction`] — the executable SUBSETSUM reduction of Theorem 5.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod fairness;
+pub mod model;
+pub mod reduction;
+pub mod schedule;
+pub mod scheduler;
+pub mod utility;
+
+pub use model::{Job, JobId, JobMeta, MachineId, OrgId, OrgSpec, Time, Trace};
+pub use schedule::{Schedule, ScheduledJob};
+pub use utility::Util;

@@ -1,0 +1,85 @@
+//! Strongly-typed identifiers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The identifier as a `usize` index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An organization, identified by its index in the trace's organization
+    /// list. Doubles as the player index in the cooperative game.
+    OrgId,
+    "O"
+);
+
+id_type!(
+    /// A job, identified by its index in the trace's job list. Jobs of a
+    /// single organization must be started in trace order (per-organization
+    /// FIFO).
+    JobId,
+    "J"
+);
+
+id_type!(
+    /// A machine (processor). Machines are identical; the id determines the
+    /// owning organization via [`crate::model::ClusterInfo`].
+    MachineId,
+    "M"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", OrgId(3)), "O3");
+        assert_eq!(format!("{:?}", JobId(12)), "J12");
+        assert_eq!(format!("{}", MachineId(0)), "M0");
+    }
+
+    #[test]
+    fn ids_index_roundtrip() {
+        let id: OrgId = 7usize.into();
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(JobId(1) < JobId(2));
+        assert_eq!(OrgId(5), OrgId(5));
+    }
+}

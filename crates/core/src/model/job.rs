@@ -1,0 +1,82 @@
+//! Jobs and the non-clairvoyant job view.
+
+use super::{JobId, OrgId, Time};
+
+/// A sequential job, as known to the **simulator** (full information).
+///
+/// Schedulers never see a `Job` directly — they receive [`JobMeta`], which
+/// omits the processing time, enforcing the paper's non-clairvoyance
+/// assumption at the type level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Job {
+    /// Global job identifier (index in the trace).
+    pub id: JobId,
+    /// The issuing organization.
+    pub org: OrgId,
+    /// Release time; the job is unknown to everyone before this moment.
+    pub release: Time,
+    /// Processing time, `p > 0`. Unknown to schedulers until completion.
+    pub proc_time: Time,
+    /// Optional due date, used only by the tardiness utility.
+    pub deadline: Option<Time>,
+}
+
+impl Job {
+    /// Creates a job with no deadline.
+    pub fn new(id: JobId, org: OrgId, release: Time, proc_time: Time) -> Self {
+        assert!(proc_time > 0, "processing time must be positive");
+        Job { id, org, release, proc_time, deadline: None }
+    }
+
+    /// Sets the due date (builder-style).
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The non-clairvoyant view of this job.
+    pub fn meta(&self) -> JobMeta {
+        JobMeta { id: self.id, org: self.org, release: self.release }
+    }
+}
+
+/// The **non-clairvoyant** view of a job: everything a scheduler may know
+/// before the job completes. Deliberately has no processing-time field.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct JobMeta {
+    /// Global job identifier.
+    pub id: JobId,
+    /// The issuing organization.
+    pub org: OrgId,
+    /// Release time.
+    pub release: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_hides_processing_time() {
+        let j = Job::new(JobId(0), OrgId(1), 5, 10);
+        let m = j.meta();
+        assert_eq!(m.id, JobId(0));
+        assert_eq!(m.org, OrgId(1));
+        assert_eq!(m.release, 5);
+        // JobMeta has exactly 3 public fields; this is a compile-time fact,
+        // asserted here for documentation purposes.
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_processing_time_rejected() {
+        let _ = Job::new(JobId(0), OrgId(0), 0, 0);
+    }
+
+    #[test]
+    fn deadline_builder() {
+        let j = Job::new(JobId(2), OrgId(0), 0, 3).with_deadline(9);
+        assert_eq!(j.deadline, Some(9));
+    }
+}

@@ -1,0 +1,15 @@
+//! The multi-organizational scheduling model: organizations, machines,
+//! jobs and traces.
+
+mod ids;
+mod job;
+mod trace;
+
+pub use ids::{JobId, MachineId, OrgId};
+pub use job::{Job, JobMeta};
+pub use trace::{ClusterInfo, OrgSpec, Trace, TraceBuilder, TraceError};
+
+/// Discrete time, as in the paper's model (`T` is a discrete set of time
+/// moments). Job releases, starts and processing times are all measured in
+/// these units.
+pub type Time = u64;

@@ -1,0 +1,450 @@
+//! Traces: the full input to a simulation — organizations, their machines,
+//! and the job stream.
+
+use super::{Job, JobId, MachineId, OrgId, Time};
+use std::fmt;
+
+/// An organization's static description: a name and the number of machines
+/// it contributes to the common pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OrgSpec {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Number of identical machines contributed.
+    pub n_machines: usize,
+}
+
+impl OrgSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, n_machines: usize) -> Self {
+        OrgSpec { name: name.into(), n_machines }
+    }
+}
+
+/// Static cluster facts derived from a trace: machine ownership and counts.
+///
+/// Machines are laid out organization by organization: organization 0 owns
+/// machines `0..m_0`, organization 1 owns `m_0..m_0+m_1`, and so on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterInfo {
+    machine_owner: Vec<OrgId>,
+    org_machines: Vec<usize>,
+}
+
+impl ClusterInfo {
+    /// Builds cluster info from per-organization machine counts.
+    pub fn new(org_machines: Vec<usize>) -> Self {
+        let mut machine_owner = Vec::with_capacity(org_machines.iter().sum());
+        for (org, &m) in org_machines.iter().enumerate() {
+            machine_owner.extend(std::iter::repeat_n(OrgId(org as u32), m));
+        }
+        ClusterInfo { machine_owner, org_machines }
+    }
+
+    /// Number of organizations.
+    #[inline]
+    pub fn n_orgs(&self) -> usize {
+        self.org_machines.len()
+    }
+
+    /// Total number of machines in the pool.
+    #[inline]
+    pub fn n_machines(&self) -> usize {
+        self.machine_owner.len()
+    }
+
+    /// The organization owning a machine.
+    #[inline]
+    pub fn owner(&self, machine: MachineId) -> OrgId {
+        self.machine_owner[machine.index()]
+    }
+
+    /// Number of machines contributed by an organization.
+    #[inline]
+    pub fn machines_of(&self, org: OrgId) -> usize {
+        self.org_machines[org.index()]
+    }
+
+    /// Per-organization machine counts.
+    #[inline]
+    pub fn org_machines(&self) -> &[usize] {
+        &self.org_machines
+    }
+
+    /// The fair-share target of an organization: the fraction of the pool it
+    /// contributes (the share used by the fair-share baselines, Section 7.1).
+    #[inline]
+    pub fn share(&self, org: OrgId) -> f64 {
+        self.machines_of(org) as f64 / self.n_machines() as f64
+    }
+}
+
+/// Errors detected by [`Trace::validate`] / [`TraceBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// A job references an organization index that does not exist.
+    UnknownOrg {
+        /// The offending job.
+        job: JobId,
+        /// The referenced organization.
+        org: OrgId,
+    },
+    /// A job has zero processing time.
+    ZeroProcTime {
+        /// The offending job.
+        job: JobId,
+    },
+    /// The trace has no machines at all.
+    NoMachines,
+    /// Job ids are not the contiguous sequence `0..n`.
+    NonContiguousIds {
+        /// Position in the job list where the mismatch was found.
+        position: usize,
+    },
+    /// Jobs are not sorted by release time.
+    UnsortedJobs {
+        /// Position of the first out-of-order job.
+        position: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownOrg { job, org } => {
+                write!(f, "job {job} references unknown organization {org}")
+            }
+            TraceError::ZeroProcTime { job } => {
+                write!(f, "job {job} has zero processing time")
+            }
+            TraceError::NoMachines => write!(f, "trace has no machines"),
+            TraceError::NonContiguousIds { position } => {
+                write!(f, "job ids are not contiguous at position {position}")
+            }
+            TraceError::UnsortedJobs { position } => {
+                write!(f, "jobs not sorted by release time at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A complete simulation input: organizations (with machine counts) and the
+/// job stream, sorted by release time.
+///
+/// Per-organization FIFO order is the order of appearance in the sorted job
+/// list (ties in release time keep insertion order — a stable sort), which
+/// matches the paper's "jobs of each individual organization should be
+/// started in the order in which they are presented".
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Trace {
+    orgs: Vec<OrgSpec>,
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Starts building a trace.
+    pub fn builder() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Number of organizations.
+    #[inline]
+    pub fn n_orgs(&self) -> usize {
+        self.orgs.len()
+    }
+
+    /// Number of jobs.
+    #[inline]
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// All organizations.
+    #[inline]
+    pub fn orgs(&self) -> &[OrgSpec] {
+        &self.orgs
+    }
+
+    /// All jobs, sorted by release time; `jobs()[i].id == JobId(i)`.
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// A single job by id.
+    #[inline]
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.index()]
+    }
+
+    /// Jobs of one organization, in FIFO order.
+    pub fn jobs_of(&self, org: OrgId) -> impl Iterator<Item = &Job> {
+        self.jobs.iter().filter(move |j| j.org == org)
+    }
+
+    /// Derives the cluster layout (machine ownership).
+    pub fn cluster_info(&self) -> ClusterInfo {
+        ClusterInfo::new(self.orgs.iter().map(|o| o.n_machines).collect())
+    }
+
+    /// Total processing time over all jobs.
+    pub fn total_work(&self) -> Time {
+        self.jobs.iter().map(|j| j.proc_time).sum()
+    }
+
+    /// The largest release time (0 for an empty trace).
+    pub fn max_release(&self) -> Time {
+        self.jobs.iter().map(|j| j.release).max().unwrap_or(0)
+    }
+
+    /// An upper bound on the time by which every job has completed under any
+    /// greedy schedule: `max_release + total_work`.
+    pub fn completion_horizon(&self) -> Time {
+        self.max_release() + self.total_work()
+    }
+
+    /// Restricts the trace to the organizations in `keep` (a set of org
+    /// indices), renumbering nothing: jobs of other organizations are
+    /// dropped, organizations keep their ids but lose their machines if not
+    /// kept. Used to build subcoalition inputs for testing.
+    pub fn restrict_to(&self, keep: &[OrgId]) -> Trace {
+        let keep_set: std::collections::HashSet<OrgId> = keep.iter().copied().collect();
+        let orgs = self
+            .orgs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                if keep_set.contains(&OrgId(i as u32)) {
+                    o.clone()
+                } else {
+                    OrgSpec::new(o.name.clone(), 0)
+                }
+            })
+            .collect();
+        let mut jobs: Vec<Job> = self
+            .jobs
+            .iter()
+            .filter(|j| keep_set.contains(&j.org))
+            .copied()
+            .collect();
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = JobId(i as u32);
+        }
+        Trace { orgs, jobs }
+    }
+
+    /// Validates every model invariant; [`TraceBuilder::build`] guarantees
+    /// these, so this is mainly useful for externally constructed traces.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.orgs.iter().all(|o| o.n_machines == 0) {
+            return Err(TraceError::NoMachines);
+        }
+        for (i, j) in self.jobs.iter().enumerate() {
+            if j.id.index() != i {
+                return Err(TraceError::NonContiguousIds { position: i });
+            }
+            if j.org.index() >= self.orgs.len() {
+                return Err(TraceError::UnknownOrg { job: j.id, org: j.org });
+            }
+            if j.proc_time == 0 {
+                return Err(TraceError::ZeroProcTime { job: j.id });
+            }
+            if i > 0 && self.jobs[i - 1].release > j.release {
+                return Err(TraceError::UnsortedJobs { position: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Trace`]; sorts jobs stably by release time and assigns
+/// contiguous ids on [`TraceBuilder::build`].
+#[derive(Default, Clone, Debug)]
+pub struct TraceBuilder {
+    orgs: Vec<OrgSpec>,
+    jobs: Vec<(OrgId, Time, Time, Option<Time>)>,
+}
+
+impl TraceBuilder {
+    /// Adds an organization and returns its id.
+    pub fn org(&mut self, name: impl Into<String>, n_machines: usize) -> OrgId {
+        self.orgs.push(OrgSpec::new(name, n_machines));
+        OrgId((self.orgs.len() - 1) as u32)
+    }
+
+    /// Adds a job for `org` released at `release` with processing time
+    /// `proc_time`.
+    pub fn job(&mut self, org: OrgId, release: Time, proc_time: Time) -> &mut Self {
+        self.jobs.push((org, release, proc_time, None));
+        self
+    }
+
+    /// Adds a job with a deadline (for the tardiness utility).
+    pub fn job_with_deadline(
+        &mut self,
+        org: OrgId,
+        release: Time,
+        proc_time: Time,
+        deadline: Time,
+    ) -> &mut Self {
+        self.jobs.push((org, release, proc_time, Some(deadline)));
+        self
+    }
+
+    /// Adds `count` identical jobs.
+    pub fn jobs(
+        &mut self,
+        org: OrgId,
+        release: Time,
+        proc_time: Time,
+        count: usize,
+    ) -> &mut Self {
+        for _ in 0..count {
+            self.job(org, release, proc_time);
+        }
+        self
+    }
+
+    /// Finalizes the trace: stable-sorts by release time, assigns ids and
+    /// validates.
+    pub fn build(mut self) -> Result<Trace, TraceError> {
+        self.jobs.sort_by_key(|&(_, release, _, _)| release);
+        let jobs = self
+            .jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (org, release, proc_time, deadline))| Job {
+                id: JobId(i as u32),
+                org,
+                release,
+                proc_time,
+                deadline,
+            })
+            .collect();
+        let trace = Trace { orgs: self.orgs, jobs };
+        trace.validate()?;
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_org_trace() -> Trace {
+        let mut b = Trace::builder();
+        let a = b.org("alpha", 2);
+        let c = b.org("beta", 1);
+        b.job(a, 0, 5).job(c, 3, 2).job(a, 1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_sorts_and_ids() {
+        let t = two_org_trace();
+        assert_eq!(t.n_jobs(), 3);
+        let releases: Vec<Time> = t.jobs().iter().map(|j| j.release).collect();
+        assert_eq!(releases, vec![0, 1, 3]);
+        for (i, j) in t.jobs().iter().enumerate() {
+            assert_eq!(j.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn stable_sort_preserves_fifo() {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        // Two jobs released simultaneously: insertion order defines FIFO.
+        b.job(a, 5, 10).job(a, 5, 20);
+        let t = b.build().unwrap();
+        assert_eq!(t.jobs()[0].proc_time, 10);
+        assert_eq!(t.jobs()[1].proc_time, 20);
+    }
+
+    #[test]
+    fn cluster_info_layout() {
+        let t = two_org_trace();
+        let info = t.cluster_info();
+        assert_eq!(info.n_machines(), 3);
+        assert_eq!(info.owner(MachineId(0)), OrgId(0));
+        assert_eq!(info.owner(MachineId(1)), OrgId(0));
+        assert_eq!(info.owner(MachineId(2)), OrgId(1));
+        assert_eq!(info.machines_of(OrgId(0)), 2);
+        assert!((info.share(OrgId(1)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals() {
+        let t = two_org_trace();
+        assert_eq!(t.total_work(), 8);
+        assert_eq!(t.max_release(), 3);
+        assert_eq!(t.completion_horizon(), 11);
+    }
+
+    #[test]
+    fn validate_rejects_no_machines() {
+        let mut b = Trace::builder();
+        let a = b.org("a", 0);
+        b.job(a, 0, 1);
+        assert_eq!(b.build().unwrap_err(), TraceError::NoMachines);
+    }
+
+    #[test]
+    fn validate_rejects_zero_proc() {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        b.job(a, 0, 0);
+        assert!(matches!(b.build(), Err(TraceError::ZeroProcTime { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_org() {
+        let mut b = Trace::builder();
+        let _ = b.org("a", 1);
+        b.job(OrgId(5), 0, 1);
+        assert!(matches!(b.build(), Err(TraceError::UnknownOrg { .. })));
+    }
+
+    #[test]
+    fn restrict_drops_other_jobs() {
+        let t = two_org_trace();
+        let r = t.restrict_to(&[OrgId(0)]);
+        assert_eq!(r.n_orgs(), 2);
+        assert_eq!(r.orgs()[1].n_machines, 0);
+        assert!(r.jobs().iter().all(|j| j.org == OrgId(0)));
+        assert_eq!(r.n_jobs(), 2);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn jobs_of_filters() {
+        let t = two_org_trace();
+        assert_eq!(t.jobs_of(OrgId(0)).count(), 2);
+        assert_eq!(t.jobs_of(OrgId(1)).count(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_build_always_valid(
+            specs in proptest::collection::vec((0u64..100, 1u64..50), 1..40)
+        ) {
+            let mut b = Trace::builder();
+            let o1 = b.org("x", 2);
+            let o2 = b.org("y", 1);
+            for (i, (r, p)) in specs.iter().enumerate() {
+                b.job(if i % 2 == 0 { o1 } else { o2 }, *r, *p);
+            }
+            let t = b.build().unwrap();
+            prop_assert!(t.validate().is_ok());
+            // Sorted by release.
+            for w in t.jobs().windows(2) {
+                prop_assert!(w[0].release <= w[1].release);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The fair-share family (Section 7.1): distributive-fairness baselines
+//! that balance a per-organization usage quantity against a static target
+//! share — here, as in the paper's experiments, the fraction of machines
+//! the organization contributes.
+
+use super::{Frac, OrgPicker, Scheduler, SelectContext, StepBumps};
+use crate::model::{ClusterInfo, JobMeta, MachineId, OrgId, Time};
+use crate::utility::{SpTracker, Util};
+
+/// FAIRSHARE (Kay & Lauder): whenever a processor frees, start a job of the
+/// organization with the smallest ratio of *CPU time already allocated to
+/// its jobs* over its target share.
+///
+/// The usage counter is non-clairvoyant: completed work plus the elapsed
+/// time of running jobs, plus one unit for a job started in the current
+/// time moment (the step bump; see [`StepBumps`]).
+#[derive(Clone, Debug, Default)]
+pub struct FairShareScheduler {
+    trackers: Vec<SpTracker>,
+    bumps: StepBumps,
+    picker: OrgPicker,
+    machines: Vec<usize>,
+}
+
+impl FairShareScheduler {
+    /// A fresh FAIRSHARE scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FairShareScheduler {
+    fn name(&self) -> String {
+        "FairShare".into()
+    }
+
+    fn init(&mut self, info: &ClusterInfo) {
+        let n = info.n_orgs();
+        self.trackers = vec![SpTracker::new(); n];
+        self.bumps = StepBumps::new(n);
+        self.picker = OrgPicker::new(n);
+        self.machines = info.org_machines().to_vec();
+    }
+
+    fn on_start(&mut self, t: Time, job: &JobMeta, _machine: MachineId) {
+        self.trackers[job.org.index()].on_start(t);
+        self.bumps.add(t, job.org, 1);
+    }
+
+    fn on_complete(&mut self, t: Time, job: &JobMeta, _machine: MachineId, start: Time) {
+        self.trackers[job.org.index()].on_complete(start, t);
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {
+        let t = ctx.t;
+        let trackers = &self.trackers;
+        let bumps = &self.bumps;
+        let machines = &self.machines;
+        self.picker.pick_min_key(ctx, |u| {
+            let usage = trackers[u.index()].cpu_time_at(t) + bumps.get(t, u);
+            Frac::new(usage, machines[u.index()] as Util)
+        })
+    }
+}
+
+/// UTFAIRSHARE: the fair-share allocation rule applied to the
+/// strategy-proof utility `ψ_sp` instead of raw CPU time — the organization
+/// with the smallest `ψ_sp / share` goes next. Included because it shares
+/// FAIRSHARE's mechanism but REF's metric (Section 7.1).
+#[derive(Clone, Debug, Default)]
+pub struct UtFairShareScheduler {
+    trackers: Vec<SpTracker>,
+    bumps: StepBumps,
+    picker: OrgPicker,
+    machines: Vec<usize>,
+}
+
+impl UtFairShareScheduler {
+    /// A fresh UTFAIRSHARE scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for UtFairShareScheduler {
+    fn name(&self) -> String {
+        "UtFairShare".into()
+    }
+
+    fn init(&mut self, info: &ClusterInfo) {
+        let n = info.n_orgs();
+        self.trackers = vec![SpTracker::new(); n];
+        self.bumps = StepBumps::new(n);
+        self.picker = OrgPicker::new(n);
+        self.machines = info.org_machines().to_vec();
+    }
+
+    fn on_start(&mut self, t: Time, job: &JobMeta, _machine: MachineId) {
+        self.trackers[job.org.index()].on_start(t);
+        self.bumps.add(t, job.org, 1);
+    }
+
+    fn on_complete(&mut self, t: Time, job: &JobMeta, _machine: MachineId, start: Time) {
+        self.trackers[job.org.index()].on_complete(start, t);
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {
+        let t = ctx.t;
+        let trackers = &self.trackers;
+        let bumps = &self.bumps;
+        let machines = &self.machines;
+        self.picker.pick_min_key(ctx, |u| {
+            let utility = trackers[u.index()].value_at(t) + bumps.get(t, u);
+            Frac::new(utility, machines[u.index()] as Util)
+        })
+    }
+}
+
+/// CURRFAIRSHARE: the history-free variant — only the number of *currently
+/// running* jobs is balanced against the share. Light and stateless across
+/// time, which is exactly why the paper includes it: it shows what ignoring
+/// history costs in fairness.
+#[derive(Clone, Debug, Default)]
+pub struct CurrFairShareScheduler {
+    running: Vec<Util>,
+    picker: OrgPicker,
+    machines: Vec<usize>,
+}
+
+impl CurrFairShareScheduler {
+    /// A fresh CURRFAIRSHARE scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for CurrFairShareScheduler {
+    fn name(&self) -> String {
+        "CurrFairShare".into()
+    }
+
+    fn init(&mut self, info: &ClusterInfo) {
+        let n = info.n_orgs();
+        self.running = vec![0; n];
+        self.picker = OrgPicker::new(n);
+        self.machines = info.org_machines().to_vec();
+    }
+
+    fn on_start(&mut self, _t: Time, job: &JobMeta, _machine: MachineId) {
+        self.running[job.org.index()] += 1;
+    }
+
+    fn on_complete(&mut self, _t: Time, job: &JobMeta, _machine: MachineId, _start: Time) {
+        self.running[job.org.index()] -= 1;
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {
+        let running = &self.running;
+        let machines = &self.machines;
+        self.picker.pick_min_key(ctx, |u| {
+            Frac::new(running[u.index()], machines[u.index()] as Util)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::JobId;
+
+    fn meta(id: u32, org: u32) -> JobMeta {
+        JobMeta { id: JobId(id), org: OrgId(org), release: 0 }
+    }
+
+    fn ctx<'a>(t: Time, waiting: &'a [usize]) -> SelectContext<'a> {
+        SelectContext { t, waiting, free_machines: &[] }
+    }
+
+    #[test]
+    fn fairshare_balances_usage_to_share() {
+        // Org 0 contributes 3 machines, org 1 contributes 1.
+        let mut s = FairShareScheduler::new();
+        s.init(&ClusterInfo::new(vec![3, 1]));
+        let w = [5usize, 5];
+
+        // Both at zero usage: first pick rotates; run 4 picks at t=0 and
+        // count. With usage bumps, org0 (share 3) should receive ~3 of 4.
+        let mut counts = [0, 0];
+        for i in 0..4 {
+            let u = s.select(&ctx(0, &w));
+            counts[u.index()] += 1;
+            s.on_start(0, &meta(i, u.0), MachineId(0));
+        }
+        assert_eq!(counts[0], 3);
+        assert_eq!(counts[1], 1);
+    }
+
+    #[test]
+    fn fairshare_catches_up_after_history() {
+        let mut s = FairShareScheduler::new();
+        s.init(&ClusterInfo::new(vec![1, 1]));
+        // Org 0 consumed 10 units of CPU historically.
+        s.on_start(0, &meta(0, 0), MachineId(0));
+        s.on_complete(10, &meta(0, 0), MachineId(0), 0);
+        let w = [1usize, 1];
+        // Org 1 must be preferred until it catches up.
+        assert_eq!(s.select(&ctx(10, &w)), OrgId(1));
+    }
+
+    #[test]
+    fn ut_fairshare_uses_utility_not_cpu() {
+        let mut s = UtFairShareScheduler::new();
+        s.init(&ClusterInfo::new(vec![1, 1]));
+        // Org 0: one unit completed long ago (high psi at large t).
+        s.on_start(0, &meta(0, 0), MachineId(0));
+        s.on_complete(1, &meta(0, 0), MachineId(0), 0);
+        // Org 1: one unit completed just now (same CPU, lower psi).
+        s.on_start(99, &meta(1, 1), MachineId(0));
+        s.on_complete(100, &meta(1, 1), MachineId(0), 99);
+        let w = [1usize, 1];
+        // psi_0(100) = 100, psi_1(100) = 1: org 1 preferred.
+        assert_eq!(s.select(&ctx(100, &w)), OrgId(1));
+
+        // FairShare would see equal CPU usage (1 vs 1) and tie instead.
+        let mut fs = FairShareScheduler::new();
+        fs.init(&ClusterInfo::new(vec![1, 1]));
+        fs.on_start(0, &meta(0, 0), MachineId(0));
+        fs.on_complete(1, &meta(0, 0), MachineId(0), 0);
+        fs.on_start(99, &meta(1, 1), MachineId(0));
+        fs.on_complete(100, &meta(1, 1), MachineId(0), 99);
+        // Tie broken by rotation, not by utility: either org possible, but
+        // the ratio keys must be equal — verified by selecting twice and
+        // seeing both orgs chosen.
+        let a = fs.select(&ctx(100, &w));
+        let b = fs.select(&ctx(100, &w));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn curr_fairshare_ignores_history() {
+        let mut s = CurrFairShareScheduler::new();
+        s.init(&ClusterInfo::new(vec![1, 1]));
+        // Heavy historical usage by org 0, all completed.
+        for i in 0..5 {
+            s.on_start(0, &meta(i, 0), MachineId(0));
+            s.on_complete(50, &meta(i, 0), MachineId(0), 0);
+        }
+        let w = [1usize, 1];
+        // No running jobs on either side: history-free tie, rotation picks both.
+        let a = s.select(&ctx(50, &w));
+        s.on_start(50, &meta(10, a.0), MachineId(0));
+        // Now `a` has a running job; the other org must be preferred.
+        let b = s.select(&ctx(50, &w));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_machine_org_is_served_last() {
+        let mut s = FairShareScheduler::new();
+        s.init(&ClusterInfo::new(vec![0, 1]));
+        let w = [1usize, 1];
+        assert_eq!(s.select(&ctx(0, &w)), OrgId(1));
+        // But it is still served when alone (greediness).
+        let w2 = [1usize, 0];
+        assert_eq!(s.select(&ctx(0, &w2)), OrgId(0));
+    }
+}

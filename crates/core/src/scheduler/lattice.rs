@@ -1,0 +1,656 @@
+//! The coalition lattice: hypothetical sub-schedules for subcoalitions.
+//!
+//! The fair algorithm of Definition 3.1 is doubly recursive: the schedule
+//! for a coalition `C` at time `t` depends on the *values* `v(C', t)` of all
+//! subcoalitions `C' ⊂ C`, each produced by a fair algorithm for `C'`. The
+//! paper's Figure 1 realizes this by keeping one schedule per subcoalition
+//! and complementing them in size order at every time moment.
+//!
+//! [`CoalitionLattice`] is the event-driven equivalent: one lightweight
+//! simulation ([`CoalitionSim`]) per tracked coalition, advanced lazily to
+//! the decision time. Two policies are supported:
+//!
+//! * [`Policy::Fair`] — each coalition schedules by the Shapley rule
+//!   `argmax(φ − ψ)` computed from **its own** subcoalitions (requires the
+//!   tracked set to be subset-closed; used by REF),
+//! * [`Policy::Fifo`] — each coalition schedules greedily in release order
+//!   (any greedy policy yields the same coalition values for unit jobs,
+//!   Proposition 5.4; used by RAND's sampled coalitions).
+//!
+//! Processing coalitions in size order at equal times is not load-bearing
+//! here: `ψ_sp` of a job started at `t` is 0 *at* `t`, so subset values at
+//! `t` are unaffected by the scheduling round at `t` itself — the lattice
+//! exploits this to settle coalitions independently.
+//!
+//! Sub-simulations require job durations (to know when hypothetical copies
+//! of a job complete). This is the execution-oracle boundary discussed in
+//! DESIGN.md: REF/RAND are offline fairness benchmarks; information is used
+//! causally (a duration is consumed only when the hypothetical job
+//! completes, at a time ≤ the current decision time).
+
+use crate::model::{OrgId, Time};
+use crate::utility::{SpTracker, Util};
+use coopgame::{factorial, Coalition, Player};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Scheduling policy inside each tracked coalition.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Shapley-fair selection (REF rule) — requires subset-closed tracking.
+    Fair,
+    /// Release-order greedy (FIFO) selection.
+    Fifo,
+}
+
+/// A waiting hypothetical job inside a coalition simulation.
+#[derive(Copy, Clone, Debug)]
+struct WaitingJob {
+    release: Time,
+    proc: Time,
+    seq: u64,
+}
+
+/// One coalition's hypothetical schedule state: machine occupancy, per-org
+/// FIFO queues and exact `ψ_sp` trackers.
+#[derive(Clone, Debug)]
+pub struct CoalitionSim {
+    coalition: Coalition,
+    n_machines: usize,
+    busy: usize,
+    /// Per-organization queues (indexed by global org id; only members used).
+    waiting: Vec<VecDeque<WaitingJob>>,
+    /// Per-organization ψ trackers.
+    trackers: Vec<SpTracker>,
+    /// Completion events local to this sim: (time, org, start).
+    completions: BinaryHeap<Reverse<(Time, u32, Time)>>,
+    /// Within-step ψ bumps (org -> bump), valid at `bump_t`.
+    bumps: Vec<Util>,
+    bump_t: Time,
+    /// Tie-break stamps for the fair rule.
+    stamps: Vec<u64>,
+    stamp_counter: u64,
+    seq: u64,
+}
+
+impl CoalitionSim {
+    fn new(coalition: Coalition, n_orgs: usize, n_machines: usize) -> Self {
+        CoalitionSim {
+            coalition,
+            n_machines,
+            busy: 0,
+            waiting: vec![VecDeque::new(); n_orgs],
+            trackers: vec![SpTracker::new(); n_orgs],
+            completions: BinaryHeap::new(),
+            bumps: vec![0; n_orgs],
+            bump_t: 0,
+            stamps: vec![0; n_orgs],
+            stamp_counter: 0,
+            seq: 0,
+        }
+    }
+
+    /// The coalition this sim schedules for.
+    pub fn coalition(&self) -> Coalition {
+        self.coalition
+    }
+
+    /// Machines available to this coalition.
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    fn release(&mut self, t: Time, org: OrgId, proc: Time) {
+        debug_assert!(self.coalition.contains(Player(org.index())));
+        self.seq += 1;
+        self.waiting[org.index()].push_back(WaitingJob { release: t, proc, seq: self.seq });
+    }
+
+    /// Applies all completions at times ≤ `t`.
+    fn pop_completions_up_to(&mut self, t: Time) {
+        while let Some(Reverse((ct, org, start))) = self.completions.peek().copied() {
+            if ct > t {
+                break;
+            }
+            self.completions.pop();
+            self.busy -= 1;
+            self.trackers[org as usize].on_complete(start, ct);
+        }
+    }
+
+    /// Whether a machine is free and some member has an eligible job at `t`.
+    fn can_schedule(&self, t: Time) -> bool {
+        self.busy < self.n_machines && self.has_eligible(t)
+    }
+
+    fn has_eligible(&self, t: Time) -> bool {
+        self.coalition.members().any(|p| self.eligible(OrgId(p.0 as u32), t))
+    }
+
+    fn eligible(&self, org: OrgId, t: Time) -> bool {
+        self.waiting[org.index()]
+            .front()
+            .is_some_and(|j| j.release <= t)
+    }
+
+    /// Starts the FIFO-head job of `org` at `t`; returns the completion time.
+    fn start(&mut self, t: Time, org: OrgId) -> Time {
+        let job = self.waiting[org.index()].pop_front().expect("no waiting job");
+        debug_assert!(job.release <= t);
+        self.busy += 1;
+        self.trackers[org.index()].on_start(t);
+        if self.bump_t != t {
+            self.bumps.fill(0);
+            self.bump_t = t;
+        }
+        self.bumps[org.index()] += 1;
+        self.stamp_counter += 1;
+        self.stamps[org.index()] = self.stamp_counter;
+        let completion = t + job.proc;
+        self.completions.push(Reverse((completion, org.0, t)));
+        completion
+    }
+
+    /// The release-order pick: the member with the earliest-released
+    /// eligible head job (ties by arrival order).
+    fn fifo_pick(&self, t: Time) -> OrgId {
+        self.coalition
+            .members()
+            .map(|p| OrgId(p.0 as u32))
+            .filter(|&u| self.eligible(u, t))
+            .min_by_key(|u| {
+                let j = self.waiting[u.index()].front().unwrap();
+                (j.release, j.seq)
+            })
+            .expect("fifo_pick with nothing eligible")
+    }
+
+    /// Coalition value `v(C, t) = Σ_{u∈C} ψ_sp(σ_C, u, t)` (bumps excluded).
+    pub fn value_at(&self, t: Time) -> Util {
+        self.coalition
+            .members()
+            .map(|p| self.trackers[p.0].value_at(t))
+            .sum()
+    }
+
+    /// One organization's utility in this coalition's schedule.
+    pub fn org_value_at(&self, org: OrgId, t: Time) -> Util {
+        self.trackers[org.index()].value_at(t)
+    }
+
+    fn bump(&self, org: OrgId, t: Time) -> Util {
+        if self.bump_t == t {
+            self.bumps[org.index()]
+        } else {
+            0
+        }
+    }
+}
+
+/// A lazily-advanced collection of coalition simulations sharing one event
+/// clock.
+#[derive(Clone, Debug)]
+pub struct CoalitionLattice {
+    n_orgs: usize,
+    policy: Policy,
+    /// Sims sorted by coalition size (ascending).
+    sims: Vec<CoalitionSim>,
+    /// Coalition bits → index into `sims`.
+    index: HashMap<u64, usize>,
+    /// Pending wake-ups: (time, sim index).
+    events: BinaryHeap<Reverse<(Time, usize)>>,
+    /// All events strictly before `advanced_to` have been fully processed
+    /// (completions applied *and* scheduling rounds run).
+    advanced_to: Time,
+    /// Precomputed factorials `0..=n_orgs`.
+    fact: Vec<i128>,
+}
+
+impl CoalitionLattice {
+    /// A lattice tracking **every non-empty proper subcoalition** of the
+    /// grand coalition, scheduling each with the fair (Shapley) rule — the
+    /// configuration REF needs. `machines[u]` is organization `u`'s machine
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `n_orgs > 16` (`2^k` sims; REF is an FPT benchmark).
+    pub fn full_proper(machines: &[usize]) -> Self {
+        let n_orgs = machines.len();
+        assert!(n_orgs <= 16, "full lattice supports at most 16 organizations");
+        let grand = Coalition::grand(n_orgs);
+        let coalitions: Vec<Coalition> = grand
+            .proper_subsets()
+            .filter(|c| !c.is_empty())
+            .collect();
+        Self::with_coalitions(machines, &coalitions, Policy::Fair)
+    }
+
+    /// A lattice tracking an explicit set of coalitions with the given
+    /// policy. For [`Policy::Fair`] the set must be subset-closed (checked).
+    pub fn with_coalitions(
+        machines: &[usize],
+        coalitions: &[Coalition],
+        policy: Policy,
+    ) -> Self {
+        let n_orgs = machines.len();
+        let mut sims: Vec<CoalitionSim> = coalitions
+            .iter()
+            .filter(|c| !c.is_empty())
+            .map(|&c| {
+                let m = c.members().map(|p| machines[p.0]).sum();
+                CoalitionSim::new(c, n_orgs, m)
+            })
+            .collect();
+        sims.sort_by_key(|s| (s.coalition.len(), s.coalition.bits()));
+        sims.dedup_by_key(|s| s.coalition.bits());
+        let index: HashMap<u64, usize> = sims
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.coalition.bits(), i))
+            .collect();
+        if policy == Policy::Fair {
+            for s in &sims {
+                for sub in s.coalition.proper_subsets() {
+                    if !sub.is_empty() {
+                        assert!(
+                            index.contains_key(&sub.bits()),
+                            "fair policy requires a subset-closed coalition set"
+                        );
+                    }
+                }
+            }
+        }
+        let fact = (0..=n_orgs).map(|i| factorial(i) as i128).collect();
+        CoalitionLattice {
+            n_orgs,
+            policy,
+            sims,
+            index,
+            events: BinaryHeap::new(),
+            advanced_to: 0,
+            fact,
+        }
+    }
+
+    /// Number of tracked coalitions.
+    pub fn n_coalitions(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Delivers a job release to every tracked coalition containing `org`.
+    /// Releases must arrive in non-decreasing time order.
+    pub fn release(&mut self, t: Time, org: OrgId, proc: Time) {
+        self.advance_before(t);
+        let player = Player(org.index());
+        for i in 0..self.sims.len() {
+            if self.sims[i].coalition.contains(player) {
+                self.sims[i].release(t, org, proc);
+                // Wake the sim at t so settle() runs its scheduling round.
+                self.events.push(Reverse((t, i)));
+            }
+        }
+    }
+
+    /// Fully settles every tracked coalition at time `t`: all events up to
+    /// and including `t` are processed and every scheduling opportunity at
+    /// `t` is taken. Must be called before reading values at `t`.
+    pub fn settle(&mut self, t: Time) {
+        self.advance_before(t);
+        // Apply completions at exactly t, then run the scheduling round at t.
+        let mut wake: Vec<usize> = Vec::new();
+        while let Some(&Reverse((et, i))) = self.events.peek() {
+            if et > t {
+                break;
+            }
+            self.events.pop();
+            wake.push(i);
+        }
+        wake.sort_unstable();
+        wake.dedup();
+        for &i in &wake {
+            self.sims[i].pop_completions_up_to(t);
+        }
+        // Scheduling may be possible in sims not woken (e.g. repeated settle
+        // calls at the same t after new releases): check every sim with a
+        // pending queue. Cheap relative to the Shapley work.
+        self.schedule_round(t);
+        self.advanced_to = t;
+    }
+
+    /// Processes all events strictly before `t`, running full scheduling
+    /// rounds at each event time.
+    fn advance_before(&mut self, t: Time) {
+        while let Some(&Reverse((et, _))) = self.events.peek() {
+            if et >= t {
+                break;
+            }
+            // Gather every sim with an event at `et`.
+            let mut wake = Vec::new();
+            while let Some(&Reverse((e2, i))) = self.events.peek() {
+                if e2 > et {
+                    break;
+                }
+                self.events.pop();
+                wake.push(i);
+            }
+            wake.sort_unstable();
+            wake.dedup();
+            for &i in &wake {
+                self.sims[i].pop_completions_up_to(et);
+            }
+            self.schedule_round(et);
+            self.advanced_to = et;
+        }
+    }
+
+    /// Runs the scheduling round at `t` over all sims (size order).
+    fn schedule_round(&mut self, t: Time) {
+        for i in 0..self.sims.len() {
+            if !self.sims[i].can_schedule(t) {
+                continue;
+            }
+            match self.policy {
+                Policy::Fifo => {
+                    while self.sims[i].can_schedule(t) {
+                        let org = self.sims[i].fifo_pick(t);
+                        let completion = self.sims[i].start(t, org);
+                        self.events.push(Reverse((completion, i)));
+                    }
+                }
+                Policy::Fair => {
+                    // φ is constant within the round (values at t don't see
+                    // starts at t); only ψ bumps change between starts.
+                    let phi = self.shapley_for(self.sims[i].coalition, t, None);
+                    let c_size = self.sims[i].coalition.len();
+                    let scale = self.fact[c_size];
+                    while self.sims[i].can_schedule(t) {
+                        let sim = &self.sims[i];
+                        let org = sim
+                            .coalition
+                            .members()
+                            .map(|p| OrgId(p.0 as u32))
+                            .filter(|&u| sim.eligible(u, t))
+                            .max_by(|&a, &b| {
+                                let ka = phi[a.index()]
+                                    - scale * (sim.org_value_at(a, t) + sim.bump(a, t));
+                                let kb = phi[b.index()]
+                                    - scale * (sim.org_value_at(b, t) + sim.bump(b, t));
+                                ka.cmp(&kb)
+                                    .then_with(|| {
+                                        sim.stamps[b.index()].cmp(&sim.stamps[a.index()])
+                                    })
+                                    .then_with(|| b.0.cmp(&a.0))
+                            })
+                            .expect("can_schedule implies an eligible org");
+                        let completion = self.sims[i].start(t, org);
+                        self.events.push(Reverse((completion, i)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value `v(C, t)` of a tracked coalition (or 0 for the empty
+    /// coalition). The lattice must be settled at `t`.
+    ///
+    /// # Panics
+    /// Panics if `c` is non-empty and untracked.
+    pub fn value_of(&self, c: Coalition, t: Time) -> Util {
+        if c.is_empty() {
+            return 0;
+        }
+        let &i = self
+            .index
+            .get(&c.bits())
+            .expect("coalition not tracked by this lattice");
+        self.sims[i].value_at(t)
+    }
+
+    /// Exact Shapley contributions `φ_u · |C|!` for the members of `c` at
+    /// time `t`, computed from the tracked subcoalition values. If
+    /// `grand_value` is `Some(v)`, the value of `c` itself is taken to be
+    /// `v` (REF passes the real schedule's value here); otherwise `c` must
+    /// be tracked.
+    ///
+    /// Returns a dense vector indexed by global org id (non-members 0).
+    pub fn shapley_for(
+        &self,
+        c: Coalition,
+        t: Time,
+        grand_value: Option<Util>,
+    ) -> Vec<i128> {
+        let size = c.len();
+        let mut phi = vec![0i128; self.n_orgs];
+        // For every subset S of C and every member u:
+        //   u ∈ S: φ_u += (|S|-1)! (|C|-|S|)! v(S)   [the +v(S'∪u) term]
+        //   u ∉ S: φ_u -= |S|! (|C|-|S|-1)! v(S)     [the −v(S) term]
+        for s in c.subsets() {
+            if s.is_empty() {
+                continue; // v(∅) = 0 contributes nothing.
+            }
+            let v = if s == c {
+                match grand_value {
+                    Some(g) => g,
+                    None => self.value_of(s, t),
+                }
+            } else {
+                self.value_of(s, t)
+            };
+            if v == 0 {
+                continue;
+            }
+            let s_len = s.len();
+            let w_in = self.fact[s_len - 1] * self.fact[size - s_len];
+            for p in s.members() {
+                phi[p.0] += w_in * v;
+            }
+            if s_len < size {
+                let w_out = self.fact[s_len] * self.fact[size - s_len - 1];
+                for p in c.difference(s).members() {
+                    phi[p.0] -= w_out * v;
+                }
+            }
+        }
+        phi
+    }
+
+    /// The per-organization utilities inside a tracked coalition's
+    /// hypothetical schedule at `t` (dense, non-members 0).
+    pub fn org_values_of(&self, c: Coalition, t: Time) -> Vec<Util> {
+        let &i = self
+            .index
+            .get(&c.bits())
+            .expect("coalition not tracked by this lattice");
+        (0..self.n_orgs)
+            .map(|u| self.sims[i].org_value_at(OrgId(u as u32), t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::sp_value;
+
+    fn players(ids: &[usize]) -> Coalition {
+        ids.iter().map(|&i| Player(i)).collect()
+    }
+
+    #[test]
+    fn full_proper_counts() {
+        let l = CoalitionLattice::full_proper(&[1, 1, 1]);
+        // Non-empty proper subsets of a 3-set: 2^3 - 2 = 6.
+        assert_eq!(l.n_coalitions(), 6);
+    }
+
+    #[test]
+    fn singleton_schedules_fifo() {
+        let mut l = CoalitionLattice::full_proper(&[1, 2]);
+        // Org 0 releases two unit jobs at t=0.
+        l.release(0, OrgId(0), 1);
+        l.release(0, OrgId(0), 1);
+        l.settle(0);
+        let c0 = players(&[0]);
+        assert_eq!(l.value_of(c0, 0), 0);
+        // At t=2: first job (started 0, p=1) worth 2; second (started 1) worth 1.
+        l.settle(2);
+        assert_eq!(l.value_of(c0, 2), sp_value(0, 1, 2) + sp_value(1, 1, 2));
+        assert_eq!(l.value_of(c0, 2), 3);
+    }
+
+    #[test]
+    fn coalition_pools_machines() {
+        // Org 0: 1 machine, 2 simultaneous unit jobs; org 1: 1 machine, no
+        // jobs. In {0}: serial. In {0,1}: parallel... but {0,1} is the grand
+        // coalition, not tracked by full_proper. Use an explicit lattice.
+        let both = players(&[0, 1]);
+        let mut l = CoalitionLattice::with_coalitions(
+            &[1, 1],
+            &[players(&[0]), players(&[1]), both],
+            Policy::Fair,
+        );
+        l.release(0, OrgId(0), 1);
+        l.release(0, OrgId(0), 1);
+        l.settle(2);
+        assert_eq!(l.value_of(players(&[0]), 2), 3); // serial: 2 + 1
+        assert_eq!(l.value_of(both, 2), 4); // parallel: 2 + 2
+        assert_eq!(l.value_of(players(&[1]), 2), 0);
+    }
+
+    #[test]
+    fn proposition_5_5_values() {
+        // The supermodularity counterexample: orgs a, b with 2 unit jobs
+        // each at t=0, org c jobless; 1 machine each. Values at t=2.
+        let mut l = CoalitionLattice::full_proper(&[1, 1, 1]);
+        for _ in 0..2 {
+            l.release(0, OrgId(0), 1);
+            l.release(0, OrgId(1), 1);
+        }
+        l.settle(2);
+        assert_eq!(l.value_of(players(&[0, 2]), 2), 4);
+        assert_eq!(l.value_of(players(&[1, 2]), 2), 4);
+        assert_eq!(l.value_of(players(&[2]), 2), 0);
+        assert_eq!(l.value_of(players(&[0, 1]), 2), 6);
+    }
+
+    #[test]
+    fn shapley_of_symmetric_coalition_splits_evenly() {
+        // Two identical orgs: each 1 machine, one unit job at t=0.
+        let both = players(&[0, 1]);
+        let mut l = CoalitionLattice::with_coalitions(
+            &[1, 1],
+            &[players(&[0]), players(&[1]), both],
+            Policy::Fair,
+        );
+        l.release(0, OrgId(0), 1);
+        l.release(0, OrgId(1), 1);
+        l.settle(5);
+        let phi = l.shapley_for(both, 5, None);
+        assert_eq!(phi[0], phi[1]);
+        // Efficiency: Σ φ_scaled = v(C) · |C|!.
+        let v = l.value_of(both, 5);
+        assert_eq!(phi[0] + phi[1], v * 2);
+    }
+
+    #[test]
+    fn shapley_dummy_org_gets_zero_when_it_adds_nothing() {
+        // Org 1 has no machines and no jobs: v(S∪{1}) = v(S) for all S.
+        let both = players(&[0, 1]);
+        let mut l = CoalitionLattice::with_coalitions(
+            &[1, 0],
+            &[players(&[0]), players(&[1]), both],
+            Policy::Fair,
+        );
+        l.release(0, OrgId(0), 2);
+        l.settle(4);
+        let phi = l.shapley_for(both, 4, None);
+        assert_eq!(phi[1], 0);
+        assert_eq!(phi[0], l.value_of(both, 4) * 2);
+    }
+
+    #[test]
+    fn jobless_machine_owner_earns_contribution() {
+        // Org 1 contributes a machine but no jobs; org 0 has two unit jobs.
+        // v({0}) = 3 (serial), v({1}) = 0, v({0,1}) = 4 (parallel) at t=2.
+        // φ_scaled(1) = Σ orderings marginal: orderings (0,1): v({0,1})−v({0}) = 1;
+        // (1,0): v({1}) − 0 = 0 → φ(1) = (1+0) = 1 (scaled by 2!: 1·1! + ... )
+        let both = players(&[0, 1]);
+        let mut l = CoalitionLattice::with_coalitions(
+            &[1, 1],
+            &[players(&[0]), players(&[1]), both],
+            Policy::Fair,
+        );
+        l.release(0, OrgId(0), 1);
+        l.release(0, OrgId(0), 1);
+        l.settle(2);
+        let phi = l.shapley_for(both, 2, None);
+        // φ(1)·2! = 1!(v({0,1})−v({0})) + 1!(v({1})−v(∅)) = (4−3) + 0 = 1.
+        assert_eq!(phi[1], 1);
+        assert_eq!(phi[0], 3 + 4); // 1!(v({0})−0) + 1!(v({0,1})−v({1})) = 3 + 4
+    }
+
+    #[test]
+    fn fifo_policy_orders_by_release() {
+        let c = players(&[0, 1]);
+        let mut l =
+            CoalitionLattice::with_coalitions(&[1, 0], &[c], Policy::Fifo);
+        // One machine total. Org 1 releases earlier.
+        l.release(0, OrgId(1), 3);
+        l.release(1, OrgId(0), 3);
+        l.settle(10);
+        // Org 1's job runs 0..3, org 0's 3..6.
+        assert_eq!(l.org_values_of(c, 10)[1], sp_value(0, 3, 10));
+        assert_eq!(l.org_values_of(c, 10)[0], sp_value(3, 3, 10));
+    }
+
+    #[test]
+    fn lazy_advance_processes_intermediate_events() {
+        let c = players(&[0]);
+        let mut l = CoalitionLattice::with_coalitions(&[1], &[c], Policy::Fifo);
+        // Three sequential jobs released at 0; settle only at the end.
+        for _ in 0..3 {
+            l.release(0, OrgId(0), 2);
+        }
+        l.settle(100);
+        // They must have run back-to-back: starts 0, 2, 4.
+        let expected = sp_value(0, 2, 100) + sp_value(2, 2, 100) + sp_value(4, 2, 100);
+        assert_eq!(l.value_of(c, 100), expected);
+    }
+
+    #[test]
+    fn release_after_idle_starts_immediately() {
+        let c = players(&[0]);
+        let mut l = CoalitionLattice::with_coalitions(&[1], &[c], Policy::Fifo);
+        l.release(5, OrgId(0), 1);
+        l.settle(10);
+        assert_eq!(l.value_of(c, 10), sp_value(5, 1, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "subset-closed")]
+    fn fair_policy_requires_subset_closure() {
+        let _ = CoalitionLattice::with_coalitions(
+            &[1, 1],
+            &[players(&[0, 1])],
+            Policy::Fair,
+        );
+    }
+
+    #[test]
+    fn shapley_efficiency_on_lattice() {
+        // Random-ish 3-org setup; check Σφ = v(C)·|C|! for the tracked
+        // 2-coalitions.
+        let mut l = CoalitionLattice::full_proper(&[2, 1, 1]);
+        l.release(0, OrgId(0), 3);
+        l.release(1, OrgId(1), 2);
+        l.release(1, OrgId(2), 4);
+        l.release(2, OrgId(0), 1);
+        l.settle(20);
+        for ids in [[0usize, 1], [0, 2], [1, 2]] {
+            let c = players(&ids);
+            let phi = l.shapley_for(c, 20, None);
+            let total: i128 = phi.iter().sum();
+            assert_eq!(total, l.value_of(c, 20) * 2, "efficiency failed for {c:?}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! RAND (Figure 6): randomized Shapley estimation by permutation sampling.
+//!
+//! Instead of all `2^k` subcoalitions, RAND keeps simplified greedy
+//! schedules only for the coalitions appearing as prefixes of `N` sampled
+//! join orders, and estimates each organization's contribution as the
+//! average sampled marginal `v(pred ∪ {u}) − v(pred)`. For unit-size jobs
+//! the value of a coalition is independent of the greedy policy used
+//! (Proposition 5.4), so the sampled values are exact per coalition and
+//! the estimator is the FPRAS of Theorems 5.6–5.7: with
+//! `N = ⌈k²/ε² ln(k/(1−λ))⌉` permutations, the realized utility vector is
+//! within `ε·‖ψ*‖` of the fair one with probability `λ`.
+//!
+//! For general job sizes RAND is a heuristic (the paper evaluates it with
+//! `N = 15` and `N = 75`): sampled coalitions are scheduled greedy-FIFO,
+//! a fixed documented choice (DESIGN.md).
+
+use super::lattice::{CoalitionLattice, Policy};
+use super::{OrgPicker, Scheduler, SelectContext, StepBumps};
+use crate::model::{ClusterInfo, JobMeta, MachineId, OrgId, Time, Trace};
+use crate::utility::{SpTracker, Util};
+use coopgame::sampling::{hoeffding_permutations, SampledPrefixes};
+use coopgame::Player;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The randomized approximate fair scheduler.
+#[derive(Clone, Debug)]
+pub struct RandScheduler {
+    durations: Vec<Time>,
+    lattice: CoalitionLattice,
+    prefixes: SampledPrefixes,
+    trackers: Vec<SpTracker>,
+    bumps: StepBumps,
+    picker: OrgPicker,
+    label: String,
+}
+
+impl RandScheduler {
+    /// RAND with an explicit number of sampled permutations (the paper's
+    /// experiments use 15 and 75).
+    pub fn new(trace: &Trace, n_permutations: usize, seed: u64) -> Self {
+        assert!(n_permutations > 0, "need at least one sampled permutation");
+        let machines: Vec<usize> = trace.orgs().iter().map(|o| o.n_machines).collect();
+        let k = machines.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prefixes = SampledPrefixes::draw(k, n_permutations, &mut rng);
+        let coalitions = prefixes.required_coalitions();
+        let lattice = CoalitionLattice::with_coalitions(&machines, &coalitions, Policy::Fifo);
+        RandScheduler {
+            durations: trace.jobs().iter().map(|j| j.proc_time).collect(),
+            lattice,
+            prefixes,
+            trackers: vec![SpTracker::new(); k],
+            bumps: StepBumps::new(k),
+            picker: OrgPicker::new(k),
+            label: format!("Rand(N={n_permutations})"),
+        }
+    }
+
+    /// RAND sized by the FPRAS guarantee of Theorem 5.6: `ε`-approximation
+    /// with probability `λ` (for unit-size jobs).
+    pub fn with_guarantee(trace: &Trace, epsilon: f64, lambda: f64, seed: u64) -> Self {
+        let n = hoeffding_permutations(trace.n_orgs(), epsilon, lambda);
+        Self::new(trace, n, seed)
+    }
+
+    /// Number of sampled permutations.
+    pub fn n_permutations(&self) -> usize {
+        self.prefixes.n_permutations()
+    }
+
+    /// Number of distinct sampled coalitions being simulated.
+    pub fn n_coalitions(&self) -> usize {
+        self.lattice.n_coalitions()
+    }
+
+    /// The estimated contributions `φ̂(u)` at `t` (settles the sampled
+    /// schedules as a side effect).
+    pub fn contributions(&mut self, t: Time) -> Vec<f64> {
+        self.lattice.settle(t);
+        let n = self.prefixes.n_permutations() as f64;
+        (0..self.trackers.len())
+            .map(|u| self.marginal_sum(OrgId(u as u32), t) as f64 / n)
+            .collect()
+    }
+
+    /// Realized `ψ_sp` vector at `t`.
+    pub fn psi(&self, t: Time) -> Vec<Util> {
+        self.trackers.iter().map(|tr| tr.value_at(t)).collect()
+    }
+
+    /// `Σ_samples v(pred∪u) − v(pred)` — `N · φ̂(u)`, exact integer.
+    fn marginal_sum(&self, u: OrgId, t: Time) -> Util {
+        let player = Player(u.index());
+        self.prefixes
+            .prefixes_of(player)
+            .iter()
+            .map(|&pred| {
+                self.lattice.value_of(pred.insert(player), t) - self.lattice.value_of(pred, t)
+            })
+            .sum()
+    }
+}
+
+impl Scheduler for RandScheduler {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn init(&mut self, info: &ClusterInfo) {
+        assert_eq!(
+            info.n_orgs(),
+            self.trackers.len(),
+            "RAND was built for a different trace"
+        );
+    }
+
+    fn on_release(&mut self, t: Time, job: &JobMeta) {
+        let proc = self.durations[job.id.index()];
+        self.lattice.release(t, job.org, proc);
+    }
+
+    fn on_start(&mut self, t: Time, job: &JobMeta, _machine: MachineId) {
+        self.trackers[job.org.index()].on_start(t);
+        self.bumps.add(t, job.org, 1);
+    }
+
+    fn on_complete(&mut self, t: Time, job: &JobMeta, _machine: MachineId, start: Time) {
+        self.trackers[job.org.index()].on_complete(start, t);
+    }
+
+    fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {
+        let t = ctx.t;
+        self.lattice.settle(t);
+        let n = self.prefixes.n_permutations() as Util;
+        // key(u) = N·φ̂(u) − N·(ψ(u)+bump) — both sides scaled by N so the
+        // comparison stays in exact integers.
+        let marginals: Vec<Util> = (0..self.trackers.len())
+            .map(|u| self.marginal_sum(OrgId(u as u32), t))
+            .collect();
+        let trackers = &self.trackers;
+        let bumps = &self.bumps;
+        self.picker.pick_max(ctx, |u| {
+            marginals[u.index()] - n * (trackers[u.index()].value_at(t) + bumps.get(t, u))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::JobId;
+
+    fn unit_trace(k: usize, jobs_per_org: usize) -> Trace {
+        let mut b = Trace::builder();
+        let orgs: Vec<OrgId> = (0..k).map(|i| b.org(format!("o{i}"), 1)).collect();
+        for &o in &orgs {
+            b.jobs(o, 0, 1, jobs_per_org);
+        }
+        b.build().unwrap()
+    }
+
+    fn meta(id: u32, org: u32, release: Time) -> JobMeta {
+        JobMeta { id: JobId(id), org: OrgId(org), release }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = unit_trace(3, 2);
+        let a = RandScheduler::new(&t, 10, 42);
+        let b = RandScheduler::new(&t, 10, 42);
+        assert_eq!(a.n_coalitions(), b.n_coalitions());
+    }
+
+    #[test]
+    fn coalition_count_bounded() {
+        let t = unit_trace(4, 1);
+        let s = RandScheduler::new(&t, 5, 1);
+        // At most N·k distinct prefixes plus their extensions; with k=4,
+        // N=5 this is well under 2^4 · something small.
+        assert!(s.n_coalitions() <= 2 * 5 * 4);
+        assert_eq!(s.n_permutations(), 5);
+    }
+
+    #[test]
+    fn with_guarantee_uses_hoeffding() {
+        let t = unit_trace(3, 1);
+        let s = RandScheduler::with_guarantee(&t, 1.0, 0.5, 7);
+        assert_eq!(
+            s.n_permutations(),
+            coopgame::sampling::hoeffding_permutations(3, 1.0, 0.5)
+        );
+    }
+
+    #[test]
+    fn estimated_contributions_sum_close_to_value() {
+        // Per-permutation marginals telescope to v(grand), so the estimate
+        // sums to the grand value exactly when grand is sampled... in
+        // general Σφ̂ = average over permutations of v(grand) = v(grand).
+        let trace = unit_trace(3, 2);
+        let mut s = RandScheduler::new(&trace, 20, 3);
+        for (i, j) in trace.jobs().iter().enumerate() {
+            s.on_release(j.release, &meta(i as u32, j.org.0, j.release));
+        }
+        let t = 10;
+        let phi = s.contributions(t);
+        let total: f64 = phi.iter().sum();
+        // v(grand) under FIFO at t=10: 6 unit jobs, 3 machines: starts
+        // 0,0,0,1,1,1 -> psi = 3*10 + 3*9 = 57.
+        assert!((total - 57.0).abs() < 1e-9, "got {total}");
+    }
+
+    #[test]
+    fn symmetric_unit_orgs_get_equal_estimates() {
+        let trace = unit_trace(3, 2);
+        let mut s = RandScheduler::new(&trace, 50, 9);
+        for (i, j) in trace.jobs().iter().enumerate() {
+            s.on_release(j.release, &meta(i as u32, j.org.0, j.release));
+        }
+        let phi = s.contributions(5);
+        // Exact symmetry: every sampled permutation treats the identical
+        // orgs identically in aggregate only in expectation — but unit
+        // traces make all marginals depend only on the prefix SIZE, so the
+        // estimates must be exactly equal here.
+        assert!((phi[0] - phi[1]).abs() < 1e-9, "{phi:?}");
+        assert!((phi[1] - phi[2]).abs() < 1e-9, "{phi:?}");
+    }
+
+    #[test]
+    fn select_returns_waiting_org() {
+        let trace = unit_trace(2, 1);
+        let mut s = RandScheduler::new(&trace, 5, 11);
+        s.init(&trace.cluster_info());
+        s.on_release(0, &meta(0, 0, 0));
+        s.on_release(0, &meta(1, 1, 0));
+        let w = [0usize, 1];
+        let ctx = SelectContext { t: 0, waiting: &w, free_machines: &[] };
+        assert_eq!(s.select(&ctx), OrgId(1));
+    }
+}

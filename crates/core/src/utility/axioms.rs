@@ -1,0 +1,227 @@
+//! Executable checkers for the three utility axioms of Section 4.
+//!
+//! The axioms characterize `ψ_sp` uniquely (Theorem 4.1):
+//!
+//! 1. **Task anonymity (starting times)** — advancing any single task by one
+//!    time unit is equally profitable regardless of the task and schedule.
+//! 2. **Task anonymity (number of tasks)** — adding a completed task is
+//!    equally profitable in every schedule.
+//! 3. **Strategy resistance** — merging or splitting jobs does not change
+//!    the utility.
+//!
+//! The checkers operate on single-organization schedules given as
+//! `(start, proc_time)` part lists, and evaluate a caller-supplied utility
+//! `ψ(parts, t)`. They are used in tests to show `ψ_sp` satisfies all three
+//! while flow time fails (which is the paper's motivation for `ψ_sp`).
+
+use crate::model::Time;
+
+/// Outcome of an axiom check over a set of probes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AxiomReport {
+    /// Name of the axiom checked.
+    pub axiom: &'static str,
+    /// Probes that violated the axiom, described textually.
+    pub violations: Vec<String>,
+}
+
+impl AxiomReport {
+    /// Whether the axiom held on every probe.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn with_part(parts: &[(Time, Time)], extra: (Time, Time)) -> Vec<(Time, Time)> {
+    let mut v = parts.to_vec();
+    v.push(extra);
+    v
+}
+
+/// Axiom 1: for all probes `(σ, s)` and `(σ', s')` with `s, s' ≤ t−1`,
+/// `ψ(σ∪{(s,p)}) − ψ(σ∪{(s+1,p)})` must be a positive constant.
+pub fn check_start_anonymity(
+    psi: impl Fn(&[(Time, Time)], Time) -> i128,
+    schedules: &[Vec<(Time, Time)>],
+    starts: &[Time],
+    p: Time,
+    t: Time,
+) -> AxiomReport {
+    let mut reference: Option<i128> = None;
+    let mut violations = Vec::new();
+    for sigma in schedules {
+        for &s in starts {
+            if s + 1 > t.saturating_sub(1) {
+                continue;
+            }
+            let gain = psi(&with_part(sigma, (s, p)), t) - psi(&with_part(sigma, (s + 1, p)), t);
+            if gain <= 0 {
+                violations.push(format!(
+                    "advancing a task from {s}+1 to {s} in {sigma:?} gains {gain} (must be > 0)"
+                ));
+            }
+            match reference {
+                None => reference = Some(gain),
+                Some(r) if r != gain => violations.push(format!(
+                    "gain {gain} at start {s} in {sigma:?} differs from reference {r}"
+                )),
+                _ => {}
+            }
+        }
+    }
+    AxiomReport { axiom: "task anonymity (starting times)", violations }
+}
+
+/// Axiom 2: `ψ(σ∪{(s,p)}) − ψ(σ)` must be a positive constant across
+/// schedules for a fixed `(s, p)` with `s ≤ t−1`.
+pub fn check_count_anonymity(
+    psi: impl Fn(&[(Time, Time)], Time) -> i128,
+    schedules: &[Vec<(Time, Time)>],
+    s: Time,
+    p: Time,
+    t: Time,
+) -> AxiomReport {
+    let mut reference: Option<i128> = None;
+    let mut violations = Vec::new();
+    if s < t {
+        for sigma in schedules {
+            let gain = psi(&with_part(sigma, (s, p)), t) - psi(sigma, t);
+            if gain <= 0 {
+                violations.push(format!(
+                    "adding a task to {sigma:?} gains {gain} (must be > 0)"
+                ));
+            }
+            match reference {
+                None => reference = Some(gain),
+                Some(r) if r != gain => violations.push(format!(
+                    "gain {gain} in {sigma:?} differs from reference {r}"
+                )),
+                _ => {}
+            }
+        }
+    }
+    AxiomReport { axiom: "task anonymity (number of tasks)", violations }
+}
+
+/// Axiom 3 (marginal form): the marginal utility of adding `(s, p1)` and
+/// `(s+p1, p2)` separately equals that of adding the merged `(s, p1+p2)`:
+///
+/// `[ψ(σ∪{(s,p1)}) − ψ(σ)] + [ψ(σ∪{(s+p1,p2)}) − ψ(σ)] =
+///  ψ(σ∪{(s,p1+p2)}) − ψ(σ)`.
+///
+/// (The paper states the property with `ψ(σ_t)` implicit on both sides;
+/// the marginal form is the schedule-independent reading, and coincides
+/// with the paper's equation when `ψ(σ) = 0`.)
+pub fn check_strategy_resistance(
+    psi: impl Fn(&[(Time, Time)], Time) -> i128,
+    schedules: &[Vec<(Time, Time)>],
+    probes: &[(Time, Time, Time)],
+    t: Time,
+) -> AxiomReport {
+    let mut violations = Vec::new();
+    for sigma in schedules {
+        let base = psi(sigma, t);
+        for &(s, p1, p2) in probes {
+            let split = (psi(&with_part(sigma, (s, p1)), t) - base)
+                + (psi(&with_part(sigma, (s + p1, p2)), t) - base);
+            let merged = psi(&with_part(sigma, (s, p1 + p2)), t) - base;
+            if split != merged {
+                violations.push(format!(
+                    "splitting ({s},{}) into ({s},{p1})+({},{p2}) changes utility: {split} vs {merged}",
+                    p1 + p2,
+                    s + p1
+                ));
+            }
+        }
+    }
+    AxiomReport { axiom: "strategy resistance", violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::sp::sp_value_of_parts;
+
+    fn probe_schedules() -> Vec<Vec<(Time, Time)>> {
+        vec![
+            vec![],
+            vec![(0, 3)],
+            vec![(0, 1), (5, 2)],
+            vec![(2, 4), (10, 1), (11, 6)],
+        ]
+    }
+
+    #[test]
+    fn sp_satisfies_start_anonymity() {
+        let r = check_start_anonymity(
+            sp_value_of_parts,
+            &probe_schedules(),
+            &[0, 3, 7, 15],
+            4,
+            50,
+        );
+        assert!(r.holds(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn sp_satisfies_count_anonymity() {
+        let r = check_count_anonymity(
+            sp_value_of_parts,
+            &probe_schedules(),
+            3,
+            5,
+            50,
+        );
+        assert!(r.holds(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn sp_satisfies_strategy_resistance() {
+        let r = check_strategy_resistance(
+            sp_value_of_parts,
+            &probe_schedules(),
+            &[(0, 1, 1), (2, 3, 4), (10, 5, 2)],
+            50,
+        );
+        assert!(r.holds(), "{:?}", r.violations);
+    }
+
+    /// Flow time (as an integer, negated to be a maximization objective)
+    /// violates both task-count anonymity and strategy resistance —
+    /// the paper's argument for why it cannot be used.
+    fn neg_flow(parts: &[(Time, Time)], t: Time) -> i128 {
+        // Release times all 0: flow of a completed job = completion.
+        -(parts
+            .iter()
+            .filter(|&&(s, p)| s + p <= t)
+            .map(|&(s, p)| (s + p) as i128)
+            .sum::<i128>())
+    }
+
+    #[test]
+    fn flow_time_violates_count_anonymity() {
+        // Adding a completed task *decreases* −flow (gain < 0): violation.
+        let r = check_count_anonymity(neg_flow, &probe_schedules(), 3, 5, 50);
+        assert!(!r.holds());
+    }
+
+    #[test]
+    fn flow_time_violates_strategy_resistance() {
+        // Splitting a job reduces total flow: violation.
+        let r = check_strategy_resistance(
+            neg_flow,
+            &probe_schedules(),
+            &[(0, 2, 3)],
+            50,
+        );
+        assert!(!r.holds());
+    }
+
+    #[test]
+    fn flow_time_satisfies_start_anonymity() {
+        // Flow time *does* satisfy axiom 1 (delaying a completed job by one
+        // unit costs exactly one unit of flow).
+        let r = check_start_anonymity(neg_flow, &probe_schedules(), &[0, 3, 7], 4, 50);
+        assert!(r.holds(), "{:?}", r.violations);
+    }
+}

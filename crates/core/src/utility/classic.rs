@@ -1,0 +1,176 @@
+//! Classic scheduling utilities: flow time, makespan, tardiness, resource
+//! share.
+//!
+//! These are the functions Section 4 argues **against** using directly:
+//! flow time rewards empty schedules and incentivizes splitting jobs;
+//! makespan and tardiness similarly fail the anonymity/strategy axioms.
+//! They are provided for comparison experiments and for the generic REF
+//! algorithm, which accepts any [`Utility`].
+
+use super::Utility;
+use crate::model::{OrgId, Time, Trace};
+use crate::schedule::Schedule;
+
+/// Total flow time of the organization's **completed** jobs:
+/// `Σ (completion − release)` over jobs with `completion ≤ t`.
+///
+/// A *minimization* objective. Scheduling nothing yields the optimal value
+/// of 0 — the pathology the paper's second axiom rules out.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FlowTime;
+
+impl Utility for FlowTime {
+    fn name(&self) -> &'static str {
+        "flow_time"
+    }
+
+    fn value(&self, trace: &Trace, schedule: &Schedule, org: OrgId, t: Time) -> f64 {
+        schedule
+            .entries_of(org)
+            .filter(|e| e.completion() <= t)
+            .map(|e| (e.completion() - trace.job(e.job).release) as f64)
+            .sum()
+    }
+
+    fn maximizing(&self) -> bool {
+        false
+    }
+}
+
+/// Makespan: the largest completion time among the organization's completed
+/// jobs (0 if none). A minimization objective.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Makespan;
+
+impl Utility for Makespan {
+    fn name(&self) -> &'static str {
+        "makespan"
+    }
+
+    fn value(&self, _trace: &Trace, schedule: &Schedule, org: OrgId, t: Time) -> f64 {
+        schedule
+            .entries_of(org)
+            .map(|e| e.completion())
+            .filter(|&c| c <= t)
+            .max()
+            .unwrap_or(0) as f64
+    }
+
+    fn maximizing(&self) -> bool {
+        false
+    }
+}
+
+/// Total tardiness of completed jobs: `Σ max(0, completion − deadline)`.
+/// Jobs without a deadline contribute 0. A minimization objective.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Tardiness;
+
+impl Utility for Tardiness {
+    fn name(&self) -> &'static str {
+        "tardiness"
+    }
+
+    fn value(&self, trace: &Trace, schedule: &Schedule, org: OrgId, t: Time) -> f64 {
+        schedule
+            .entries_of(org)
+            .filter(|e| e.completion() <= t)
+            .filter_map(|e| {
+                trace.job(e.job).deadline.map(|d| e.completion().saturating_sub(d) as f64)
+            })
+            .sum()
+    }
+
+    fn maximizing(&self) -> bool {
+        false
+    }
+}
+
+/// The fraction of total pool capacity `m·t` consumed by the organization's
+/// job parts executed before `t` — the quantity distributive fairness
+/// allocates. A maximization objective.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ResourceShare;
+
+impl Utility for ResourceShare {
+    fn name(&self) -> &'static str {
+        "resource_share"
+    }
+
+    fn value(&self, trace: &Trace, schedule: &Schedule, org: OrgId, t: Time) -> f64 {
+        if t == 0 {
+            return 0.0;
+        }
+        let busy: Time = schedule.entries_of(org).map(|e| e.units_before(t)).sum();
+        let m = trace.cluster_info().n_machines();
+        busy as f64 / (m as f64 * t as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{JobId, MachineId};
+    use crate::schedule::ScheduledJob;
+
+    fn setup() -> (Trace, Schedule) {
+        let mut b = Trace::builder();
+        let a = b.org("a", 2);
+        b.job(a, 0, 4);
+        b.job_with_deadline(a, 1, 2, 2);
+        let t = b.build().unwrap();
+        let s: Schedule = [
+            ScheduledJob { job: JobId(0), org: a, machine: MachineId(0), start: 0, proc_time: 4 },
+            ScheduledJob { job: JobId(1), org: a, machine: MachineId(1), start: 1, proc_time: 2 },
+        ]
+        .into_iter()
+        .collect();
+        (t, s)
+    }
+
+    #[test]
+    fn flow_time_counts_completed_only() {
+        let (t, s) = setup();
+        let f = FlowTime;
+        // At t=3: only job1 completed (c=3, r=1) -> flow 2.
+        assert_eq!(f.value(&t, &s, OrgId(0), 3), 2.0);
+        // At t=4: job0 completed too (c=4, r=0) -> flow 2 + 4 = 6.
+        assert_eq!(f.value(&t, &s, OrgId(0), 4), 6.0);
+        assert!(!f.maximizing());
+    }
+
+    #[test]
+    fn makespan_max_completion() {
+        let (t, s) = setup();
+        let m = Makespan;
+        assert_eq!(m.value(&t, &s, OrgId(0), 3), 3.0);
+        assert_eq!(m.value(&t, &s, OrgId(0), 10), 4.0);
+        assert_eq!(m.value(&t, &s, OrgId(0), 0), 0.0);
+    }
+
+    #[test]
+    fn tardiness_uses_deadline() {
+        let (t, s) = setup();
+        let td = Tardiness;
+        // Job1: deadline 2, completes 3 -> tardiness 1. Job0 has no deadline.
+        assert_eq!(td.value(&t, &s, OrgId(0), 10), 1.0);
+        assert_eq!(td.value(&t, &s, OrgId(0), 2), 0.0);
+    }
+
+    #[test]
+    fn resource_share_fraction() {
+        let (t, s) = setup();
+        let r = ResourceShare;
+        // At t=4: units = 4 + 2 = 6 of capacity 2*4=8.
+        assert!((r.value(&t, &s, OrgId(0), 4) - 0.75).abs() < 1e-12);
+        assert_eq!(r.value(&t, &s, OrgId(0), 0), 0.0);
+    }
+
+    #[test]
+    fn empty_schedule_flow_time_is_zero() {
+        // The pathology motivating axiom 2: an empty schedule minimizes flow.
+        let (t, _) = setup();
+        let empty = Schedule::new();
+        assert_eq!(FlowTime.value(&t, &empty, OrgId(0), 100), 0.0);
+    }
+}

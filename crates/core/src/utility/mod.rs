@@ -1,0 +1,75 @@
+//! Utility functions: the strategy-proof `ψ_sp` and classic alternatives.
+//!
+//! A utility function `ψ(σ, O, t)` measures an organization's satisfaction
+//! with schedule `σ` up to time `t` (Section 2 of the paper). The paper's
+//! central observation (Section 4) is that the utility must be chosen so
+//! that organizations cannot profit from reshaping their workload — and
+//! that, up to affine constants, exactly one such function exists:
+//! [`SpUtility`] (Theorem 4.1).
+//!
+//! All utilities are **envy-free** (depend only on the organization's own
+//! jobs) and **non-clairvoyant** (depend only on job parts completed by
+//! `t`).
+
+mod axioms;
+mod classic;
+mod sp;
+
+pub use axioms::{
+    check_count_anonymity, check_start_anonymity, check_strategy_resistance,
+    AxiomReport,
+};
+pub use classic::{FlowTime, Makespan, ResourceShare, Tardiness};
+pub use sp::{sp_value, sp_value_of_parts, SpTracker, SpUtility};
+
+use crate::model::{OrgId, Time, Trace};
+use crate::schedule::Schedule;
+
+/// Exact integer utility value.
+///
+/// `ψ_sp` over integer times is always an integer (the `/2` in Equation 3
+/// always cancels), so fairness bookkeeping can be exact. `i128` leaves
+/// ample headroom for the NP-hardness reduction, whose values are scaled by
+/// `(k+2)!` (see `reduction`).
+pub type Util = i128;
+
+/// A utility function over schedules, in the sense of Section 2.
+///
+/// Implementations receive the trace (for releases/deadlines/cluster data)
+/// and the schedule, and must respect non-clairvoyance: only job parts
+/// executed strictly before `t` may influence the value.
+pub trait Utility {
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str;
+
+    /// `ψ(σ, org, t)`.
+    fn value(&self, trace: &Trace, schedule: &Schedule, org: OrgId, t: Time) -> f64;
+
+    /// Whether larger values are better. `ψ_sp` and resource share are
+    /// maximization objectives; flow time, makespan and tardiness are
+    /// minimization objectives (the paper converts by taking the inverse).
+    fn maximizing(&self) -> bool {
+        true
+    }
+
+    /// The utility vector of all organizations.
+    fn org_values(&self, trace: &Trace, schedule: &Schedule, t: Time) -> Vec<f64> {
+        (0..trace.n_orgs())
+            .map(|u| self.value(trace, schedule, OrgId(u as u32), t))
+            .collect()
+    }
+
+    /// The characteristic value `v(σ, t) = Σ_u ψ(σ, u, t)`.
+    fn coalition_value(&self, trace: &Trace, schedule: &Schedule, t: Time) -> f64 {
+        self.org_values(trace, schedule, t).iter().sum()
+    }
+}
+
+/// Exact `ψ_sp` vector for all organizations (integer arithmetic).
+pub fn sp_vector(trace: &Trace, schedule: &Schedule, t: Time) -> Vec<Util> {
+    let mut psi = vec![0 as Util; trace.n_orgs()];
+    for e in schedule.entries() {
+        psi[e.org.index()] += sp_value(e.start, e.proc_time, t);
+    }
+    psi
+}

@@ -1,0 +1,322 @@
+//! The event-driven simulation engine.
+
+use crate::cluster::Cluster;
+use fairsched_core::model::{JobId, MachineId, Time, Trace};
+use fairsched_core::schedule::{Schedule, ScheduledJob};
+use fairsched_core::scheduler::{Scheduler, SelectContext};
+use fairsched_core::utility::{sp_vector, Util};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Engine options.
+#[derive(Copy, Clone, Debug)]
+pub struct SimOptions {
+    /// Simulation stops once the next event time exceeds the horizon;
+    /// utilities and metrics are evaluated at the horizon.
+    pub horizon: Time,
+    /// Validate the produced schedule against every model invariant
+    /// (including greediness) before returning. O(jobs²·events) — intended
+    /// for tests and small runs.
+    pub validate: bool,
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The scheduler's display name.
+    pub scheduler: String,
+    /// All started jobs.
+    pub schedule: Schedule,
+    /// The evaluation horizon.
+    pub horizon: Time,
+    /// Exact `ψ_sp` per organization at the horizon.
+    pub psi: Vec<Util>,
+    /// Busy machine time in `[0, horizon)` (= completed unit parts).
+    pub busy_time: Time,
+    /// Resource utilization `busy / (m·horizon)` (Section 6's metric).
+    pub utilization: f64,
+    /// Jobs started by the horizon.
+    pub started_jobs: usize,
+    /// Jobs completed by the horizon.
+    pub completed_jobs: usize,
+}
+
+impl SimResult {
+    /// The coalition value `v = Σ_u ψ_sp(u)` at the horizon.
+    pub fn coalition_value(&self) -> Util {
+        self.psi.iter().sum()
+    }
+}
+
+/// Runs `scheduler` over `trace` until `horizon` (no validation).
+pub fn simulate(trace: &Trace, scheduler: &mut dyn Scheduler, horizon: Time) -> SimResult {
+    simulate_with_options(trace, scheduler, SimOptions { horizon, validate: false })
+}
+
+/// Runs `scheduler` over `trace` with explicit options.
+///
+/// The engine is the trusted component enforcing the paper's model:
+///
+/// * **online** — jobs are revealed to the scheduler at their release time;
+/// * **non-clairvoyant** — the scheduler receives [`fairsched_core::JobMeta`]
+///   (no processing time); completions reveal durations implicitly;
+/// * **per-organization FIFO** — the engine always starts the selected
+///   organization's oldest waiting job;
+/// * **greedy** — while a machine is free and a job waits, the scheduler
+///   *must* select (its contract), and the engine starts the job;
+/// * **non-preemptive** — started jobs run to completion.
+///
+/// # Panics
+/// Panics if the trace is invalid, if the scheduler selects an organization
+/// without waiting jobs, or (with `validate`) if the schedule violates an
+/// invariant — any of these is a bug, not an input error.
+pub fn simulate_with_options(
+    trace: &Trace,
+    scheduler: &mut dyn Scheduler,
+    options: SimOptions,
+) -> SimResult {
+    trace.validate().expect("invalid trace");
+    let info = trace.cluster_info();
+    let horizon = options.horizon;
+
+    let mut cluster = Cluster::new(&info);
+    let mut waiting: Vec<VecDeque<JobId>> = vec![VecDeque::new(); trace.n_orgs()];
+    let mut waiting_counts: Vec<usize> = vec![0; trace.n_orgs()];
+    let mut total_waiting = 0usize;
+    // Completion events: (time, machine).
+    let mut completions: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    let mut schedule = Schedule::new();
+    let mut completed_jobs = 0usize;
+
+    scheduler.init(&info);
+
+    let jobs = trace.jobs();
+    let mut next_release = 0usize;
+
+    loop {
+        // Next event time: the earlier of the next release and completion.
+        let release_t = jobs.get(next_release).map(|j| j.release);
+        let completion_t = completions.peek().map(|Reverse((t, _))| *t);
+        let t = match (release_t, completion_t) {
+            (None, None) => break,
+            (Some(r), None) => r,
+            (None, Some(c)) => c,
+            (Some(r), Some(c)) => r.min(c),
+        };
+        if t > horizon {
+            break;
+        }
+
+        // 1. Completions at t free machines.
+        while let Some(&Reverse((ct, machine))) = completions.peek() {
+            if ct > t {
+                break;
+            }
+            completions.pop();
+            let machine = MachineId(machine);
+            let (job, start) = cluster.complete(machine);
+            completed_jobs += 1;
+            scheduler.on_complete(t, &trace.job(job).meta(), machine, start);
+        }
+
+        // 2. Releases at t enter the queues.
+        while next_release < jobs.len() && jobs[next_release].release == t {
+            let job = &jobs[next_release];
+            waiting[job.org.index()].push_back(job.id);
+            waiting_counts[job.org.index()] += 1;
+            total_waiting += 1;
+            scheduler.on_release(t, &job.meta());
+            next_release += 1;
+        }
+
+        // 3. Greedy scheduling loop at t.
+        while cluster.has_free() && total_waiting > 0 {
+            let org = {
+                let ctx = SelectContext {
+                    t,
+                    waiting: &waiting_counts,
+                    free_machines: cluster.free_machines(),
+                };
+                scheduler.select(&ctx)
+            };
+            assert!(
+                waiting_counts[org.index()] > 0,
+                "scheduler {} selected {org} which has no waiting jobs",
+                scheduler.name()
+            );
+            let job_id = waiting[org.index()].pop_front().expect("count/queue mismatch");
+            waiting_counts[org.index()] -= 1;
+            total_waiting -= 1;
+            let job = trace.job(job_id);
+
+            let machine_idx = {
+                let ctx = SelectContext {
+                    t,
+                    waiting: &waiting_counts,
+                    free_machines: cluster.free_machines(),
+                };
+                scheduler
+                    .pick_machine(&ctx, &job.meta())
+                    .filter(|&i| i < cluster.free_machines().len())
+                    .unwrap_or(0)
+            };
+            let machine = cluster.start(machine_idx, job_id, t);
+            completions.push(Reverse((t + job.proc_time, machine.0)));
+            schedule.push(ScheduledJob {
+                job: job_id,
+                org: job.org,
+                machine,
+                start: t,
+                proc_time: job.proc_time,
+            });
+            scheduler.on_start(t, &job.meta(), machine);
+        }
+    }
+
+    if options.validate {
+        schedule
+            .validate_with_info(trace, &info, horizon)
+            .unwrap_or_else(|v| {
+                panic!("scheduler {} produced an invalid schedule: {v}", scheduler.name())
+            });
+    }
+
+    let psi = sp_vector(trace, &schedule, horizon);
+    let busy_time = schedule.busy_time(horizon);
+    SimResult {
+        scheduler: scheduler.name(),
+        utilization: schedule.utilization(info.n_machines(), horizon),
+        started_jobs: schedule.len(),
+        schedule,
+        horizon,
+        psi,
+        busy_time,
+        completed_jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_core::scheduler::{
+        CurrFairShareScheduler, DirectContrScheduler, FairShareScheduler, FifoScheduler,
+        GeneralRefScheduler, RandScheduler, RandomScheduler, RefScheduler,
+        RoundRobinScheduler, UtFairShareScheduler,
+    };
+    use fairsched_core::utility::{FlowTime, SpUtility};
+    use fairsched_core::utility::sp_value;
+
+    fn small_trace() -> Trace {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        let c = b.org("b", 1);
+        b.job(a, 0, 3).job(c, 0, 2).job(a, 2, 1).job(c, 4, 4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_machine_fifo_schedule() {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        b.job(a, 0, 2).job(a, 0, 3).job(a, 10, 1);
+        let trace = b.build().unwrap();
+        let r = simulate_with_options(
+            &trace,
+            &mut FifoScheduler::new(),
+            SimOptions { horizon: 100, validate: true },
+        );
+        let starts: Vec<Time> = r.schedule.entries().iter().map(|e| e.start).collect();
+        assert_eq!(starts, vec![0, 2, 10]);
+        assert_eq!(r.completed_jobs, 3);
+        assert_eq!(r.busy_time, 6);
+        assert_eq!(r.psi[0], sp_value(0, 2, 100) + sp_value(2, 3, 100) + sp_value(10, 1, 100));
+    }
+
+    #[test]
+    fn horizon_cuts_schedule() {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        b.job(a, 0, 10).job(a, 0, 10);
+        let trace = b.build().unwrap();
+        let r = simulate(&trace, &mut FifoScheduler::new(), 5);
+        // Only the first job started (second would start at 10 > horizon).
+        assert_eq!(r.started_jobs, 1);
+        assert_eq!(r.completed_jobs, 0);
+        assert_eq!(r.busy_time, 5);
+        assert!((r.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_schedulers_produce_valid_schedules() {
+        let trace = small_trace();
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(FifoScheduler::new()),
+            Box::new(RoundRobinScheduler::new()),
+            Box::new(RandomScheduler::new(1)),
+            Box::new(FairShareScheduler::new()),
+            Box::new(UtFairShareScheduler::new()),
+            Box::new(CurrFairShareScheduler::new()),
+            Box::new(DirectContrScheduler::new(2)),
+            Box::new(RefScheduler::new(&trace)),
+            Box::new(RandScheduler::new(&trace, 10, 3)),
+            Box::new(GeneralRefScheduler::new(&trace, SpUtility)),
+            Box::new(GeneralRefScheduler::new(&trace, FlowTime)),
+        ];
+        for s in schedulers.iter_mut() {
+            let r = simulate_with_options(
+                &trace,
+                s.as_mut(),
+                SimOptions { horizon: 50, validate: true },
+            );
+            assert_eq!(r.started_jobs, 4, "{} must start all jobs", r.scheduler);
+            assert_eq!(r.completed_jobs, 4);
+        }
+    }
+
+    #[test]
+    fn greedy_engine_never_idles_with_waiting_jobs() {
+        // 2 machines, burst of 6 jobs: busy time must be the full work.
+        let mut b = Trace::builder();
+        let a = b.org("a", 2);
+        b.jobs(a, 0, 5, 6);
+        let trace = b.build().unwrap();
+        let r = simulate_with_options(
+            &trace,
+            &mut RoundRobinScheduler::new(),
+            SimOptions { horizon: 15, validate: true },
+        );
+        // 6 jobs × 5 on 2 machines = exactly 15 each machine: full util.
+        assert!((r.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ref_and_rand_agree_with_engine_on_psi() {
+        // The scheduler-internal trackers must agree with the engine's
+        // closed-form evaluation.
+        let trace = small_trace();
+        let mut r = RefScheduler::new(&trace);
+        let result = simulate(&trace, &mut r, 30);
+        assert_eq!(r.psi(30), result.psi);
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let mut b = Trace::builder();
+        b.org("a", 1);
+        let trace = b.build().unwrap();
+        let r = simulate(&trace, &mut FifoScheduler::new(), 10);
+        assert_eq!(r.started_jobs, 0);
+        assert_eq!(r.utilization, 0.0);
+    }
+
+    #[test]
+    fn deterministic_reruns() {
+        let trace = small_trace();
+        let run = |seed: u64| {
+            let mut s = DirectContrScheduler::new(seed);
+            let r = simulate(&trace, &mut s, 40);
+            r.schedule.entries().to_vec()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

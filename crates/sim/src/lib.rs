@@ -1,0 +1,37 @@
+//! Discrete-event simulator for multi-organizational cluster scheduling.
+//!
+//! This crate is the *substrate* the paper's evaluation runs on: it replays
+//! a [`fairsched_core::Trace`] against any online scheduler implementing
+//! [`fairsched_core::scheduler::Scheduler`], enforcing the model invariants
+//! (greediness, per-organization FIFO, non-preemption, non-clairvoyance)
+//! and collecting the schedule, exact `ψ_sp` utilities and resource
+//! utilization.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fairsched_core::{Trace, scheduler::RoundRobinScheduler};
+//! use fairsched_sim::simulate;
+//!
+//! let mut b = Trace::builder();
+//! let alpha = b.org("alpha", 1);
+//! let beta = b.org("beta", 1);
+//! b.job(alpha, 0, 3).job(beta, 0, 3).job(alpha, 1, 2);
+//! let trace = b.build().unwrap();
+//!
+//! let result = simulate(&trace, &mut RoundRobinScheduler::new(), 100);
+//! assert_eq!(result.schedule.len(), 3);
+//! assert!(result.utilization > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod engine;
+pub mod exhaustive;
+pub mod gantt;
+pub mod metrics;
+
+pub use cluster::Cluster;
+pub use engine::{simulate, simulate_with_options, SimOptions, SimResult};

@@ -1,0 +1,34 @@
+//! Workload substrate for the fair-scheduling experiments.
+//!
+//! The paper's evaluation (Section 7.2) replays four logs from the Parallel
+//! Workload Archive — LPC-EGEE, PIK-IPLEX, RICC and SHARCNET-Whale — with
+//! parallel jobs expanded into sequential copies, user identifiers
+//! distributed uniformly over organizations, and machines split between
+//! organizations by Zipf or uniform counts.
+//!
+//! The archive logs themselves are external data; this crate supplies both
+//! halves of the substitution documented in DESIGN.md:
+//!
+//! * [`swf`] — a full parser/writer for the Standard Workload Format, so
+//!   real archive logs can be dropped in unchanged, and
+//! * [`synth`] — seeded synthetic generators reproducing the statistical
+//!   shape the experiments depend on (bursty per-user sessions, Zipf user
+//!   activity, heavy-tailed durations, tunable load), with per-log
+//!   [`presets`] matching the four systems' published scale (processors,
+//!   users) and load regime.
+//!
+//! [`assign`] converts either source into a multi-organization
+//! [`fairsched_core::Trace`]: users → organizations uniformly, machines →
+//! organizations by Zipf/uniform/equal splits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod presets;
+pub mod swf;
+pub mod synth;
+
+pub use assign::{to_trace, MachineSplit, UserJob};
+pub use presets::{preset, Preset, PresetName};
+pub use synth::{generate, SynthConfig};

@@ -1,0 +1,85 @@
+//! Strategy resistance in action (Section 4).
+//!
+//! An organization can present the same computation as many small jobs or
+//! a few big ones. Under flow time, splitting pays (smaller jobs finish
+//! earlier, and flow time rewards per-job completion); under `ψ_sp` the
+//! presentation is irrelevant — which is exactly why Theorem 4.1 singles
+//! `ψ_sp` out.
+//!
+//! This example schedules the *same* workload three ways (merged, split,
+//! delayed) and evaluates both utilities.
+//!
+//! `cargo run --example strategic_manipulation`
+
+use fairsched::core::scheduler::FifoScheduler;
+use fairsched::core::utility::{FlowTime, SpUtility, Utility};
+use fairsched::core::{OrgId, Trace};
+use fairsched::sim::simulate;
+
+fn run(label: &str, trace: &Trace, horizon: u64) -> (i128, f64) {
+    let r = simulate(trace, &mut FifoScheduler::new(), horizon);
+    let sp = SpUtility.value(trace, &r.schedule, OrgId(0), horizon) as i128;
+    let flow = FlowTime.value(trace, &r.schedule, OrgId(0), horizon);
+    println!("{label:<34} ψ_sp = {sp:>5}   flow time = {flow:>5}");
+    (sp, flow)
+}
+
+fn main() {
+    let horizon = 100;
+
+    // Honest: one 12-unit job at t=0 (single machine, no competition, so
+    // the schedule is the same work laid out identically in every variant).
+    let mut b = Trace::builder();
+    let org = b.org("strategist", 1);
+    b.job(org, 0, 12);
+    let merged = b.build().unwrap();
+
+    // Manipulation 1: split into four 3-unit pieces.
+    let mut b = Trace::builder();
+    let org = b.org("strategist", 1);
+    b.jobs(org, 0, 3, 4);
+    let split = b.build().unwrap();
+
+    // Manipulation 2: split into twelve unit pieces.
+    let mut b = Trace::builder();
+    let org = b.org("strategist", 1);
+    b.jobs(org, 0, 1, 12);
+    let atomized = b.build().unwrap();
+
+    // Manipulation 3: delay the release by 5.
+    let mut b = Trace::builder();
+    let org = b.org("strategist", 1);
+    b.job(org, 5, 12);
+    let delayed = b.build().unwrap();
+
+    println!("the same 12 units of work, presented four ways:\n");
+    let (sp_m, flow_m) = run("one 12-unit job", &merged, horizon);
+    let (sp_s, flow_s) = run("four 3-unit jobs", &split, horizon);
+    let (sp_a, flow_a) = run("twelve 1-unit jobs", &atomized, horizon);
+    let (sp_d, _) = run("one 12-unit job, delayed by 5", &delayed, horizon);
+
+    println!();
+    assert_eq!(sp_m, sp_s);
+    assert_eq!(sp_m, sp_a);
+    println!("ψ_sp is identical under splitting/merging (strategy resistance) ✓");
+
+    assert!(flow_s > flow_m && flow_a > flow_s);
+    println!(
+        "flow time accounts the same work differently depending on packaging \
+         ({flow_m} → {flow_s} → {flow_a}): an organization can inflate its measured \
+         burden 6.5× by atomizing jobs, so any fair division based on flow time is \
+         gameable ✗"
+    );
+
+    assert!(sp_d < sp_m);
+    println!("delaying a job can only lose ψ_sp ({sp_m} → {sp_d}): no timing games ✓");
+
+    // And the pathology the task-count axiom rules out: an empty schedule
+    // has flow time 0 — the "optimal" value of a minimization objective.
+    let horizonless = simulate(&merged, &mut FifoScheduler::new(), 0);
+    assert_eq!(
+        FlowTime.value(&merged, &horizonless.schedule, OrgId(0), 0),
+        0.0
+    );
+    println!("scheduling nothing achieves 'optimal' flow time 0 — ψ_sp instead strictly rewards every completed unit ✓");
+}

@@ -1,0 +1,197 @@
+//! `fairsched` — the command-line front end.
+//!
+//! Replays a workload (a real SWF log or a synthetic preset) against a
+//! chosen scheduler, reports per-organization utilities, the fairness
+//! metric Δψ/p_tot against the exact REF reference, resource utilization,
+//! and optionally an ASCII Gantt chart.
+//!
+//! ```text
+//! # synthetic preset
+//! fairsched --preset lpc --scheduler directcontr --orgs 5 --horizon 20000
+//! # real archive log
+//! fairsched --swf ./LPC-EGEE-2004-1.2-cln.swf --machines 70 --orgs 5 \
+//!           --scheduler fairshare --horizon 50000
+//! # show the schedule
+//! fairsched --preset lpc --scale 0.1 --horizon 500 --gantt
+//! ```
+
+use fairsched::core::fairness::FairnessReport;
+use fairsched::core::scheduler::{
+    CurrFairShareScheduler, DirectContrScheduler, FairShareScheduler, FifoScheduler,
+    RandScheduler, RandomScheduler, RefScheduler, RoundRobinScheduler, Scheduler,
+    UtFairShareScheduler,
+};
+use fairsched::core::Trace;
+use fairsched::sim::gantt::render_gantt;
+use fairsched::sim::metrics::org_metrics;
+use fairsched::sim::simulate;
+use fairsched::workloads::{
+    generate, preset, swf, to_trace, MachineSplit, PresetName, UserJob,
+};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fairsched [--preset NAME | --swf FILE] [options]
+
+workload:
+  --preset NAME        synthetic preset: lpc | pik | ricc | sharcnet (default lpc)
+  --scale F            preset scale in (0,1] (default 0.1)
+  --swf FILE           replay a Standard Workload Format log instead
+  --machines M         machine count (SWF mode; default: preset figure)
+  --window-start T     SWF submit window start (default 0)
+
+scheduling:
+  --scheduler NAME     ref | rand | directcontr | fairshare | utfairshare |
+                       currfairshare | roundrobin | fifo | random (default directcontr)
+  --orgs K             number of organizations (default 5)
+  --horizon T          evaluation horizon (default 20000)
+  --seed S             RNG seed (default 42)
+  --uniform-split      split machines uniformly instead of Zipf
+
+output:
+  --gantt              print an ASCII Gantt chart (small runs)
+  --no-reference       skip the exact REF fairness comparison"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                opts.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument {:?}", args[i]);
+            usage();
+        }
+    }
+    let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let has = |k: &str| flags.iter().any(|f| f == k);
+
+    let horizon: u64 = get("horizon", "20000").parse().unwrap_or_else(|_| usage());
+    let orgs: usize = get("orgs", "5").parse().unwrap_or_else(|_| usage());
+    let seed: u64 = get("seed", "42").parse().unwrap_or_else(|_| usage());
+    let split = if has("uniform-split") {
+        MachineSplit::Uniform
+    } else {
+        MachineSplit::Zipf(1.0)
+    };
+
+    // Build the trace.
+    let (trace, source): (Trace, String) = if let Some(path) = opts.get("swf") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        let records = swf::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        });
+        let stats = swf::stats(&records);
+        eprintln!(
+            "parsed {} jobs / {} users, span {}, median runtime {}",
+            stats.jobs, stats.users, stats.span, stats.runtime_percentiles.1
+        );
+        let start: u64 = get("window-start", "0").parse().unwrap_or_else(|_| usage());
+        let jobs: Vec<UserJob> = swf::to_user_jobs(&records, start, start + horizon);
+        let machines: usize = get("machines", "64").parse().unwrap_or_else(|_| usage());
+        (
+            to_trace(&jobs, orgs, machines, split, seed).unwrap_or_else(|e| {
+                eprintln!("invalid trace: {e}");
+                exit(1)
+            }),
+            format!("SWF {path}"),
+        )
+    } else {
+        let name = PresetName::parse(&get("preset", "lpc")).unwrap_or_else(|| usage());
+        let scale: f64 = get("scale", "0.1").parse().unwrap_or_else(|_| usage());
+        let p = preset(name, scale, horizon);
+        let jobs = generate(&p.synth, seed);
+        (
+            to_trace(&jobs, orgs, p.synth.n_machines, split, seed).unwrap_or_else(|e| {
+                eprintln!("invalid trace: {e}");
+                exit(1)
+            }),
+            format!("{} (synthetic, scale {scale})", name.label()),
+        )
+    };
+
+    // Build the scheduler.
+    let sched_name = get("scheduler", "directcontr").to_lowercase();
+    let mut scheduler: Box<dyn Scheduler> = match sched_name.as_str() {
+        "ref" => Box::new(RefScheduler::new(&trace)),
+        "rand" => Box::new(RandScheduler::new(&trace, 15, seed)),
+        "directcontr" => Box::new(DirectContrScheduler::new(seed)),
+        "fairshare" => Box::new(FairShareScheduler::new()),
+        "utfairshare" => Box::new(UtFairShareScheduler::new()),
+        "currfairshare" => Box::new(CurrFairShareScheduler::new()),
+        "roundrobin" => Box::new(RoundRobinScheduler::new()),
+        "fifo" => Box::new(FifoScheduler::new()),
+        "random" => Box::new(RandomScheduler::new(seed)),
+        other => {
+            eprintln!("unknown scheduler {other:?}");
+            usage()
+        }
+    };
+
+    println!(
+        "workload: {source} — {} orgs, {} machines, {} jobs, horizon {horizon}",
+        trace.n_orgs(),
+        trace.cluster_info().n_machines(),
+        trace.n_jobs()
+    );
+
+    let result = simulate(&trace, scheduler.as_mut(), horizon);
+    println!(
+        "\nscheduler {}: started {}, completed {}, utilization {:.1}%",
+        result.scheduler,
+        result.started_jobs,
+        result.completed_jobs,
+        100.0 * result.utilization
+    );
+
+    println!("\nper-organization metrics:");
+    println!(
+        "{:<8}{:>10}{:>10}{:>12}{:>12}{:>14}",
+        "org", "machines", "done", "flow", "waiting", "ψ_sp"
+    );
+    let metrics = org_metrics(&trace, &result.schedule, horizon);
+    for (m, psi) in metrics.iter().zip(&result.psi) {
+        println!(
+            "{:<8}{:>10}{:>10}{:>12}{:>12}{:>14}",
+            trace.orgs()[m.org.index()].name,
+            trace.cluster_info().machines_of(m.org),
+            m.completed,
+            m.flow_time,
+            m.waiting_time,
+            psi
+        );
+    }
+
+    if !has("no-reference") && sched_name != "ref" {
+        let mut reference = RefScheduler::new(&trace);
+        let fair = simulate(&trace, &mut reference, horizon);
+        let report =
+            FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, horizon);
+        println!("\nfairness vs exact REF reference:");
+        println!("{report}");
+    }
+
+    if has("gantt") {
+        println!("\n{}", render_gantt(&trace, &result.schedule, horizon, 100));
+    }
+}

@@ -1,0 +1,53 @@
+//! # fairsched — non-monetary fair scheduling for multi-organizational systems
+//!
+//! A Rust implementation of Skowron & Rzadca, *"Non-monetary fair
+//! scheduling — a cooperative game theory approach"* (SPAA 2013): fair
+//! online scheduling of sequential, non-clairvoyant jobs across
+//! organizations that pool their clusters, with fairness defined by the
+//! Shapley value of the induced cooperative game instead of money or
+//! static shares.
+//!
+//! This crate re-exports the workspace members:
+//!
+//! * [`core`] (`fairsched-core`) — the model, the strategy-proof utility
+//!   `ψ_sp`, and the schedulers (exact REF, randomized RAND, heuristic
+//!   DIRECTCONTR, fair-share family, round robin);
+//! * [`sim`] (`fairsched-sim`) — the discrete-event engine that replays
+//!   traces against any scheduler;
+//! * [`workloads`] (`fairsched-workloads`) — SWF parsing and synthetic
+//!   multi-organization workload generation;
+//! * [`coopgame`] — coalition/Shapley machinery.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fairsched::core::{Trace, scheduler::DirectContrScheduler};
+//! use fairsched::core::fairness::FairnessReport;
+//! use fairsched::core::scheduler::RefScheduler;
+//! use fairsched::sim::simulate;
+//!
+//! // Two organizations pool 3 machines; beta contributes more capacity.
+//! let mut b = Trace::builder();
+//! let alpha = b.org("alpha", 1);
+//! let beta = b.org("beta", 2);
+//! b.jobs(alpha, 0, 4, 3); // alpha floods the pool at t=0
+//! b.job(beta, 6, 2);      // beta shows up later
+//! let trace = b.build().unwrap();
+//!
+//! // The exact fair schedule (Shapley reference)...
+//! let mut reference = RefScheduler::new(&trace);
+//! let fair = simulate(&trace, &mut reference, 20);
+//!
+//! // ...and a practical polynomial heuristic.
+//! let mut heuristic = DirectContrScheduler::new(7);
+//! let result = simulate(&trace, &mut heuristic, 20);
+//!
+//! let report = FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, 20);
+//! println!("{report}");
+//! assert!(report.unfairness() < 1.0);
+//! ```
+
+pub use coopgame;
+pub use fairsched_core as core;
+pub use fairsched_sim as sim;
+pub use fairsched_workloads as workloads;

@@ -1,0 +1,80 @@
+//! Theorem 5.6 as an integration test: for unit-size jobs, RAND's realized
+//! utility vector stays within the Hoeffding ε·‖ψ*‖ bound of the exact
+//! fair schedule, and the error shrinks as the sample count grows.
+
+use fairsched::core::scheduler::{RandScheduler, RefScheduler};
+use fairsched::coopgame::sampling::{hoeffding_epsilon, hoeffding_permutations};
+use fairsched::sim::simulate;
+use fairsched::workloads::{generate, to_trace, MachineSplit, SynthConfig};
+
+fn relative_error(k: usize, n_perms: usize, seed: u64, horizon: u64) -> f64 {
+    let config = SynthConfig {
+        n_users: k * 3,
+        horizon,
+        n_machines: k * 2,
+        load: 1.0,
+        ..SynthConfig::default()
+    }
+    .unit_jobs();
+    let jobs = generate(&config, seed);
+    let trace = to_trace(&jobs, k, k * 2, MachineSplit::Equal, seed).unwrap();
+    let mut reference = RefScheduler::new(&trace);
+    let fair = simulate(&trace, &mut reference, horizon);
+    let mut rand = RandScheduler::new(&trace, n_perms, seed ^ 0xf00d);
+    let result = simulate(&trace, &mut rand, horizon);
+    let norm: i128 = fair.psi.iter().sum();
+    if norm == 0 {
+        return 0.0;
+    }
+    let delta: i128 = result
+        .psi
+        .iter()
+        .zip(&fair.psi)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    delta as f64 / norm as f64
+}
+
+#[test]
+fn rand_error_is_within_the_hoeffding_guarantee() {
+    let k = 4;
+    let lambda = 0.9;
+    for n_perms in [5usize, 15, 75] {
+        let eps = hoeffding_epsilon(k, n_perms, lambda);
+        for seed in 0..6 {
+            let err = relative_error(k, n_perms, seed, 600);
+            assert!(
+                err <= eps,
+                "seed {seed}, N={n_perms}: error {err:.4} above guarantee {eps:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rand_error_shrinks_with_more_permutations() {
+    let k = 4;
+    let mean = |n_perms: usize| -> f64 {
+        (0..8).map(|s| relative_error(k, n_perms, s, 500)).sum::<f64>() / 8.0
+    };
+    let coarse = mean(1);
+    let fine = mean(75);
+    eprintln!("mean relative error: N=1 → {coarse:.5}, N=75 → {fine:.5}");
+    assert!(
+        fine <= coarse + 1e-9,
+        "error must not grow with sample count ({coarse:.5} → {fine:.5})"
+    );
+}
+
+#[test]
+fn hoeffding_sizes_match_the_theorem() {
+    // N = ceil(k²/ε² ln(k/(1−λ))).
+    let n = hoeffding_permutations(5, 0.5, 0.9);
+    let expected = ((25.0 / 0.25) * (5.0f64 / 0.1).ln()).ceil() as usize;
+    assert_eq!(n, expected);
+    // And the paper's N=15/75 heuristic settings correspond to loose ε for
+    // k=5 — document the actual guarantee they carry.
+    let eps15 = hoeffding_epsilon(5, 15, 0.9);
+    let eps75 = hoeffding_epsilon(5, 75, 0.9);
+    assert!(eps75 < eps15);
+}
