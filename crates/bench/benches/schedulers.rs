@@ -15,7 +15,8 @@ fn bench_schedulers(c: &mut Criterion) {
     let horizon = 20_000;
     let p = preset(PresetName::LpcEgee, 0.5, horizon);
     let jobs = generate(&p.synth, 11);
-    let trace = to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), 11).unwrap();
+    let trace =
+        to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), 11).unwrap();
 
     let mut group = c.benchmark_group("simulate_lpc_half_scale");
     group.sample_size(20);

@@ -2,10 +2,10 @@
 //! (Proposition 3.4's cost driver) vs permutation sampling (the RAND
 //! estimator), across player counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coopgame::sampling::shapley_sample;
 use coopgame::shapley::{shapley_exact, shapley_exact_scaled};
 use coopgame::Coalition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -43,10 +43,14 @@ fn bench_exact_scaled(c: &mut Criterion) {
 fn bench_sampled(c: &mut Criterion) {
     let mut group = c.benchmark_group("shapley_sampled_n16");
     for perms in [15usize, 75, 300] {
-        group.bench_with_input(BenchmarkId::from_parameter(perms), &perms, |b, &perms| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| black_box(shapley_sample(16, perms, game_value, &mut rng)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(perms),
+            &perms,
+            |b, &perms| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(shapley_sample(16, perms, game_value, &mut rng)));
+            },
+        );
     }
     group.finish();
 }

@@ -28,7 +28,11 @@ fn main() {
     println!("O(1): 9 jobs on 3 machines (one machine also runs O(2)'s 5-unit job)\n");
     println!("{:<44}{:>8}{:>8}", "quantity", "paper", "ours");
     let rows: Vec<(&str, i128, i128)> = vec![
-        ("ψ_sp(O1) at t=13 (J9's last unit not counted)", 262, sp_value_of_parts(&o1, 13)),
+        (
+            "ψ_sp(O1) at t=13 (J9's last unit not counted)",
+            262,
+            sp_value_of_parts(&o1, 13),
+        ),
         ("ψ_sp(O1) at t=14 (all parts counted)", 297, sp_value_of_parts(&o1, 14)),
         ("flow time at t=14", 70, flow_time as i128),
     ];

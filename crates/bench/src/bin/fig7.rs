@@ -14,11 +14,9 @@
 //! Flags: --random N (random instances, default 50) --seed S
 
 use fairsched_bench::cli::Cli;
-use fairsched_core::scheduler::{
-    FairShareScheduler, RefScheduler, RoundRobinScheduler, Scheduler,
-};
+use fairsched_core::scheduler::SchedulerSpec;
 use fairsched_sim::exhaustive::{figure7_family, greedy_envelope};
-use fairsched_sim::simulate;
+use fairsched_sim::Simulation;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,13 +76,14 @@ fn main() {
 
     println!("\nPart 3 — real schedulers on the family (m=2, p=10): utilization at T");
     let (trace, t) = figure7_family(2, 10);
-    let schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(RefScheduler::new(&trace)),
-        Box::new(FairShareScheduler::new()),
-        Box::new(RoundRobinScheduler::new()),
+    let specs: [SchedulerSpec; 3] = [
+        SchedulerSpec::bare("ref"),
+        SchedulerSpec::bare("fairshare"),
+        SchedulerSpec::bare("roundrobin"),
     ];
-    for mut s in schedulers {
-        let r = simulate(&trace, s.as_mut(), t);
+    let runs =
+        Simulation::new(&trace).horizon(t).run_matrix(&specs).expect("figure 7 runs");
+    for r in runs {
         println!("{:<14}{:>8.4}", r.scheduler, r.utilization);
         assert!(
             r.utilization >= 0.75 - 1e-9,

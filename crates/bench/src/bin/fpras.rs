@@ -14,8 +14,8 @@
 
 use fairsched_bench::cli::Cli;
 use fairsched_bench::parallel::parallel_map;
-use fairsched_core::scheduler::{RandScheduler, RefScheduler};
-use fairsched_sim::simulate;
+use fairsched_core::scheduler::SchedulerSpec;
+use fairsched_sim::Simulation;
 use fairsched_workloads::{to_trace, MachineSplit, SynthConfig};
 
 fn main() {
@@ -51,20 +51,23 @@ fn main() {
             let jobs = fairsched_workloads::generate(&config, inst_seed);
             let trace =
                 to_trace(&jobs, k, machines, MachineSplit::Equal, inst_seed).unwrap();
-            let mut reference = RefScheduler::new(&trace);
-            let ref_result = simulate(&trace, &mut reference, horizon);
-            let mut rand = RandScheduler::new(&trace, n_perms, inst_seed ^ 0xabcd);
-            let result = simulate(&trace, &mut rand, horizon);
+            let specs: [SchedulerSpec; 2] = [
+                SchedulerSpec::bare("ref"),
+                SchedulerSpec::bare("rand").with("perms", n_perms),
+            ];
+            let mut runs = Simulation::new(&trace)
+                .horizon(horizon)
+                .seed(inst_seed ^ 0xabcd)
+                .run_matrix(&specs)
+                .expect("FPRAS instance runs");
+            let result = runs.remove(1);
+            let ref_result = runs.remove(0);
             let norm: i128 = ref_result.psi.iter().map(|v| v.abs()).sum();
             if norm == 0 {
                 return 0.0;
             }
-            let delta: i128 = result
-                .psi
-                .iter()
-                .zip(&ref_result.psi)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: i128 =
+                result.psi.iter().zip(&ref_result.psi).map(|(a, b)| (a - b).abs()).sum();
             delta as f64 / norm as f64
         });
         let mean = errors.iter().sum::<f64>() / errors.len() as f64;

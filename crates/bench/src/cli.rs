@@ -57,9 +57,9 @@ impl Cli {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         match self.values.get(key) {
             None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| panic!("--{key}: cannot parse {v:?}")),
+            Some(v) => {
+                v.parse().unwrap_or_else(|_| panic!("--{key}: cannot parse {v:?}"))
+            }
         }
     }
 }

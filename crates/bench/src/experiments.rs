@@ -15,10 +15,8 @@ use fairsched_workloads::{MachineSplit, PresetName};
 /// `--workload NAME` (restrict to one workload).
 pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances: usize) {
     let paper_scale = cli.has("paper-scale");
-    let n_instances = cli.get_or(
-        "instances",
-        if paper_scale { 100 } else { default_instances },
-    );
+    let n_instances =
+        cli.get_or("instances", if paper_scale { 100 } else { default_instances });
     let n_orgs = cli.get_or("orgs", 5usize);
     let base_seed = cli.get_or("seed", 42u64);
     let split = if cli.has("uniform-split") {
@@ -31,17 +29,16 @@ pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances:
         algos.extend([Algo::Rand(75), Algo::Fifo, Algo::Random]);
     }
     let workloads: Vec<PresetName> = match cli.get("workload") {
-        Some(w) => vec![PresetName::parse(w).unwrap_or_else(|| panic!("unknown workload {w:?}"))],
+        Some(w) => {
+            vec![PresetName::parse(w).unwrap_or_else(|| panic!("unknown workload {w:?}"))]
+        }
         None => PresetName::ALL.to_vec(),
     };
 
     let mut cells = Vec::new();
     for name in &workloads {
-        let scale = if paper_scale {
-            1.0
-        } else {
-            cli.get_or("scale", default_scale(*name))
-        };
+        let scale =
+            if paper_scale { 1.0 } else { cli.get_or("scale", default_scale(*name)) };
         let exp = DelayExperiment {
             preset: *name,
             scale,
@@ -82,18 +79,9 @@ mod tests {
         // Smoke: one workload, tiny scale/instances; must not panic and
         // must print a table (stdout not captured here, just run it).
         let cli = Cli::from_args(
-            [
-                "--instances",
-                "1",
-                "--orgs",
-                "2",
-                "--scale",
-                "0.05",
-                "--workload",
-                "lpc",
-            ]
-            .iter()
-            .map(|s| s.to_string()),
+            ["--instances", "1", "--orgs", "2", "--scale", "0.05", "--workload", "lpc"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         run_delay_table(&cli, "smoke", 500, 1);
     }

@@ -23,4 +23,4 @@ pub mod parallel;
 pub mod runner;
 pub mod table;
 
-pub use runner::{run_delay_experiment, AlgoStats, Algo, DelayExperiment};
+pub use runner::{run_delay_experiment, Algo, AlgoStats, DelayExperiment};

@@ -1,4 +1,4 @@
-//! Instance-level parallelism on crossbeam scoped threads.
+//! Instance-level parallelism on `std::thread::scope` scoped threads.
 //!
 //! Experiment instances (one seeded workload × all schedulers) are
 //! embarrassingly parallel; a chunked scoped-thread map keeps the
@@ -19,10 +19,8 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
@@ -30,11 +28,12 @@ where
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     // Work-stealing by index over a shared immutable Vec of inputs.
-    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let inputs: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -44,13 +43,9 @@ where
                 *slots[i].lock().unwrap() = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("missing result"))
-        .collect()
+    slots.into_iter().map(|m| m.into_inner().unwrap().expect("missing result")).collect()
 }
 
 #[cfg(test)]

@@ -3,17 +3,35 @@
 use crate::parallel::parallel_map;
 use fairsched_core::fairness::FairnessReport;
 use fairsched_core::model::{Time, Trace};
-use fairsched_core::scheduler::{
-    CurrFairShareScheduler, DirectContrScheduler, FairShareScheduler, FifoScheduler,
-    RandScheduler, RandomScheduler, RefScheduler, RoundRobinScheduler, Scheduler,
-    UtFairShareScheduler,
+use fairsched_core::scheduler::registry::{
+    BuildContext, Registry, SchedulerSpec, SpecError,
 };
-use fairsched_sim::simulate;
+use fairsched_core::scheduler::Scheduler;
+use fairsched_sim::Simulation;
 use fairsched_workloads::{generate, preset, to_trace, MachineSplit, PresetName};
 use serde::Serialize;
+use std::sync::OnceLock;
 
-/// An evaluated algorithm.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+/// The shared default scheduler registry (built once) that [`Algo`] and
+/// the experiment runners resolve through unless a custom registry is
+/// supplied via [`run_delay_experiment_with_registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// An evaluated algorithm: a thin wrapper over a scheduler-registry
+/// [`SchedulerSpec`].
+///
+/// The classic variants keep the paper tables' row identities (and
+/// labels); [`Algo::Spec`] admits *any* registry spec string, so growing
+/// an experiment matrix no longer touches this enum. All construction
+/// knowledge lives in the registry: [`Algo::build`] is
+/// `registry.build(self.spec(), ..)` against the shared default
+/// [`registry`]. Downstream policies added via `Registry::register` run
+/// through [`run_delay_experiment_with_registry`] /
+/// [`run_instance_with_registry`] with the extended registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Algo {
     /// ROUNDROBIN baseline.
     RoundRobin,
@@ -31,6 +49,8 @@ pub enum Algo {
     Fifo,
     /// Uniform random (extra baseline).
     Random,
+    /// Any registered scheduler spec (labelled by its canonical string).
+    Spec(SchedulerSpec),
 }
 
 impl Algo {
@@ -44,7 +64,28 @@ impl Algo {
         Algo::CurrFairShare,
     ];
 
-    /// Display label.
+    /// Parses a registry spec string into an [`Algo::Spec`] row.
+    pub fn parse(spec: &str) -> Result<Algo, SpecError> {
+        Ok(Algo::Spec(spec.parse()?))
+    }
+
+    /// The registry spec this algorithm resolves to.
+    pub fn spec(&self) -> SchedulerSpec {
+        match self {
+            Algo::RoundRobin => SchedulerSpec::bare("roundrobin"),
+            Algo::Rand(n) => SchedulerSpec::bare("rand").with("perms", n),
+            Algo::DirectContr => SchedulerSpec::bare("directcontr"),
+            Algo::FairShare => SchedulerSpec::bare("fairshare"),
+            Algo::UtFairShare => SchedulerSpec::bare("utfairshare"),
+            Algo::CurrFairShare => SchedulerSpec::bare("currfairshare"),
+            Algo::Fifo => SchedulerSpec::bare("fifo"),
+            Algo::Random => SchedulerSpec::bare("random"),
+            Algo::Spec(spec) => spec.clone(),
+        }
+    }
+
+    /// Display label (table row identity; the classic variants keep the
+    /// paper's labels).
     pub fn label(&self) -> String {
         match self {
             Algo::RoundRobin => "RoundRobin".into(),
@@ -55,22 +96,21 @@ impl Algo {
             Algo::CurrFairShare => "CurrFairShare".into(),
             Algo::Fifo => "Fifo".into(),
             Algo::Random => "Random".into(),
+            Algo::Spec(spec) => spec.to_string(),
         }
     }
 
-    /// Instantiates the scheduler for a trace (seed drives any internal
-    /// randomness deterministically).
+    /// Instantiates the scheduler for a trace via the registry (seed
+    /// drives any internal randomness deterministically).
+    ///
+    /// # Panics
+    /// Panics if the spec is not buildable — impossible for the classic
+    /// variants, and a configuration error worth failing loudly for in an
+    /// experiment run for [`Algo::Spec`].
     pub fn build(&self, trace: &Trace, seed: u64) -> Box<dyn Scheduler> {
-        match self {
-            Algo::RoundRobin => Box::new(RoundRobinScheduler::new()),
-            Algo::Rand(n) => Box::new(RandScheduler::new(trace, *n, seed)),
-            Algo::DirectContr => Box::new(DirectContrScheduler::new(seed)),
-            Algo::FairShare => Box::new(FairShareScheduler::new()),
-            Algo::UtFairShare => Box::new(UtFairShareScheduler::new()),
-            Algo::CurrFairShare => Box::new(CurrFairShareScheduler::new()),
-            Algo::Fifo => Box::new(FifoScheduler::new()),
-            Algo::Random => Box::new(RandomScheduler::new(seed)),
-        }
+        registry()
+            .build(&self.spec(), &BuildContext { trace, seed })
+            .unwrap_or_else(|e| panic!("algo {:?} is not buildable: {e}", self.label()))
     }
 }
 
@@ -123,21 +163,43 @@ impl AlgoStats {
 }
 
 /// Runs one seeded instance: generates the workload, computes the REF
-/// reference schedule, then evaluates every algorithm's `Δψ/p_tot`.
+/// reference schedule, then evaluates every algorithm's `Δψ/p_tot` —
+/// all through the [`Simulation`] session API and the shared default
+/// [`registry`].
 pub fn run_instance(exp: &DelayExperiment, seed: u64) -> Vec<(String, f64)> {
+    run_instance_with_registry(exp, seed, registry())
+}
+
+/// [`run_instance`] resolving specs through a caller-supplied registry —
+/// the entry point for experiments over downstream policies added with
+/// `Registry::register`.
+pub fn run_instance_with_registry(
+    exp: &DelayExperiment,
+    seed: u64,
+    registry: &Registry,
+) -> Vec<(String, f64)> {
     let p = preset(exp.preset, exp.scale, exp.horizon);
     let jobs = generate(&p.synth, seed);
     let trace = to_trace(&jobs, exp.n_orgs, p.synth.n_machines, exp.split, seed)
         .expect("generated trace is valid");
 
-    let mut reference = RefScheduler::new(&trace);
-    let ref_result = simulate(&trace, &mut reference, exp.horizon);
+    let session = Simulation::new(&trace)
+        .registry(registry)
+        .horizon(exp.horizon)
+        .seed(seed ^ 0x5eed);
+    let ref_result = session
+        .run_matrix(&[SchedulerSpec::bare("ref")])
+        .expect("REF reference run")
+        .remove(0);
 
+    let specs: Vec<SchedulerSpec> = exp.algos.iter().map(Algo::spec).collect();
+    let results = session
+        .run_matrix(&specs)
+        .unwrap_or_else(|e| panic!("experiment algo failed to run: {e}"));
     exp.algos
         .iter()
-        .map(|algo| {
-            let mut scheduler = algo.build(&trace, seed ^ 0x5eed);
-            let result = simulate(&trace, scheduler.as_mut(), exp.horizon);
+        .zip(results)
+        .map(|(algo, result)| {
             let report = FairnessReport::from_schedules(
                 &trace,
                 &result.schedule,
@@ -151,8 +213,19 @@ pub fn run_instance(exp: &DelayExperiment, seed: u64) -> Vec<(String, f64)> {
 
 /// Runs the full experiment (instances in parallel) and aggregates.
 pub fn run_delay_experiment(exp: &DelayExperiment) -> Vec<AlgoStats> {
-    let seeds: Vec<u64> = (0..exp.n_instances as u64).map(|i| exp.base_seed + i).collect();
-    let per_instance = parallel_map(seeds, |seed| run_instance(exp, seed));
+    run_delay_experiment_with_registry(exp, registry())
+}
+
+/// [`run_delay_experiment`] resolving specs through a caller-supplied
+/// registry (for downstream policies).
+pub fn run_delay_experiment_with_registry(
+    exp: &DelayExperiment,
+    registry: &Registry,
+) -> Vec<AlgoStats> {
+    let seeds: Vec<u64> =
+        (0..exp.n_instances as u64).map(|i| exp.base_seed + i).collect();
+    let per_instance =
+        parallel_map(seeds, |seed| run_instance_with_registry(exp, seed, registry));
     exp.algos
         .iter()
         .enumerate()
@@ -223,5 +296,58 @@ mod tests {
         let s = AlgoStats::from_values("x".into(), vec![1.0, 3.0]);
         assert!((s.mean - 2.0).abs() < 1e-12);
         assert!((s.sd - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algos_resolve_through_registry_specs() {
+        assert_eq!(Algo::RoundRobin.spec().to_string(), "roundrobin");
+        assert_eq!(Algo::Rand(75).spec().to_string(), "rand:perms=75");
+        assert_eq!(
+            Algo::Spec("general-ref:util=flowtime".parse().unwrap()).label(),
+            "general-ref:util=flowtime"
+        );
+        assert!(Algo::parse("rand perm").is_err());
+    }
+
+    #[test]
+    fn spec_rows_run_in_experiments() {
+        let mut exp = tiny_exp();
+        exp.algos = vec![Algo::parse("fifo").unwrap(), Algo::FairShare];
+        exp.n_instances = 1;
+        let stats = run_delay_experiment(&exp);
+        assert_eq!(stats[0].label, "fifo");
+        assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn downstream_policies_reach_experiments_via_custom_registry() {
+        use fairsched_core::scheduler::registry::{SchedulerFactory, SpecError};
+        use fairsched_core::scheduler::RoundRobinScheduler;
+
+        struct Custom;
+        impl SchedulerFactory for Custom {
+            fn name(&self) -> &str {
+                "house-policy"
+            }
+            fn summary(&self) -> &str {
+                "test-only downstream policy"
+            }
+            fn build(
+                &self,
+                _spec: &SchedulerSpec,
+                _ctx: &BuildContext<'_>,
+            ) -> Result<Box<dyn Scheduler>, SpecError> {
+                Ok(Box::new(RoundRobinScheduler::new()))
+            }
+        }
+
+        let mut extended = Registry::default();
+        extended.register(Box::new(Custom));
+        let mut exp = tiny_exp();
+        exp.algos = vec![Algo::parse("house-policy").unwrap(), Algo::FairShare];
+        exp.n_instances = 1;
+        let stats = run_delay_experiment_with_registry(&exp, &extended);
+        assert_eq!(stats[0].label, "house-policy");
+        assert_eq!(stats.len(), 2);
     }
 }

@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`)
+//! with a simple measure-and-print harness: each benchmark runs a warmup
+//! iteration plus `sample_size` timed iterations and reports min / mean
+//! wall-clock time. No statistics, plots, or HTML reports.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.default_sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {}", name);
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _criterion: self, sample_size }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("  {}", id), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("  {}", id.0), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (a name, optionally with a parameter).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) runs and
+/// times the measured routine.
+pub struct Bencher {
+    iterations: usize,
+    total_nanos: u128,
+    min_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup (untimed).
+        black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            let nanos = start.elapsed().as_nanos();
+            self.total_nanos += nanos;
+            self.min_nanos = self.min_nanos.min(nanos);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { iterations: sample_size, total_nanos: 0, min_nanos: u128::MAX };
+    f(&mut b);
+    if b.total_nanos == 0 && b.min_nanos == u128::MAX {
+        println!("{label}: no measurement (iter was never called)");
+        return;
+    }
+    let mean = b.total_nanos / sample_size.max(1) as u128;
+    println!(
+        "{label}: min {} mean {} ({} samples)",
+        format_nanos(b.min_nanos),
+        format_nanos(mean),
+        sample_size,
+    );
+}
+
+fn format_nanos(n: u128) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.3}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.3}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.3}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("f", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("p", 7), &7usize, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        // warmup + 3 samples
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("ref", 5).0, "ref/5");
+        assert_eq!(BenchmarkId::from_parameter(15).0, "15");
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for `rand_distr`: exactly the distributions the
+//! synthetic workload generator needs — [`Exp`] (inverse-CDF) and
+//! [`LogNormal`] (Box–Muller) — behind the same `Distribution` interface.
+
+use rand::Rng;
+
+/// A distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter errors (mirrors `rand_distr`'s per-distribution error enums
+/// loosely; the workspace only ever `unwrap`s them).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The exponential distribution `Exp(λ)`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// A new exponential distribution with rate `lambda`.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1 - u in (0, 1] keeps ln() finite.
+        -(1.0 - rng.unit_f64()).ln() / self.lambda
+    }
+}
+
+/// The log-normal distribution: `exp(μ + σ·N(0,1))`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A new log-normal with the given ln-space mean and standard deviation.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal sigma must be non-negative and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: one normal draw per sample (the sibling is dropped,
+        // keeping the implementation stateless).
+        let u1 = (1.0 - rng.unit_f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.unit_f64();
+        let normal = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * normal).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_close_to_inverse_rate() {
+        let d = Exp::new(0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_close_to_exp_mu() {
+        let d = LogNormal::new(300f64.ln(), 1.4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!(median > 200.0 && median < 450.0, "median {median}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::INFINITY).is_err());
+        assert!(LogNormal::new(1.0, -0.5).is_err());
+    }
+
+    #[test]
+    fn samples_positive() {
+        let e = Exp::new(1.0).unwrap();
+        let l = LogNormal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+            assert!(l.sample(&mut rng) > 0.0);
+        }
+    }
+}

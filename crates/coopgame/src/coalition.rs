@@ -213,9 +213,7 @@ impl Iterator for SubsetIter {
             // Exact count is 2^(remaining set bits pattern) which is cheap to
             // bound but not to compute exactly mid-iteration; give the trivial
             // upper bound.
-            let max = 1usize
-                .checked_shl(self.mask.count_ones())
-                .unwrap_or(usize::MAX);
+            let max = 1usize.checked_shl(self.mask.count_ones()).unwrap_or(usize::MAX);
             (1, Some(max))
         }
     }

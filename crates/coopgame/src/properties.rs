@@ -68,10 +68,7 @@ pub fn is_additive(game: &TabularGame) -> bool {
     let n = game.n_players();
     for bits in 0..(1u64 << n) {
         let s = Coalition::from_bits(bits);
-        let sum: f64 = s
-            .members()
-            .map(|p| game.value(Coalition::singleton(p)))
-            .sum();
+        let sum: f64 = s.members().map(|p| game.value(Coalition::singleton(p))).sum();
         if (game.value(s) - sum).abs() > EPS {
             return false;
         }
@@ -186,10 +183,7 @@ pub fn additivity_holds(
     let fa = f(a);
     let fb = f(b);
     let fs = f(&a.sum(b));
-    fa.iter()
-        .zip(&fb)
-        .zip(&fs)
-        .all(|((x, y), z)| (x + y - z).abs() < 1e-6)
+    fa.iter().zip(&fb).zip(&fs).all(|((x, y), z)| (x + y - z).abs() < 1e-6)
 }
 
 #[cfg(test)]
@@ -268,9 +262,8 @@ mod tests {
     #[test]
     fn nonzero_dummy_detected() {
         // Player 1 is dummy (value depends only on player 0).
-        let g = TabularGame::from_fn(2, |c| {
-            if c.contains(Player(0)) { 5.0 } else { 0.0 }
-        });
+        let g =
+            TabularGame::from_fn(2, |c| if c.contains(Player(0)) { 5.0 } else { 0.0 });
         let bad = vec![4.0, 1.0];
         let v = shapley_axiom_violations(&g, &bad);
         assert!(v.contains(&"dummy"));

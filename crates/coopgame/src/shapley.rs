@@ -43,9 +43,8 @@ pub fn shapley_from_table(n: usize, table: &[f64]) -> Vec<f64> {
     assert_eq!(table.len(), 1usize << n, "table length must be 2^n");
     let n_fact = factorial(n) as f64;
     // Precompute the permutation weights w(s) = s!(n-s-1)!/n! once.
-    let weights: Vec<f64> = (0..n)
-        .map(|s| (factorial(s) * factorial(n - s - 1)) as f64 / n_fact)
-        .collect();
+    let weights: Vec<f64> =
+        (0..n).map(|s| (factorial(s) * factorial(n - s - 1)) as f64 / n_fact).collect();
     let grand = Coalition::grand(n);
     let mut phi = vec![0.0; n];
     for (u, phi_u) in phi.iter_mut().enumerate() {
@@ -78,10 +77,7 @@ pub fn shapley_from_table(n: usize, table: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `n > 24`, or on `i128` overflow in debug builds (the
 /// fair-scheduling utilities fit comfortably; see DESIGN.md §2).
-pub fn shapley_exact_scaled(
-    n: usize,
-    mut v: impl FnMut(Coalition) -> i128,
-) -> Vec<i128> {
+pub fn shapley_exact_scaled(n: usize, mut v: impl FnMut(Coalition) -> i128) -> Vec<i128> {
     assert!(n <= 24, "exact Shapley supports at most 24 players");
     if n == 0 {
         return Vec::new();
@@ -97,9 +93,8 @@ pub fn shapley_exact_scaled(
 /// Integer variant of [`shapley_from_table`]; returns `φ_u · n!`.
 pub fn shapley_from_table_scaled(n: usize, table: &[i128]) -> Vec<i128> {
     assert_eq!(table.len(), 1usize << n, "table length must be 2^n");
-    let weights: Vec<i128> = (0..n)
-        .map(|s| (factorial(s) * factorial(n - s - 1)) as i128)
-        .collect();
+    let weights: Vec<i128> =
+        (0..n).map(|s| (factorial(s) * factorial(n - s - 1)) as i128).collect();
     let grand = Coalition::grand(n);
     let mut phi = vec![0i128; n];
     for (u, phi_u) in phi.iter_mut().enumerate() {
@@ -186,9 +181,8 @@ mod tests {
         // Airport game with costs 1,2,3: v(C) = max cost in C.
         // Known Shapley values: 1/3, 1/3+1/2, 1/3+1/2+1 = (0.3333, 0.8333, 1.8333).
         let costs = [1.0, 2.0, 3.0];
-        let phi = shapley_exact(3, |c| {
-            c.members().map(|p| costs[p.0]).fold(0.0, f64::max)
-        });
+        let phi =
+            shapley_exact(3, |c| c.members().map(|p| costs[p.0]).fold(0.0, f64::max));
         assert!((phi[0] - 1.0 / 3.0).abs() < 1e-12);
         assert!((phi[1] - (1.0 / 3.0 + 0.5)).abs() < 1e-12);
         assert!((phi[2] - (1.0 / 3.0 + 0.5 + 1.0)).abs() < 1e-12);

@@ -70,12 +70,7 @@ impl TabularGame {
     /// Panics if the player counts differ.
     pub fn sum(&self, other: &TabularGame) -> TabularGame {
         assert_eq!(self.n, other.n, "games must share the player set");
-        let values = self
-            .values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| a + b)
-            .collect();
+        let values = self.values.iter().zip(&other.values).map(|(a, b)| a + b).collect();
         TabularGame { n: self.n, values }
     }
 }

@@ -8,7 +8,7 @@
 //! an explicit [`TabularGame`] is the right object. This is how the
 //! Proposition 5.5 counterexample generalizes to arbitrary traces.
 
-use crate::model::{OrgId, Time, Trace};
+use crate::model::{Time, Trace};
 use crate::scheduler::lattice::{CoalitionLattice, Policy};
 use crate::utility::Util;
 use coopgame::{Coalition, TabularGame};
@@ -43,9 +43,7 @@ pub fn induced_values(trace: &Trace, t: Time) -> Vec<Util> {
         lattice.release(job.release, job.org, job.proc_time);
     }
     lattice.settle(t);
-    (0u64..(1 << k))
-        .map(|bits| lattice.value_of(Coalition::from_bits(bits), t))
-        .collect()
+    (0u64..(1 << k)).map(|bits| lattice.value_of(Coalition::from_bits(bits), t)).collect()
 }
 
 /// Exact scaled Shapley contributions `φ(u)·k!` of the induced game.
@@ -57,10 +55,7 @@ pub fn shapley_contributions_scaled(trace: &Trace, t: Time) -> Vec<i128> {
 /// Shapley contributions `φ(u)` of the induced game as `f64`.
 pub fn shapley_contributions(trace: &Trace, t: Time) -> Vec<f64> {
     let scale = coopgame::factorial(trace.n_orgs()) as f64;
-    shapley_contributions_scaled(trace, t)
-        .into_iter()
-        .map(|v| v as f64 / scale)
-        .collect()
+    shapley_contributions_scaled(trace, t).into_iter().map(|v| v as f64 / scale).collect()
 }
 
 /// The Theorem 5.3 order-vs-reverse gap: `m` identical single-job

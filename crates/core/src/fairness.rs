@@ -138,11 +138,7 @@ pub fn fairness_timeline(
             let t = horizon * i as Time / samples as Time;
             let psi = sp_vector(trace, schedule, t);
             let psi_ref = sp_vector(trace, reference, t);
-            let delta_psi = psi
-                .iter()
-                .zip(&psi_ref)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta_psi = psi.iter().zip(&psi_ref).map(|(a, b)| (a - b).abs()).sum();
             FairnessPoint { t, delta_psi, p_tot: reference.completed_units(t) }
         })
         .collect()

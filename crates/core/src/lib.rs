@@ -33,7 +33,10 @@
 //! * [`scheduler`] — the paper's algorithms: exact exponential [`scheduler::RefScheduler`]
 //!   (Figure 1/3), randomized [`scheduler::RandScheduler`] (Figure 6, the
 //!   FPRAS of Theorem 5.6), heuristic [`scheduler::DirectContrScheduler`]
-//!   (Figure 9), and the baselines (round robin and the fair-share family).
+//!   (Figure 9), and the baselines (round robin and the fair-share family) —
+//!   all constructible from spec strings (`"rand:perms=15"`) through the
+//!   [`scheduler::registry`], which downstream crates extend with their
+//!   own policies via [`scheduler::registry::Registry::register`].
 //! * [`fairness`] — the evaluation metric `Δψ/p_tot` of Section 7.2 and
 //!   the per-moment unfairness timeline.
 //! * [`analysis`] — materialize the cooperative game a trace induces

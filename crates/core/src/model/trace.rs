@@ -225,12 +225,8 @@ impl Trace {
                 }
             })
             .collect();
-        let mut jobs: Vec<Job> = self
-            .jobs
-            .iter()
-            .filter(|j| keep_set.contains(&j.org))
-            .copied()
-            .collect();
+        let mut jobs: Vec<Job> =
+            self.jobs.iter().filter(|j| keep_set.contains(&j.org)).copied().collect();
         for (i, j) in jobs.iter_mut().enumerate() {
             j.id = JobId(i as u32);
         }

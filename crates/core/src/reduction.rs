@@ -157,11 +157,7 @@ pub fn solve_subset_sum_via_scheduling(s: &[u64], x: u64) -> Option<bool> {
 /// Brute-force SUBSETSUM (ground truth for tests and the example).
 pub fn subset_sum_brute(s: &[u64], x: u64) -> bool {
     (0u64..(1 << s.len())).any(|bits| {
-        Coalition::from_bits(bits)
-            .members()
-            .map(|p| s[p.0])
-            .sum::<u64>()
-            == x
+        Coalition::from_bits(bits).members().map(|p| s[p.0]).sum::<u64>() == x
     })
 }
 
@@ -222,7 +218,8 @@ mod tests {
     fn contribution_count_smoke() {
         let s = [1u64, 2];
         let inst = build_instance(&s, 2);
-        let via_phi = count_via_contribution(&inst).expect("priority assumption holds here");
+        let via_phi =
+            count_via_contribution(&inst).expect("priority assumption holds here");
         let combinatorial = count_small_subsets(&s, 2);
         assert_eq!(via_phi, combinatorial);
     }

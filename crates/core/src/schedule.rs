@@ -170,7 +170,11 @@ impl Schedule {
     /// processing times faithful, no duplicates, and — because every
     /// algorithm in the paper is greedy — the no-idle condition up to
     /// `horizon`.
-    pub fn validate(&self, trace: &Trace, horizon: Time) -> Result<(), ScheduleViolation> {
+    pub fn validate(
+        &self,
+        trace: &Trace,
+        horizon: Time,
+    ) -> Result<(), ScheduleViolation> {
         let info = trace.cluster_info();
         self.validate_with_info(trace, &info, horizon)
     }
@@ -206,7 +210,9 @@ impl Schedule {
             }
             if let Some((prev, end)) = machine_last[e.machine.index()] {
                 if e.start < end {
-                    return Err(ScheduleViolation::MachineOverlap(e.machine, prev, e.job));
+                    return Err(ScheduleViolation::MachineOverlap(
+                        e.machine, prev, e.job,
+                    ));
                 }
             }
             machine_last[e.machine.index()] = Some((e.job, e.completion()));
@@ -354,10 +360,7 @@ mod tests {
     fn detects_duplicate() {
         let t = trace_1org_1machine();
         let s: Schedule = [sj(0, 0, 0, 0, 3), sj(0, 0, 0, 3, 3)].into_iter().collect();
-        assert_eq!(
-            s.validate(&t, 100),
-            Err(ScheduleViolation::DuplicateJob(JobId(0)))
-        );
+        assert_eq!(s.validate(&t, 100), Err(ScheduleViolation::DuplicateJob(JobId(0))));
     }
 
     #[test]

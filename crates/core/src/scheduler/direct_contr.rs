@@ -76,9 +76,8 @@ impl Scheduler for DirectContrScheduler {
         self.psi_bumps = StepBumps::new(n);
         self.phi_bumps = StepBumps::new(n);
         self.picker = OrgPicker::new(n);
-        self.owners = (0..info.n_machines())
-            .map(|m| info.owner(MachineId(m as u32)))
-            .collect();
+        self.owners =
+            (0..info.n_machines()).map(|m| info.owner(MachineId(m as u32))).collect();
     }
 
     fn on_start(&mut self, t: Time, job: &JobMeta, machine: MachineId) {
@@ -133,7 +132,11 @@ mod tests {
         JobMeta { id: JobId(id), org: OrgId(org), release: 0 }
     }
 
-    fn ctx<'a>(t: Time, waiting: &'a [usize], free: &'a [MachineId]) -> SelectContext<'a> {
+    fn ctx<'a>(
+        t: Time,
+        waiting: &'a [usize],
+        free: &'a [MachineId],
+    ) -> SelectContext<'a> {
         SelectContext { t, waiting, free_machines: free }
     }
 

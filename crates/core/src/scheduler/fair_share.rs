@@ -150,7 +150,13 @@ impl Scheduler for CurrFairShareScheduler {
         self.running[job.org.index()] += 1;
     }
 
-    fn on_complete(&mut self, _t: Time, job: &JobMeta, _machine: MachineId, _start: Time) {
+    fn on_complete(
+        &mut self,
+        _t: Time,
+        job: &JobMeta,
+        _machine: MachineId,
+        _start: Time,
+    ) {
         self.running[job.org.index()] -= 1;
     }
 

@@ -40,9 +40,7 @@ impl Scheduler for FifoScheduler {
     }
 
     fn on_start(&mut self, _t: Time, job: &JobMeta, _machine: crate::model::MachineId) {
-        self.queues[job.org.index()]
-            .pop_front()
-            .expect("start without matching release");
+        self.queues[job.org.index()].pop_front().expect("start without matching release");
     }
 
     fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {

@@ -192,9 +192,7 @@ impl GeneralRefScheduler {
     }
 
     fn coalition_value(&self, c: Coalition, schedule: &Schedule, t: Time) -> f64 {
-        c.members()
-            .map(|p| self.psi(schedule, OrgId(p.0 as u32), t))
-            .sum()
+        c.members().map(|p| self.psi(schedule, OrgId(p.0 as u32), t)).sum()
     }
 
     /// Processes all hypothetical-schedule events up to and including `t`,
@@ -265,7 +263,8 @@ impl GeneralRefScheduler {
             let others = c.remove(p);
             let mut acc = 0.0;
             for s in others.subsets() {
-                let w = (factorial(s.len()) * factorial(size - s.len() - 1)) as f64 / n_fact;
+                let w =
+                    (factorial(s.len()) * factorial(size - s.len() - 1)) as f64 / n_fact;
                 acc += w * (values[&s.insert(p).bits()] - values[&s.bits()]);
             }
             phi.insert(p.0, acc);
@@ -283,7 +282,8 @@ impl GeneralRefScheduler {
                 continue;
             }
             let tentative = sim.schedule_with_tentative(u, t);
-            let delta = self.psi(&tentative, u, t + 1) - self.psi(&sim.schedule_at(t), u, t + 1);
+            let delta =
+                self.psi(&tentative, u, t + 1) - self.psi(&sim.schedule_at(t), u, t + 1);
             let share = delta / size as f64;
             let mut dist = (phi[&p.0] + share - base_psi[&p.0] - delta).abs();
             for q in c.members() {

@@ -103,7 +103,11 @@ impl CoalitionSim {
     fn release(&mut self, t: Time, org: OrgId, proc: Time) {
         debug_assert!(self.coalition.contains(Player(org.index())));
         self.seq += 1;
-        self.waiting[org.index()].push_back(WaitingJob { release: t, proc, seq: self.seq });
+        self.waiting[org.index()].push_back(WaitingJob {
+            release: t,
+            proc,
+            seq: self.seq,
+        });
     }
 
     /// Applies all completions at times ≤ `t`.
@@ -128,9 +132,7 @@ impl CoalitionSim {
     }
 
     fn eligible(&self, org: OrgId, t: Time) -> bool {
-        self.waiting[org.index()]
-            .front()
-            .is_some_and(|j| j.release <= t)
+        self.waiting[org.index()].front().is_some_and(|j| j.release <= t)
     }
 
     /// Starts the FIFO-head job of `org` at `t`; returns the completion time.
@@ -167,10 +169,7 @@ impl CoalitionSim {
 
     /// Coalition value `v(C, t) = Σ_{u∈C} ψ_sp(σ_C, u, t)` (bumps excluded).
     pub fn value_at(&self, t: Time) -> Util {
-        self.coalition
-            .members()
-            .map(|p| self.trackers[p.0].value_at(t))
-            .sum()
+        self.coalition.members().map(|p| self.trackers[p.0].value_at(t)).sum()
     }
 
     /// One organization's utility in this coalition's schedule.
@@ -218,10 +217,8 @@ impl CoalitionLattice {
         let n_orgs = machines.len();
         assert!(n_orgs <= 16, "full lattice supports at most 16 organizations");
         let grand = Coalition::grand(n_orgs);
-        let coalitions: Vec<Coalition> = grand
-            .proper_subsets()
-            .filter(|c| !c.is_empty())
-            .collect();
+        let coalitions: Vec<Coalition> =
+            grand.proper_subsets().filter(|c| !c.is_empty()).collect();
         Self::with_coalitions(machines, &coalitions, Policy::Fair)
     }
 
@@ -243,11 +240,8 @@ impl CoalitionLattice {
             .collect();
         sims.sort_by_key(|s| (s.coalition.len(), s.coalition.bits()));
         sims.dedup_by_key(|s| s.coalition.bits());
-        let index: HashMap<u64, usize> = sims
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.coalition.bits(), i))
-            .collect();
+        let index: HashMap<u64, usize> =
+            sims.iter().enumerate().map(|(i, s)| (s.coalition.bits(), i)).collect();
         if policy == Policy::Fair {
             for s in &sims {
                 for sub in s.coalition.proper_subsets() {
@@ -399,10 +393,8 @@ impl CoalitionLattice {
         if c.is_empty() {
             return 0;
         }
-        let &i = self
-            .index
-            .get(&c.bits())
-            .expect("coalition not tracked by this lattice");
+        let &i =
+            self.index.get(&c.bits()).expect("coalition not tracked by this lattice");
         self.sims[i].value_at(t)
     }
 
@@ -457,13 +449,9 @@ impl CoalitionLattice {
     /// The per-organization utilities inside a tracked coalition's
     /// hypothetical schedule at `t` (dense, non-members 0).
     pub fn org_values_of(&self, c: Coalition, t: Time) -> Vec<Util> {
-        let &i = self
-            .index
-            .get(&c.bits())
-            .expect("coalition not tracked by this lattice");
-        (0..self.n_orgs)
-            .map(|u| self.sims[i].org_value_at(OrgId(u as u32), t))
-            .collect()
+        let &i =
+            self.index.get(&c.bits()).expect("coalition not tracked by this lattice");
+        (0..self.n_orgs).map(|u| self.sims[i].org_value_at(OrgId(u as u32), t)).collect()
     }
 }
 
@@ -592,8 +580,7 @@ mod tests {
     #[test]
     fn fifo_policy_orders_by_release() {
         let c = players(&[0, 1]);
-        let mut l =
-            CoalitionLattice::with_coalitions(&[1, 0], &[c], Policy::Fifo);
+        let mut l = CoalitionLattice::with_coalitions(&[1, 0], &[c], Policy::Fifo);
         // One machine total. Org 1 releases earlier.
         l.release(0, OrgId(1), 3);
         l.release(1, OrgId(0), 3);
@@ -629,11 +616,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "subset-closed")]
     fn fair_policy_requires_subset_closure() {
-        let _ = CoalitionLattice::with_coalitions(
-            &[1, 1],
-            &[players(&[0, 1])],
-            Policy::Fair,
-        );
+        let _ =
+            CoalitionLattice::with_coalitions(&[1, 1], &[players(&[0, 1])], Policy::Fair);
     }
 
     #[test]

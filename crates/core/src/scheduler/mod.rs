@@ -8,18 +8,26 @@
 //! `A : J × T → O` (Section 2). The greedy requirement is enforced by the
 //! engine: `select` **must** return an organization with waiting jobs.
 //!
-//! Implemented algorithms (Section 7.1):
+//! Implemented algorithms (Section 7.1), with the [`registry`] spec string
+//! that constructs each (see [`registry::Registry`]):
 //!
-//! | scheduler | paper name | complexity |
-//! |---|---|---|
-//! | [`RefScheduler`] | REF (Figures 1 & 3) | exponential in `k` (FPT) |
-//! | [`RandScheduler`] | RAND (Figure 6) | polynomial, FPRAS for unit jobs |
-//! | [`DirectContrScheduler`] | DIRECTCONTR (Figure 9) | polynomial |
-//! | [`FairShareScheduler`] | FAIRSHARE | polynomial |
-//! | [`UtFairShareScheduler`] | UTFAIRSHARE | polynomial |
-//! | [`CurrFairShareScheduler`] | CURRFAIRSHARE | polynomial |
-//! | [`RoundRobinScheduler`] | ROUNDROBIN | polynomial |
-//! | [`FifoScheduler`], [`RandomScheduler`] | extra baselines | polynomial |
+//! | spec | scheduler | paper name | complexity |
+//! |---|---|---|---|
+//! | `ref` | [`RefScheduler`] | REF (Figures 1 & 3) | exponential in `k` (FPT) |
+//! | `general-ref:util=…` | [`GeneralRefScheduler`] | REF for any utility | exponential in `k` |
+//! | `rand:perms=N` | [`RandScheduler`] | RAND (Figure 6) | polynomial, FPRAS for unit jobs |
+//! | `directcontr` | [`DirectContrScheduler`] | DIRECTCONTR (Figure 9) | polynomial |
+//! | `fairshare` | [`FairShareScheduler`] | FAIRSHARE | polynomial |
+//! | `utfairshare` | [`UtFairShareScheduler`] | UTFAIRSHARE | polynomial |
+//! | `currfairshare` | [`CurrFairShareScheduler`] | CURRFAIRSHARE | polynomial |
+//! | `roundrobin` | [`RoundRobinScheduler`] | ROUNDROBIN | polynomial |
+//! | `fifo`, `random` | [`FifoScheduler`], [`RandomScheduler`] | extra baselines | polynomial |
+//!
+//! Construction goes through the registry rather than the concrete
+//! constructors: `Registry::default().build_str("rand:perms=15", &ctx)`
+//! yields a boxed scheduler for any spec, and downstream crates can
+//! [`registry::Registry::register`] their own policies so the CLI, bench
+//! tables, and `Simulation` sessions pick them up with zero changes here.
 
 mod direct_contr;
 mod fair_share;
@@ -28,6 +36,7 @@ mod general_ref;
 pub mod lattice;
 mod rand_shapley;
 mod ref_exact;
+pub mod registry;
 mod round_robin;
 
 pub use direct_contr::DirectContrScheduler;
@@ -36,6 +45,7 @@ pub use fifo::{FifoScheduler, RandomScheduler};
 pub use general_ref::GeneralRefScheduler;
 pub use rand_shapley::RandScheduler;
 pub use ref_exact::RefScheduler;
+pub use registry::{BuildContext, Registry, SchedulerFactory, SchedulerSpec, SpecError};
 pub use round_robin::RoundRobinScheduler;
 
 use crate::model::{ClusterInfo, JobMeta, MachineId, OrgId, Time};
@@ -86,7 +96,14 @@ pub trait Scheduler {
 
     /// A job that started at `start` on `machine` has completed at `t`
     /// (its processing time, now revealed, is `t − start`).
-    fn on_complete(&mut self, _t: Time, _job: &JobMeta, _machine: MachineId, _start: Time) {}
+    fn on_complete(
+        &mut self,
+        _t: Time,
+        _job: &JobMeta,
+        _machine: MachineId,
+        _start: Time,
+    ) {
+    }
 
     /// Chooses the organization whose FIFO-head job is started next.
     /// Must return an organization with a waiting job.
@@ -96,7 +113,11 @@ pub trait Scheduler {
     /// into `ctx.free_machines`); `None` lets the engine pick the first.
     /// Machine choice matters only for ownership-based accounting
     /// (DIRECTCONTR randomizes it, per Figure 9).
-    fn pick_machine(&mut self, _ctx: &SelectContext<'_>, _job: &JobMeta) -> Option<usize> {
+    fn pick_machine(
+        &mut self,
+        _ctx: &SelectContext<'_>,
+        _job: &JobMeta,
+    ) -> Option<usize> {
         None
     }
 }
@@ -201,9 +222,41 @@ impl Ord for Frac {
             (0, 0) => self.num.cmp(&other.num),
             (0, _) => std::cmp::Ordering::Greater,
             (_, 0) => std::cmp::Ordering::Less,
-            _ => (self.num * other.den).cmp(&(other.num * self.den)),
+            // Cross-multiplication can overflow i128 for near-max
+            // utilities; fall back to an exact 256-bit comparison.
+            _ => match (self.num.checked_mul(other.den), other.num.checked_mul(self.den))
+            {
+                (Some(a), Some(b)) => a.cmp(&b),
+                _ => wide_product_cmp(
+                    self.num.unsigned_abs(),
+                    other.den.unsigned_abs(),
+                    other.num.unsigned_abs(),
+                    self.den.unsigned_abs(),
+                ),
+            },
         }
     }
+}
+
+/// Compares `a·b` against `c·d` exactly via 128×128 → 256-bit products
+/// (all operands non-negative, the [`Frac`] invariant).
+fn wide_product_cmp(a: u128, b: u128, c: u128, d: u128) -> std::cmp::Ordering {
+    mul_wide(a, b).cmp(&mul_wide(c, d))
+}
+
+/// Full 128×128 → 256-bit product as `(hi, lo)` limbs.
+fn mul_wide(x: u128, y: u128) -> (u128, u128) {
+    const MASK: u128 = (1 << 64) - 1;
+    let (x_hi, x_lo) = (x >> 64, x & MASK);
+    let (y_hi, y_lo) = (y >> 64, y & MASK);
+    let ll = x_lo * y_lo;
+    let lh = x_lo * y_hi;
+    let hl = x_hi * y_lo;
+    let hh = x_hi * y_hi;
+    let (mid, mid_carry) = lh.overflowing_add(hl);
+    let (lo, lo_carry) = ll.overflowing_add(mid << 64);
+    let hi = hh + (mid >> 64) + ((mid_carry as u128) << 64) + lo_carry as u128;
+    (hi, lo)
 }
 
 impl PartialOrd for Frac {
@@ -314,6 +367,37 @@ mod tests {
         // Infinities: den = 0 beats everything finite.
         assert!(Frac::new(0, 0) > Frac::new(1_000_000, 1));
         assert!(Frac::new(1, 0) > Frac::new(0, 0));
+    }
+
+    #[test]
+    fn frac_ordering_survives_i128_overflow() {
+        // Regression: near-max utilities overflow the naive i128
+        // cross-multiplication (a debug-build panic before the widening
+        // fallback). 2^100/2^101 = 1/2 < 2^102/2^101 = 2.
+        let huge = 1i128 << 100;
+        let a = Frac::new(huge, 2 * huge);
+        let b = Frac::new(4 * huge, 2 * huge);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        // Equal ratios with non-identical huge parts: x/x == y/y.
+        assert_eq!(
+            Frac::new(huge, huge).cmp(&Frac::new(3 * huge, 3 * huge)),
+            std::cmp::Ordering::Equal
+        );
+        // Max-value corner: MAX/1 vs (MAX−1)/1 must not wrap.
+        assert!(Frac::new(Util::MAX, 1) > Frac::new(Util::MAX - 1, 1));
+        // And the wide path agrees with the narrow one where both work.
+        assert_eq!(wide_product_cmp(3, 5, 4, 4), (3i128 * 5).cmp(&(4 * 4)));
+    }
+
+    #[test]
+    fn mul_wide_matches_known_products() {
+        assert_eq!(mul_wide(0, u128::MAX), (0, 0));
+        assert_eq!(mul_wide(1, u128::MAX), (0, u128::MAX));
+        assert_eq!(mul_wide(2, u128::MAX), (1, u128::MAX - 1));
+        assert_eq!(mul_wide(1 << 64, 1 << 64), (1, 0));
+        assert_eq!(mul_wide(u128::MAX, u128::MAX), (u128::MAX - 1, 1));
     }
 
     #[test]

@@ -45,7 +45,8 @@ impl RandScheduler {
         let mut rng = StdRng::seed_from_u64(seed);
         let prefixes = SampledPrefixes::draw(k, n_permutations, &mut rng);
         let coalitions = prefixes.required_coalitions();
-        let lattice = CoalitionLattice::with_coalitions(&machines, &coalitions, Policy::Fifo);
+        let lattice =
+            CoalitionLattice::with_coalitions(&machines, &coalitions, Policy::Fifo);
         RandScheduler {
             durations: trace.jobs().iter().map(|j| j.proc_time).collect(),
             lattice,
@@ -96,7 +97,8 @@ impl RandScheduler {
             .prefixes_of(player)
             .iter()
             .map(|&pred| {
-                self.lattice.value_of(pred.insert(player), t) - self.lattice.value_of(pred, t)
+                self.lattice.value_of(pred.insert(player), t)
+                    - self.lattice.value_of(pred, t)
             })
             .sum()
     }

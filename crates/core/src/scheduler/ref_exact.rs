@@ -84,10 +84,7 @@ impl RefScheduler {
     /// Exact contributions `φ(u)` at `t` as `f64` (scaled back by `k!`).
     pub fn contributions(&mut self, t: Time) -> Vec<f64> {
         let scale = self.scale as f64;
-        self.contributions_scaled(t)
-            .into_iter()
-            .map(|phi| phi as f64 / scale)
-            .collect()
+        self.contributions_scaled(t).into_iter().map(|phi| phi as f64 / scale).collect()
     }
 
     /// Read-only access to the subcoalition lattice (for analysis tools).
@@ -208,8 +205,10 @@ mod tests {
             phi[1] > 0.0,
             "the donor's machine worked for org a; its contribution must be positive, got {phi:?}"
         );
-        assert!((phi[0] + phi[1] - (psi[0] + psi[1]) as f64).abs() < 1e-9,
-            "efficiency: contributions must sum to the grand value");
+        assert!(
+            (phi[0] + phi[1] - (psi[0] + psi[1]) as f64).abs() < 1e-9,
+            "efficiency: contributions must sum to the grand value"
+        );
         // And the surplus ranking favors the donor.
         assert!(phi[1] - psi[1] as f64 > phi[0] - psi[0] as f64);
     }

@@ -1,0 +1,815 @@
+//! The scheduler registry: one construction path for every algorithm.
+//!
+//! Historically every scheduler had a bespoke constructor
+//! (`RefScheduler::new(&trace)`, `RandScheduler::new(&trace, n, seed)`,
+//! `DirectContrScheduler::new(seed)`, …) and every consumer — the bench
+//! runner, the CLI, tests, examples — hard-coded its own list. This module
+//! replaces those call sites with three pieces:
+//!
+//! * [`SchedulerSpec`] — a parsed, canonical description of a scheduler
+//!   configuration, written as a string such as `"ref"`,
+//!   `"rand:perms=15"` or `"general-ref:util=flowtime"`. Specs implement
+//!   [`FromStr`]/[`Display`] (round-tripping exactly) and, with the
+//!   `serde` feature, serialize as that same string.
+//! * [`SchedulerFactory`] — an object-safe builder turning a spec plus a
+//!   [`BuildContext`] (trace + seed) into a boxed [`Scheduler`]. The
+//!   context unifies trace-dependent construction (REF, RAND) and
+//!   seed-dependent construction (RAND, DIRECTCONTR, RANDOM) behind one
+//!   signature.
+//! * [`Registry`] — a name → factory map. [`Registry::default`] knows
+//!   every algorithm in the paper's Table 1/2 set plus the baselines;
+//!   [`Registry::register`] lets downstream crates add policies without
+//!   touching this crate.
+//!
+//! ```
+//! use fairsched_core::scheduler::registry::{BuildContext, Registry, SchedulerSpec};
+//! use fairsched_core::Trace;
+//!
+//! let mut b = Trace::builder();
+//! let org = b.org("solo", 1);
+//! b.job(org, 0, 3);
+//! let trace = b.build().unwrap();
+//!
+//! let registry = Registry::default();
+//! let spec: SchedulerSpec = "rand:perms=10".parse().unwrap();
+//! let mut scheduler = registry.build(&spec, &BuildContext { trace: &trace, seed: 7 }).unwrap();
+//! assert_eq!(scheduler.name(), "Rand(N=10)");
+//! assert_eq!(spec.to_string(), "rand:perms=10");
+//! ```
+
+use super::{
+    CurrFairShareScheduler, DirectContrScheduler, FairShareScheduler, FifoScheduler,
+    GeneralRefScheduler, RandScheduler, RandomScheduler, RefScheduler,
+    RoundRobinScheduler, Scheduler, UtFairShareScheduler,
+};
+use crate::model::Trace;
+use crate::utility::{FlowTime, Makespan, ResourceShare, SpUtility, Tardiness};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Why a spec string or a build from a spec was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec string was empty.
+    Empty,
+    /// The spec string does not follow `name[:key=value,...]`.
+    BadSyntax {
+        /// The offending input.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// No factory is registered under the requested name.
+    UnknownScheduler {
+        /// The requested name.
+        name: String,
+        /// Registered names, sorted.
+        known: Vec<String>,
+    },
+    /// The named scheduler does not accept this parameter.
+    UnknownParam {
+        /// The scheduler name.
+        scheduler: String,
+        /// The rejected parameter key.
+        param: String,
+        /// Keys the scheduler accepts.
+        accepted: Vec<String>,
+    },
+    /// A parameter value failed to parse or violated a constraint.
+    BadParam {
+        /// The scheduler name.
+        scheduler: String,
+        /// The parameter key.
+        param: String,
+        /// What was wrong with the value.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "empty scheduler spec"),
+            SpecError::BadSyntax { spec, reason } => {
+                write!(f, "malformed scheduler spec {spec:?}: {reason}")
+            }
+            SpecError::UnknownScheduler { name, known } => {
+                write!(f, "unknown scheduler {name:?} (known: {})", known.join(", "))
+            }
+            SpecError::UnknownParam { scheduler, param, accepted } => {
+                if accepted.is_empty() {
+                    write!(
+                        f,
+                        "scheduler {scheduler:?} takes no parameters, got {param:?}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "scheduler {scheduler:?} does not accept {param:?} (accepted: {})",
+                        accepted.join(", ")
+                    )
+                }
+            }
+            SpecError::BadParam { scheduler, param, reason } => {
+                write!(f, "bad value for {scheduler}:{param}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A parsed scheduler configuration: a registry name plus string
+/// parameters, with a canonical textual form.
+///
+/// Syntax: `name` or `name:key=value,key=value`. Names and keys are
+/// lowercase identifiers (`[a-z0-9_-]`); parameters are kept sorted, so
+/// `Display` output is canonical and `FromStr` ∘ `Display` is the
+/// identity on canonical strings.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SchedulerSpec {
+    name: String,
+    params: BTreeMap<String, String>,
+}
+
+fn valid_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-_".contains(c))
+}
+
+impl SchedulerSpec {
+    /// A parameterless spec.
+    pub fn bare(name: impl Into<String>) -> Self {
+        let name = name.into();
+        debug_assert!(valid_ident(&name), "invalid spec name {name:?}");
+        SchedulerSpec { name, params: BTreeMap::new() }
+    }
+
+    /// Adds or replaces a parameter (builder style).
+    ///
+    /// # Panics
+    /// Panics if the key is not a lowercase identifier or the rendered
+    /// value is empty or contains `,`/`=` — such specs would break the
+    /// `Display`/`FromStr` (and serde) round-trip contract.
+    pub fn with(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        let key = key.into();
+        assert!(valid_ident(&key), "invalid spec param key {key:?}");
+        let value = value.to_string();
+        assert!(
+            !value.is_empty() && !value.contains([',', '=']),
+            "invalid spec param value {value:?} for key {key:?}"
+        );
+        self.params.insert(key, value);
+        self
+    }
+
+    /// The registry name this spec selects.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All parameters, sorted by key.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// A raw parameter value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+
+    /// Rejects parameters outside `accepted` (factories call this first so
+    /// typos fail loudly instead of silently using defaults).
+    pub fn deny_unknown_params(&self, accepted: &[&str]) -> Result<(), SpecError> {
+        for key in self.params.keys() {
+            if !accepted.contains(&key.as_str()) {
+                return Err(SpecError::UnknownParam {
+                    scheduler: self.name.clone(),
+                    param: key.clone(),
+                    accepted: accepted.iter().map(|s| s.to_string()).collect(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A typed parameter with a default.
+    pub fn parsed<T: FromStr>(&self, key: &str, default: T) -> Result<T, SpecError> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| SpecError::BadParam {
+                scheduler: self.name.clone(),
+                param: key.to_string(),
+                reason: format!("cannot parse {raw:?} as {}", std::any::type_name::<T>()),
+            }),
+        }
+    }
+
+    /// A helper for range/constraint violations discovered by factories.
+    pub fn bad_param(&self, key: &str, reason: impl Into<String>) -> SpecError {
+        SpecError::BadParam {
+            scheduler: self.name.clone(),
+            param: key.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            write!(f, "{}{k}={v}", if i == 0 { ':' } else { ',' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SchedulerSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let bad = |reason: &str| SpecError::BadSyntax {
+            spec: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let (name, rest) = match s.split_once(':') {
+            None => (s, None),
+            Some((name, rest)) => (name, Some(rest)),
+        };
+        if !valid_ident(name) {
+            return Err(bad("name must be a lowercase identifier"));
+        }
+        let mut params = BTreeMap::new();
+        if let Some(rest) = rest {
+            if rest.is_empty() {
+                return Err(bad("trailing ':' without parameters"));
+            }
+            for pair in rest.split(',') {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| bad("parameters must look like key=value"))?;
+                if !valid_ident(key) {
+                    return Err(bad("parameter keys must be lowercase identifiers"));
+                }
+                if value.is_empty() {
+                    return Err(bad("parameter values must be non-empty"));
+                }
+                if params.insert(key.to_string(), value.to_string()).is_some() {
+                    return Err(bad("duplicate parameter key"));
+                }
+            }
+        }
+        Ok(SchedulerSpec { name: name.to_string(), params })
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for SchedulerSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for SchedulerSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::String(s) => {
+                s.parse().map_err(|e: SpecError| serde::DeError(e.to_string()))
+            }
+            _ => Err(serde::DeError::expected("string", "SchedulerSpec")),
+        }
+    }
+}
+
+/// Everything a factory may need to instantiate a scheduler: the trace
+/// (REF and RAND precompute coalition lattices from it) and a seed
+/// (driving any internal randomness deterministically).
+#[derive(Copy, Clone, Debug)]
+pub struct BuildContext<'a> {
+    /// The trace the scheduler will be run against.
+    pub trace: &'a Trace,
+    /// Seed for any internal randomness.
+    pub seed: u64,
+}
+
+/// An object-safe scheduler builder, registered under a unique name.
+pub trait SchedulerFactory: Send + Sync {
+    /// The registry name (what spec strings select).
+    fn name(&self) -> &str;
+
+    /// One-line human description, shown in CLI help.
+    fn summary(&self) -> &str;
+
+    /// Parameter keys this factory accepts (for error messages and docs).
+    fn accepted_params(&self) -> &[&str] {
+        &[]
+    }
+
+    /// Instantiates the scheduler for a spec in a context.
+    ///
+    /// Implementations should reject parameters outside
+    /// [`accepted_params`](SchedulerFactory::accepted_params) via
+    /// [`SchedulerSpec::deny_unknown_params`].
+    fn build(
+        &self,
+        spec: &SchedulerSpec,
+        ctx: &BuildContext<'_>,
+    ) -> Result<Box<dyn Scheduler>, SpecError>;
+}
+
+/// A closure-backed [`SchedulerFactory`] (how all built-ins are defined).
+struct FnFactory<F> {
+    name: &'static str,
+    summary: &'static str,
+    accepted: &'static [&'static str],
+    build: F,
+}
+
+impl<F> SchedulerFactory for FnFactory<F>
+where
+    F: Fn(&SchedulerSpec, &BuildContext<'_>) -> Result<Box<dyn Scheduler>, SpecError>
+        + Send
+        + Sync,
+{
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn summary(&self) -> &str {
+        self.summary
+    }
+
+    fn accepted_params(&self) -> &[&str] {
+        self.accepted
+    }
+
+    fn build(
+        &self,
+        spec: &SchedulerSpec,
+        ctx: &BuildContext<'_>,
+    ) -> Result<Box<dyn Scheduler>, SpecError> {
+        spec.deny_unknown_params(self.accepted)?;
+        (self.build)(spec, ctx)
+    }
+}
+
+/// The name → factory map behind every scheduler construction in the
+/// workspace.
+///
+/// [`Registry::default`] pre-populates the paper's full algorithm set;
+/// use [`Registry::new`] + [`Registry::register`] for a curated set, or
+/// `register` on a default registry to add downstream policies.
+pub struct Registry {
+    factories: BTreeMap<String, Box<dyn SchedulerFactory>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { factories: BTreeMap::new() }
+    }
+
+    /// Registers a factory, replacing any previous one of the same name
+    /// (last registration wins, so downstream crates can override
+    /// built-ins) and returning the replaced factory if any.
+    pub fn register(
+        &mut self,
+        factory: Box<dyn SchedulerFactory>,
+    ) -> Option<Box<dyn SchedulerFactory>> {
+        let name = factory.name().to_string();
+        debug_assert!(valid_ident(&name), "invalid factory name {name:?}");
+        self.factories.insert(name, factory)
+    }
+
+    /// The factory registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&dyn SchedulerFactory> {
+        self.factories.get(name).map(Box::as_ref)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+
+    /// One canonical parameterless spec per registered factory, sorted by
+    /// name (what `run_matrix`-style sweeps and the round-trip tests use).
+    pub fn default_specs(&self) -> Vec<SchedulerSpec> {
+        self.factories.keys().map(SchedulerSpec::bare).collect()
+    }
+
+    /// Builds a scheduler from a parsed spec.
+    pub fn build(
+        &self,
+        spec: &SchedulerSpec,
+        ctx: &BuildContext<'_>,
+    ) -> Result<Box<dyn Scheduler>, SpecError> {
+        let factory = self.factories.get(spec.name()).ok_or_else(|| {
+            SpecError::UnknownScheduler {
+                name: spec.name().to_string(),
+                known: self.names().map(str::to_string).collect(),
+            }
+        })?;
+        factory.build(spec, ctx)
+    }
+
+    /// Parses and builds in one step.
+    pub fn build_str(
+        &self,
+        spec: &str,
+        ctx: &BuildContext<'_>,
+    ) -> Result<Box<dyn Scheduler>, SpecError> {
+        self.build(&spec.parse()?, ctx)
+    }
+
+    /// A help listing: one `name — summary [params]` line per factory.
+    pub fn help(&self) -> String {
+        let mut out = String::new();
+        for f in self.factories.values() {
+            out.push_str(&format!("  {:<14} {}", f.name(), f.summary()));
+            if !f.accepted_params().is_empty() {
+                out.push_str(&format!(" (params: {})", f.accepted_params().join(", ")));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn register_fn<F>(
+        &mut self,
+        name: &'static str,
+        summary: &'static str,
+        accepted: &'static [&'static str],
+        build: F,
+    ) where
+        F: Fn(&SchedulerSpec, &BuildContext<'_>) -> Result<Box<dyn Scheduler>, SpecError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.register(Box::new(FnFactory { name, summary, accepted, build }));
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    /// A registry with the paper's whole algorithm set (Section 7.1) plus
+    /// the extra baselines:
+    ///
+    /// | spec | scheduler | parameters |
+    /// |---|---|---|
+    /// | `ref` | [`RefScheduler`] | — |
+    /// | `general-ref` | [`GeneralRefScheduler`] | `util` = `sp` \| `flowtime` \| `makespan` \| `share` \| `tardiness` |
+    /// | `rand` | [`RandScheduler`] | `perms` (default 15), or `eps` + `lambda` for the Theorem 5.6 sizing |
+    /// | `directcontr` | [`DirectContrScheduler`] | — |
+    /// | `fairshare` | [`FairShareScheduler`] | — |
+    /// | `utfairshare` | [`UtFairShareScheduler`] | — |
+    /// | `currfairshare` | [`CurrFairShareScheduler`] | — |
+    /// | `roundrobin` | [`RoundRobinScheduler`] | — |
+    /// | `fifo` | [`FifoScheduler`] | — |
+    /// | `random` | [`RandomScheduler`] | — |
+    fn default() -> Self {
+        let mut r = Registry::new();
+        r.register_fn(
+            "ref",
+            "exact Shapley reference (exponential in the number of organizations)",
+            &[],
+            |_, ctx| Ok(Box::new(RefScheduler::new(ctx.trace))),
+        );
+        r.register_fn(
+            "general-ref",
+            "REF generalized to a pluggable utility function",
+            &["util"],
+            |spec, ctx| {
+                let util = spec.get("util").unwrap_or("sp");
+                Ok(match util {
+                    "sp" => Box::new(GeneralRefScheduler::new(ctx.trace, SpUtility)),
+                    "flowtime" => Box::new(GeneralRefScheduler::new(ctx.trace, FlowTime)),
+                    "makespan" => Box::new(GeneralRefScheduler::new(ctx.trace, Makespan)),
+                    "share" => Box::new(GeneralRefScheduler::new(ctx.trace, ResourceShare)),
+                    "tardiness" => Box::new(GeneralRefScheduler::new(ctx.trace, Tardiness)),
+                    other => {
+                        return Err(spec.bad_param(
+                            "util",
+                            format!(
+                                "unknown utility {other:?} (one of: sp, flowtime, makespan, share, tardiness)"
+                            ),
+                        ))
+                    }
+                })
+            },
+        );
+        r.register_fn(
+            "rand",
+            "randomized Shapley sampling (the paper's RAND / FPRAS)",
+            &["perms", "eps", "lambda"],
+            |spec, ctx| {
+                if spec.get("eps").is_some() || spec.get("lambda").is_some() {
+                    if spec.get("perms").is_some() {
+                        return Err(spec.bad_param(
+                            "perms",
+                            "give either perms or eps+lambda, not both",
+                        ));
+                    }
+                    // Guarantee mode is the *pair*: a lone eps or lambda
+                    // would silently replace the perms default with a
+                    // Hoeffding-derived budget.
+                    match (spec.get("eps"), spec.get("lambda")) {
+                        (Some(_), None) => {
+                            return Err(
+                                spec.bad_param("eps", "guarantee mode also needs lambda")
+                            )
+                        }
+                        (None, Some(_)) => {
+                            return Err(
+                                spec.bad_param("lambda", "guarantee mode also needs eps")
+                            )
+                        }
+                        _ => {}
+                    }
+                    let eps = spec.parsed("eps", 1.0f64)?;
+                    let lambda = spec.parsed("lambda", 0.9f64)?;
+                    if eps <= 0.0 {
+                        return Err(spec.bad_param("eps", "must be positive"));
+                    }
+                    if !(lambda > 0.0 && lambda < 1.0) {
+                        return Err(spec.bad_param("lambda", "must be in (0, 1)"));
+                    }
+                    return Ok(Box::new(RandScheduler::with_guarantee(
+                        ctx.trace, eps, lambda, ctx.seed,
+                    )));
+                }
+                let perms = spec.parsed("perms", 15usize)?;
+                if perms == 0 {
+                    return Err(spec.bad_param("perms", "need at least one permutation"));
+                }
+                Ok(Box::new(RandScheduler::new(ctx.trace, perms, ctx.seed)))
+            },
+        );
+        r.register_fn(
+            "directcontr",
+            "direct-contribution heuristic (Figure 9)",
+            &[],
+            |_, ctx| Ok(Box::new(DirectContrScheduler::new(ctx.seed))),
+        );
+        r.register_fn(
+            "fairshare",
+            "usage/share balancing (classic fair share)",
+            &[],
+            |_, _| Ok(Box::new(FairShareScheduler::new())),
+        );
+        r.register_fn("utfairshare", "utility/share balancing", &[], |_, _| {
+            Ok(Box::new(UtFairShareScheduler::new()))
+        });
+        r.register_fn("currfairshare", "running-jobs/share balancing", &[], |_, _| {
+            Ok(Box::new(CurrFairShareScheduler::new()))
+        });
+        r.register_fn(
+            "roundrobin",
+            "cycle through organizations with waiting jobs",
+            &[],
+            |_, _| Ok(Box::new(RoundRobinScheduler::new())),
+        );
+        r.register_fn("fifo", "global first-in-first-out baseline", &[], |_, _| {
+            Ok(Box::new(FifoScheduler::new()))
+        });
+        r.register_fn(
+            "random",
+            "uniformly random organization baseline",
+            &[],
+            |_, ctx| Ok(Box::new(RandomScheduler::new(ctx.seed))),
+        );
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> Trace {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        let c = b.org("b", 1);
+        b.job(a, 0, 2).job(c, 0, 1).job(a, 1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parses_bare_and_parameterized() {
+        let s: SchedulerSpec = "ref".parse().unwrap();
+        assert_eq!(s.name(), "ref");
+        assert_eq!(s.params().count(), 0);
+
+        let s: SchedulerSpec = "rand:perms=15".parse().unwrap();
+        assert_eq!(s.name(), "rand");
+        assert_eq!(s.get("perms"), Some("15"));
+
+        let s: SchedulerSpec = "general-ref:util=flowtime".parse().unwrap();
+        assert_eq!(s.get("util"), Some("flowtime"));
+    }
+
+    #[test]
+    fn display_is_canonical_and_round_trips() {
+        for text in
+            ["ref", "rand:perms=75", "rand:eps=0.5,lambda=0.9", "general-ref:util=sp"]
+        {
+            let spec: SchedulerSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+            let again: SchedulerSpec = spec.to_string().parse().unwrap();
+            assert_eq!(again, spec);
+        }
+        // Parameters are sorted into canonical order.
+        let spec: SchedulerSpec = "rand:lambda=0.9,eps=0.5".parse().unwrap();
+        assert_eq!(spec.to_string(), "rand:eps=0.5,lambda=0.9");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid spec param value")]
+    fn with_rejects_values_that_break_round_trip() {
+        let _ = SchedulerSpec::bare("x").with("k", "a,b=1");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid spec param key")]
+    fn with_rejects_bad_keys() {
+        let _ = SchedulerSpec::bare("x").with("K!", 1);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for text in [
+            "",
+            "  ",
+            "Ref",
+            "rand:",
+            "rand:perms",
+            "rand:perms=",
+            "a b",
+            "rand:p=1,p=2",
+            "rand:=1",
+        ] {
+            let r: Result<SchedulerSpec, _> = text.parse();
+            assert!(r.is_err(), "{text:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn default_registry_builds_every_scheduler() {
+        let trace = tiny_trace();
+        let registry = Registry::default();
+        let ctx = BuildContext { trace: &trace, seed: 3 };
+        let mut names = Vec::new();
+        for spec in registry.default_specs() {
+            let s = registry
+                .build(&spec, &ctx)
+                .unwrap_or_else(|e| panic!("default spec {spec} failed to build: {e}"));
+            names.push(s.name());
+        }
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn unknown_scheduler_is_typed_error() {
+        let trace = tiny_trace();
+        let registry = Registry::default();
+        let err = match registry
+            .build_str("nonesuch", &BuildContext { trace: &trace, seed: 0 })
+        {
+            Err(e) => e,
+            Ok(_) => panic!("nonesuch must not build"),
+        };
+        match err {
+            SpecError::UnknownScheduler { name, known } => {
+                assert_eq!(name, "nonesuch");
+                assert!(known.contains(&"ref".to_string()));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_and_bad_params_are_typed_errors() {
+        let trace = tiny_trace();
+        let registry = Registry::default();
+        let ctx = BuildContext { trace: &trace, seed: 0 };
+        assert!(matches!(
+            registry.build_str("ref:bogus=1", &ctx),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            registry.build_str("rand:perms=zero", &ctx),
+            Err(SpecError::BadParam { .. })
+        ));
+        assert!(matches!(
+            registry.build_str("rand:perms=0", &ctx),
+            Err(SpecError::BadParam { .. })
+        ));
+        assert!(matches!(
+            registry.build_str("rand:perms=5,eps=0.1", &ctx),
+            Err(SpecError::BadParam { .. })
+        ));
+        // Guarantee mode requires the eps+lambda pair; a lone key must
+        // error instead of silently re-deriving the sampling budget.
+        assert!(matches!(
+            registry.build_str("rand:eps=0.5", &ctx),
+            Err(SpecError::BadParam { .. })
+        ));
+        assert!(matches!(
+            registry.build_str("rand:lambda=0.99", &ctx),
+            Err(SpecError::BadParam { .. })
+        ));
+        assert!(matches!(
+            registry.build_str("general-ref:util=nope", &ctx),
+            Err(SpecError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn rand_guarantee_spec_uses_hoeffding() {
+        let trace = tiny_trace();
+        let registry = Registry::default();
+        let ctx = BuildContext { trace: &trace, seed: 1 };
+        let built = registry.build_str("rand:eps=1.0,lambda=0.5", &ctx).unwrap();
+        let n = coopgame::sampling::hoeffding_permutations(2, 1.0, 0.5);
+        assert_eq!(built.name(), format!("Rand(N={n})"));
+    }
+
+    #[test]
+    fn registration_extends_and_overrides() {
+        struct Custom;
+        impl SchedulerFactory for Custom {
+            fn name(&self) -> &str {
+                "custom"
+            }
+            fn summary(&self) -> &str {
+                "test-only"
+            }
+            fn build(
+                &self,
+                _spec: &SchedulerSpec,
+                _ctx: &BuildContext<'_>,
+            ) -> Result<Box<dyn Scheduler>, SpecError> {
+                Ok(Box::new(FifoScheduler::new()))
+            }
+        }
+        let mut registry = Registry::default();
+        assert!(registry.register(Box::new(Custom)).is_none());
+        assert!(registry.get("custom").is_some());
+        let trace = tiny_trace();
+        let built = registry
+            .build_str("custom", &BuildContext { trace: &trace, seed: 0 })
+            .unwrap();
+        assert_eq!(built.name(), "Fifo");
+        // Same-name registration replaces (and hands back) the old factory.
+        assert!(registry.register(Box::new(Custom)).is_some());
+    }
+
+    #[test]
+    fn seed_flows_into_randomized_schedulers() {
+        let trace = tiny_trace();
+        let registry = Registry::default();
+        let a = registry
+            .build_str("rand:perms=6", &BuildContext { trace: &trace, seed: 9 })
+            .unwrap();
+        let b = registry
+            .build_str("rand:perms=6", &BuildContext { trace: &trace, seed: 9 })
+            .unwrap();
+        assert_eq!(a.name(), b.name());
+    }
+
+    #[test]
+    fn help_mentions_every_name() {
+        let registry = Registry::default();
+        let help = registry.help();
+        for name in registry.names() {
+            assert!(help.contains(name), "help is missing {name}");
+        }
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_round_trip_is_the_spec_string() {
+        use serde::{Deserialize, Serialize};
+        let spec: SchedulerSpec = "rand:perms=15".parse().unwrap();
+        let v = spec.to_value();
+        assert_eq!(v, serde::Value::String("rand:perms=15".into()));
+        let back = SchedulerSpec::from_value(&v).unwrap();
+        assert_eq!(back, spec);
+        assert!(SchedulerSpec::from_value(&serde::Value::Number("3".into())).is_err());
+    }
+}

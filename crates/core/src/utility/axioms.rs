@@ -54,7 +54,8 @@ pub fn check_start_anonymity(
             if s + 1 > t.saturating_sub(1) {
                 continue;
             }
-            let gain = psi(&with_part(sigma, (s, p)), t) - psi(&with_part(sigma, (s + 1, p)), t);
+            let gain =
+                psi(&with_part(sigma, (s, p)), t) - psi(&with_part(sigma, (s + 1, p)), t);
             if gain <= 0 {
                 violations.push(format!(
                     "advancing a task from {s}+1 to {s} in {sigma:?} gains {gain} (must be > 0)"
@@ -93,9 +94,8 @@ pub fn check_count_anonymity(
             }
             match reference {
                 None => reference = Some(gain),
-                Some(r) if r != gain => violations.push(format!(
-                    "gain {gain} in {sigma:?} differs from reference {r}"
-                )),
+                Some(r) if r != gain => violations
+                    .push(format!("gain {gain} in {sigma:?} differs from reference {r}")),
                 _ => {}
             }
         }
@@ -143,12 +143,7 @@ mod tests {
     use crate::utility::sp::sp_value_of_parts;
 
     fn probe_schedules() -> Vec<Vec<(Time, Time)>> {
-        vec![
-            vec![],
-            vec![(0, 3)],
-            vec![(0, 1), (5, 2)],
-            vec![(2, 4), (10, 1), (11, 6)],
-        ]
+        vec![vec![], vec![(0, 3)], vec![(0, 1), (5, 2)], vec![(2, 4), (10, 1), (11, 6)]]
     }
 
     #[test]
@@ -165,13 +160,7 @@ mod tests {
 
     #[test]
     fn sp_satisfies_count_anonymity() {
-        let r = check_count_anonymity(
-            sp_value_of_parts,
-            &probe_schedules(),
-            3,
-            5,
-            50,
-        );
+        let r = check_count_anonymity(sp_value_of_parts, &probe_schedules(), 3, 5, 50);
         assert!(r.holds(), "{:?}", r.violations);
     }
 
@@ -208,12 +197,7 @@ mod tests {
     #[test]
     fn flow_time_violates_strategy_resistance() {
         // Splitting a job reduces total flow: violation.
-        let r = check_strategy_resistance(
-            neg_flow,
-            &probe_schedules(),
-            &[(0, 2, 3)],
-            50,
-        );
+        let r = check_strategy_resistance(neg_flow, &probe_schedules(), &[(0, 2, 3)], 50);
         assert!(!r.holds());
     }
 

@@ -120,8 +120,20 @@ mod tests {
         b.job_with_deadline(a, 1, 2, 2);
         let t = b.build().unwrap();
         let s: Schedule = [
-            ScheduledJob { job: JobId(0), org: a, machine: MachineId(0), start: 0, proc_time: 4 },
-            ScheduledJob { job: JobId(1), org: a, machine: MachineId(1), start: 1, proc_time: 2 },
+            ScheduledJob {
+                job: JobId(0),
+                org: a,
+                machine: MachineId(0),
+                start: 0,
+                proc_time: 4,
+            },
+            ScheduledJob {
+                job: JobId(1),
+                org: a,
+                machine: MachineId(1),
+                start: 1,
+                proc_time: 2,
+            },
         ]
         .into_iter()
         .collect();

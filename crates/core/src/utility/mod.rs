@@ -16,8 +16,7 @@ mod classic;
 mod sp;
 
 pub use axioms::{
-    check_count_anonymity, check_start_anonymity, check_strategy_resistance,
-    AxiomReport,
+    check_count_anonymity, check_start_anonymity, check_strategy_resistance, AxiomReport,
 };
 pub use classic::{FlowTime, Makespan, ResourceShare, Tardiness};
 pub use sp::{sp_value, sp_value_of_parts, SpTracker, SpUtility};

@@ -47,10 +47,8 @@ impl Utility for SpUtility {
     }
 
     fn value(&self, _trace: &Trace, schedule: &Schedule, org: OrgId, t: Time) -> f64 {
-        schedule
-            .entries_of(org)
-            .map(|e| sp_value(e.start, e.proc_time, t))
-            .sum::<Util>() as f64
+        schedule.entries_of(org).map(|e| sp_value(e.start, e.proc_time, t)).sum::<Util>()
+            as f64
     }
 }
 
@@ -123,7 +121,8 @@ impl SpTracker {
         let r = self.running.len() as Util;
         // Σ Δ(Δ+1)/2 over running jobs, Δ = t − s (all starts are ≤ t by
         // the tracker's contract, so no clamping is needed).
-        let running = (r * (t * t + t) - (2 * t + 1) * self.run_s_sum + self.run_s2_sum) / 2;
+        let running =
+            (r * (t * t + t) - (2 * t + 1) * self.run_s_sum + self.run_s2_sum) / 2;
         completed + running
     }
 
@@ -149,10 +148,7 @@ mod tests {
 
     /// Naive per-unit reference implementation: Σ over executed slots i<t of (t-i).
     fn sp_naive(start: Time, p: Time, t: Time) -> Util {
-        (start..start + p)
-            .filter(|&i| i < t)
-            .map(|i| (t - i) as Util)
-            .sum()
+        (start..start + p).filter(|&i| i < t).map(|i| (t - i) as Util).sum()
     }
 
     #[test]
@@ -173,17 +169,8 @@ mod tests {
         // at t=13 and 297 at t=14; flow time at 14 is 70.
         // O(1) jobs (start, p): J1(0,3) J2(0,4) J3(0,3) J4(3,6) J5(3,3)
         // J6(4,6) J7(6,3) J8(9,3) J9(10,4). (J9 delayed by O(2)'s job.)
-        let o1: Vec<(Time, Time)> = vec![
-            (0, 3),
-            (0, 4),
-            (0, 3),
-            (3, 6),
-            (3, 3),
-            (4, 6),
-            (6, 3),
-            (9, 3),
-            (10, 4),
-        ];
+        let o1: Vec<(Time, Time)> =
+            vec![(0, 3), (0, 4), (0, 3), (3, 6), (3, 3), (4, 6), (6, 3), (9, 3), (10, 4)];
         assert_eq!(sp_value_of_parts(&o1, 13), 262);
         assert_eq!(sp_value_of_parts(&o1, 14), 297);
 
@@ -201,10 +188,7 @@ mod tests {
 
         // "If J9 was not scheduled at all, ψ_sp would decrease by 10."
         let without9 = &o1[..8];
-        assert_eq!(
-            sp_value_of_parts(&o1, 14) - sp_value_of_parts(without9, 14),
-            10
-        );
+        assert_eq!(sp_value_of_parts(&o1, 14) - sp_value_of_parts(without9, 14), 10);
     }
 
     #[test]

@@ -18,9 +18,7 @@ impl Cluster {
     pub fn new(info: &ClusterInfo) -> Self {
         Cluster {
             running: vec![None; info.n_machines()],
-            free: (0..info.n_machines())
-                .map(|m| MachineId(m as u32))
-                .collect(),
+            free: (0..info.n_machines()).map(|m| MachineId(m as u32)).collect(),
         }
     }
 
@@ -61,9 +59,8 @@ impl Cluster {
     /// # Panics
     /// Panics if the machine was not busy.
     pub fn complete(&mut self, machine: MachineId) -> (JobId, Time) {
-        let slot = self.running[machine.index()]
-            .take()
-            .expect("completing an idle machine");
+        let slot =
+            self.running[machine.index()].take().expect("completing an idle machine");
         // Keep the free list sorted.
         let pos = self.free.partition_point(|&m| m < machine);
         self.free.insert(pos, machine);

@@ -1,10 +1,12 @@
 //! The event-driven simulation engine.
 
 use crate::cluster::Cluster;
+use crate::session::SimError;
 use fairsched_core::model::{JobId, MachineId, Time, Trace};
 use fairsched_core::schedule::{Schedule, ScheduledJob};
 use fairsched_core::scheduler::{Scheduler, SelectContext};
 use fairsched_core::utility::{sp_vector, Util};
+use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -21,7 +23,7 @@ pub struct SimOptions {
 }
 
 /// The outcome of a simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize)]
 pub struct SimResult {
     /// The scheduler's display name.
     pub scheduler: String,
@@ -49,11 +51,40 @@ impl SimResult {
 }
 
 /// Runs `scheduler` over `trace` until `horizon` (no validation).
-pub fn simulate(trace: &Trace, scheduler: &mut dyn Scheduler, horizon: Time) -> SimResult {
+///
+/// Legacy entry point kept for compatibility; prefer
+/// [`Simulation`](crate::Simulation), which reports failures as typed
+/// [`SimError`]s instead of panicking.
+///
+/// # Panics
+/// Panics where [`run_scheduler`] would return an error.
+pub fn simulate(
+    trace: &Trace,
+    scheduler: &mut dyn Scheduler,
+    horizon: Time,
+) -> SimResult {
     simulate_with_options(trace, scheduler, SimOptions { horizon, validate: false })
 }
 
 /// Runs `scheduler` over `trace` with explicit options.
+///
+/// Legacy entry point kept for compatibility; prefer
+/// [`Simulation`](crate::Simulation). Equivalent to [`run_scheduler`]
+/// except that failures panic.
+///
+/// # Panics
+/// Panics if the trace is invalid, if the scheduler selects an organization
+/// without waiting jobs or picks an out-of-range machine, or (with
+/// `validate`) if the schedule violates a model invariant.
+pub fn simulate_with_options(
+    trace: &Trace,
+    scheduler: &mut dyn Scheduler,
+    options: SimOptions,
+) -> SimResult {
+    run_scheduler(trace, scheduler, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs `scheduler` over `trace`, reporting failures as [`SimError`]s.
 ///
 /// The engine is the trusted component enforcing the paper's model:
 ///
@@ -66,16 +97,22 @@ pub fn simulate(trace: &Trace, scheduler: &mut dyn Scheduler, horizon: Time) -> 
 ///   *must* select (its contract), and the engine starts the job;
 /// * **non-preemptive** — started jobs run to completion.
 ///
-/// # Panics
-/// Panics if the trace is invalid, if the scheduler selects an organization
-/// without waiting jobs, or (with `validate`) if the schedule violates an
-/// invariant — any of these is a bug, not an input error.
-pub fn simulate_with_options(
+/// # Errors
+///
+/// * [`SimError::InvalidTrace`] — the trace fails validation;
+/// * [`SimError::BadSelection`] — the scheduler selected an organization
+///   with no waiting jobs (a scheduler bug);
+/// * [`SimError::BadMachinePick`] — the scheduler picked a machine index
+///   outside the free list (a scheduler bug; previously this was silently
+///   coerced to machine 0);
+/// * [`SimError::InvalidSchedule`] — with `validate`, the produced
+///   schedule violates a model invariant.
+pub fn run_scheduler(
     trace: &Trace,
     scheduler: &mut dyn Scheduler,
     options: SimOptions,
-) -> SimResult {
-    trace.validate().expect("invalid trace");
+) -> Result<SimResult, SimError> {
+    trace.validate().map_err(SimError::InvalidTrace)?;
     let info = trace.cluster_info();
     let horizon = options.horizon;
 
@@ -139,11 +176,16 @@ pub fn simulate_with_options(
                 };
                 scheduler.select(&ctx)
             };
-            assert!(
-                waiting_counts[org.index()] > 0,
-                "scheduler {} selected {org} which has no waiting jobs",
-                scheduler.name()
-            );
+            // Out-of-range ids and empty-queue picks are the same contract
+            // violation; the bounds check keeps this a typed error rather
+            // than an index panic.
+            if waiting_counts.get(org.index()).copied().unwrap_or(0) == 0 {
+                return Err(SimError::BadSelection {
+                    scheduler: scheduler.name(),
+                    org,
+                    t,
+                });
+            }
             let job_id = waiting[org.index()].pop_front().expect("count/queue mismatch");
             waiting_counts[org.index()] -= 1;
             total_waiting -= 1;
@@ -155,10 +197,18 @@ pub fn simulate_with_options(
                     waiting: &waiting_counts,
                     free_machines: cluster.free_machines(),
                 };
-                scheduler
-                    .pick_machine(&ctx, &job.meta())
-                    .filter(|&i| i < cluster.free_machines().len())
-                    .unwrap_or(0)
+                match scheduler.pick_machine(&ctx, &job.meta()) {
+                    None => 0,
+                    Some(i) if i < cluster.free_machines().len() => i,
+                    Some(i) => {
+                        return Err(SimError::BadMachinePick {
+                            scheduler: scheduler.name(),
+                            picked: i,
+                            free: cluster.free_machines().len(),
+                            t,
+                        })
+                    }
+                }
             };
             let machine = cluster.start(machine_idx, job_id, t);
             completions.push(Reverse((t + job.proc_time, machine.0)));
@@ -174,16 +224,17 @@ pub fn simulate_with_options(
     }
 
     if options.validate {
-        schedule
-            .validate_with_info(trace, &info, horizon)
-            .unwrap_or_else(|v| {
-                panic!("scheduler {} produced an invalid schedule: {v}", scheduler.name())
+        if let Err(violation) = schedule.validate_with_info(trace, &info, horizon) {
+            return Err(SimError::InvalidSchedule {
+                scheduler: scheduler.name(),
+                violation,
             });
+        }
     }
 
     let psi = sp_vector(trace, &schedule, horizon);
     let busy_time = schedule.busy_time(horizon);
-    SimResult {
+    Ok(SimResult {
         scheduler: scheduler.name(),
         utilization: schedule.utilization(info.n_machines(), horizon),
         started_jobs: schedule.len(),
@@ -192,19 +243,20 @@ pub fn simulate_with_options(
         psi,
         busy_time,
         completed_jobs,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fairsched_core::model::{JobMeta, OrgId};
     use fairsched_core::scheduler::{
         CurrFairShareScheduler, DirectContrScheduler, FairShareScheduler, FifoScheduler,
         GeneralRefScheduler, RandScheduler, RandomScheduler, RefScheduler,
         RoundRobinScheduler, UtFairShareScheduler,
     };
-    use fairsched_core::utility::{FlowTime, SpUtility};
     use fairsched_core::utility::sp_value;
+    use fairsched_core::utility::{FlowTime, SpUtility};
 
     fn small_trace() -> Trace {
         let mut b = Trace::builder();
@@ -229,7 +281,10 @@ mod tests {
         assert_eq!(starts, vec![0, 2, 10]);
         assert_eq!(r.completed_jobs, 3);
         assert_eq!(r.busy_time, 6);
-        assert_eq!(r.psi[0], sp_value(0, 2, 100) + sp_value(2, 3, 100) + sp_value(10, 1, 100));
+        assert_eq!(
+            r.psi[0],
+            sp_value(0, 2, 100) + sp_value(2, 3, 100) + sp_value(10, 1, 100)
+        );
     }
 
     #[test]
@@ -318,5 +373,133 @@ mod tests {
             r.schedule.entries().to_vec()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    /// A scheduler that deliberately picks a machine index past the free
+    /// list, exercising the `BadMachinePick` engine guard.
+    struct OutOfRangePicker;
+
+    impl Scheduler for OutOfRangePicker {
+        fn name(&self) -> String {
+            "OutOfRangePicker".into()
+        }
+
+        fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {
+            ctx.waiting_orgs().next().expect("greedy contract")
+        }
+
+        fn pick_machine(
+            &mut self,
+            ctx: &SelectContext<'_>,
+            _job: &JobMeta,
+        ) -> Option<usize> {
+            Some(ctx.free_machines.len() + 3)
+        }
+    }
+
+    /// A scheduler that selects an organization with no waiting jobs.
+    struct BadSelector;
+
+    impl Scheduler for BadSelector {
+        fn name(&self) -> String {
+            "BadSelector".into()
+        }
+
+        fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {
+            // Deliberately pick an org without waiting jobs.
+            let busy = ctx.waiting_orgs().next().expect("greedy contract");
+            OrgId(((busy.index() + 1) % ctx.waiting.len()) as u32)
+        }
+    }
+
+    /// A scheduler that returns an organization id past the org count.
+    struct OutOfRangeSelector;
+
+    impl Scheduler for OutOfRangeSelector {
+        fn name(&self) -> String {
+            "OutOfRangeSelector".into()
+        }
+
+        fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {
+            OrgId(ctx.waiting.len() as u32 + 7)
+        }
+    }
+
+    #[test]
+    fn out_of_range_machine_pick_is_error_not_machine_zero() {
+        let trace = small_trace();
+        let err = run_scheduler(
+            &trace,
+            &mut OutOfRangePicker,
+            SimOptions { horizon: 50, validate: false },
+        );
+        match err {
+            Err(SimError::BadMachinePick { scheduler, picked, free, t }) => {
+                assert_eq!(scheduler, "OutOfRangePicker");
+                assert!(picked >= free, "picked {picked} must be >= free {free}");
+                assert_eq!(t, 0);
+            }
+            other => panic!("expected BadMachinePick, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ungreedy_selection_is_error() {
+        // One org floods the single machine; BadSelector names the other.
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        b.org("idle", 1);
+        b.jobs(a, 0, 2, 3);
+        let trace = b.build().unwrap();
+        let err = run_scheduler(
+            &trace,
+            &mut BadSelector,
+            SimOptions { horizon: 20, validate: false },
+        );
+        match err {
+            Err(SimError::BadSelection { scheduler, org, .. }) => {
+                assert_eq!(scheduler, "BadSelector");
+                assert_eq!(org, OrgId(1));
+            }
+            other => panic!("expected BadSelection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_org_selection_is_error_not_index_panic() {
+        let trace = small_trace();
+        let err = run_scheduler(
+            &trace,
+            &mut OutOfRangeSelector,
+            SimOptions { horizon: 20, validate: false },
+        );
+        match err {
+            Err(SimError::BadSelection { scheduler, org, .. }) => {
+                assert_eq!(scheduler, "OutOfRangeSelector");
+                assert!(org.index() >= trace.n_orgs());
+            }
+            other => panic!("expected BadSelection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "OutOfRangePicker")]
+    fn legacy_simulate_panics_on_bad_machine_pick() {
+        let trace = small_trace();
+        let _ = simulate(&trace, &mut OutOfRangePicker, 50);
+    }
+
+    #[test]
+    fn in_range_machine_picks_still_honored() {
+        // DirectContr randomizes machine choice within range; the engine
+        // must accept those picks (regression guard for the new check).
+        let trace = small_trace();
+        let r = run_scheduler(
+            &trace,
+            &mut DirectContrScheduler::new(3),
+            SimOptions { horizon: 50, validate: true },
+        )
+        .expect("valid run");
+        assert_eq!(r.completed_jobs, 4);
     }
 }

@@ -47,9 +47,7 @@ impl Dfs {
         }
         // Organizations whose FIFO-head job is released by t.
         let eligible: Vec<usize> = (0..self.queues.len())
-            .filter(|&u| {
-                next[u] < self.queues[u].len() && self.queues[u][next[u]].0 <= t
-            })
+            .filter(|&u| next[u] < self.queues[u].len() && self.queues[u][next[u]].0 <= t)
             .collect();
         if busy.len() < self.m && !eligible.is_empty() {
             // Greedy: something must start *now*; branch over organizations
@@ -108,10 +106,7 @@ pub fn greedy_envelope(trace: &Trace, horizon: Time) -> GreedyEnvelope {
     let info = trace.cluster_info();
     let queues: Vec<Vec<(Time, Time)>> = (0..trace.n_orgs())
         .map(|u| {
-            trace
-                .jobs_of(OrgId(u as u32))
-                .map(|j| (j.release, j.proc_time))
-                .collect()
+            trace.jobs_of(OrgId(u as u32)).map(|j| (j.release, j.proc_time)).collect()
         })
         .collect();
     let mut dfs = Dfs {
@@ -158,11 +153,7 @@ mod tests {
         let env = greedy_envelope(&trace, t);
         let capacity = 4 * t; // 24
         assert_eq!(env.max_units, capacity, "best greedy achieves 100%");
-        assert_eq!(
-            env.min_units * 4,
-            capacity * 3,
-            "worst greedy achieves exactly 75%"
-        );
+        assert_eq!(env.min_units * 4, capacity * 3, "worst greedy achieves exactly 75%");
         assert!(env.paths > 1);
     }
 

@@ -7,7 +7,12 @@ use fairsched_core::schedule::Schedule;
 /// compressed to at most `width` columns. Each cell shows the organization
 /// index (`0`–`9`, then `a`–`z`) of the job occupying the machine for the
 /// majority of that cell's time span, or `.` when idle.
-pub fn render_gantt(trace: &Trace, schedule: &Schedule, horizon: Time, width: usize) -> String {
+pub fn render_gantt(
+    trace: &Trace,
+    schedule: &Schedule,
+    horizon: Time,
+    width: usize,
+) -> String {
     let info = trace.cluster_info();
     let m = info.n_machines();
     let width = width.clamp(1, horizon.max(1) as usize);
@@ -72,7 +77,7 @@ mod tests {
         let g = render_gantt(&trace, &r.schedule, 8, 8);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 4); // header + 3 machines
-        // Machine rows contain org symbols and pipes.
+                                    // Machine rows contain org symbols and pipes.
         assert!(lines[1].contains('|'));
         assert!(g.contains('0'));
         assert!(g.contains('1'));

@@ -9,9 +9,13 @@
 //!
 //! # Quick start
 //!
+//! Scheduler selection goes through the [`Simulation`] session builder:
+//! name any algorithm in the [`fairsched_core::scheduler::registry`] by
+//! its spec string and run.
+//!
 //! ```
-//! use fairsched_core::{Trace, scheduler::RoundRobinScheduler};
-//! use fairsched_sim::simulate;
+//! use fairsched_core::Trace;
+//! use fairsched_sim::Simulation;
 //!
 //! let mut b = Trace::builder();
 //! let alpha = b.org("alpha", 1);
@@ -19,10 +23,18 @@
 //! b.job(alpha, 0, 3).job(beta, 0, 3).job(alpha, 1, 2);
 //! let trace = b.build().unwrap();
 //!
-//! let result = simulate(&trace, &mut RoundRobinScheduler::new(), 100);
+//! let result = Simulation::new(&trace)
+//!     .scheduler("roundrobin")?
+//!     .horizon(100)
+//!     .run()?;
 //! assert_eq!(result.schedule.len(), 3);
 //! assert!(result.utilization > 0.0);
+//! # Ok::<(), fairsched_sim::SimError>(())
 //! ```
+//!
+//! The pre-session entry points [`simulate`] / [`simulate_with_options`]
+//! remain for code that already holds a `&mut dyn Scheduler`; they are
+//! thin panicking wrappers over [`run_scheduler`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +44,8 @@ mod engine;
 pub mod exhaustive;
 pub mod gantt;
 pub mod metrics;
+pub mod session;
 
 pub use cluster::Cluster;
-pub use engine::{simulate, simulate_with_options, SimOptions, SimResult};
+pub use engine::{run_scheduler, simulate, simulate_with_options, SimOptions, SimResult};
+pub use session::{SimError, Simulation};

@@ -1,0 +1,400 @@
+//! The `Simulation` session API: one fluent, fallible entry point for
+//! running any registered scheduler over a trace.
+//!
+//! The historical entry points ([`simulate`](crate::simulate),
+//! [`simulate_with_options`](crate::simulate_with_options)) take an
+//! already-constructed `&mut dyn Scheduler` and panic on every failure.
+//! [`Simulation`] replaces both concerns: schedulers are named by
+//! [`SchedulerSpec`] strings resolved through a
+//! [`Registry`], and every failure — malformed spec, unknown scheduler,
+//! invalid trace, scheduler contract violations — surfaces as a typed
+//! [`SimError`].
+//!
+//! ```
+//! use fairsched_core::Trace;
+//! use fairsched_sim::Simulation;
+//!
+//! let mut b = Trace::builder();
+//! let alpha = b.org("alpha", 1);
+//! let beta = b.org("beta", 2);
+//! b.jobs(alpha, 0, 4, 3);
+//! b.job(beta, 6, 2);
+//! let trace = b.build().unwrap();
+//!
+//! let result = Simulation::new(&trace)
+//!     .scheduler("fairshare")?
+//!     .horizon(5_000)
+//!     .validate(true)
+//!     .seed(7)
+//!     .run()?;
+//! assert_eq!(result.completed_jobs, 4);
+//!
+//! // Fan out over several schedulers with identical settings:
+//! let specs = ["roundrobin".parse()?, "directcontr".parse()?];
+//! let results = Simulation::new(&trace).horizon(5_000).run_matrix(&specs)?;
+//! assert_eq!(results.len(), 2);
+//! # Ok::<(), fairsched_sim::SimError>(())
+//! ```
+
+use crate::engine::{run_scheduler, SimOptions, SimResult};
+use fairsched_core::model::{OrgId, Time, Trace, TraceError};
+use fairsched_core::schedule::ScheduleViolation;
+use fairsched_core::scheduler::registry::{
+    BuildContext, Registry, SchedulerSpec, SpecError,
+};
+use fairsched_core::scheduler::Scheduler;
+use std::fmt;
+
+/// Why a simulation session could not produce a result.
+#[derive(Debug)]
+pub enum SimError {
+    /// The trace fails model validation.
+    InvalidTrace(TraceError),
+    /// The scheduler spec was malformed, unknown, or had bad parameters.
+    Spec(SpecError),
+    /// `run` was called without choosing a scheduler.
+    NoScheduler,
+    /// The scheduler broke the greedy contract by selecting an
+    /// organization with no waiting jobs.
+    BadSelection {
+        /// The offending scheduler's display name.
+        scheduler: String,
+        /// The organization it selected.
+        org: OrgId,
+        /// When.
+        t: Time,
+    },
+    /// The scheduler picked a machine index outside the free list.
+    /// (Before the session API this was silently coerced to machine 0.)
+    BadMachinePick {
+        /// The offending scheduler's display name.
+        scheduler: String,
+        /// The picked index.
+        picked: usize,
+        /// How many machines were actually free.
+        free: usize,
+        /// When.
+        t: Time,
+    },
+    /// Post-run validation found a model-invariant violation.
+    InvalidSchedule {
+        /// The offending scheduler's display name.
+        scheduler: String,
+        /// The violated invariant.
+        violation: ScheduleViolation,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
+            SimError::Spec(e) => write!(f, "{e}"),
+            SimError::NoScheduler => {
+                write!(f, "no scheduler chosen (call .scheduler(..) before .run())")
+            }
+            SimError::BadSelection { scheduler, org, t } => write!(
+                f,
+                "scheduler {scheduler} selected {org} which has no waiting jobs at t={t}"
+            ),
+            SimError::BadMachinePick { scheduler, picked, free, t } => write!(
+                f,
+                "scheduler {scheduler} picked machine index {picked} with only {free} free at t={t}"
+            ),
+            SimError::InvalidSchedule { scheduler, violation } => {
+                write!(f, "scheduler {scheduler} produced an invalid schedule: {violation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::InvalidTrace(e) => Some(e),
+            SimError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for SimError {
+    fn from(e: SpecError) -> Self {
+        SimError::Spec(e)
+    }
+}
+
+/// What `run` will instantiate.
+enum Chosen {
+    None,
+    Spec(SchedulerSpec),
+    Instance(Box<dyn Scheduler>),
+}
+
+/// A fluent simulation session over one trace.
+///
+/// Defaults: horizon = [`Trace::completion_horizon`] (run to completion),
+/// `validate = false`, `seed = 0`, scheduler resolution through
+/// [`Registry::default`]. See the [module docs](self) for an example.
+pub struct Simulation<'a> {
+    trace: &'a Trace,
+    registry: Option<&'a Registry>,
+    chosen: Chosen,
+    horizon: Option<Time>,
+    validate: bool,
+    seed: u64,
+}
+
+impl<'a> Simulation<'a> {
+    /// A session over `trace` with default settings.
+    pub fn new(trace: &'a Trace) -> Self {
+        Simulation {
+            trace,
+            registry: None,
+            chosen: Chosen::None,
+            horizon: None,
+            validate: false,
+            seed: 0,
+        }
+    }
+
+    /// Chooses the scheduler by spec string (`"ref"`, `"rand:perms=15"`,
+    /// …). Fails fast on syntax errors; unknown names and bad parameter
+    /// values surface from [`run`](Simulation::run), where the registry is
+    /// consulted.
+    pub fn scheduler(mut self, spec: &str) -> Result<Self, SimError> {
+        self.chosen = Chosen::Spec(spec.parse::<SchedulerSpec>()?);
+        Ok(self)
+    }
+
+    /// Chooses the scheduler by parsed spec.
+    pub fn scheduler_spec(mut self, spec: SchedulerSpec) -> Self {
+        self.chosen = Chosen::Spec(spec);
+        self
+    }
+
+    /// Supplies an already-built scheduler instance (the escape hatch for
+    /// custom policies not worth registering).
+    pub fn scheduler_instance(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.chosen = Chosen::Instance(scheduler);
+        self
+    }
+
+    /// Resolves spec names through `registry` instead of
+    /// [`Registry::default`].
+    pub fn registry(mut self, registry: &'a Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Sets the evaluation horizon (default: the trace's completion
+    /// horizon, i.e. run to completion).
+    pub fn horizon(mut self, horizon: Time) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Enables post-run validation of every model invariant
+    /// (O(jobs²·events); meant for tests and small runs).
+    pub fn validate(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
+
+    /// Seeds the scheduler's internal randomness (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn options(&self) -> SimOptions {
+        SimOptions {
+            horizon: self.horizon.unwrap_or_else(|| self.trace.completion_horizon()),
+            validate: self.validate,
+        }
+    }
+
+    fn build_spec(&self, spec: &SchedulerSpec) -> Result<Box<dyn Scheduler>, SimError> {
+        let ctx = BuildContext { trace: self.trace, seed: self.seed };
+        let built = match self.registry {
+            Some(r) => r.build(spec, &ctx),
+            None => Registry::default().build(spec, &ctx),
+        };
+        built.map_err(SimError::from)
+    }
+
+    /// Runs the session, consuming it.
+    pub fn run(self) -> Result<SimResult, SimError> {
+        let options = self.options();
+        let mut scheduler = match self.chosen {
+            Chosen::None => return Err(SimError::NoScheduler),
+            Chosen::Instance(s) => s,
+            Chosen::Spec(ref spec) => self.build_spec(spec)?,
+        };
+        run_scheduler(self.trace, scheduler.as_mut(), options)
+    }
+
+    /// Runs one simulation per spec with this session's settings (same
+    /// trace, horizon, seed, validation), in spec order — the experiment-
+    /// matrix helper behind the bench tables. Any scheduler chosen via
+    /// [`scheduler`](Simulation::scheduler) is ignored here; only `specs`
+    /// are run.
+    pub fn run_matrix(
+        &self,
+        specs: &[SchedulerSpec],
+    ) -> Result<Vec<SimResult>, SimError> {
+        let options = self.options();
+        specs
+            .iter()
+            .map(|spec| {
+                let mut scheduler = self.build_spec(spec)?;
+                run_scheduler(self.trace, scheduler.as_mut(), options)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("horizon", &self.horizon)
+            .field("validate", &self.validate)
+            .field("seed", &self.seed)
+            .field(
+                "scheduler",
+                &match &self.chosen {
+                    Chosen::None => "<none>".to_string(),
+                    Chosen::Spec(s) => s.to_string(),
+                    Chosen::Instance(s) => format!("<instance {}>", s.name()),
+                },
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairsched_core::scheduler::FifoScheduler;
+
+    fn small_trace() -> Trace {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        let c = b.org("b", 1);
+        b.job(a, 0, 3).job(c, 0, 2).job(a, 2, 1).job(c, 4, 4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_runs_spec_through_default_registry() {
+        let trace = small_trace();
+        let result = Simulation::new(&trace)
+            .scheduler("fairshare")
+            .unwrap()
+            .horizon(50)
+            .validate(true)
+            .seed(7)
+            .run()
+            .unwrap();
+        assert_eq!(result.scheduler, "FairShare");
+        assert_eq!(result.completed_jobs, 4);
+    }
+
+    #[test]
+    fn default_horizon_runs_to_completion() {
+        let trace = small_trace();
+        let result = Simulation::new(&trace).scheduler("fifo").unwrap().run().unwrap();
+        assert_eq!(result.completed_jobs, trace.n_jobs());
+        assert_eq!(result.horizon, trace.completion_horizon());
+    }
+
+    #[test]
+    fn missing_scheduler_is_typed_error() {
+        let trace = small_trace();
+        assert!(matches!(Simulation::new(&trace).run(), Err(SimError::NoScheduler)));
+    }
+
+    #[test]
+    fn malformed_spec_fails_fast() {
+        let trace = small_trace();
+        let err = Simulation::new(&trace).scheduler("rand:perms");
+        assert!(matches!(err, Err(SimError::Spec(SpecError::BadSyntax { .. }))));
+    }
+
+    #[test]
+    fn unknown_scheduler_surfaces_at_run() {
+        let trace = small_trace();
+        let err = Simulation::new(&trace).scheduler("warp-drive").unwrap().run();
+        assert!(matches!(err, Err(SimError::Spec(SpecError::UnknownScheduler { .. }))));
+    }
+
+    #[test]
+    fn instance_escape_hatch() {
+        let trace = small_trace();
+        let result = Simulation::new(&trace)
+            .scheduler_instance(Box::new(FifoScheduler::new()))
+            .horizon(50)
+            .run()
+            .unwrap();
+        assert_eq!(result.scheduler, "Fifo");
+    }
+
+    #[test]
+    fn run_matrix_fans_out_in_order() {
+        let trace = small_trace();
+        let specs: Vec<SchedulerSpec> = ["roundrobin", "fairshare", "rand:perms=5"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let results = Simulation::new(&trace)
+            .horizon(50)
+            .validate(true)
+            .seed(3)
+            .run_matrix(&specs)
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].scheduler, "RoundRobin");
+        assert_eq!(results[1].scheduler, "FairShare");
+        assert_eq!(results[2].scheduler, "Rand(N=5)");
+        for r in &results {
+            assert_eq!(r.completed_jobs, 4);
+        }
+    }
+
+    #[test]
+    fn run_matrix_propagates_spec_errors() {
+        let trace = small_trace();
+        let specs = vec!["roundrobin".parse().unwrap(), "nonesuch".parse().unwrap()];
+        assert!(matches!(
+            Simulation::new(&trace).run_matrix(&specs),
+            Err(SimError::Spec(SpecError::UnknownScheduler { .. }))
+        ));
+    }
+
+    #[test]
+    fn custom_registry_is_consulted() {
+        let trace = small_trace();
+        let registry = Registry::new(); // deliberately empty
+        let err =
+            Simulation::new(&trace).registry(&registry).scheduler("fifo").unwrap().run();
+        assert!(matches!(err, Err(SimError::Spec(SpecError::UnknownScheduler { .. }))));
+    }
+
+    #[test]
+    fn seed_reaches_randomized_schedulers() {
+        let trace = small_trace();
+        let run = |seed| {
+            Simulation::new(&trace)
+                .scheduler("random")
+                .unwrap()
+                .horizon(40)
+                .seed(seed)
+                .run()
+                .unwrap()
+                .schedule
+                .entries()
+                .to_vec()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -39,7 +39,12 @@ pub enum MachineSplit {
 ///
 /// # Panics
 /// Panics if `total < k` or `k == 0`.
-pub fn split_machines(total: usize, k: usize, split: MachineSplit, seed: u64) -> Vec<usize> {
+pub fn split_machines(
+    total: usize,
+    k: usize,
+    split: MachineSplit,
+    seed: u64,
+) -> Vec<usize> {
     assert!(k > 0, "need at least one organization");
     assert!(total >= k, "need at least one machine per organization");
     let weights: Vec<f64> = match split {
@@ -99,19 +104,13 @@ pub fn to_trace(
         users.iter().position(|&u| u == user).expect("user known") % k
     };
     // Positional lookup is O(users); build a map for speed.
-    let user_org: std::collections::HashMap<u32, usize> = users
-        .iter()
-        .enumerate()
-        .map(|(i, &u)| (u, i % k))
-        .collect();
+    let user_org: std::collections::HashMap<u32, usize> =
+        users.iter().enumerate().map(|(i, &u)| (u, i % k)).collect();
     debug_assert!(users.iter().all(|&u| user_org[&u] == org_of(u)));
 
     let mut b = Trace::builder();
-    let orgs: Vec<_> = machines
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| b.org(format!("org{i}"), m))
-        .collect();
+    let orgs: Vec<_> =
+        machines.iter().enumerate().map(|(i, &m)| b.org(format!("org{i}"), m)).collect();
     for j in jobs {
         b.job(orgs[user_org[&j.user]], j.release, j.proc_time);
     }
@@ -156,7 +155,11 @@ mod tests {
     #[test]
     fn to_trace_assigns_all_jobs() {
         let jobs: Vec<UserJob> = (0..20)
-            .map(|i| UserJob { user: i % 7, release: i as Time, proc_time: 1 + i as Time % 5 })
+            .map(|i| UserJob {
+                user: i % 7,
+                release: i as Time,
+                proc_time: 1 + i as Time % 5,
+            })
             .collect();
         let t = to_trace(&jobs, 3, 6, MachineSplit::Equal, 42).unwrap();
         assert_eq!(t.n_jobs(), 20);

@@ -48,7 +48,11 @@ impl PresetName {
 
     /// Parses a label (case/punctuation-insensitive).
     pub fn parse(s: &str) -> Option<PresetName> {
-        let norm: String = s.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase();
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
         match norm.as_str() {
             "lpcegee" | "lpc" => Some(PresetName::LpcEgee),
             "pikiplex" | "pik" => Some(PresetName::PikIplex),

@@ -84,7 +84,8 @@ pub fn generate(config: &SynthConfig, seed: u64) -> Vec<UserJob> {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let total_budget = config.load * config.n_machines as f64 * config.horizon as f64;
-    let weight_sum: f64 = (1..=config.n_users).map(|r| 1.0 / (r as f64).powf(config.user_zipf)).sum();
+    let weight_sum: f64 =
+        (1..=config.n_users).map(|r| 1.0 / (r as f64).powf(config.user_zipf)).sum();
 
     let duration_dist = if config.duration_sigma > 0.0 {
         Some(LogNormal::new(config.duration_median.ln(), config.duration_sigma).unwrap())
@@ -101,7 +102,8 @@ pub fn generate(config: &SynthConfig, seed: u64) -> Vec<UserJob> {
             // A new session starting uniformly in the horizon.
             let mut t = rng.random_range(0..config.horizon) as f64;
             // Geometric-ish session length with the configured mean.
-            let session_len = 1 + rng.random_range(0.0..2.0 * config.session_jobs) as usize;
+            let session_len =
+                1 + rng.random_range(0.0..2.0 * config.session_jobs) as usize;
             for _ in 0..session_len {
                 if budget <= 0.0 || (t as Time) >= config.horizon {
                     break;

@@ -11,14 +11,11 @@
 //! `cargo run --release --example multi_org_consortium`
 
 use fairsched::core::fairness::FairnessReport;
-use fairsched::core::scheduler::{
-    CurrFairShareScheduler, DirectContrScheduler, FairShareScheduler, RandScheduler,
-    RefScheduler, RoundRobinScheduler, Scheduler, UtFairShareScheduler,
-};
-use fairsched::sim::simulate;
+use fairsched::core::scheduler::SchedulerSpec;
+use fairsched::sim::{SimError, Simulation};
 use fairsched::workloads::{generate, preset, to_trace, MachineSplit, PresetName};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let horizon = 20_000;
     let seed = 2024;
     let p = preset(PresetName::LpcEgee, 0.5, horizon);
@@ -26,32 +23,47 @@ fn main() {
     let trace = to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), seed)
         .expect("valid trace");
 
-    println!("consortium: 5 organizations, {} machines, {} jobs", p.synth.n_machines, trace.n_jobs());
+    println!(
+        "consortium: 5 organizations, {} machines, {} jobs",
+        p.synth.n_machines,
+        trace.n_jobs()
+    );
     for (i, o) in trace.orgs().iter().enumerate() {
-        let work: u64 = trace
-            .jobs_of(fairsched::core::OrgId(i as u32))
-            .map(|j| j.proc_time)
-            .sum();
-        println!("  {:<6} {:>3} machines, {:>8} units of work submitted", o.name, o.n_machines, work);
+        let work: u64 =
+            trace.jobs_of(fairsched::core::OrgId(i as u32)).map(|j| j.proc_time).sum();
+        println!(
+            "  {:<6} {:>3} machines, {:>8} units of work submitted",
+            o.name, o.n_machines, work
+        );
     }
 
-    let mut reference = RefScheduler::new(&trace);
-    let fair = simulate(&trace, &mut reference, horizon);
+    // One session carries the shared settings; every scheduler is named
+    // by its registry spec string.
+    let session = Simulation::new(&trace).horizon(horizon).seed(seed);
+    let fair = session.run_matrix(&["ref".parse()?])?.remove(0);
 
     println!("\nΔψ/p_tot per scheduler (lower = more fair):");
+    let specs: Vec<SchedulerSpec> = [
+        "rand:perms=15",
+        "directcontr",
+        "fairshare",
+        "utfairshare",
+        "currfairshare",
+        "roundrobin",
+    ]
+    .iter()
+    .map(|s| s.parse())
+    .collect::<Result<_, _>>()?;
     let mut results = Vec::new();
-    let schedulers: Vec<Box<dyn Scheduler>> = vec![
-        Box::new(RandScheduler::new(&trace, 15, seed)),
-        Box::new(DirectContrScheduler::new(seed)),
-        Box::new(FairShareScheduler::new()),
-        Box::new(UtFairShareScheduler::new()),
-        Box::new(CurrFairShareScheduler::new()),
-        Box::new(RoundRobinScheduler::new()),
-    ];
-    for mut s in schedulers {
-        let r = simulate(&trace, s.as_mut(), horizon);
-        let report = FairnessReport::from_schedules(&trace, &r.schedule, &fair.schedule, horizon);
-        println!("  {:<16} {:>10.3}   (utilization {:>5.1}%)", r.scheduler, report.unfairness(), 100.0 * r.utilization);
+    for r in session.run_matrix(&specs)? {
+        let report =
+            FairnessReport::from_schedules(&trace, &r.schedule, &fair.schedule, horizon);
+        println!(
+            "  {:<16} {:>10.3}   (utilization {:>5.1}%)",
+            r.scheduler,
+            report.unfairness(),
+            100.0 * r.utilization
+        );
         results.push((r.scheduler.clone(), r, report));
     }
 
@@ -87,6 +99,9 @@ fn main() {
         }
     }
 
-    println!("\nstatic shares ignore *when* an organization contributed; the Shapley-based");
+    println!(
+        "\nstatic shares ignore *when* an organization contributed; the Shapley-based"
+    );
     println!("heuristic tracks contributions over time, which is why its deviations are smaller.");
+    Ok(())
 }

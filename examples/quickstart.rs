@@ -1,14 +1,15 @@
 //! Quickstart: build a two-organization consortium, schedule it fairly,
-//! and read the fairness report.
+//! and read the fairness report — all through the `Simulation` session
+//! API and the scheduler registry.
 //!
 //! `cargo run --example quickstart`
 
 use fairsched::core::fairness::FairnessReport;
-use fairsched::core::scheduler::{DirectContrScheduler, FairShareScheduler, RefScheduler};
+use fairsched::core::scheduler::SchedulerSpec;
 use fairsched::core::Trace;
-use fairsched::sim::simulate;
+use fairsched::sim::{SimError, Simulation};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // alpha brings 1 machine and a burst of work; beta brings 2 machines
     // and arrives later. A fair scheduler should remember that beta's
     // machines carried alpha's burst.
@@ -21,18 +22,22 @@ fn main() {
     let horizon = 30;
 
     // The exact Shapley-fair schedule — the reference.
-    let mut reference = RefScheduler::new(&trace);
-    let fair = simulate(&trace, &mut reference, horizon);
+    let fair = Simulation::new(&trace).scheduler("ref")?.horizon(horizon).run()?;
     println!("reference (REF) utilities: {:?}\n", fair.psi);
 
-    // Two practical schedulers compared against it.
-    for (label, result) in [
-        ("DirectContr", simulate(&trace, &mut DirectContrScheduler::new(7), horizon)),
-        ("FairShare", simulate(&trace, &mut FairShareScheduler::new(), horizon)),
-    ] {
-        let report =
-            FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, horizon);
-        println!("--- {label} ---");
+    // Two practical schedulers compared against it; any registry spec
+    // string works here (`fairsched --help` lists them all).
+    let specs: [SchedulerSpec; 2] = ["directcontr".parse()?, "fairshare".parse()?];
+    let results = Simulation::new(&trace).horizon(horizon).seed(7).run_matrix(&specs)?;
+    for result in results {
+        let report = FairnessReport::from_schedules(
+            &trace,
+            &result.schedule,
+            &fair.schedule,
+            horizon,
+        );
+        println!("--- {} ---", result.scheduler);
         println!("{report}");
     }
+    Ok(())
 }

@@ -11,13 +11,15 @@
 //!
 //! `cargo run --example strategic_manipulation`
 
-use fairsched::core::scheduler::FifoScheduler;
 use fairsched::core::utility::{FlowTime, SpUtility, Utility};
 use fairsched::core::{OrgId, Trace};
-use fairsched::sim::simulate;
+use fairsched::sim::Simulation;
 
 fn run(label: &str, trace: &Trace, horizon: u64) -> (i128, f64) {
-    let r = simulate(trace, &mut FifoScheduler::new(), horizon);
+    let r = Simulation::new(trace)
+        .scheduler("fifo")
+        .and_then(|s| s.horizon(horizon).run())
+        .expect("fifo run");
     let sp = SpUtility.value(trace, &r.schedule, OrgId(0), horizon) as i128;
     let flow = FlowTime.value(trace, &r.schedule, OrgId(0), horizon);
     println!("{label:<34} ψ_sp = {sp:>5}   flow time = {flow:>5}");
@@ -76,10 +78,10 @@ fn main() {
 
     // And the pathology the task-count axiom rules out: an empty schedule
     // has flow time 0 — the "optimal" value of a minimization objective.
-    let horizonless = simulate(&merged, &mut FifoScheduler::new(), 0);
-    assert_eq!(
-        FlowTime.value(&merged, &horizonless.schedule, OrgId(0), 0),
-        0.0
-    );
+    let horizonless = Simulation::new(&merged)
+        .scheduler("fifo")
+        .and_then(|s| s.horizon(0).run())
+        .expect("fifo run");
+    assert_eq!(FlowTime.value(&merged, &horizonless.schedule, OrgId(0), 0), 0.0);
     println!("scheduling nothing achieves 'optimal' flow time 0 — ψ_sp instead strictly rewards every completed unit ✓");
 }

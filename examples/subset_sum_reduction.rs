@@ -85,6 +85,10 @@ fn main() {
     println!(
         "{detected} instance(s): the proof's idealized 'b is prioritized at 2x+4' schedule"
     );
-    println!("did not arise under the literal REF rule — detected (φ(a) < 0) and reported,");
-    println!("never silently wrong. See DESIGN.md §2 and EXPERIMENTS.md for the analysis.");
+    println!(
+        "did not arise under the literal REF rule — detected (φ(a) < 0) and reported,"
+    );
+    println!(
+        "never silently wrong. See DESIGN.md §2 and EXPERIMENTS.md for the analysis."
+    );
 }

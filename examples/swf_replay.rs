@@ -11,8 +11,7 @@
 //! `cargo run --example swf_replay`
 
 use fairsched::core::fairness::FairnessReport;
-use fairsched::core::scheduler::{FairShareScheduler, RefScheduler};
-use fairsched::sim::simulate;
+use fairsched::sim::{SimError, Simulation};
 use fairsched::workloads::{swf, to_trace, MachineSplit};
 
 /// A hand-made SWF fragment: 18-field records, `;` headers, a cancelled
@@ -31,12 +30,16 @@ const SAMPLE_LOG: &str = "\
 8  45   1  20  4 -1 -1  4 -1 -1 1 103 1 -1 1 -1 -1 -1
 ";
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let records = swf::parse(SAMPLE_LOG).expect("valid SWF");
     let stats = swf::stats(&records);
     println!(
         "log: {} jobs, {} users, span {}s, runtimes p10/p50/p90 = {:?}, max width {}",
-        stats.jobs, stats.users, stats.span, stats.runtime_percentiles, stats.max_processors
+        stats.jobs,
+        stats.users,
+        stats.span,
+        stats.runtime_percentiles,
+        stats.max_processors
     );
 
     // The paper's preprocessing: q-processor jobs become q sequential copies.
@@ -51,21 +54,23 @@ fn main() {
     let trace = to_trace(&jobs, 2, 4, MachineSplit::Zipf(1.0), 7).expect("valid trace");
     let horizon = 300;
 
-    let mut reference = RefScheduler::new(&trace);
-    let fair = simulate(&trace, &mut reference, horizon);
-    let mut fs = FairShareScheduler::new();
-    let result = simulate(&trace, &mut fs, horizon);
+    let session = Simulation::new(&trace).horizon(horizon);
+    let fair = session.run_matrix(&["ref".parse()?])?.remove(0);
+    let result =
+        Simulation::new(&trace).scheduler("fairshare")?.horizon(horizon).run()?;
 
     println!(
         "\nFairShare on this log: {} started, utilization {:.1}%",
         result.started_jobs,
         100.0 * result.utilization
     );
-    let report = FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, horizon);
+    let report =
+        FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, horizon);
     println!("{report}");
 
     // Round-trip: write and re-parse.
     let rewritten = swf::write(&records);
     assert_eq!(swf::parse(&rewritten).unwrap(), records);
     println!("SWF write→parse round-trip holds ✓");
+    Ok(())
 }

@@ -1,33 +1,35 @@
 //! `fairsched` — the command-line front end.
 //!
-//! Replays a workload (a real SWF log or a synthetic preset) against a
-//! chosen scheduler, reports per-organization utilities, the fairness
-//! metric Δψ/p_tot against the exact REF reference, resource utilization,
-//! and optionally an ASCII Gantt chart.
+//! Replays a workload (a real SWF log or a synthetic preset) against any
+//! scheduler in the registry, reports per-organization utilities, the
+//! fairness metric Δψ/p_tot against the exact REF reference, resource
+//! utilization, and optionally an ASCII Gantt chart or a JSON report.
 //!
 //! ```text
 //! # synthetic preset
 //! fairsched --preset lpc --scheduler directcontr --orgs 5 --horizon 20000
+//! # any registry spec works, parameters included
+//! fairsched --preset lpc --scheduler rand:perms=75
+//! fairsched --preset lpc --scheduler general-ref:util=flowtime
 //! # real archive log
 //! fairsched --swf ./LPC-EGEE-2004-1.2-cln.swf --machines 70 --orgs 5 \
 //!           --scheduler fairshare --horizon 50000
+//! # machine-readable output
+//! fairsched --preset lpc --scale 0.1 --json
 //! # show the schedule
 //! fairsched --preset lpc --scale 0.1 --horizon 500 --gantt
 //! ```
 
 use fairsched::core::fairness::FairnessReport;
-use fairsched::core::scheduler::{
-    CurrFairShareScheduler, DirectContrScheduler, FairShareScheduler, FifoScheduler,
-    RandScheduler, RandomScheduler, RefScheduler, RoundRobinScheduler, Scheduler,
-    UtFairShareScheduler,
-};
+use fairsched::core::scheduler::registry::Registry;
 use fairsched::core::Trace;
 use fairsched::sim::gantt::render_gantt;
 use fairsched::sim::metrics::org_metrics;
-use fairsched::sim::simulate;
+use fairsched::sim::Simulation;
 use fairsched::workloads::{
     generate, preset, swf, to_trace, MachineSplit, PresetName, UserJob,
 };
+use serde::Serialize;
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -39,22 +41,62 @@ workload:
   --preset NAME        synthetic preset: lpc | pik | ricc | sharcnet (default lpc)
   --scale F            preset scale in (0,1] (default 0.1)
   --swf FILE           replay a Standard Workload Format log instead
-  --machines M         machine count (SWF mode; default: preset figure)
+  --machines M         machine count (SWF mode; default 64)
   --window-start T     SWF submit window start (default 0)
 
 scheduling:
-  --scheduler NAME     ref | rand | directcontr | fairshare | utfairshare |
-                       currfairshare | roundrobin | fifo | random (default directcontr)
+  --scheduler SPEC     a registry spec: NAME or NAME:key=value,...
+                       (default directcontr); registered schedulers:
+{registry_help}
   --orgs K             number of organizations (default 5)
   --horizon T          evaluation horizon (default 20000)
   --seed S             RNG seed (default 42)
   --uniform-split      split machines uniformly instead of Zipf
 
 output:
+  --json               print the full report as JSON (schedule omitted)
   --gantt              print an ASCII Gantt chart (small runs)
-  --no-reference       skip the exact REF fairness comparison"
+  --no-reference       skip the exact REF fairness comparison",
+        registry_help = Registry::default()
+            .help()
+            .lines()
+            .map(|l| format!("     {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
     );
     exit(2)
+}
+
+/// The `--json` payload: run summary plus per-organization metrics.
+#[derive(Serialize)]
+struct JsonReport {
+    workload: String,
+    scheduler_spec: String,
+    scheduler: String,
+    n_orgs: usize,
+    n_machines: usize,
+    n_jobs: usize,
+    horizon: u64,
+    seed: u64,
+    started_jobs: usize,
+    completed_jobs: usize,
+    busy_time: u64,
+    utilization: f64,
+    coalition_value: i128,
+    orgs: Vec<JsonOrg>,
+    /// Δψ/p_tot against the exact REF reference (absent with
+    /// `--no-reference` or when REF itself is evaluated).
+    unfairness_vs_ref: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct JsonOrg {
+    name: String,
+    machines: usize,
+    completed: usize,
+    flow_time: u64,
+    waiting_time: u64,
+    psi_sp: i128,
 }
 
 fn main() {
@@ -130,23 +172,67 @@ fn main() {
         )
     };
 
-    // Build the scheduler.
-    let sched_name = get("scheduler", "directcontr").to_lowercase();
-    let mut scheduler: Box<dyn Scheduler> = match sched_name.as_str() {
-        "ref" => Box::new(RefScheduler::new(&trace)),
-        "rand" => Box::new(RandScheduler::new(&trace, 15, seed)),
-        "directcontr" => Box::new(DirectContrScheduler::new(seed)),
-        "fairshare" => Box::new(FairShareScheduler::new()),
-        "utfairshare" => Box::new(UtFairShareScheduler::new()),
-        "currfairshare" => Box::new(CurrFairShareScheduler::new()),
-        "roundrobin" => Box::new(RoundRobinScheduler::new()),
-        "fifo" => Box::new(FifoScheduler::new()),
-        "random" => Box::new(RandomScheduler::new(seed)),
-        other => {
-            eprintln!("unknown scheduler {other:?}");
-            usage()
-        }
+    // One session template: trace + horizon + seed, any registry scheduler.
+    let spec = get("scheduler", "directcontr").to_lowercase();
+    let session = || Simulation::new(&trace).horizon(horizon).seed(seed);
+    let result = session().scheduler(&spec).and_then(|s| s.run()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+
+    // The REF fairness comparison (skippable; pointless against itself).
+    let unfairness = if !has("no-reference") && spec != "ref" {
+        let fair = session().scheduler("ref").and_then(|s| s.run()).unwrap_or_else(|e| {
+            eprintln!("reference run failed: {e}");
+            exit(1)
+        });
+        Some(FairnessReport::from_schedules(
+            &trace,
+            &result.schedule,
+            &fair.schedule,
+            horizon,
+        ))
+    } else {
+        None
     };
+
+    let metrics = org_metrics(&trace, &result.schedule, horizon);
+
+    if has("json") {
+        let report = JsonReport {
+            workload: source,
+            scheduler_spec: spec,
+            scheduler: result.scheduler.clone(),
+            n_orgs: trace.n_orgs(),
+            n_machines: trace.cluster_info().n_machines(),
+            n_jobs: trace.n_jobs(),
+            horizon,
+            seed,
+            started_jobs: result.started_jobs,
+            completed_jobs: result.completed_jobs,
+            busy_time: result.busy_time,
+            utilization: result.utilization,
+            coalition_value: result.coalition_value(),
+            orgs: metrics
+                .iter()
+                .zip(&result.psi)
+                .map(|(m, psi)| JsonOrg {
+                    name: trace.orgs()[m.org.index()].name.clone(),
+                    machines: trace.cluster_info().machines_of(m.org),
+                    completed: m.completed,
+                    flow_time: m.flow_time,
+                    waiting_time: m.waiting_time,
+                    psi_sp: *psi,
+                })
+                .collect(),
+            unfairness_vs_ref: unfairness.as_ref().map(|r| r.unfairness()),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable report")
+        );
+        return;
+    }
 
     println!(
         "workload: {source} — {} orgs, {} machines, {} jobs, horizon {horizon}",
@@ -155,7 +241,6 @@ fn main() {
         trace.n_jobs()
     );
 
-    let result = simulate(&trace, scheduler.as_mut(), horizon);
     println!(
         "\nscheduler {}: started {}, completed {}, utilization {:.1}%",
         result.scheduler,
@@ -169,7 +254,6 @@ fn main() {
         "{:<8}{:>10}{:>10}{:>12}{:>12}{:>14}",
         "org", "machines", "done", "flow", "waiting", "ψ_sp"
     );
-    let metrics = org_metrics(&trace, &result.schedule, horizon);
     for (m, psi) in metrics.iter().zip(&result.psi) {
         println!(
             "{:<8}{:>10}{:>10}{:>12}{:>12}{:>14}",
@@ -182,11 +266,7 @@ fn main() {
         );
     }
 
-    if !has("no-reference") && sched_name != "ref" {
-        let mut reference = RefScheduler::new(&trace);
-        let fair = simulate(&trace, &mut reference, horizon);
-        let report =
-            FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, horizon);
+    if let Some(report) = &unfairness {
         println!("\nfairness vs exact REF reference:");
         println!("{report}");
     }

@@ -20,11 +20,17 @@
 //!
 //! ## Quick start
 //!
+//! Every scheduler is reachable through the
+//! [`core::scheduler::registry`]: name it by a spec string — `"ref"`,
+//! `"directcontr"`, `"rand:perms=15"`, `"general-ref:util=flowtime"` — and
+//! run it with the [`sim::Simulation`] session builder. Failures (unknown
+//! specs, bad parameters, invalid traces, scheduler contract violations)
+//! come back as a typed [`sim::SimError`].
+//!
 //! ```
-//! use fairsched::core::{Trace, scheduler::DirectContrScheduler};
 //! use fairsched::core::fairness::FairnessReport;
-//! use fairsched::core::scheduler::RefScheduler;
-//! use fairsched::sim::simulate;
+//! use fairsched::core::Trace;
+//! use fairsched::sim::Simulation;
 //!
 //! // Two organizations pool 3 machines; beta contributes more capacity.
 //! let mut b = Trace::builder();
@@ -35,17 +41,26 @@
 //! let trace = b.build().unwrap();
 //!
 //! // The exact fair schedule (Shapley reference)...
-//! let mut reference = RefScheduler::new(&trace);
-//! let fair = simulate(&trace, &mut reference, 20);
+//! let fair = Simulation::new(&trace).scheduler("ref")?.horizon(20).run()?;
 //!
 //! // ...and a practical polynomial heuristic.
-//! let mut heuristic = DirectContrScheduler::new(7);
-//! let result = simulate(&trace, &mut heuristic, 20);
+//! let result = Simulation::new(&trace)
+//!     .scheduler("directcontr")?
+//!     .horizon(20)
+//!     .seed(7)
+//!     .run()?;
 //!
 //! let report = FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, 20);
 //! println!("{report}");
 //! assert!(report.unfairness() < 1.0);
+//! # Ok::<(), fairsched::sim::SimError>(())
 //! ```
+//!
+//! To sweep several schedulers with identical settings, use
+//! [`sim::Simulation::run_matrix`]; to add your own policy, implement
+//! [`core::scheduler::SchedulerFactory`] and
+//! [`core::scheduler::registry::Registry::register`] it — every consumer
+//! (CLI, bench tables, sessions) picks it up by spec string.
 
 pub use coopgame;
 pub use fairsched_core as core;

@@ -10,7 +10,9 @@ use fairsched::core::scheduler::{
 use fairsched::core::utility::SpUtility;
 use fairsched::core::Trace;
 use fairsched::sim::{simulate_with_options, SimOptions};
-use fairsched::workloads::{generate, preset, to_trace, MachineSplit, PresetName, SynthConfig};
+use fairsched::workloads::{
+    generate, preset, to_trace, MachineSplit, PresetName, SynthConfig,
+};
 
 fn scheduler_zoo(trace: &Trace) -> Vec<Box<dyn Scheduler>> {
     vec![
@@ -68,9 +70,14 @@ fn ref_is_perfectly_fair_against_itself_and_others_are_not_generally() {
 
     // Round robin should show measurable unfairness on a loaded workload.
     let mut rr = RoundRobinScheduler::new();
-    let rr_result = simulate_with_options(&trace, &mut rr, SimOptions { horizon, validate: true });
-    let rr_report =
-        FairnessReport::from_schedules(&trace, &rr_result.schedule, &fair.schedule, horizon);
+    let rr_result =
+        simulate_with_options(&trace, &mut rr, SimOptions { horizon, validate: true });
+    let rr_report = FairnessReport::from_schedules(
+        &trace,
+        &rr_result.schedule,
+        &fair.schedule,
+        horizon,
+    );
     assert!(rr_report.p_tot > 0);
     // (Not asserting > 0 strictly — tiny instances can tie — but the
     // deviation vector must be internally consistent.)
@@ -121,7 +128,11 @@ fn horizon_zero_and_tiny_traces_are_handled() {
     b.job(a, 0, 1);
     let trace = b.build().unwrap();
     for mut s in scheduler_zoo(&trace) {
-        let r = simulate_with_options(&trace, s.as_mut(), SimOptions { horizon: 0, validate: true });
+        let r = simulate_with_options(
+            &trace,
+            s.as_mut(),
+            SimOptions { horizon: 0, validate: true },
+        );
         assert_eq!(r.busy_time, 0, "{}", r.scheduler);
     }
 }

@@ -10,7 +10,9 @@ use fairsched::core::scheduler::{
 use fairsched::sim::simulate;
 use fairsched::workloads::{generate, preset, to_trace, MachineSplit, PresetName};
 
-fn mean_unfairness(build: impl Fn(&fairsched::core::Trace, u64) -> Box<dyn Scheduler>) -> f64 {
+fn mean_unfairness(
+    build: impl Fn(&fairsched::core::Trace, u64) -> Box<dyn Scheduler>,
+) -> f64 {
     // The paper's Table 1 configuration: full LPC-EGEE scale, 5 orgs,
     // horizon 5·10⁴ (DirectContr vs FairShare ordering is sensitive to
     // this regime; see Section 7.3).
@@ -20,8 +22,8 @@ fn mean_unfairness(build: impl Fn(&fairsched::core::Trace, u64) -> Box<dyn Sched
     for seed in 0..n {
         let p = preset(PresetName::LpcEgee, 1.0, horizon);
         let jobs = generate(&p.synth, seed);
-        let trace =
-            to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), seed).unwrap();
+        let trace = to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), seed)
+            .unwrap();
         let mut reference = RefScheduler::new(&trace);
         let fair = simulate(&trace, &mut reference, horizon);
         let mut s = build(&trace, seed);
@@ -78,13 +80,19 @@ fn unfairness_grows_with_horizon() {
             let p = preset(PresetName::LpcEgee, 0.25, horizon);
             let jobs = generate(&p.synth, seed);
             let trace =
-                to_trace(&jobs, 4, p.synth.n_machines, MachineSplit::Zipf(1.0), seed).unwrap();
+                to_trace(&jobs, 4, p.synth.n_machines, MachineSplit::Zipf(1.0), seed)
+                    .unwrap();
             let mut reference = RefScheduler::new(&trace);
             let fair = simulate(&trace, &mut reference, horizon);
             let mut s = RoundRobinScheduler::new();
             let r = simulate(&trace, &mut s, horizon);
-            total += FairnessReport::from_schedules(&trace, &r.schedule, &fair.schedule, horizon)
-                .unfairness();
+            total += FairnessReport::from_schedules(
+                &trace,
+                &r.schedule,
+                &fair.schedule,
+                horizon,
+            )
+            .unfairness();
         }
         total / n as f64
     };

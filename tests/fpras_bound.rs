@@ -2,8 +2,8 @@
 //! utility vector stays within the Hoeffding ε·‖ψ*‖ bound of the exact
 //! fair schedule, and the error shrinks as the sample count grows.
 
-use fairsched::core::scheduler::{RandScheduler, RefScheduler};
 use fairsched::coopgame::sampling::{hoeffding_epsilon, hoeffding_permutations};
+use fairsched::core::scheduler::{RandScheduler, RefScheduler};
 use fairsched::sim::simulate;
 use fairsched::workloads::{generate, to_trace, MachineSplit, SynthConfig};
 
@@ -26,12 +26,7 @@ fn relative_error(k: usize, n_perms: usize, seed: u64, horizon: u64) -> f64 {
     if norm == 0 {
         return 0.0;
     }
-    let delta: i128 = result
-        .psi
-        .iter()
-        .zip(&fair.psi)
-        .map(|(a, b)| (a - b).abs())
-        .sum();
+    let delta: i128 = result.psi.iter().zip(&fair.psi).map(|(a, b)| (a - b).abs()).sum();
     delta as f64 / norm as f64
 }
 

@@ -2,12 +2,12 @@
 //! checked across crates (the single-module versions live in unit tests;
 //! these go through the full trace → engine pipeline).
 
+use fairsched::coopgame::{Coalition, Player, TabularGame};
 use fairsched::core::scheduler::{
     FifoScheduler, RandomScheduler, RoundRobinScheduler, Scheduler,
 };
 use fairsched::core::utility::{sp_vector, FlowTime, Utility};
 use fairsched::core::{OrgId, Trace};
-use fairsched::coopgame::{Coalition, Player, TabularGame};
 use fairsched::sim::exhaustive::{figure7_family, greedy_envelope};
 use fairsched::sim::simulate;
 use fairsched::workloads::{generate, to_trace, MachineSplit, SynthConfig};
@@ -79,7 +79,10 @@ fn proposition_5_5_game_is_not_supermodular() {
             Err(_) => 0.0, // no machines in this coalition
         }
     });
-    assert_eq!(game.value([Player(0), Player(2)].into_iter().collect::<Coalition>()), 4.0);
+    assert_eq!(
+        game.value([Player(0), Player(2)].into_iter().collect::<Coalition>()),
+        4.0
+    );
     assert_eq!(game.value(Coalition::grand(3)), 7.0);
     assert!(!fairsched::coopgame::properties::is_supermodular(&game));
     assert!(fairsched::coopgame::properties::supermodularity_violation(&game).is_some());

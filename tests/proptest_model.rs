@@ -6,7 +6,7 @@ use fairsched::core::scheduler::{
     RandScheduler, RandomScheduler, RefScheduler, RoundRobinScheduler, Scheduler,
     UtFairShareScheduler,
 };
-use fairsched::core::{Trace, OrgId};
+use fairsched::core::{OrgId, Trace};
 use fairsched::sim::{simulate_with_options, SimOptions};
 use proptest::prelude::*;
 
