@@ -1,0 +1,329 @@
+//! The tracked lattice perf baseline: `BENCH_lattice.json`.
+//!
+//! Every later PR needs a perf trajectory to beat, so the `bench_baseline`
+//! binary measures the coalition-lattice fast path on fixed workloads and
+//! emits one machine-readable JSON report. Run it with
+//!
+//! ```text
+//! cargo run --release -p fairsched-bench --bin bench_baseline -- \
+//!     [--paper-scale] [--samples N] [--out BENCH_lattice.json]
+//! ```
+//!
+//! # `BENCH_lattice.json` format (schema `fairsched-bench-lattice/v1`)
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `schema` | format tag, bump on breaking change |
+//! | `mode` | `"quick"` (default) or `"paper-scale"` |
+//! | `reference.label` | provenance of the committed pre-fast-path measurement |
+//! | `reference.ref_k8_wall_ns_min` | REF `k=8` lattice bench, min wall ns, **before** the fast path |
+//! | `cases[]` | one entry per measured scheduler × workload |
+//! | `cases[].wall_ns_min` / `wall_ns_mean` | min / mean wall time over `samples` runs |
+//! | `cases[].engine_events` | releases + starts + completions seen by the engine |
+//! | `cases[].events_per_sec` | `engine_events / (wall_ns_min / 1e9)` |
+//! | `cases[].lattice` | the lattice's own work counters ([`LatticeStats`]): settles, rounds, release fan-out, sim starts/completions, φ cache hits / rebuilds / delta pushes / evictions |
+//! | `summary.ref_k8_wall_ns_min` | this run's REF `k=8` measurement |
+//! | `summary.speedup_vs_reference` | `reference / current` (≥ 3× is the PR-2 acceptance bar) |
+//!
+//! The *quick* matrix times REF on the FPT growth workloads (`k` = 2, 4,
+//! 6, 8 — the same family as `benches/lattice.rs`) plus RAND at `k` = 8;
+//! `--paper-scale` appends a smoke matrix at the paper's experiment size
+//! (LPC-EGEE at scale 1.0, horizon 5·10⁴, 5 organizations) so the numbers
+//! track the configuration Tables 1–2 actually run. The criterion suites
+//! (`cargo bench -p fairsched-bench`) complement this file with
+//! micro-level numbers; CI's `bench-smoke` job runs both and uploads the
+//! JSON as an artifact.
+
+use fairsched_core::scheduler::lattice::LatticeStats;
+use fairsched_core::scheduler::{RandScheduler, RefScheduler, Scheduler};
+use fairsched_core::Trace;
+use fairsched_sim::{simulate, SimResult};
+use fairsched_workloads::{
+    generate, preset, to_trace, MachineSplit, PresetName, SynthConfig,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Schema tag written into the report.
+pub const SCHEMA: &str = "fairsched-bench-lattice/v1";
+
+/// The pre-fast-path REF `k=8` measurement this file's speedups are
+/// judged against: commit `ecd7721` ("PR 1"), `HashMap` coalition index +
+/// from-scratch Shapley at every event time, measured with this same
+/// harness (min of 5 samples) immediately before the fast-path rework on
+/// the same machine.
+pub const PRE_FASTPATH_REF_K8_WALL_NS: u64 = 117_794_892;
+
+/// The lattice work counters, mirrored into the report (serializable).
+#[derive(Clone, Debug, Serialize)]
+pub struct LatticeCounters {
+    /// `settle` calls (decision points).
+    pub settles: u64,
+    /// Distinct event times processed.
+    pub rounds: u64,
+    /// Job releases delivered to sims (fan-out).
+    pub releases: u64,
+    /// Hypothetical job starts across sims.
+    pub sim_starts: u64,
+    /// Hypothetical completions applied across sims.
+    pub sim_completions: u64,
+    /// φ reads served from a live polynomial cache.
+    pub phi_cache_hits: u64,
+    /// φ from-scratch polynomial builds.
+    pub phi_recomputes: u64,
+    /// Weighted deltas pushed into live φ caches.
+    pub phi_deltas_applied: u64,
+    /// φ caches dropped by the rent-to-buy rule.
+    pub phi_evictions: u64,
+}
+
+impl From<LatticeStats> for LatticeCounters {
+    fn from(s: LatticeStats) -> Self {
+        LatticeCounters {
+            settles: s.settles,
+            rounds: s.rounds,
+            releases: s.releases,
+            sim_starts: s.sim_starts,
+            sim_completions: s.sim_completions,
+            phi_cache_hits: s.phi_cache_hits,
+            phi_recomputes: s.phi_recomputes,
+            phi_deltas_applied: s.phi_deltas_applied,
+            phi_evictions: s.phi_evictions,
+        }
+    }
+}
+
+/// One measured scheduler × workload cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct CaseResult {
+    /// Case id, e.g. `"ref/k=8"`.
+    pub name: String,
+    /// Scheduler display name.
+    pub scheduler: String,
+    /// Number of organizations.
+    pub k: usize,
+    /// Jobs in the trace.
+    pub n_jobs: usize,
+    /// Evaluation horizon.
+    pub horizon: u64,
+    /// Timed runs (after one untimed warmup).
+    pub samples: usize,
+    /// Fastest run, nanoseconds.
+    pub wall_ns_min: u64,
+    /// Mean over the timed runs, nanoseconds.
+    pub wall_ns_mean: u64,
+    /// Engine events: releases + starts + completions.
+    pub engine_events: u64,
+    /// `engine_events / (wall_ns_min / 1e9)`.
+    pub events_per_sec: f64,
+    /// The scheduler lattice's own work counters (REF/RAND only).
+    pub lattice: Option<LatticeCounters>,
+}
+
+/// The committed reference point.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReferencePoint {
+    /// Where the number comes from.
+    pub label: String,
+    /// Pre-fast-path REF `k=8` min wall ns.
+    pub ref_k8_wall_ns_min: u64,
+}
+
+/// Headline numbers.
+#[derive(Clone, Debug, Serialize)]
+pub struct Summary {
+    /// This run's REF `k=8` min wall ns.
+    pub ref_k8_wall_ns_min: u64,
+    /// `reference.ref_k8_wall_ns_min / summary.ref_k8_wall_ns_min`.
+    pub speedup_vs_reference: f64,
+}
+
+/// The whole report (serialized to `BENCH_lattice.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct BaselineReport {
+    /// Format tag ([`SCHEMA`]).
+    pub schema: String,
+    /// `"quick"` or `"paper-scale"`.
+    pub mode: String,
+    /// The committed pre-change measurement.
+    pub reference: ReferencePoint,
+    /// All measured cases.
+    pub cases: Vec<CaseResult>,
+    /// Headline comparison.
+    pub summary: Summary,
+}
+
+/// The canonical lattice-bench workload family (`benches/lattice.rs` uses
+/// the same parameters): `2k` users on `2k` machines at load 0.8.
+pub fn bench_workload(k: usize, seed: u64) -> Trace {
+    let config = SynthConfig {
+        n_users: 2 * k,
+        horizon: 2_000,
+        n_machines: 2 * k,
+        load: 0.8,
+        duration_median: 40.0,
+        duration_sigma: 1.0,
+        max_duration: 500,
+        ..SynthConfig::default()
+    };
+    let jobs = generate(&config, seed);
+    to_trace(&jobs, k, 2 * k, MachineSplit::Equal, seed).unwrap()
+}
+
+/// Times `build() → simulate(horizon)` over `samples` runs (plus one
+/// untimed warmup) and gathers the counters from a final untimed run.
+fn measure<S: Scheduler, B: Fn(&Trace) -> S, L: Fn(&S) -> Option<LatticeCounters>>(
+    name: &str,
+    trace: &Trace,
+    k: usize,
+    horizon: u64,
+    samples: usize,
+    build: B,
+    lattice_of: L,
+) -> CaseResult {
+    let run = |s: &mut S| simulate(trace, s, horizon);
+    // Warmup — runs are deterministic, so this run also yields the
+    // display name, the event counts, and the lattice counters.
+    let mut warm = build(trace);
+    let result: SimResult = run(&mut warm);
+    let engine_events =
+        (trace.n_jobs() + result.started_jobs + result.completed_jobs) as u64;
+
+    let mut min = u128::MAX;
+    let mut total = 0u128;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let mut s = build(trace);
+        std::hint::black_box(run(&mut s));
+        let ns = started.elapsed().as_nanos();
+        min = min.min(ns);
+        total += ns;
+    }
+    CaseResult {
+        name: name.to_string(),
+        scheduler: result.scheduler,
+        k,
+        n_jobs: trace.n_jobs(),
+        horizon,
+        samples,
+        wall_ns_min: min as u64,
+        wall_ns_mean: (total / samples.max(1) as u128) as u64,
+        engine_events,
+        events_per_sec: engine_events as f64 / (min as f64 / 1e9),
+        lattice: lattice_of(&warm),
+    }
+}
+
+/// Runs the baseline matrix and assembles the report.
+pub fn run_baseline(paper_scale: bool, samples: usize) -> BaselineReport {
+    let mut cases = Vec::new();
+
+    // The FPT growth matrix (same family as benches/lattice.rs).
+    for k in [2usize, 4, 6, 8] {
+        let trace = bench_workload(k, 5);
+        cases.push(measure(
+            &format!("ref/k={k}"),
+            &trace,
+            k,
+            2_000,
+            samples,
+            RefScheduler::new,
+            |s: &RefScheduler| Some(s.lattice().stats().into()),
+        ));
+    }
+    let trace8 = bench_workload(8, 5);
+    cases.push(measure(
+        "rand15/k=8",
+        &trace8,
+        8,
+        2_000,
+        samples,
+        |t| RandScheduler::new(t, 15, 9),
+        |s: &RandScheduler| Some(s.lattice().stats().into()),
+    ));
+    cases.push(measure(
+        "rand75/k=8",
+        &trace8,
+        8,
+        2_000,
+        samples,
+        |t| RandScheduler::new(t, 75, 9),
+        |s: &RandScheduler| Some(s.lattice().stats().into()),
+    ));
+
+    if paper_scale {
+        // Smoke matrix at the paper's experiment size: LPC-EGEE, scale
+        // 1.0, horizon 5·10⁴, 5 organizations (the Table 1 cell REF
+        // actually pays for).
+        let p = preset(PresetName::LpcEgee, 1.0, 50_000);
+        let jobs = generate(&p.synth, 42);
+        let trace =
+            to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), 42).unwrap();
+        cases.push(measure(
+            "paper/lpc/ref",
+            &trace,
+            5,
+            50_000,
+            samples.min(3),
+            RefScheduler::new,
+            |s: &RefScheduler| Some(s.lattice().stats().into()),
+        ));
+        cases.push(measure(
+            "paper/lpc/rand15",
+            &trace,
+            5,
+            50_000,
+            samples.min(3),
+            |t| RandScheduler::new(t, 15, 9),
+            |s: &RandScheduler| Some(s.lattice().stats().into()),
+        ));
+    }
+
+    let ref_k8 = cases
+        .iter()
+        .find(|c| c.name == "ref/k=8")
+        .expect("ref/k=8 is always measured")
+        .wall_ns_min;
+    BaselineReport {
+        schema: SCHEMA.to_string(),
+        mode: if paper_scale { "paper-scale" } else { "quick" }.to_string(),
+        reference: ReferencePoint {
+            label: "pre-fastpath @ ecd7721 (HashMap index, from-scratch Shapley), \
+                    min of 5, same harness/workload"
+                .to_string(),
+            ref_k8_wall_ns_min: PRE_FASTPATH_REF_K8_WALL_NS,
+        },
+        cases,
+        summary: Summary {
+            ref_k8_wall_ns_min: ref_k8,
+            speedup_vs_reference: PRE_FASTPATH_REF_K8_WALL_NS as f64 / ref_k8 as f64,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_baseline_smoke_produces_counters_and_summary() {
+        // One sample on the small ks only would need a custom matrix; the
+        // full quick matrix with 1 sample stays test-sized.
+        let report = run_baseline(false, 1);
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.mode, "quick");
+        assert!(report.cases.iter().any(|c| c.name == "ref/k=8"));
+        for c in &report.cases {
+            assert!(c.wall_ns_min > 0);
+            assert!(c.engine_events > 0);
+            assert!(c.events_per_sec > 0.0);
+            let lattice = c.lattice.as_ref().expect("REF/RAND expose counters");
+            assert!(lattice.settles > 0);
+            assert!(lattice.sim_starts > 0);
+        }
+        assert!(report.summary.speedup_vs_reference > 0.0);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("fairsched-bench-lattice/v1"));
+        assert!(json.contains("events_per_sec"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Emits the tracked lattice perf baseline (`BENCH_lattice.json`).
+//!
+//! ```text
+//! cargo run --release -p fairsched-bench --bin bench_baseline -- \
+//!     [--paper-scale] [--samples N] [--out PATH] [--quiet]
+//! ```
+//!
+//! See `fairsched_bench::baseline` for the report format. The summary
+//! (REF `k=8` wall time and speedup against the committed pre-fast-path
+//! reference) is printed to stderr; the JSON goes to `--out`
+//! (default `BENCH_lattice.json`).
+
+use fairsched_bench::baseline::run_baseline;
+use fairsched_bench::cli::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let paper_scale = cli.has("paper-scale");
+    let samples = cli.get_or("samples", 5usize).max(1);
+    let out = cli.get_or("out", "BENCH_lattice.json".to_string());
+
+    let report = run_baseline(paper_scale, samples);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, format!("{json}\n"))
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+
+    if !cli.has("quiet") {
+        for c in &report.cases {
+            eprintln!(
+                "{:<18} min {:>10.3} ms  mean {:>10.3} ms  {:>12.0} events/s",
+                c.name,
+                c.wall_ns_min as f64 / 1e6,
+                c.wall_ns_mean as f64 / 1e6,
+                c.events_per_sec,
+            );
+        }
+        eprintln!(
+            "ref/k=8: {:.3} ms vs reference {:.3} ms -> {:.2}x ({} written)",
+            report.summary.ref_k8_wall_ns_min as f64 / 1e6,
+            report.reference.ref_k8_wall_ns_min as f64 / 1e6,
+            report.summary.speedup_vs_reference,
+            out,
+        );
+    }
+}

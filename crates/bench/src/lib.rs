@@ -11,16 +11,21 @@
 //! | `fig2` | Figure 2 — the worked `ψ_sp` example |
 //! | `fig7` | Figure 7 / Theorem 6.2 — greedy utilization envelope |
 //! | `fpras` | Theorem 5.6 — RAND's ε-approximation vs sample count |
+//! | `bench_baseline` | `BENCH_lattice.json` — the tracked lattice perf baseline (see [`baseline`]) |
 //!
 //! Run e.g. `cargo run -p fairsched-bench --release --bin table1 -- --help`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod cli;
 pub mod experiments;
 pub mod parallel;
 pub mod runner;
 pub mod table;
 
-pub use runner::{run_delay_experiment, Algo, AlgoStats, DelayExperiment};
+pub use runner::{
+    run_delay_experiment, Algo, AlgoStats, DelayExperiment, ExperimentOutcome,
+    InstanceFailure,
+};

@@ -1,79 +1,8 @@
-//! Instance-level parallelism on `std::thread::scope` scoped threads.
+//! Instance-level parallelism — re-exported from `fairsched-sim`.
 //!
-//! Experiment instances (one seeded workload × all schedulers) are
-//! embarrassingly parallel; a chunked scoped-thread map keeps the
-//! dependency footprint minimal (DESIGN.md §6 explains why not rayon).
+//! The scoped-thread [`parallel_map`] moved into `fairsched_sim::parallel`
+//! so the `Simulation` session API can fan `run_matrix` out over specs
+//! without a dependency cycle; this module keeps the historical
+//! `fairsched_bench::parallel::parallel_map` path working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Applies `f` to every item on up to `available_parallelism` worker
-/// threads, preserving input order in the output.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
-    if workers == 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    // Work-stealing by index over a shared immutable Vec of inputs.
-    let inputs: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = inputs[i].lock().unwrap().take().expect("item taken twice");
-                let result = f(item);
-                *slots[i].lock().unwrap() = Some(result);
-            });
-        }
-    });
-
-    slots.into_iter().map(|m| m.into_inner().unwrap().expect("missing result")).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn maps_in_order() {
-        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_item() {
-        assert_eq!(parallel_map(vec![41], |x: i32| x + 1), vec![42]);
-    }
-
-    #[test]
-    fn heavy_closure_state_is_shared_immutably() {
-        let table: Vec<u64> = (0..1000).collect();
-        let out = parallel_map((0..50).collect(), |i: usize| table[i * 10]);
-        assert_eq!(out[5], 50);
-        assert_eq!(out[49], 490);
-    }
-}
+pub use fairsched_sim::parallel::parallel_map;

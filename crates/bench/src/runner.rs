@@ -7,17 +7,18 @@ use fairsched_core::scheduler::registry::{
     BuildContext, Registry, SchedulerSpec, SpecError,
 };
 use fairsched_core::scheduler::Scheduler;
-use fairsched_sim::Simulation;
+use fairsched_sim::{SimError, Simulation};
 use fairsched_workloads::{generate, preset, to_trace, MachineSplit, PresetName};
 use serde::Serialize;
-use std::sync::OnceLock;
+use std::fmt;
 
-/// The shared default scheduler registry (built once) that [`Algo`] and
-/// the experiment runners resolve through unless a custom registry is
-/// supplied via [`run_delay_experiment_with_registry`].
+/// The shared default scheduler registry that [`Algo`] and the experiment
+/// runners resolve through unless a custom registry is supplied via
+/// [`run_delay_experiment_with_registry`] — now the process-wide
+/// [`Registry::shared`] instance (one build per process, shared with
+/// `Simulation` sessions).
 pub fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(Registry::default)
+    Registry::shared()
 }
 
 /// An evaluated algorithm: a thin wrapper over a scheduler-registry
@@ -162,11 +163,41 @@ impl AlgoStats {
     }
 }
 
+/// One failed experiment instance: which seed, and the typed reason
+/// (malformed spec, trace validation, scheduler contract violation, …).
+#[derive(Debug)]
+pub struct InstanceFailure {
+    /// The instance's workload seed.
+    pub seed: u64,
+    /// The typed simulation error.
+    pub error: SimError,
+}
+
+impl fmt::Display for InstanceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instance seed {}: {}", self.seed, self.error)
+    }
+}
+
+/// The outcome of a delay experiment: aggregate stats over the instances
+/// that ran, plus the per-instance failures (empty on a clean run).
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// Per-algorithm stats over the *successful* instances.
+    pub stats: Vec<AlgoStats>,
+    /// Instances that could not be evaluated, with their typed errors.
+    pub failures: Vec<InstanceFailure>,
+}
+
 /// Runs one seeded instance: generates the workload, computes the REF
 /// reference schedule, then evaluates every algorithm's `Δψ/p_tot` —
 /// all through the [`Simulation`] session API and the shared default
-/// [`registry`].
-pub fn run_instance(exp: &DelayExperiment, seed: u64) -> Vec<(String, f64)> {
+/// [`registry`]. Failures surface as typed [`SimError`]s instead of
+/// panics.
+pub fn run_instance(
+    exp: &DelayExperiment,
+    seed: u64,
+) -> Result<Vec<(String, f64)>, SimError> {
     run_instance_with_registry(exp, seed, registry())
 }
 
@@ -177,26 +208,22 @@ pub fn run_instance_with_registry(
     exp: &DelayExperiment,
     seed: u64,
     registry: &Registry,
-) -> Vec<(String, f64)> {
+) -> Result<Vec<(String, f64)>, SimError> {
     let p = preset(exp.preset, exp.scale, exp.horizon);
     let jobs = generate(&p.synth, seed);
     let trace = to_trace(&jobs, exp.n_orgs, p.synth.n_machines, exp.split, seed)
-        .expect("generated trace is valid");
+        .map_err(SimError::InvalidTrace)?;
 
     let session = Simulation::new(&trace)
         .registry(registry)
         .horizon(exp.horizon)
         .seed(seed ^ 0x5eed);
-    let ref_result = session
-        .run_matrix(&[SchedulerSpec::bare("ref")])
-        .expect("REF reference run")
-        .remove(0);
+    let ref_result = session.run_matrix(&[SchedulerSpec::bare("ref")])?.remove(0);
 
     let specs: Vec<SchedulerSpec> = exp.algos.iter().map(Algo::spec).collect();
-    let results = session
-        .run_matrix(&specs)
-        .unwrap_or_else(|e| panic!("experiment algo failed to run: {e}"));
-    exp.algos
+    let results = session.run_matrix(&specs)?;
+    Ok(exp
+        .algos
         .iter()
         .zip(results)
         .map(|(algo, result)| {
@@ -208,10 +235,13 @@ pub fn run_instance_with_registry(
             );
             (algo.label(), report.unfairness())
         })
-        .collect()
+        .collect())
 }
 
-/// Runs the full experiment (instances in parallel) and aggregates.
+/// Runs the full experiment (instances in parallel) and aggregates,
+/// reporting any per-instance failures to stderr. See
+/// [`try_run_delay_experiment_with_registry`] for the non-printing,
+/// failure-returning form.
 pub fn run_delay_experiment(exp: &DelayExperiment) -> Vec<AlgoStats> {
     run_delay_experiment_with_registry(exp, registry())
 }
@@ -222,18 +252,43 @@ pub fn run_delay_experiment_with_registry(
     exp: &DelayExperiment,
     registry: &Registry,
 ) -> Vec<AlgoStats> {
+    let outcome = try_run_delay_experiment_with_registry(exp, registry);
+    for failure in &outcome.failures {
+        eprintln!("warning: skipped {failure}");
+    }
+    outcome.stats
+}
+
+/// Runs the full experiment (instances in parallel), aggregating over the
+/// instances that succeed and collecting every failure with its seed —
+/// one bad instance no longer brings down a 100-instance matrix.
+pub fn try_run_delay_experiment_with_registry(
+    exp: &DelayExperiment,
+    registry: &Registry,
+) -> ExperimentOutcome {
     let seeds: Vec<u64> =
         (0..exp.n_instances as u64).map(|i| exp.base_seed + i).collect();
-    let per_instance =
-        parallel_map(seeds, |seed| run_instance_with_registry(exp, seed, registry));
-    exp.algos
+    let per_instance = parallel_map(seeds, |seed| {
+        (seed, run_instance_with_registry(exp, seed, registry))
+    });
+    let mut successes: Vec<Vec<(String, f64)>> = Vec::new();
+    let mut failures = Vec::new();
+    for (seed, result) in per_instance {
+        match result {
+            Ok(values) => successes.push(values),
+            Err(error) => failures.push(InstanceFailure { seed, error }),
+        }
+    }
+    let stats = exp
+        .algos
         .iter()
         .enumerate()
         .map(|(ai, algo)| {
-            let values: Vec<f64> = per_instance.iter().map(|inst| inst[ai].1).collect();
+            let values: Vec<f64> = successes.iter().map(|inst| inst[ai].1).collect();
             AlgoStats::from_values(algo.label(), values)
         })
-        .collect()
+        .collect();
+    ExperimentOutcome { stats, failures }
 }
 
 /// The default scale for a preset: full size for the small LPC-EGEE
@@ -280,7 +335,72 @@ mod tests {
     #[test]
     fn instance_is_deterministic() {
         let exp = tiny_exp();
-        assert_eq!(run_instance(&exp, 3), run_instance(&exp, 3));
+        assert_eq!(run_instance(&exp, 3).unwrap(), run_instance(&exp, 3).unwrap());
+    }
+
+    /// A scheduler that violates the greedy contract must surface as a
+    /// per-instance failure (with its seed), not a panic, and must not
+    /// take the healthy instances down with it.
+    #[test]
+    fn bad_scheduler_is_reported_per_instance_not_panicked() {
+        use fairsched_core::model::{ClusterInfo, OrgId};
+        use fairsched_core::scheduler::registry::{SchedulerFactory, SpecError};
+        use fairsched_core::scheduler::SelectContext;
+
+        struct Broken;
+        impl fairsched_core::scheduler::Scheduler for Broken {
+            fn name(&self) -> String {
+                "Broken".into()
+            }
+            fn init(&mut self, _info: &ClusterInfo) {}
+            fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId {
+                // Deliberately select an org with no waiting jobs.
+                OrgId(ctx.waiting.len() as u32 + 1)
+            }
+        }
+        struct BrokenFactory;
+        impl SchedulerFactory for BrokenFactory {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn summary(&self) -> &str {
+                "test-only contract violator"
+            }
+            fn build(
+                &self,
+                _spec: &SchedulerSpec,
+                _ctx: &BuildContext<'_>,
+            ) -> Result<Box<dyn Scheduler>, SpecError> {
+                Ok(Box::new(Broken))
+            }
+        }
+
+        let mut registry = Registry::default();
+        registry.register(Box::new(BrokenFactory));
+        let mut exp = tiny_exp();
+        exp.algos = vec![Algo::parse("broken").unwrap()];
+        exp.n_instances = 2;
+        let outcome = try_run_delay_experiment_with_registry(&exp, &registry);
+        assert_eq!(outcome.failures.len(), 2, "both instances must fail");
+        assert_eq!(outcome.stats.len(), 1);
+        assert!(outcome.stats[0].values.is_empty());
+        for f in &outcome.failures {
+            assert!(
+                matches!(f.error, SimError::BadSelection { .. }),
+                "unexpected error: {}",
+                f.error
+            );
+            assert!(f.seed == exp.base_seed || f.seed == exp.base_seed + 1);
+        }
+    }
+
+    /// Healthy algorithms still aggregate when some instances fail for an
+    /// unrelated reason (here: none fail — the outcome form is just empty).
+    #[test]
+    fn outcome_has_no_failures_on_clean_run() {
+        let outcome = try_run_delay_experiment_with_registry(&tiny_exp(), registry());
+        assert!(outcome.failures.is_empty());
+        assert_eq!(outcome.stats.len(), 3);
     }
 
     #[test]

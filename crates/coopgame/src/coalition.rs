@@ -147,6 +147,27 @@ impl Coalition {
         let me = self;
         self.subsets().filter(move |&c| c != me)
     }
+
+    /// Iterates over all supersets of `self` within `universe` (both
+    /// included), i.e. every `T` with `self ⊆ T ⊆ universe`. Yields
+    /// `2^(|universe| − |self|)` coalitions.
+    ///
+    /// This is the dual of [`Coalition::subsets`]: enumerating the free
+    /// positions `universe ∖ self` with the `(x − 1) & mask` trick. The
+    /// coalition lattice uses it to invalidate the Shapley caches of every
+    /// tracked coalition sitting above a changed sub-simulation.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `self` is not a subset of `universe`.
+    #[inline]
+    pub fn supersets_within(self, universe: Coalition) -> SupersetIter {
+        debug_assert!(
+            self.is_subset_of(universe),
+            "supersets_within requires self ⊆ universe"
+        );
+        let free = universe.0 & !self.0;
+        SupersetIter { base: self.0, free, x: free, done: false }
+    }
 }
 
 impl fmt::Debug for Coalition {
@@ -214,6 +235,43 @@ impl Iterator for SubsetIter {
             // bound but not to compute exactly mid-iteration; give the trivial
             // upper bound.
             let max = 1usize.checked_shl(self.mask.count_ones()).unwrap_or(usize::MAX);
+            (1, Some(max))
+        }
+    }
+}
+
+/// Iterator over the supersets of a coalition within a universe, produced
+/// by enumerating subsets of the free positions (descending bitmask order,
+/// starting at the universe and ending with the base coalition itself).
+pub struct SupersetIter {
+    base: u64,
+    free: u64,
+    x: u64,
+    done: bool,
+}
+
+impl Iterator for SupersetIter {
+    type Item = Coalition;
+
+    #[inline]
+    fn next(&mut self) -> Option<Coalition> {
+        if self.done {
+            return None;
+        }
+        let current = Coalition(self.base | self.x);
+        if self.x == 0 {
+            self.done = true;
+        } else {
+            self.x = (self.x - 1) & self.free;
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (0, Some(0))
+        } else {
+            let max = 1usize.checked_shl(self.free.count_ones()).unwrap_or(usize::MAX);
             (1, Some(max))
         }
     }
@@ -313,6 +371,26 @@ mod tests {
         assert_eq!(format!("{c:?}"), "{0,2}");
     }
 
+    #[test]
+    fn supersets_within_enumerates_interval() {
+        let base = Coalition::singleton(Player(1));
+        let universe = Coalition::grand(3);
+        let sups: HashSet<_> = base.supersets_within(universe).collect();
+        assert_eq!(sups.len(), 4); // {1}, {0,1}, {1,2}, {0,1,2}
+        assert!(sups.contains(&base));
+        assert!(sups.contains(&universe));
+        for s in &sups {
+            assert!(base.is_subset_of(*s) && s.is_subset_of(universe));
+        }
+    }
+
+    #[test]
+    fn supersets_within_self_universe() {
+        let c = Coalition::grand(4);
+        let sups: Vec<_> = c.supersets_within(c).collect();
+        assert_eq!(sups, vec![c]);
+    }
+
     proptest! {
         #[test]
         fn prop_members_roundtrip(bits in 0u64..(1 << 16)) {
@@ -336,6 +414,18 @@ mod tests {
                 prop_assert!(s.is_subset_of(c));
                 prop_assert_eq!(s.union(c), c);
                 prop_assert_eq!(s.intersection(c), s);
+            }
+        }
+
+        #[test]
+        fn prop_supersets_are_subset_duals(bits in 0u64..(1 << 10)) {
+            // Supersets of S within U ↔ complements of subsets of U∖S.
+            let u = Coalition::grand(10);
+            let s = Coalition::from_bits(bits);
+            let sups: HashSet<_> = s.supersets_within(u).collect();
+            prop_assert_eq!(sups.len(), 1usize << (10 - s.len()));
+            for t in u.subsets() {
+                prop_assert_eq!(sups.contains(&t), s.is_subset_of(t));
             }
         }
 

@@ -41,7 +41,7 @@ pub mod properties;
 pub mod sampling;
 pub mod shapley;
 
-pub use coalition::{Coalition, Player, SubsetIter};
+pub use coalition::{Coalition, Player, SubsetIter, SupersetIter};
 pub use tabular::TabularGame;
 
 /// Factorials as `u128`. Panics for `n > 34` (the largest factorial that

@@ -227,49 +227,62 @@ impl Schedule {
         self.check_greedy(trace, info, horizon)
     }
 
-    /// The greediness check: replays machine occupancy and verifies that
-    /// whenever a released, unstarted job exists, no machine is idle.
+    /// The greediness check: a single event sweep over sorted starts,
+    /// completions, and releases with running counters — `O(n log n)` in
+    /// the number of jobs and schedule entries, so `validate(true)` stays
+    /// usable at `--paper-scale` (the old implementation rescanned every
+    /// entry and every job at every event time: `O(jobs²·events)`).
+    ///
+    /// At each event time `t < horizon`:
+    /// * machines busy = `#{starts ≤ t} − #{completions ≤ t}` (exactly the
+    ///   entries with `start ≤ t < completion`),
+    /// * a job is waiting iff `#{releases ≤ t} > #{starts ≤ t}` (every
+    ///   started job has `release ≤ start ≤ t`, release order having been
+    ///   validated by the caller),
+    ///
+    /// and an idle machine together with a waiting job is a greediness
+    /// violation — reported at the earliest such time, matching the
+    /// per-time rescan exactly.
     fn check_greedy(
         &self,
         trace: &Trace,
         info: &ClusterInfo,
         horizon: Time,
     ) -> Result<(), ScheduleViolation> {
-        // Event times: releases, starts, completions.
-        let mut times: Vec<Time> = trace
-            .jobs()
+        let mut starts: Vec<Time> = self.entries.iter().map(|e| e.start).collect();
+        let mut completions: Vec<Time> =
+            self.entries.iter().map(|e| e.completion()).collect();
+        let mut releases: Vec<Time> = trace.jobs().iter().map(|j| j.release).collect();
+        starts.sort_unstable();
+        completions.sort_unstable();
+        releases.sort_unstable();
+
+        // Candidate times: every event strictly before the horizon.
+        let mut times: Vec<Time> = releases
             .iter()
-            .map(|j| j.release)
-            .chain(self.entries.iter().flat_map(|e| [e.start, e.completion()]))
+            .chain(starts.iter())
+            .chain(completions.iter())
+            .copied()
             .filter(|&t| t < horizon)
             .collect();
         times.sort_unstable();
         times.dedup();
 
-        let started: std::collections::HashSet<JobId> =
-            self.entries.iter().map(|e| e.job).collect();
-
+        let n_machines = info.n_machines();
+        let (mut si, mut ci, mut ri) = (0usize, 0usize, 0usize);
         for &t in &times {
-            // Busy machines at time t: entries with start <= t < completion.
-            let busy = self
-                .entries
-                .iter()
-                .filter(|e| e.start <= t && t < e.completion())
-                .count();
-            let idle = info.n_machines().saturating_sub(busy);
-            if idle == 0 {
-                continue;
+            while si < starts.len() && starts[si] <= t {
+                si += 1;
             }
-            // A waiting job: released at or before t, never started, or
-            // started strictly later than t.
-            let waiting = trace.jobs().iter().any(|j| {
-                j.release <= t
-                    && match self.entry(j.id) {
-                        None => !started.contains(&j.id),
-                        Some(e) => e.start > t,
-                    }
-            });
-            if waiting {
+            while ci < completions.len() && completions[ci] <= t {
+                ci += 1;
+            }
+            while ri < releases.len() && releases[ri] <= t {
+                ri += 1;
+            }
+            let busy = si - ci;
+            let waiting = ri > si;
+            if busy < n_machines && waiting {
                 return Err(ScheduleViolation::NotGreedy { time: t });
             }
         }
@@ -289,6 +302,7 @@ impl FromIterator<ScheduledJob> for Schedule {
 mod tests {
     use super::*;
     use crate::model::Trace;
+    use proptest::prelude::*;
 
     fn trace_1org_1machine() -> Trace {
         let mut b = Trace::builder();
@@ -413,6 +427,87 @@ mod tests {
             s2.push(sj(1, 0, 0, 3, 1));
         }));
         assert!(result.is_err());
+    }
+
+    /// The pre-sweep greediness check, kept as a property-test oracle:
+    /// rescans every entry and job at every event time.
+    fn check_greedy_naive(
+        s: &Schedule,
+        trace: &Trace,
+        n_machines: usize,
+        horizon: Time,
+    ) -> Result<(), ScheduleViolation> {
+        let mut times: Vec<Time> = trace
+            .jobs()
+            .iter()
+            .map(|j| j.release)
+            .chain(s.entries.iter().flat_map(|e| [e.start, e.completion()]))
+            .filter(|&t| t < horizon)
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        for &t in &times {
+            let busy =
+                s.entries.iter().filter(|e| e.start <= t && t < e.completion()).count();
+            if busy >= n_machines {
+                continue;
+            }
+            let waiting = trace.jobs().iter().any(|j| {
+                j.release <= t
+                    && match s.entry(j.id) {
+                        None => true,
+                        Some(e) => e.start > t,
+                    }
+            });
+            if waiting {
+                return Err(ScheduleViolation::NotGreedy { time: t });
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        /// The event-sweep greediness check agrees with the naive
+        /// per-time rescan on arbitrary (partial, possibly non-greedy)
+        /// two-machine schedules, including the violation time.
+        #[test]
+        fn prop_greedy_sweep_matches_naive(
+            jobs in proptest::collection::vec((0u64..30, 1u64..8), 1..12),
+            delays in proptest::collection::vec(0u64..6, 12),
+            skip in 0usize..3,
+            horizon in 1u64..60,
+        ) {
+            let mut b = Trace::builder();
+            let a = b.org("a", 2);
+            for &(r, p) in &jobs {
+                b.job(a, r, p);
+            }
+            let trace = b.build().unwrap();
+            // Build a serial schedule on machines 0/1 with arbitrary extra
+            // delays (possibly violating greediness), skipping some jobs.
+            let mut clock = [0u64; 2];
+            let mut entries = Vec::new();
+            for (i, j) in trace.jobs().iter().enumerate() {
+                if i < skip {
+                    continue;
+                }
+                let m = i % 2;
+                let start = clock[m].max(j.release) + delays[i % delays.len()];
+                clock[m] = start + j.proc_time;
+                entries.push(ScheduledJob {
+                    job: j.id,
+                    org: j.org,
+                    machine: MachineId(m as u32),
+                    start,
+                    proc_time: j.proc_time,
+                });
+            }
+            let s: Schedule = entries.into_iter().collect();
+            let info = trace.cluster_info();
+            let fast = s.check_greedy(&trace, &info, horizon);
+            let naive = check_greedy_naive(&s, &trace, info.n_machines(), horizon);
+            prop_assert_eq!(fast, naive);
+        }
     }
 
     #[test]

@@ -22,6 +22,58 @@
 //! `t` are unaffected by the scheduling round at `t` itself — the lattice
 //! exploits this to settle coalitions independently.
 //!
+//! # The fast path
+//!
+//! The lattice is the hottest loop in the codebase (REF touches `2^k`
+//! sub-simulations per event time and `Σ_C 2^|C| = 3^k` subset values per
+//! fully-busy scheduling round), so it is built around four invariants:
+//!
+//! 1. **Dense rank indexing.** Coalition bitmasks map to sim ranks through
+//!    a flat `Vec<u32>` of length `2^k` (`u32::MAX` = untracked) whenever
+//!    `k ≤ 20`; `value_of`/`shapley_for` lookups are array reads, not
+//!    `HashMap` probes. Larger player counts (sparse RAND lattices) fall
+//!    back to a `HashMap`.
+//! 2. **Closed-form value polynomials.** Between its own start/completion
+//!    events, a sim's coalition value is a quadratic in `t`:
+//!    `2·v(t) = R·t² + (2·cu + R − 2·Σs)·t + (Σs² − Σs − 2·css)` with `R`
+//!    running jobs, starts `s`, `cu` completed units and `css` the
+//!    completed slot sum (the same closed forms [`SpTracker`] uses, summed
+//!    over the members). `value_of` is therefore O(1) — no per-member
+//!    tracker walk — and evaluating at a *later* `t` costs nothing.
+//! 3. **Incremental Shapley.** `shapley_for(C)` is served from a cached
+//!    per-coalition φ *polynomial* (the weighted sum of the subset value
+//!    polynomials, stored doubled so all arithmetic stays in exact
+//!    integers). Live caches are maintained **incrementally**: whenever a
+//!    sim starts or completes a job, its value-polynomial delta
+//!    `(Δa, Δb, Δc)` is pushed — with the correct subset weights — into
+//!    every existing superset cache ([`Coalition::supersets_within`]), so
+//!    a cached φ read is a pure `O(|C|)` evaluation. The `O(2^|C|)`
+//!    from-scratch build happens exactly once per coalition, on its first
+//!    read; after that, cost is proportional to how much of the lattice
+//!    *actually changes*. Settled sims — empty queues, no pending
+//!    completions — emit no deltas and therefore cost nothing, at any
+//!    lattice size, and sims whose pick is forced (a single eligible
+//!    organization — every singleton, in particular) never materialize a
+//!    cache at all. Deltas are exact integers and addition commutes, so
+//!    cached φ is bit-for-bit the from-scratch value; a start/completion
+//!    delta also evaluates to 0 at its own event time, which keeps φ
+//!    vectors read earlier in the same round exact. Only `Policy::Fair`
+//!    lattices pay for (or benefit from) this machinery.
+//! 4. **Batched wake-ups.** The event heap stores bare *times*, not
+//!    `(time, sim)` pairs: a release wakes the lattice once per time
+//!    moment instead of pushing one heap entry per tracked coalition per
+//!    job (`2^(k−1)` pushes for a single release under the old scheme).
+//!    Each processed time runs completions and one scheduling round over
+//!    all sims.
+//!
+//! All four are pure strength reductions: schedules, tie-breaks, and φ/ψ
+//! values are bit-for-bit identical to the from-scratch implementation
+//! (`tests/golden_refrand.rs` pins this against pre-fast-path fixtures,
+//! and the property tests below check φ against a from-scratch oracle).
+//! [`CoalitionLattice::stats`] exposes counters (settles, rounds, φ cache
+//! hits/rebuilds, …) that the `bench_baseline` harness records into
+//! `BENCH_lattice.json`.
+//!
 //! Sub-simulations require job durations (to know when hypothetical copies
 //! of a job complete). This is the execution-oracle boundary discussed in
 //! DESIGN.md: REF/RAND are offline fairness benchmarks; information is used
@@ -52,7 +104,7 @@ struct WaitingJob {
 }
 
 /// One coalition's hypothetical schedule state: machine occupancy, per-org
-/// FIFO queues and exact `ψ_sp` trackers.
+/// FIFO queues, exact `ψ_sp` trackers, and the aggregate value polynomial.
 #[derive(Clone, Debug)]
 pub struct CoalitionSim {
     coalition: Coalition,
@@ -60,10 +112,24 @@ pub struct CoalitionSim {
     busy: usize,
     /// Per-organization queues (indexed by global org id; only members used).
     waiting: Vec<VecDeque<WaitingJob>>,
-    /// Per-organization ψ trackers.
+    /// Orgs with a non-empty queue (bitmask over global org ids) — the
+    /// fast-reject for `can_schedule` scans.
+    queued_mask: u64,
+    /// Per-organization ψ trackers (for `org_value_at` / the fair rule).
     trackers: Vec<SpTracker>,
     /// Completion events local to this sim: (time, org, start).
     completions: BinaryHeap<Reverse<(Time, u32, Time)>>,
+    /// Earliest pending completion (`Time::MAX` when none) — lets the
+    /// per-round scan skip the heap peek for idle sims.
+    next_completion: Time,
+    /// Aggregate doubled-value polynomial over all members (see module
+    /// docs): `2·v(t) = run_count·t² + (2·completed_units + run_count −
+    /// 2·run_s_sum)·t + (run_s2_sum − run_s_sum − 2·completed_slot_sum)`.
+    completed_units: Util,
+    completed_slot_sum: Util,
+    run_count: Util,
+    run_s_sum: Util,
+    run_s2_sum: Util,
     /// Within-step ψ bumps (org -> bump), valid at `bump_t`.
     bumps: Vec<Util>,
     bump_t: Time,
@@ -80,8 +146,15 @@ impl CoalitionSim {
             n_machines,
             busy: 0,
             waiting: vec![VecDeque::new(); n_orgs],
+            queued_mask: 0,
             trackers: vec![SpTracker::new(); n_orgs],
             completions: BinaryHeap::new(),
+            next_completion: Time::MAX,
+            completed_units: 0,
+            completed_slot_sum: 0,
+            run_count: 0,
+            run_s_sum: 0,
+            run_s2_sum: 0,
             bumps: vec![0; n_orgs],
             bump_t: 0,
             stamps: vec![0; n_orgs],
@@ -103,6 +176,7 @@ impl CoalitionSim {
     fn release(&mut self, t: Time, org: OrgId, proc: Time) {
         debug_assert!(self.coalition.contains(Player(org.index())));
         self.seq += 1;
+        self.queued_mask |= 1u64 << org.index();
         self.waiting[org.index()].push_back(WaitingJob {
             release: t,
             proc,
@@ -110,8 +184,15 @@ impl CoalitionSim {
         });
     }
 
-    /// Applies all completions at times ≤ `t`.
-    fn pop_completions_up_to(&mut self, t: Time) {
+    /// Applies all completions at times ≤ `t`. Returns the number applied
+    /// and the *net* doubled-value-polynomial delta `(Δa, Δb, Δc)` — each
+    /// completion swaps its running-job term for a completed-job term:
+    /// `2·Δv = −t² + (2p − 1 + 2s)·t + (s − s² − p·(s + ct − 1))`, which
+    /// evaluates to 0 at `t = ct` (value continuity), so φ vectors read
+    /// earlier in the same round stay exact.
+    fn pop_completions_up_to(&mut self, t: Time) -> (u64, (Util, Util, Util)) {
+        let mut applied = 0;
+        let (mut da, mut db, mut dc) = (0, 0, 0);
         while let Some(Reverse((ct, org, start))) = self.completions.peek().copied() {
             if ct > t {
                 break;
@@ -119,28 +200,76 @@ impl CoalitionSim {
             self.completions.pop();
             self.busy -= 1;
             self.trackers[org as usize].on_complete(start, ct);
+            let p = (ct - start) as Util;
+            let (s, c) = (start as Util, ct as Util);
+            self.completed_units += p;
+            self.completed_slot_sum += p * (s + c - 1) / 2;
+            self.run_count -= 1;
+            self.run_s_sum -= s;
+            self.run_s2_sum -= s * s;
+            da -= 1;
+            db += 2 * p - 1 + 2 * s;
+            dc += s - s * s - p * (s + c - 1);
+            applied += 1;
         }
+        if applied > 0 {
+            self.next_completion =
+                self.completions.peek().map_or(Time::MAX, |Reverse((ct, ..))| *ct);
+        }
+        (applied, (da, db, dc))
     }
 
     /// Whether a machine is free and some member has an eligible job at `t`.
     fn can_schedule(&self, t: Time) -> bool {
-        self.busy < self.n_machines && self.has_eligible(t)
+        self.busy < self.n_machines && self.queued_mask != 0 && self.has_eligible(t)
     }
 
     fn has_eligible(&self, t: Time) -> bool {
-        self.coalition.members().any(|p| self.eligible(OrgId(p.0 as u32), t))
+        let mut bits = self.queued_mask;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            if self.waiting[u].front().is_some_and(|j| j.release <= t) {
+                return true;
+            }
+            bits &= bits - 1;
+        }
+        false
     }
 
     fn eligible(&self, org: OrgId, t: Time) -> bool {
         self.waiting[org.index()].front().is_some_and(|j| j.release <= t)
     }
 
+    /// `Some(org)` iff exactly one member has an eligible job at `t`.
+    fn sole_eligible(&self, t: Time) -> Option<OrgId> {
+        let mut found = None;
+        let mut bits = self.queued_mask;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.waiting[u].front().is_some_and(|j| j.release <= t) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(OrgId(u as u32));
+            }
+        }
+        found
+    }
+
     /// Starts the FIFO-head job of `org` at `t`; returns the completion time.
     fn start(&mut self, t: Time, org: OrgId) -> Time {
         let job = self.waiting[org.index()].pop_front().expect("no waiting job");
+        if self.waiting[org.index()].is_empty() {
+            self.queued_mask &= !(1u64 << org.index());
+        }
         debug_assert!(job.release <= t);
         self.busy += 1;
         self.trackers[org.index()].on_start(t);
+        let s = t as Util;
+        self.run_count += 1;
+        self.run_s_sum += s;
+        self.run_s2_sum += s * s;
         if self.bump_t != t {
             self.bumps.fill(0);
             self.bump_t = t;
@@ -150,26 +279,47 @@ impl CoalitionSim {
         self.stamps[org.index()] = self.stamp_counter;
         let completion = t + job.proc;
         self.completions.push(Reverse((completion, org.0, t)));
+        self.next_completion = self.next_completion.min(completion);
         completion
     }
 
     /// The release-order pick: the member with the earliest-released
     /// eligible head job (ties by arrival order).
     fn fifo_pick(&self, t: Time) -> OrgId {
-        self.coalition
-            .members()
-            .map(|p| OrgId(p.0 as u32))
-            .filter(|&u| self.eligible(u, t))
-            .min_by_key(|u| {
-                let j = self.waiting[u.index()].front().unwrap();
-                (j.release, j.seq)
-            })
-            .expect("fifo_pick with nothing eligible")
+        let mut bits = self.queued_mask;
+        let mut best: Option<(Time, u64, OrgId)> = None;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if let Some(j) = self.waiting[u].front() {
+                if j.release <= t {
+                    let key = (j.release, j.seq, OrgId(u as u32));
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        best.expect("fifo_pick with nothing eligible").2
+    }
+
+    /// The doubled-value polynomial coefficients `(a, b, c)` with
+    /// `2·v(t) = a·t² + b·t + c` (see module docs). Valid for any `t` not
+    /// earlier than the sim's last applied event.
+    fn doubled_poly(&self) -> (Util, Util, Util) {
+        (
+            self.run_count,
+            2 * self.completed_units + self.run_count - 2 * self.run_s_sum,
+            self.run_s2_sum - self.run_s_sum - 2 * self.completed_slot_sum,
+        )
     }
 
     /// Coalition value `v(C, t) = Σ_{u∈C} ψ_sp(σ_C, u, t)` (bumps excluded).
+    /// O(1) via the aggregate polynomial.
     pub fn value_at(&self, t: Time) -> Util {
-        self.coalition.members().map(|p| self.trackers[p.0].value_at(t)).sum()
+        let (a, b, c) = self.doubled_poly();
+        let t = t as Util;
+        (a * t * t + b * t + c) / 2
     }
 
     /// One organization's utility in this coalition's schedule.
@@ -186,23 +336,139 @@ impl CoalitionSim {
     }
 }
 
+/// Coalition bits → sim rank. Dense (flat array) for small player counts,
+/// `HashMap` fallback for sparse lattices over many players.
+#[derive(Clone, Debug)]
+enum CoalitionIndex {
+    Dense(Vec<u32>),
+    Sparse(HashMap<u64, u32>),
+}
+
+/// Sentinel for "not tracked" in the dense table.
+const UNTRACKED: u32 = u32::MAX;
+
+/// Player counts up to this use the dense table (`2^20` entries = 4 MiB).
+const DENSE_INDEX_MAX_ORGS: usize = 20;
+
+impl CoalitionIndex {
+    fn build(n_orgs: usize, sims: &[CoalitionSim]) -> Self {
+        if n_orgs <= DENSE_INDEX_MAX_ORGS {
+            let mut table = vec![UNTRACKED; 1usize << n_orgs];
+            for (rank, sim) in sims.iter().enumerate() {
+                table[sim.coalition.bits() as usize] = rank as u32;
+            }
+            CoalitionIndex::Dense(table)
+        } else {
+            CoalitionIndex::Sparse(
+                sims.iter()
+                    .enumerate()
+                    .map(|(rank, sim)| (sim.coalition.bits(), rank as u32))
+                    .collect(),
+            )
+        }
+    }
+
+    #[inline]
+    fn get(&self, bits: u64) -> Option<usize> {
+        match self {
+            CoalitionIndex::Dense(table) => {
+                let rank = table[bits as usize];
+                (rank != UNTRACKED).then_some(rank as usize)
+            }
+            CoalitionIndex::Sparse(map) => map.get(&bits).map(|&r| r as usize),
+        }
+    }
+}
+
+/// A cached φ polynomial for one coalition: the doubled Shapley sum over
+/// its non-empty **proper** tracked subsets, per organization. The
+/// coalition's own value term is added at evaluation time (so REF's
+/// `grand_value` override needs no separate cache).
+///
+/// Live caches are kept current *eagerly*: whenever a sim's value
+/// polynomial changes, the delta is pushed (with the right subset weights)
+/// into every existing superset cache, so a φ read is a pure evaluation.
+/// A cache is built from scratch — `O(2^|C|)` — only on its first read;
+/// settled subcoalitions produce no deltas and therefore no work.
+///
+/// `pushes` counts deltas absorbed since the last read; once it exceeds
+/// the cost of a from-scratch build (`2^|C|` subset visits) the cache is
+/// *evicted* instead of updated (rent-to-buy: total maintenance stays
+/// within 2× of the per-coalition optimum, whatever the read pattern).
+#[derive(Clone, Debug)]
+struct PhiCache {
+    pushes: u64,
+    /// Per-org `[quad, lin, cons]` doubled φ coefficients (interleaved for
+    /// locality: one push touches a contiguous strip per org).
+    coef: Vec<[i128; 3]>,
+}
+
+/// Counters describing the work a lattice performed — the raw material of
+/// the `BENCH_lattice.json` baseline (see `fairsched-bench`'s
+/// `bench_baseline`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatticeStats {
+    /// `settle` calls (one per value read / decision point).
+    pub settles: u64,
+    /// Distinct event times processed (completions + one scheduling round).
+    pub rounds: u64,
+    /// Job releases delivered to sims (fan-out, one per containing sim).
+    pub releases: u64,
+    /// Hypothetical job starts across all sims.
+    pub sim_starts: u64,
+    /// Hypothetical job completions applied across all sims.
+    pub sim_completions: u64,
+    /// φ served from a cached polynomial (pure evaluation).
+    pub phi_cache_hits: u64,
+    /// φ polynomial full builds (the `O(2^|C|)` from-scratch path).
+    pub phi_recomputes: u64,
+    /// Weighted sim deltas pushed into live φ caches.
+    pub phi_deltas_applied: u64,
+    /// φ caches evicted by the rent-to-buy rule (more pushes absorbed
+    /// since the last read than a from-scratch build costs).
+    pub phi_evictions: u64,
+}
+
 /// A lazily-advanced collection of coalition simulations sharing one event
 /// clock.
 #[derive(Clone, Debug)]
 pub struct CoalitionLattice {
     n_orgs: usize,
     policy: Policy,
-    /// Sims sorted by coalition size (ascending).
+    /// Bits of the all-orgs coalition (the invalidation universe).
+    universe: u64,
+    /// Sims sorted by coalition size (ascending), then bits.
     sims: Vec<CoalitionSim>,
-    /// Coalition bits → index into `sims`.
-    index: HashMap<u64, usize>,
-    /// Pending wake-ups: (time, sim index).
-    events: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Coalition bits → rank into `sims`.
+    index: CoalitionIndex,
+    /// Per-org list of sim ranks containing that org (release fan-out).
+    org_sims: Vec<Vec<u32>>,
+    /// Pending wake-up times (deduplicated on pop; one entry per time, not
+    /// one per sim).
+    wake: BinaryHeap<Reverse<Time>>,
     /// All events strictly before `advanced_to` have been fully processed
     /// (completions applied *and* scheduling rounds run).
     advanced_to: Time,
     /// Precomputed factorials `0..=n_orgs`.
     fact: Vec<i128>,
+    /// Cached φ polynomials, parallel to `sims` (Fair policy only; kept
+    /// current by eager delta pushes).
+    phi: Vec<Option<Box<PhiCache>>>,
+    /// Cached φ polynomial for the (possibly untracked) universe coalition.
+    grand_phi: Option<Box<PhiCache>>,
+    /// Number of live caches (`phi` entries + `grand_phi`); lets the delta
+    /// push skip the superset walk entirely before the first φ read.
+    live_caches: usize,
+    /// Sims with a not-yet-pushed net value delta this round (ranks), the
+    /// per-sim accumulated deltas, and the membership marks. Deltas within
+    /// one time moment are additive and all evaluate to 0 at that moment,
+    /// so one merged superset walk per changed sim per round suffices;
+    /// flushed at the end of each processed time (and before any φ cache
+    /// build, which snapshots live sim state).
+    pending: Vec<u32>,
+    pending_delta: Vec<(Util, Util, Util)>,
+    pending_mark: Vec<bool>,
+    stats: LatticeStats,
 }
 
 impl CoalitionLattice {
@@ -240,29 +506,44 @@ impl CoalitionLattice {
             .collect();
         sims.sort_by_key(|s| (s.coalition.len(), s.coalition.bits()));
         sims.dedup_by_key(|s| s.coalition.bits());
-        let index: HashMap<u64, usize> =
-            sims.iter().enumerate().map(|(i, s)| (s.coalition.bits(), i)).collect();
+        let index = CoalitionIndex::build(n_orgs, &sims);
         if policy == Policy::Fair {
             for s in &sims {
                 for sub in s.coalition.proper_subsets() {
                     if !sub.is_empty() {
                         assert!(
-                            index.contains_key(&sub.bits()),
+                            index.get(sub.bits()).is_some(),
                             "fair policy requires a subset-closed coalition set"
                         );
                     }
                 }
             }
         }
+        let mut org_sims: Vec<Vec<u32>> = vec![Vec::new(); n_orgs];
+        for (rank, s) in sims.iter().enumerate() {
+            for p in s.coalition.members() {
+                org_sims[p.0].push(rank as u32);
+            }
+        }
         let fact = (0..=n_orgs).map(|i| factorial(i) as i128).collect();
+        let n_sims = sims.len();
         CoalitionLattice {
             n_orgs,
             policy,
+            universe: Coalition::grand(n_orgs).bits(),
             sims,
             index,
-            events: BinaryHeap::new(),
+            org_sims,
+            wake: BinaryHeap::new(),
             advanced_to: 0,
             fact,
+            phi: vec![None; n_sims],
+            grand_phi: None,
+            live_caches: 0,
+            pending: Vec::new(),
+            pending_delta: vec![(0, 0, 0); n_sims],
+            pending_mark: vec![false; n_sims],
+            stats: LatticeStats::default(),
         }
     }
 
@@ -271,115 +552,264 @@ impl CoalitionLattice {
         self.sims.len()
     }
 
+    /// Work counters accumulated since construction.
+    pub fn stats(&self) -> LatticeStats {
+        self.stats
+    }
+
     /// Delivers a job release to every tracked coalition containing `org`.
     /// Releases must arrive in non-decreasing time order.
     pub fn release(&mut self, t: Time, org: OrgId, proc: Time) {
         self.advance_before(t);
-        let player = Player(org.index());
-        for i in 0..self.sims.len() {
-            if self.sims[i].coalition.contains(player) {
-                self.sims[i].release(t, org, proc);
-                // Wake the sim at t so settle() runs its scheduling round.
-                self.events.push(Reverse((t, i)));
-            }
+        for &rank in &self.org_sims[org.index()] {
+            self.sims[rank as usize].release(t, org, proc);
         }
+        self.stats.releases += self.org_sims[org.index()].len() as u64;
+        self.push_wake(t);
     }
 
     /// Fully settles every tracked coalition at time `t`: all events up to
     /// and including `t` are processed and every scheduling opportunity at
     /// `t` is taken. Must be called before reading values at `t`.
     pub fn settle(&mut self, t: Time) {
+        self.stats.settles += 1;
         self.advance_before(t);
-        // Apply completions at exactly t, then run the scheduling round at t.
-        let mut wake: Vec<usize> = Vec::new();
-        while let Some(&Reverse((et, i))) = self.events.peek() {
-            if et > t {
-                break;
-            }
-            self.events.pop();
-            wake.push(i);
-        }
-        wake.sort_unstable();
-        wake.dedup();
-        for &i in &wake {
-            self.sims[i].pop_completions_up_to(t);
-        }
-        // Scheduling may be possible in sims not woken (e.g. repeated settle
-        // calls at the same t after new releases): check every sim with a
-        // pending queue. Cheap relative to the Shapley work.
-        self.schedule_round(t);
+        self.pop_wakes_at(t);
+        self.process_time(t);
         self.advanced_to = t;
     }
 
+    /// One wake per time: duplicates are mostly avoided at push (cheap
+    /// min-peek) and fully collapsed on pop.
+    fn push_wake(&mut self, t: Time) {
+        if self.wake.peek() != Some(&Reverse(t)) {
+            self.wake.push(Reverse(t));
+        }
+    }
+
+    fn pop_wakes_at(&mut self, t: Time) {
+        while self.wake.peek() == Some(&Reverse(t)) {
+            self.wake.pop();
+        }
+    }
+
     /// Processes all events strictly before `t`, running full scheduling
-    /// rounds at each event time.
+    /// rounds at each distinct event time.
     fn advance_before(&mut self, t: Time) {
-        while let Some(&Reverse((et, _))) = self.events.peek() {
+        while let Some(&Reverse(et)) = self.wake.peek() {
             if et >= t {
                 break;
             }
-            // Gather every sim with an event at `et`.
-            let mut wake = Vec::new();
-            while let Some(&Reverse((e2, i))) = self.events.peek() {
-                if e2 > et {
-                    break;
-                }
-                self.events.pop();
-                wake.push(i);
-            }
-            wake.sort_unstable();
-            wake.dedup();
-            for &i in &wake {
-                self.sims[i].pop_completions_up_to(et);
-            }
-            self.schedule_round(et);
+            self.pop_wakes_at(et);
+            self.process_time(et);
             self.advanced_to = et;
         }
     }
 
-    /// Runs the scheduling round at `t` over all sims (size order).
+    /// Applies completions at `t` in every sim, runs the scheduling round
+    /// at `t`, then flushes the accumulated per-sim deltas into the live φ
+    /// caches (one merged superset walk per changed sim).
+    fn process_time(&mut self, t: Time) {
+        self.stats.rounds += 1;
+        let fair = self.policy == Policy::Fair;
+        let mut completed = 0;
+        for i in 0..self.sims.len() {
+            if self.sims[i].next_completion > t {
+                continue;
+            }
+            let (n, delta) = self.sims[i].pop_completions_up_to(t);
+            completed += n;
+            if fair && n > 0 {
+                self.add_pending(i, delta);
+            }
+        }
+        self.stats.sim_completions += completed;
+        self.schedule_round(t);
+        self.flush_pending();
+    }
+
+    /// Accumulates a sim's value delta for the current time moment.
+    fn add_pending(&mut self, rank: usize, (da, db, dc): (Util, Util, Util)) {
+        if !self.pending_mark[rank] {
+            self.pending_mark[rank] = true;
+            self.pending.push(rank as u32);
+        }
+        let acc = &mut self.pending_delta[rank];
+        acc.0 += da;
+        acc.1 += db;
+        acc.2 += dc;
+    }
+
+    /// Pushes every accumulated delta into the live φ caches and clears
+    /// the pending set. Must run before any φ cache *build* (the build
+    /// snapshots live sim state, so a later push would double-count) and
+    /// at the end of every processed time.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for &rank in &pending {
+            let rank = rank as usize;
+            self.pending_mark[rank] = false;
+            let delta = std::mem::take(&mut self.pending_delta[rank]);
+            if delta != (0, 0, 0) {
+                self.push_delta(self.sims[rank].coalition.bits(), delta);
+            }
+        }
+        let mut pending = pending;
+        pending.clear();
+        self.pending = pending;
+    }
+
+    /// Pushes one sim's doubled-value-polynomial delta into every live
+    /// superset φ cache, weighted exactly as a full build would weight that
+    /// subset: `(|S|−1)!(|C|−|S|)!` for members of `S`,
+    /// `−|S|!(|C|−|S|−1)!` for the rest of `C`. With no live caches (before
+    /// the first φ read, and always under `Policy::Fifo`) this is free.
+    /// Caches that have absorbed more pushes than a rebuild costs are
+    /// evicted instead (rent-to-buy).
+    fn push_delta(&mut self, bits: u64, (da, db, dc): (Util, Util, Util)) {
+        if self.live_caches == 0 {
+            return;
+        }
+        let s = Coalition::from_bits(bits);
+        let s_len = s.len();
+        let universe = Coalition::from_bits(self.universe);
+        let mut applied = 0u64;
+        for sup in s.supersets_within(universe) {
+            if sup.bits() == bits {
+                continue; // a coalition's own value is added at eval time
+            }
+            let slot = match self.index.get(sup.bits()) {
+                Some(r) => &mut self.phi[r],
+                None if sup.bits() == self.universe => &mut self.grand_phi,
+                None => continue,
+            };
+            let Some(cache) = slot.as_deref_mut() else { continue };
+            let size = sup.len();
+            // Rent-to-buy: a rebuild visits 2^|C| subsets, so a cache that
+            // absorbed ~that many pushes unread is cheaper to rebuild on
+            // demand (the half factor measured best on the k=8 bench).
+            if cache.pushes >= (1 << size) / 2 {
+                *slot = None;
+                self.live_caches -= 1;
+                self.stats.phi_evictions += 1;
+                continue;
+            }
+            cache.pushes += 1;
+            let w_in = self.fact[s_len - 1] * self.fact[size - s_len];
+            let (ia, ib, ic) = (w_in * da, w_in * db, w_in * dc);
+            for p in s.members() {
+                let c = &mut cache.coef[p.0];
+                c[0] += ia;
+                c[1] += ib;
+                c[2] += ic;
+            }
+            let w_out = self.fact[s_len] * self.fact[size - s_len - 1];
+            let (oa, ob, oc) = (w_out * da, w_out * db, w_out * dc);
+            for p in sup.difference(s).members() {
+                let c = &mut cache.coef[p.0];
+                c[0] -= oa;
+                c[1] -= ob;
+                c[2] -= oc;
+            }
+            applied += 1;
+        }
+        self.stats.phi_deltas_applied += applied;
+    }
+
+    /// Runs the scheduling round at `t` over all sims (size order). Each
+    /// sim's start deltas are pushed to the φ caches once per round (they
+    /// are additive, and a start delta is 0 at `t` itself, so batching
+    /// does not change any value read this round).
     fn schedule_round(&mut self, t: Time) {
         for i in 0..self.sims.len() {
             if !self.sims[i].can_schedule(t) {
                 continue;
             }
+            let mut started = 0u64;
             match self.policy {
                 Policy::Fifo => {
                     while self.sims[i].can_schedule(t) {
                         let org = self.sims[i].fifo_pick(t);
+                        started += 1;
                         let completion = self.sims[i].start(t, org);
-                        self.events.push(Reverse((completion, i)));
+                        self.push_wake(completion);
                     }
                 }
                 Policy::Fair => {
-                    // φ is constant within the round (values at t don't see
-                    // starts at t); only ψ bumps change between starts.
-                    let phi = self.shapley_for(self.sims[i].coalition, t, None);
-                    let c_size = self.sims[i].coalition.len();
-                    let scale = self.fact[c_size];
-                    while self.sims[i].can_schedule(t) {
+                    // Forced pick: with a single eligible organization the
+                    // argmax is determined without φ (singleton sims — the
+                    // busiest ones — always take this path).
+                    if let Some(org) = self.sims[i].sole_eligible(t) {
+                        // Starting `org`'s jobs cannot make another org
+                        // eligible, so the pick stays forced all round.
+                        while self.sims[i].can_schedule(t) {
+                            started += 1;
+                            let completion = self.sims[i].start(t, org);
+                            self.push_wake(completion);
+                        }
+                    } else {
+                        // φ is constant within the round (values at t don't
+                        // see starts at t); only the started org's ψ bump
+                        // and tie-break stamp change between starts, so the
+                        // selection keys are computed once and patched.
+                        let phi = self.shapley_for(self.sims[i].coalition, t, None);
+                        let c_size = self.sims[i].coalition.len();
+                        let scale = self.fact[c_size];
                         let sim = &self.sims[i];
-                        let org = sim
+                        // (key, stamp, org) per eligible member; argmax by
+                        // key, ties to the smaller stamp, then smaller id —
+                        // exactly the old comparator.
+                        let mut cand: Vec<(i128, u64, OrgId)> = sim
                             .coalition
                             .members()
                             .map(|p| OrgId(p.0 as u32))
                             .filter(|&u| sim.eligible(u, t))
-                            .max_by(|&a, &b| {
-                                let ka = phi[a.index()]
-                                    - scale * (sim.org_value_at(a, t) + sim.bump(a, t));
-                                let kb = phi[b.index()]
-                                    - scale * (sim.org_value_at(b, t) + sim.bump(b, t));
-                                ka.cmp(&kb)
-                                    .then_with(|| {
-                                        sim.stamps[b.index()].cmp(&sim.stamps[a.index()])
-                                    })
-                                    .then_with(|| b.0.cmp(&a.0))
+                            .map(|u| {
+                                let key = phi[u.index()]
+                                    - scale * (sim.org_value_at(u, t) + sim.bump(u, t));
+                                (key, sim.stamps[u.index()], u)
                             })
-                            .expect("can_schedule implies an eligible org");
-                        let completion = self.sims[i].start(t, org);
-                        self.events.push(Reverse((completion, i)));
+                            .collect();
+                        while self.sims[i].can_schedule(t) {
+                            let best = cand
+                                .iter()
+                                .enumerate()
+                                .max_by(|(_, a), (_, b)| {
+                                    a.0.cmp(&b.0)
+                                        .then_with(|| b.1.cmp(&a.1))
+                                        .then_with(|| b.2 .0.cmp(&a.2 .0))
+                                })
+                                .map(|(idx, _)| idx)
+                                .expect("can_schedule implies an eligible org");
+                            let org = cand[best].2;
+                            started += 1;
+                            let completion = self.sims[i].start(t, org);
+                            self.push_wake(completion);
+                            let sim = &self.sims[i];
+                            if sim.eligible(org, t) {
+                                // ψ at t is untouched by a start at t; only
+                                // the bump (+1 ⇒ key − scale) and the fresh
+                                // stamp move.
+                                cand[best].0 -= scale;
+                                cand[best].1 = sim.stamps[org.index()];
+                            } else {
+                                cand.swap_remove(best);
+                            }
+                        }
                     }
                 }
+            }
+            self.stats.sim_starts += started;
+            if started > 0 && self.policy == Policy::Fair {
+                // `n` jobs starting at s add running terms with the net
+                // delta n·(t², (1−2s)·t, s² − s) — zero at t = s, so φ
+                // vectors already read this round stay exact.
+                let n = started as Util;
+                let s = t as Util;
+                self.add_pending(i, (n, n * (1 - 2 * s), n * (s * s - s)));
             }
         }
     }
@@ -393,8 +823,7 @@ impl CoalitionLattice {
         if c.is_empty() {
             return 0;
         }
-        let &i =
-            self.index.get(&c.bits()).expect("coalition not tracked by this lattice");
+        let i = self.index.get(c.bits()).expect("coalition not tracked by this lattice");
         self.sims[i].value_at(t)
     }
 
@@ -404,44 +833,131 @@ impl CoalitionLattice {
     /// `v` (REF passes the real schedule's value here); otherwise `c` must
     /// be tracked.
     ///
+    /// Served from the per-coalition φ polynomial cache (Fair policy):
+    /// live caches are kept current by eager delta pushes, so a cached
+    /// read is a pure O(|C|) evaluation; the `O(2^|C|)` from-scratch build
+    /// happens only on a coalition's first read.
+    ///
     /// Returns a dense vector indexed by global org id (non-members 0).
     pub fn shapley_for(
+        &mut self,
+        c: Coalition,
+        t: Time,
+        grand_value: Option<Util>,
+    ) -> Vec<i128> {
+        if c.is_empty() {
+            return vec![0; self.n_orgs];
+        }
+        let rank = self.index.get(c.bits());
+        let cacheable =
+            self.policy == Policy::Fair && (rank.is_some() || c.bits() == self.universe);
+        if !cacheable {
+            let cache = self.compute_proper_poly(c);
+            return self.eval_phi(&cache, c, t, grand_value);
+        }
+        let has_cache = match rank {
+            Some(r) => self.phi[r].is_some(),
+            None => self.grand_phi.is_some(),
+        };
+        if has_cache {
+            self.stats.phi_cache_hits += 1;
+        } else {
+            self.stats.phi_recomputes += 1;
+            // The build snapshots live sim state; flush first so the
+            // pending deltas are not applied to it again later.
+            self.flush_pending();
+            let cache = Box::new(self.compute_proper_poly(c));
+            match rank {
+                Some(r) => self.phi[r] = Some(cache),
+                None => self.grand_phi = Some(cache),
+            }
+            self.live_caches += 1;
+        }
+        let cache = match rank {
+            Some(r) => self.phi[r].as_deref_mut().expect("cache just ensured"),
+            None => self.grand_phi.as_deref_mut().expect("cache just ensured"),
+        };
+        cache.pushes = 0; // the read restarts the rent-to-buy clock
+        let cache = match rank {
+            Some(r) => self.phi[r].as_deref().expect("cache just ensured"),
+            None => self.grand_phi.as_deref().expect("cache just ensured"),
+        };
+        self.eval_phi(cache, c, t, grand_value)
+    }
+
+    /// Builds the doubled φ polynomial of `c` over its non-empty proper
+    /// tracked subsets:
+    ///
+    /// For every proper subset `S ⊂ C` and every member `u`:
+    ///   `u ∈ S: φ_u += (|S|−1)! (|C|−|S|)! v(S)`  (the `+v(S'∪u)` term)
+    ///   `u ∉ S: φ_u −= |S|! (|C|−|S|−1)! v(S)`    (the `−v(S)` term)
+    ///
+    /// applied to the subset *value polynomials*, so one build serves every
+    /// later `t` until a subset changes.
+    fn compute_proper_poly(&self, c: Coalition) -> PhiCache {
+        let size = c.len();
+        let mut coef = vec![[0i128; 3]; self.n_orgs];
+        for s in c.subsets() {
+            if s.is_empty() || s == c {
+                continue; // v(∅) = 0; the S = C term is added at eval time.
+            }
+            let rank =
+                self.index.get(s.bits()).expect("coalition not tracked by this lattice");
+            let (a, b, d) = self.sims[rank].doubled_poly();
+            if a == 0 && b == 0 && d == 0 {
+                continue;
+            }
+            let s_len = s.len();
+            let w_in = self.fact[s_len - 1] * self.fact[size - s_len];
+            let (ia, ib, ic) = (w_in * a, w_in * b, w_in * d);
+            for p in s.members() {
+                let e = &mut coef[p.0];
+                e[0] += ia;
+                e[1] += ib;
+                e[2] += ic;
+            }
+            let w_out = self.fact[s_len] * self.fact[size - s_len - 1];
+            let (oa, ob, oc) = (w_out * a, w_out * b, w_out * d);
+            for p in c.difference(s).members() {
+                let e = &mut coef[p.0];
+                e[0] -= oa;
+                e[1] -= ob;
+                e[2] -= oc;
+            }
+        }
+        PhiCache { pushes: 0, coef }
+    }
+
+    /// Evaluates a φ polynomial at `t` and adds the `S = C` self term:
+    /// `(|C|−1)! · v(C, t)` for every member, with `v(C, t)` taken from
+    /// `grand_value` or from `c`'s own sim. All sums are doubled integers;
+    /// the final halving is exact.
+    fn eval_phi(
         &self,
+        cache: &PhiCache,
         c: Coalition,
         t: Time,
         grand_value: Option<Util>,
     ) -> Vec<i128> {
         let size = c.len();
+        let tt = t as i128;
+        let own_doubled = match grand_value {
+            Some(g) => 2 * g,
+            None => {
+                let rank = self
+                    .index
+                    .get(c.bits())
+                    .expect("coalition not tracked by this lattice");
+                let (a, b, d) = self.sims[rank].doubled_poly();
+                a * tt * tt + b * tt + d
+            }
+        };
+        let w_self = self.fact[size - 1] * own_doubled;
         let mut phi = vec![0i128; self.n_orgs];
-        // For every subset S of C and every member u:
-        //   u ∈ S: φ_u += (|S|-1)! (|C|-|S|)! v(S)   [the +v(S'∪u) term]
-        //   u ∉ S: φ_u -= |S|! (|C|-|S|-1)! v(S)     [the −v(S) term]
-        for s in c.subsets() {
-            if s.is_empty() {
-                continue; // v(∅) = 0 contributes nothing.
-            }
-            let v = if s == c {
-                match grand_value {
-                    Some(g) => g,
-                    None => self.value_of(s, t),
-                }
-            } else {
-                self.value_of(s, t)
-            };
-            if v == 0 {
-                continue;
-            }
-            let s_len = s.len();
-            let w_in = self.fact[s_len - 1] * self.fact[size - s_len];
-            for p in s.members() {
-                phi[p.0] += w_in * v;
-            }
-            if s_len < size {
-                let w_out = self.fact[s_len] * self.fact[size - s_len - 1];
-                for p in c.difference(s).members() {
-                    phi[p.0] -= w_out * v;
-                }
-            }
+        for p in c.members() {
+            let [a, b, d] = cache.coef[p.0];
+            let doubled = a * tt * tt + b * tt + d;
+            phi[p.0] = (doubled + w_self) / 2;
         }
         phi
     }
@@ -449,8 +965,7 @@ impl CoalitionLattice {
     /// The per-organization utilities inside a tracked coalition's
     /// hypothetical schedule at `t` (dense, non-members 0).
     pub fn org_values_of(&self, c: Coalition, t: Time) -> Vec<Util> {
-        let &i =
-            self.index.get(&c.bits()).expect("coalition not tracked by this lattice");
+        let i = self.index.get(c.bits()).expect("coalition not tracked by this lattice");
         (0..self.n_orgs).map(|u| self.sims[i].org_value_at(OrgId(u as u32), t)).collect()
     }
 }
@@ -462,6 +977,48 @@ mod tests {
 
     fn players(ids: &[usize]) -> Coalition {
         ids.iter().map(|&i| Player(i)).collect()
+    }
+
+    /// The pre-fast-path from-scratch Shapley sum, as an oracle: iterates
+    /// every subset and weights the *values at `t`* directly.
+    fn shapley_oracle(
+        l: &CoalitionLattice,
+        c: Coalition,
+        t: Time,
+        grand_value: Option<Util>,
+    ) -> Vec<i128> {
+        let n_orgs = l.n_orgs;
+        let size = c.len();
+        let fact: Vec<i128> = (0..=n_orgs).map(|i| factorial(i) as i128).collect();
+        let mut phi = vec![0i128; n_orgs];
+        for s in c.subsets() {
+            if s.is_empty() {
+                continue;
+            }
+            let v = if s == c {
+                match grand_value {
+                    Some(g) => g,
+                    None => l.value_of(s, t),
+                }
+            } else {
+                l.value_of(s, t)
+            };
+            if v == 0 {
+                continue;
+            }
+            let s_len = s.len();
+            let w_in = fact[s_len - 1] * fact[size - s_len];
+            for p in s.members() {
+                phi[p.0] += w_in * v;
+            }
+            if s_len < size {
+                let w_out = fact[s_len] * fact[size - s_len - 1];
+                for p in c.difference(s).members() {
+                    phi[p.0] -= w_out * v;
+                }
+            }
+        }
+        phi
     }
 
     #[test]
@@ -636,5 +1193,152 @@ mod tests {
             let total: i128 = phi.iter().sum();
             assert_eq!(total, l.value_of(c, 20) * 2, "efficiency failed for {c:?}");
         }
+    }
+
+    #[test]
+    fn cached_phi_matches_oracle_across_event_interleavings() {
+        // Drive a full 4-org lattice through an irregular event sequence,
+        // querying φ at every step; the cached polynomial must equal the
+        // from-scratch oracle every time (including pure time passage with
+        // no new events, where the cache is served verbatim).
+        let mut l = CoalitionLattice::full_proper(&[1, 2, 1, 1]);
+        let grand = Coalition::grand(4);
+        let script: &[(Time, u32, Time)] = &[
+            (0, 0, 3),
+            (0, 1, 1),
+            (1, 2, 5),
+            (1, 0, 2),
+            (4, 3, 1),
+            (4, 1, 4),
+            (9, 0, 1),
+            (15, 2, 2),
+        ];
+        let check_at = |l: &mut CoalitionLattice, t: Time| {
+            l.settle(t);
+            for c in grand.proper_subsets() {
+                if c.is_empty() {
+                    continue;
+                }
+                let fast = l.shapley_for(c, t, None);
+                let oracle = shapley_oracle(l, c, t, None);
+                assert_eq!(fast, oracle, "φ mismatch for {c:?} at t={t}");
+            }
+            // The grand coalition with an external value (REF's usage).
+            let fast = l.shapley_for(grand, t, Some(1234));
+            let oracle = shapley_oracle(l, grand, t, Some(1234));
+            assert_eq!(fast, oracle, "grand φ mismatch at t={t}");
+        };
+        for &(t, org, proc) in script {
+            l.release(t, OrgId(org), proc);
+            check_at(&mut l, t);
+            check_at(&mut l, t + 1); // time passes, no new events
+        }
+        check_at(&mut l, 40);
+        check_at(&mut l, 41);
+        let stats = l.stats();
+        assert!(stats.phi_cache_hits > 0, "no cache hits: {stats:?}");
+        assert!(stats.phi_recomputes > 0, "no recomputes: {stats:?}");
+    }
+
+    proptest::proptest! {
+        /// Incremental φ (polynomial caches + delta pushes + rent-to-buy
+        /// evictions) equals a from-scratch recomputation over *random*
+        /// traces and event orders, at release times, at completion-driven
+        /// in-between times, and after long idle gaps.
+        #[test]
+        fn prop_incremental_phi_matches_oracle(
+            events in proptest::collection::vec((0u64..15, 0u32..4, 1u64..7), 1..20),
+            probe_orgs in proptest::collection::vec(0u32..4, 3),
+            extra in 1u64..25,
+        ) {
+            let mut l = CoalitionLattice::full_proper(&[1, 2, 1, 1]);
+            let grand = Coalition::grand(4);
+            let mut t = 0;
+            for (i, &(dt, org, proc)) in events.iter().enumerate() {
+                t += dt; // releases arrive in non-decreasing time order
+                l.release(t, OrgId(org), proc);
+                l.settle(t);
+                // Probe a rotating subset of coalitions (so some caches go
+                // cold and get evicted / rebuilt between probes).
+                let probe = Coalition::singleton(Player(
+                    probe_orgs[i % probe_orgs.len()] as usize,
+                ))
+                .insert(Player((org as usize + 1) % 4))
+                .insert(Player(org as usize));
+                let fast = l.shapley_for(probe, t, None);
+                let oracle = shapley_oracle(&l, probe, t, None);
+                proptest::prop_assert_eq!(fast, oracle);
+            }
+            // Drain everything, then check every proper coalition and the
+            // grand coalition (REF's external-value form).
+            let end = t + extra;
+            l.settle(end);
+            for c in grand.proper_subsets() {
+                if c.is_empty() {
+                    continue;
+                }
+                let fast = l.shapley_for(c, end, None);
+                let oracle = shapley_oracle(&l, c, end, None);
+                proptest::prop_assert_eq!(fast, oracle);
+            }
+            let fast = l.shapley_for(grand, end, Some(777));
+            let oracle = shapley_oracle(&l, grand, end, Some(777));
+            proptest::prop_assert_eq!(fast, oracle);
+        }
+    }
+
+    #[test]
+    fn settled_lattice_serves_phi_from_cache() {
+        let mut l = CoalitionLattice::full_proper(&[1, 1, 1]);
+        l.release(0, OrgId(0), 2);
+        l.release(0, OrgId(1), 1);
+        l.settle(10); // everything completed well before 10
+        let c = players(&[0, 1]);
+        let first = l.shapley_for(c, 10, None);
+        let before = l.stats();
+        // Pure time passage: the queue is empty and no completions are
+        // pending, so later reads must be pure cache hits.
+        for t in 11..20 {
+            l.settle(t);
+            let phi = l.shapley_for(c, t, None);
+            assert_eq!(phi, shapley_oracle(&l, c, t, None));
+        }
+        let after = l.stats();
+        assert_eq!(
+            after.phi_recomputes, before.phi_recomputes,
+            "settled sims must not trigger φ rebuilds"
+        );
+        assert!(after.phi_cache_hits >= before.phi_cache_hits + 9);
+        assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn sparse_index_fallback_beyond_dense_limit() {
+        // 24 orgs forces the HashMap index; track a tiny Fifo lattice.
+        let machines = vec![1usize; 24];
+        let c = players(&[0, 23]);
+        let mut l = CoalitionLattice::with_coalitions(
+            &machines,
+            &[c, players(&[0]), players(&[23])],
+            Policy::Fifo,
+        );
+        assert!(matches!(l.index, CoalitionIndex::Sparse(_)));
+        l.release(0, OrgId(23), 2);
+        l.settle(5);
+        assert_eq!(l.value_of(c, 5), sp_value(0, 2, 5));
+        assert_eq!(l.value_of(players(&[23]), 5), sp_value(0, 2, 5));
+        assert_eq!(l.value_of(players(&[0]), 5), 0);
+    }
+
+    #[test]
+    fn stats_track_release_fanout_and_rounds() {
+        let mut l = CoalitionLattice::full_proper(&[1, 1, 1]);
+        l.release(0, OrgId(0), 1);
+        // Org 0 appears in 3 of the 6 proper subcoalitions: {0}, {0,1}, {0,2}.
+        assert_eq!(l.stats().releases, 3);
+        l.settle(0);
+        assert!(l.stats().sim_starts >= 3);
+        assert!(l.stats().rounds >= 1);
+        assert_eq!(l.stats().settles, 1);
     }
 }

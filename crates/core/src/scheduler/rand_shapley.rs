@@ -75,6 +75,12 @@ impl RandScheduler {
         self.lattice.n_coalitions()
     }
 
+    /// Read-only access to the sampled-coalition lattice (for analysis
+    /// tools and the bench baseline's work counters).
+    pub fn lattice(&self) -> &CoalitionLattice {
+        &self.lattice
+    }
+
     /// The estimated contributions `φ̂(u)` at `t` (settles the sampled
     /// schedules as a side effect).
     pub fn contributions(&mut self, t: Time) -> Vec<f64> {

@@ -377,6 +377,16 @@ impl Registry {
         Registry { factories: BTreeMap::new() }
     }
 
+    /// The process-wide default registry, built once on first use
+    /// (factories are `Send + Sync`, so the instance is freely shared
+    /// across threads — `Simulation` sessions and the bench runners all
+    /// resolve through it instead of rebuilding [`Registry::default`] per
+    /// call).
+    pub fn shared() -> &'static Registry {
+        static SHARED: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+        SHARED.get_or_init(Registry::default)
+    }
+
     /// Registers a factory, replacing any previous one of the same name
     /// (last registration wins, so downstream crates can override
     /// built-ins) and returning the replaced factory if any.
@@ -681,6 +691,16 @@ mod tests {
             names.push(s.name());
         }
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn shared_registry_is_built_once_and_complete() {
+        let a = Registry::shared();
+        let b = Registry::shared();
+        assert!(std::ptr::eq(a, b), "shared() must return one instance");
+        // Same factory set as a fresh default.
+        let fresh = Registry::default();
+        assert_eq!(a.names().collect::<Vec<_>>(), fresh.names().collect::<Vec<_>>());
     }
 
     #[test]

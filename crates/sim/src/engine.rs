@@ -17,8 +17,9 @@ pub struct SimOptions {
     /// utilities and metrics are evaluated at the horizon.
     pub horizon: Time,
     /// Validate the produced schedule against every model invariant
-    /// (including greediness) before returning. O(jobs²·events) — intended
-    /// for tests and small runs.
+    /// (including greediness) before returning. A sorted event sweep —
+    /// `O(n log n)` in jobs + entries — cheap enough for `--paper-scale`
+    /// runs.
     pub validate: bool,
 }
 

@@ -44,6 +44,7 @@ mod engine;
 pub mod exhaustive;
 pub mod gantt;
 pub mod metrics;
+pub mod parallel;
 pub mod session;
 
 pub use cluster::Cluster;

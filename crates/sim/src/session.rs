@@ -194,8 +194,9 @@ impl<'a> Simulation<'a> {
         self
     }
 
-    /// Enables post-run validation of every model invariant
-    /// (O(jobs²·events); meant for tests and small runs).
+    /// Enables post-run validation of every model invariant (a sorted
+    /// event sweep, `O(n log n)` in jobs + entries — usable even at
+    /// `--paper-scale`).
     pub fn validate(mut self, validate: bool) -> Self {
         self.validate = validate;
         self
@@ -214,13 +215,16 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// The registry this session resolves specs through: the explicit one
+    /// if supplied, else the process-wide [`Registry::shared`] default
+    /// (built once behind a `OnceLock`, not per call).
+    fn resolve_registry(&self) -> &'a Registry {
+        self.registry.unwrap_or_else(|| Registry::shared())
+    }
+
     fn build_spec(&self, spec: &SchedulerSpec) -> Result<Box<dyn Scheduler>, SimError> {
         let ctx = BuildContext { trace: self.trace, seed: self.seed };
-        let built = match self.registry {
-            Some(r) => r.build(spec, &ctx),
-            None => Registry::default().build(spec, &ctx),
-        };
-        built.map_err(SimError::from)
+        self.resolve_registry().build(spec, &ctx).map_err(SimError::from)
     }
 
     /// Runs the session, consuming it.
@@ -235,22 +239,32 @@ impl<'a> Simulation<'a> {
     }
 
     /// Runs one simulation per spec with this session's settings (same
-    /// trace, horizon, seed, validation), in spec order — the experiment-
-    /// matrix helper behind the bench tables. Any scheduler chosen via
+    /// trace, horizon, seed, validation) — the experiment-matrix helper
+    /// behind the bench tables. Any scheduler chosen via
     /// [`scheduler`](Simulation::scheduler) is ignored here; only `specs`
     /// are run.
+    ///
+    /// Sessions are embarrassingly parallel, so the specs are fanned out
+    /// over [`parallel_map`](crate::parallel::parallel_map) worker
+    /// threads. Each run is seeded exactly as in a serial loop, results
+    /// come back in spec order, and on failure the error reported is the
+    /// first failing spec's (in spec order) — byte-for-byte the serial
+    /// behavior.
     pub fn run_matrix(
         &self,
         specs: &[SchedulerSpec],
     ) -> Result<Vec<SimResult>, SimError> {
         let options = self.options();
-        specs
-            .iter()
-            .map(|spec| {
-                let mut scheduler = self.build_spec(spec)?;
-                run_scheduler(self.trace, scheduler.as_mut(), options)
-            })
-            .collect()
+        let registry = self.resolve_registry();
+        let trace = self.trace;
+        let seed = self.seed;
+        crate::parallel::parallel_map(specs.to_vec(), move |spec| {
+            let ctx = BuildContext { trace, seed };
+            let mut scheduler = registry.build(&spec, &ctx).map_err(SimError::from)?;
+            run_scheduler(trace, scheduler.as_mut(), options)
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -359,6 +373,66 @@ mod tests {
         for r in &results {
             assert_eq!(r.completed_jobs, 4);
         }
+    }
+
+    /// The parallel fan-out must be indistinguishable from a serial loop:
+    /// same specs, same seeds, same order, same schedules and ψ vectors.
+    #[test]
+    fn run_matrix_parallel_matches_serial_runs() {
+        let trace = small_trace();
+        let specs: Vec<SchedulerSpec> = [
+            "ref",
+            "rand:perms=7",
+            "roundrobin",
+            "fairshare",
+            "utfairshare",
+            "currfairshare",
+            "directcontr",
+            "fifo",
+            "random",
+            "rand:perms=20",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let session = Simulation::new(&trace).horizon(60).validate(true).seed(11);
+        let parallel = session.run_matrix(&specs).unwrap();
+        assert_eq!(parallel.len(), specs.len());
+        for (spec, par) in specs.iter().zip(&parallel) {
+            let serial = Simulation::new(&trace)
+                .scheduler_spec(spec.clone())
+                .horizon(60)
+                .validate(true)
+                .seed(11)
+                .run()
+                .unwrap();
+            assert_eq!(par.scheduler, serial.scheduler);
+            assert_eq!(par.schedule, serial.schedule, "schedule diverged for {spec}");
+            assert_eq!(par.psi, serial.psi, "ψ diverged for {spec}");
+            assert_eq!(par.completed_jobs, serial.completed_jobs);
+        }
+    }
+
+    /// Fan-out is deterministic run-to-run (worker interleaving must not
+    /// leak into results).
+    #[test]
+    fn run_matrix_parallel_is_deterministic() {
+        let trace = small_trace();
+        let specs: Vec<SchedulerSpec> = ["rand:perms=9", "random", "directcontr", "ref"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let run = || {
+            Simulation::new(&trace)
+                .horizon(50)
+                .seed(23)
+                .run_matrix(&specs)
+                .unwrap()
+                .into_iter()
+                .map(|r| (r.scheduler, r.psi, r.schedule.entries().to_vec()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]
