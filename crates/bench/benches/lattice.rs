@@ -5,24 +5,16 @@
 //! flat.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairsched_bench::baseline::bench_workload;
 use fairsched_core::scheduler::{RandScheduler, RefScheduler};
 use fairsched_sim::simulate;
-use fairsched_workloads::{generate, to_trace, MachineSplit, SynthConfig};
 use std::hint::black_box;
 
+/// The registry's `fpt:k=<k>` family — the same traces `bench_baseline`
+/// measures, so criterion numbers and `BENCH_lattice.json` stay on one
+/// workload.
 fn workload(k: usize, seed: u64) -> fairsched_core::Trace {
-    let config = SynthConfig {
-        n_users: 2 * k,
-        horizon: 2_000,
-        n_machines: 2 * k,
-        load: 0.8,
-        duration_median: 40.0,
-        duration_sigma: 1.0,
-        max_duration: 500,
-        ..SynthConfig::default()
-    };
-    let jobs = generate(&config, seed);
-    to_trace(&jobs, k, 2 * k, MachineSplit::Equal, seed).unwrap()
+    bench_workload(k, seed)
 }
 
 fn bench_ref_vs_k(c: &mut Criterion) {

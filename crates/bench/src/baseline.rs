@@ -38,9 +38,8 @@ use fairsched_core::scheduler::lattice::LatticeStats;
 use fairsched_core::scheduler::{RandScheduler, RefScheduler, Scheduler};
 use fairsched_core::Trace;
 use fairsched_sim::{simulate, SimResult};
-use fairsched_workloads::{
-    generate, preset, to_trace, MachineSplit, PresetName, SynthConfig,
-};
+use fairsched_workloads::spec::{fpt_spec, WorkloadContext, WorkloadRegistry};
+use fairsched_workloads::{synth_spec, MachineSplit, PresetName};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -154,20 +153,14 @@ pub struct BaselineReport {
 }
 
 /// The canonical lattice-bench workload family (`benches/lattice.rs` uses
-/// the same parameters): `2k` users on `2k` machines at load 0.8.
+/// the same traces): `2k` users on `2k` machines at load 0.8 — the
+/// workload registry's `fpt:k=<k>` family, whose defaults reproduce the
+/// historical hand-built construction bit for bit, keeping every committed
+/// `BENCH_lattice.json` number comparable.
 pub fn bench_workload(k: usize, seed: u64) -> Trace {
-    let config = SynthConfig {
-        n_users: 2 * k,
-        horizon: 2_000,
-        n_machines: 2 * k,
-        load: 0.8,
-        duration_median: 40.0,
-        duration_sigma: 1.0,
-        max_duration: 500,
-        ..SynthConfig::default()
-    };
-    let jobs = generate(&config, seed);
-    to_trace(&jobs, k, 2 * k, MachineSplit::Equal, seed).unwrap()
+    WorkloadRegistry::shared()
+        .build(&fpt_spec(k), &WorkloadContext { seed })
+        .expect("fpt family builds for any k >= 1")
 }
 
 /// Times `build() → simulate(horizon)` over `samples` runs (plus one
@@ -254,11 +247,13 @@ pub fn run_baseline(paper_scale: bool, samples: usize) -> BaselineReport {
     if paper_scale {
         // Smoke matrix at the paper's experiment size: LPC-EGEE, scale
         // 1.0, horizon 5·10⁴, 5 organizations (the Table 1 cell REF
-        // actually pays for).
-        let p = preset(PresetName::LpcEgee, 1.0, 50_000);
-        let jobs = generate(&p.synth, 42);
-        let trace =
-            to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), 42).unwrap();
+        // actually pays for) — the registry spec for the same trace the
+        // hand-built construction used to produce.
+        let spec =
+            synth_spec(PresetName::LpcEgee, 1.0, 5, MachineSplit::Zipf(1.0), 50_000);
+        let trace = WorkloadRegistry::shared()
+            .build(&spec, &WorkloadContext { seed: 42 })
+            .expect("paper-scale LPC preset builds");
         cases.push(measure(
             "paper/lpc/ref",
             &trace,

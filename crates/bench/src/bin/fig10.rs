@@ -10,7 +10,7 @@
 use fairsched_bench::cli::Cli;
 use fairsched_bench::runner::{run_delay_experiment, Algo, DelayExperiment};
 use fairsched_bench::table::format_sig;
-use fairsched_workloads::{MachineSplit, PresetName};
+use fairsched_workloads::{synth_spec, MachineSplit, PresetName};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -41,14 +41,18 @@ fn main() {
     let mut points = Vec::new();
     for n_orgs in min_orgs..=max_orgs {
         eprintln!("orgs = {n_orgs} ({instances} instances)...");
+        // The x-axis sweep is pure data: one workload spec per point.
         let exp = DelayExperiment {
-            preset: PresetName::LpcEgee,
-            scale,
+            workload: synth_spec(
+                PresetName::LpcEgee,
+                scale,
+                n_orgs,
+                MachineSplit::Zipf(1.0),
+                horizon,
+            ),
             horizon,
-            n_orgs,
             n_instances: instances,
             base_seed: seed,
-            split: MachineSplit::Zipf(1.0),
             algos: algos.clone(),
         };
         let stats = run_delay_experiment(&exp);

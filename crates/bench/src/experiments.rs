@@ -4,7 +4,48 @@ use crate::cli::Cli;
 use crate::runner::{default_scale, run_delay_experiment, Algo, DelayExperiment};
 use crate::table::DelayTable;
 use fairsched_core::model::Time;
-use fairsched_workloads::{MachineSplit, PresetName};
+use fairsched_workloads::spec::WorkloadSpec;
+use fairsched_workloads::{synth_spec, MachineSplit, PresetName};
+
+/// Resolves the `--workload` flag into labelled workload specs.
+///
+/// Accepted forms:
+/// * a preset label/alias (`lpc`, `RICC`, `sharcnet-whale`, …) — sugar for
+///   a `synth:` spec built from the surrounding `--scale`/`--orgs`/
+///   `--uniform-split` flags (the classic behavior);
+/// * any full workload registry spec (`synth:preset=ricc,scale=0.5`,
+///   `fpt:k=8`, `swf:path=...`) — used verbatim, labelled by its canonical
+///   string.
+///
+/// Without the flag, all four paper presets are returned at their default
+/// scales.
+pub fn resolve_workloads(
+    cli: &Cli,
+    horizon: Time,
+    n_orgs: usize,
+    split: MachineSplit,
+    paper_scale: bool,
+) -> Vec<(String, WorkloadSpec)> {
+    let preset_entry = |name: PresetName| {
+        let scale =
+            if paper_scale { 1.0 } else { cli.get_or("scale", default_scale(name)) };
+        (name.label().to_string(), synth_spec(name, scale, n_orgs, split, horizon))
+    };
+    match cli.get("workload") {
+        None => PresetName::ALL.iter().copied().map(preset_entry).collect(),
+        // One parsing path for preset names (PresetName::parse) — full
+        // spec strings only kick in when the value isn't a preset label.
+        Some(w) => match PresetName::parse(w) {
+            Some(name) => vec![preset_entry(name)],
+            None => {
+                let spec: WorkloadSpec = w.parse().unwrap_or_else(|e| {
+                    panic!("--workload {w:?} is neither a preset label nor a valid spec: {e}")
+                });
+                vec![(spec.to_string(), spec)]
+            }
+        },
+    }
+}
 
 /// Builds and runs a Table 1/2-style experiment across all four workloads.
 ///
@@ -12,7 +53,8 @@ use fairsched_workloads::{MachineSplit, PresetName};
 /// `--scale F` (overrides per-preset defaults), `--paper-scale`
 /// (full archive sizes + 100 instances), `--uniform-split`,
 /// `--extended` (adds Rand(75), Fifo, Random rows), `--json`,
-/// `--workload NAME` (restrict to one workload).
+/// `--workload NAME_OR_SPEC` (restrict to one workload: a preset label or
+/// any workload registry spec string).
 pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances: usize) {
     let paper_scale = cli.has("paper-scale");
     let n_instances =
@@ -28,39 +70,41 @@ pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances:
     if cli.has("extended") {
         algos.extend([Algo::Rand(75), Algo::Fifo, Algo::Random]);
     }
-    let workloads: Vec<PresetName> = match cli.get("workload") {
-        Some(w) => {
-            vec![PresetName::parse(w).unwrap_or_else(|| panic!("unknown workload {w:?}"))]
+    let workloads = resolve_workloads(cli, horizon, n_orgs, split, paper_scale);
+    // The org count belongs to the workload specs (a full `--workload`
+    // spec overrides `--orgs`), so the title must report what the cells
+    // actually ran, not the flag.
+    let orgs_note = {
+        let per_spec: Vec<Option<&str>> =
+            workloads.iter().map(|(_, w)| w.get("orgs").or_else(|| w.get("k"))).collect();
+        match per_spec.first() {
+            Some(Some(v)) if per_spec.iter().all(|o| *o == Some(v)) => {
+                format!("{v} orgs")
+            }
+            _ => "orgs per workload spec".to_string(),
         }
-        None => PresetName::ALL.to_vec(),
     };
 
     let mut cells = Vec::new();
-    for name in &workloads {
-        let scale =
-            if paper_scale { 1.0 } else { cli.get_or("scale", default_scale(*name)) };
+    for (label, workload) in &workloads {
         let exp = DelayExperiment {
-            preset: *name,
-            scale,
+            workload: workload.clone(),
             horizon,
-            n_orgs,
             n_instances,
             base_seed,
-            split,
             algos: algos.clone(),
         };
         eprintln!(
-            "running {} (scale {scale}, {n_instances} instances, horizon {horizon}, {n_orgs} orgs)...",
-            name.label()
+            "running {label} ({workload}, {n_instances} instances, horizon {horizon})..."
         );
         cells.push(run_delay_experiment(&exp));
     }
 
     let table = DelayTable {
         title: format!(
-            "{title} — Δψ/p_tot (avg over {n_instances} instances, horizon {horizon}, {n_orgs} orgs)"
+            "{title} — Δψ/p_tot (avg over {n_instances} instances, horizon {horizon}, {orgs_note})"
         ),
-        workloads: workloads.iter().map(|w| w.label().to_string()).collect(),
+        workloads: workloads.iter().map(|(label, _)| label.clone()).collect(),
         cells,
     };
     if cli.has("json") {
@@ -74,15 +118,68 @@ pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances:
 mod tests {
     use super::*;
 
+    fn cli(args: &[&str]) -> Cli {
+        Cli::from_args(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn tiny_end_to_end_table() {
         // Smoke: one workload, tiny scale/instances; must not panic and
         // must print a table (stdout not captured here, just run it).
-        let cli = Cli::from_args(
-            ["--instances", "1", "--orgs", "2", "--scale", "0.05", "--workload", "lpc"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
-        run_delay_table(&cli, "smoke", 500, 1);
+        let c = cli(&[
+            "--instances",
+            "1",
+            "--orgs",
+            "2",
+            "--scale",
+            "0.05",
+            "--workload",
+            "lpc",
+        ]);
+        run_delay_table(&c, "smoke", 500, 1);
+    }
+
+    #[test]
+    fn tiny_end_to_end_table_with_full_spec() {
+        // The --workload flag takes a full registry spec verbatim.
+        let c = cli(&["--instances", "1", "--workload", "fpt:horizon=500,k=2"]);
+        run_delay_table(&c, "smoke-spec", 500, 1);
+    }
+
+    #[test]
+    fn preset_labels_resolve_through_the_shared_parse_path() {
+        for alias in ["lpc", "LPC", "LPC-EGEE", "LpcEgee"] {
+            let c = cli(&["--workload", alias, "--scale", "0.05"]);
+            let w = resolve_workloads(&c, 500, 2, MachineSplit::Zipf(1.0), false);
+            assert_eq!(w.len(), 1);
+            assert_eq!(w[0].0, "LPC-EGEE", "alias {alias:?} mislabelled");
+            assert_eq!(
+                w[0].1.to_string(),
+                "synth:horizon=500,orgs=2,preset=lpc,scale=0.05"
+            );
+        }
+    }
+
+    #[test]
+    fn default_is_all_four_presets() {
+        let c = cli(&[]);
+        let w = resolve_workloads(&c, 500, 5, MachineSplit::Zipf(1.0), false);
+        assert_eq!(w.len(), 4);
+        let labels: Vec<&str> = w.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["LPC-EGEE", "PIK-IPLEX", "SHARCNET-Whale", "RICC"]);
+    }
+
+    #[test]
+    fn spec_workloads_keep_their_canonical_label() {
+        let c = cli(&["--workload", "fpt:k=4,horizon=800"]);
+        let w = resolve_workloads(&c, 500, 5, MachineSplit::Zipf(1.0), false);
+        assert_eq!(w[0].0, "fpt:horizon=800,k=4");
+    }
+
+    #[test]
+    #[should_panic(expected = "neither a preset label nor a valid spec")]
+    fn bad_workload_flag_panics_with_context() {
+        let c = cli(&["--workload", "not a spec"]);
+        let _ = resolve_workloads(&c, 500, 5, MachineSplit::Zipf(1.0), false);
     }
 }

@@ -8,7 +8,8 @@ use fairsched_core::scheduler::registry::{
 };
 use fairsched_core::scheduler::Scheduler;
 use fairsched_sim::{SimError, Simulation};
-use fairsched_workloads::{generate, preset, to_trace, MachineSplit, PresetName};
+use fairsched_workloads::spec::{WorkloadContext, WorkloadRegistry, WorkloadSpec};
+use fairsched_workloads::PresetName;
 use serde::Serialize;
 use std::fmt;
 
@@ -117,22 +118,28 @@ impl Algo {
 
 /// Configuration of a delay-table experiment (one workload cell of
 /// Table 1/2, or one x-axis point of Figure 10).
+///
+/// The workload axis is pure data: any [`WorkloadSpec`] resolvable through
+/// the workload registry — `synth:preset=lpc,scale=0.1,orgs=5,...` for the
+/// paper's presets ([`fairsched_workloads::synth_spec`] builds these from
+/// the classic knobs), `swf:path=...` for archive logs, `fpt:k=8` for the
+/// lattice-bench family, or any downstream-registered family.
 #[derive(Clone, Debug)]
 pub struct DelayExperiment {
-    /// The workload preset.
-    pub preset: PresetName,
-    /// Machine/user scale (1.0 = the archive's published size).
-    pub scale: f64,
+    /// The workload spec; instance `i` builds it with seed `base_seed + i`.
+    pub workload: WorkloadSpec,
     /// Evaluation horizon (5·10⁴ for Table 1, 5·10⁵ for Table 2).
+    ///
+    /// Distinct from the workload spec's own `horizon` param (the submit
+    /// window): the paper evaluates at the same point generation stops, so
+    /// pass one value to both — as [`fairsched_workloads::synth_spec`] and
+    /// `resolve_workloads` do — unless a shorter/longer evaluation window
+    /// is the deliberate point of the experiment.
     pub horizon: Time,
-    /// Number of organizations (the paper uses 5; Figure 10 sweeps 2–10).
-    pub n_orgs: usize,
     /// Instances to average over (the paper uses 100).
     pub n_instances: usize,
     /// Base RNG seed; instance `i` uses `base_seed + i`.
     pub base_seed: u64,
-    /// Machine split between organizations.
-    pub split: MachineSplit,
     /// Algorithms to evaluate.
     pub algos: Vec<Algo>,
 }
@@ -189,11 +196,11 @@ pub struct ExperimentOutcome {
     pub failures: Vec<InstanceFailure>,
 }
 
-/// Runs one seeded instance: generates the workload, computes the REF
-/// reference schedule, then evaluates every algorithm's `Δψ/p_tot` —
-/// all through the [`Simulation`] session API and the shared default
-/// [`registry`]. Failures surface as typed [`SimError`]s instead of
-/// panics.
+/// Runs one seeded instance: builds the workload through the shared
+/// [`WorkloadRegistry`], computes the REF reference schedule, then
+/// evaluates every algorithm's `Δψ/p_tot` — all through the [`Simulation`]
+/// session API and the shared default [`registry`]. Failures surface as
+/// typed [`SimError`]s instead of panics.
 pub fn run_instance(
     exp: &DelayExperiment,
     seed: u64,
@@ -201,18 +208,29 @@ pub fn run_instance(
     run_instance_with_registry(exp, seed, registry())
 }
 
-/// [`run_instance`] resolving specs through a caller-supplied registry —
-/// the entry point for experiments over downstream policies added with
-/// `Registry::register`.
+/// [`run_instance`] resolving scheduler specs through a caller-supplied
+/// registry — the entry point for experiments over downstream policies
+/// added with `Registry::register`. (Downstream *workloads* go through
+/// [`run_instance_with_registries`].)
 pub fn run_instance_with_registry(
     exp: &DelayExperiment,
     seed: u64,
     registry: &Registry,
 ) -> Result<Vec<(String, f64)>, SimError> {
-    let p = preset(exp.preset, exp.scale, exp.horizon);
-    let jobs = generate(&p.synth, seed);
-    let trace = to_trace(&jobs, exp.n_orgs, p.synth.n_machines, exp.split, seed)
-        .map_err(SimError::InvalidTrace)?;
+    run_instance_with_registries(exp, seed, registry, WorkloadRegistry::shared())
+}
+
+/// [`run_instance`] with both registries caller-supplied, for experiments
+/// combining downstream policies and downstream workload families.
+pub fn run_instance_with_registries(
+    exp: &DelayExperiment,
+    seed: u64,
+    registry: &Registry,
+    workloads: &WorkloadRegistry,
+) -> Result<Vec<(String, f64)>, SimError> {
+    let trace = workloads
+        .build(&exp.workload, &WorkloadContext { seed })
+        .map_err(SimError::Workload)?;
 
     let session = Simulation::new(&trace)
         .registry(registry)
@@ -308,15 +326,20 @@ pub fn default_scale(name: PresetName) -> f64 {
 mod tests {
     use super::*;
 
+    use fairsched_workloads::{synth_spec, MachineSplit};
+
     fn tiny_exp() -> DelayExperiment {
         DelayExperiment {
-            preset: PresetName::LpcEgee,
-            scale: 0.1,
+            workload: synth_spec(
+                PresetName::LpcEgee,
+                0.1,
+                3,
+                MachineSplit::Zipf(1.0),
+                2_000,
+            ),
             horizon: 2_000,
-            n_orgs: 3,
             n_instances: 2,
             base_seed: 7,
-            split: MachineSplit::Zipf(1.0),
             algos: vec![Algo::RoundRobin, Algo::FairShare, Algo::Rand(5)],
         }
     }
@@ -401,6 +424,56 @@ mod tests {
         let outcome = try_run_delay_experiment_with_registry(&tiny_exp(), registry());
         assert!(outcome.failures.is_empty());
         assert_eq!(outcome.stats.len(), 3);
+    }
+
+    /// An invalid workload spec in the experiment matrix is collected as a
+    /// typed per-instance failure (seed + `SimError::Workload`), never a
+    /// panic, and the outcome structure still comes back well-formed so a
+    /// surrounding multi-workload sweep continues.
+    #[test]
+    fn invalid_workload_spec_is_collected_not_panicked() {
+        use fairsched_workloads::WorkloadError;
+        let mut exp = tiny_exp();
+        // scale=0 violates the synth factory's (0, 1] constraint.
+        exp.workload = "synth:preset=lpc,scale=0".parse().unwrap();
+        let outcome = try_run_delay_experiment_with_registry(&exp, registry());
+        assert_eq!(outcome.failures.len(), exp.n_instances, "every instance must fail");
+        for f in &outcome.failures {
+            assert!(
+                matches!(
+                    &f.error,
+                    SimError::Workload(WorkloadError::BadParam { workload, param, .. })
+                        if workload == "synth" && param == "scale"
+                ),
+                "unexpected error: {}",
+                f.error
+            );
+        }
+        assert_eq!(outcome.stats.len(), exp.algos.len());
+        assert!(outcome.stats.iter().all(|s| s.values.is_empty()));
+        // An unknown workload *name* is equally typed.
+        exp.workload = "quantumfoam:qubits=8".parse().unwrap();
+        let outcome = try_run_delay_experiment_with_registry(&exp, registry());
+        assert!(outcome.failures.iter().all(|f| matches!(
+            f.error,
+            SimError::Workload(WorkloadError::UnknownWorkload { .. })
+        )));
+    }
+
+    /// The spec-grid workload axis reaches experiments end to end: an fpt
+    /// family cell runs through the same runner as the synth presets.
+    #[test]
+    fn fpt_workload_specs_run_in_experiments() {
+        let exp = DelayExperiment {
+            workload: "fpt:horizon=600,k=3".parse().unwrap(),
+            horizon: 600,
+            n_instances: 1,
+            base_seed: 3,
+            algos: vec![Algo::Fifo, Algo::RoundRobin],
+        };
+        let stats = run_delay_experiment(&exp);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].values.len(), 1);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod model;
 pub mod reduction;
 pub mod schedule;
 pub mod scheduler;
+pub mod spec;
 pub mod utility;
 
 pub use model::{Job, JobId, JobMeta, MachineId, OrgId, OrgSpec, Time, Trace};

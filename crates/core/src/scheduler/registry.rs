@@ -43,6 +43,7 @@ use super::{
     RoundRobinScheduler, Scheduler, UtFairShareScheduler,
 };
 use crate::model::Trace;
+use crate::spec::{valid_ident, ParamError, SpecBody, SpecParseError};
 use crate::utility::{FlowTime, Makespan, ResourceShare, SpUtility, Tardiness};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -123,28 +124,19 @@ impl std::error::Error for SpecError {}
 /// A parsed scheduler configuration: a registry name plus string
 /// parameters, with a canonical textual form.
 ///
-/// Syntax: `name` or `name:key=value,key=value`. Names and keys are
-/// lowercase identifiers (`[a-z0-9_-]`); parameters are kept sorted, so
-/// `Display` output is canonical and `FromStr` ∘ `Display` is the
-/// identity on canonical strings.
+/// The grammar — `name` or `name:key=value,key=value`, sorted parameters,
+/// canonical `Display`, `FromStr` ∘ `Display` the identity on canonical
+/// strings — is the shared [`crate::spec`] grammar, the same one workload
+/// specs use; this type wraps [`SpecBody`] with scheduler-worded errors.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SchedulerSpec {
-    name: String,
-    params: BTreeMap<String, String>,
-}
-
-fn valid_ident(s: &str) -> bool {
-    !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-_".contains(c))
+    body: SpecBody,
 }
 
 impl SchedulerSpec {
     /// A parameterless spec.
     pub fn bare(name: impl Into<String>) -> Self {
-        let name = name.into();
-        debug_assert!(valid_ident(&name), "invalid spec name {name:?}");
-        SchedulerSpec { name, params: BTreeMap::new() }
+        SchedulerSpec { body: SpecBody::bare(name) }
     }
 
     /// Adds or replaces a parameter (builder style).
@@ -153,64 +145,53 @@ impl SchedulerSpec {
     /// Panics if the key is not a lowercase identifier or the rendered
     /// value is empty or contains `,`/`=` — such specs would break the
     /// `Display`/`FromStr` (and serde) round-trip contract.
-    pub fn with(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
-        let key = key.into();
-        assert!(valid_ident(&key), "invalid spec param key {key:?}");
-        let value = value.to_string();
-        assert!(
-            !value.is_empty() && !value.contains([',', '=']),
-            "invalid spec param value {value:?} for key {key:?}"
-        );
-        self.params.insert(key, value);
-        self
+    pub fn with(self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        SchedulerSpec { body: self.body.with(key, value) }
     }
 
     /// The registry name this spec selects.
     pub fn name(&self) -> &str {
-        &self.name
+        self.body.name()
     }
 
     /// All parameters, sorted by key.
     pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        self.body.params()
     }
 
     /// A raw parameter value.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.params.get(key).map(String::as_str)
+        self.body.get(key)
+    }
+
+    fn lift(&self, e: ParamError) -> SpecError {
+        match e {
+            ParamError::Unknown { param, accepted } => SpecError::UnknownParam {
+                scheduler: self.name().to_string(),
+                param,
+                accepted,
+            },
+            ParamError::Bad { param, reason } => {
+                SpecError::BadParam { scheduler: self.name().to_string(), param, reason }
+            }
+        }
     }
 
     /// Rejects parameters outside `accepted` (factories call this first so
     /// typos fail loudly instead of silently using defaults).
     pub fn deny_unknown_params(&self, accepted: &[&str]) -> Result<(), SpecError> {
-        for key in self.params.keys() {
-            if !accepted.contains(&key.as_str()) {
-                return Err(SpecError::UnknownParam {
-                    scheduler: self.name.clone(),
-                    param: key.clone(),
-                    accepted: accepted.iter().map(|s| s.to_string()).collect(),
-                });
-            }
-        }
-        Ok(())
+        self.body.deny_unknown_params(accepted).map_err(|e| self.lift(e))
     }
 
     /// A typed parameter with a default.
     pub fn parsed<T: FromStr>(&self, key: &str, default: T) -> Result<T, SpecError> {
-        match self.params.get(key) {
-            None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| SpecError::BadParam {
-                scheduler: self.name.clone(),
-                param: key.to_string(),
-                reason: format!("cannot parse {raw:?} as {}", std::any::type_name::<T>()),
-            }),
-        }
+        self.body.parsed(key, default).map_err(|e| self.lift(e))
     }
 
     /// A helper for range/constraint violations discovered by factories.
     pub fn bad_param(&self, key: &str, reason: impl Into<String>) -> SpecError {
         SpecError::BadParam {
-            scheduler: self.name.clone(),
+            scheduler: self.name().to_string(),
             param: key.to_string(),
             reason: reason.into(),
         }
@@ -219,11 +200,7 @@ impl SchedulerSpec {
 
 impl fmt::Display for SchedulerSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name)?;
-        for (i, (k, v)) in self.params.iter().enumerate() {
-            write!(f, "{}{k}={v}", if i == 0 { ':' } else { ',' })?;
-        }
-        Ok(())
+        self.body.fmt(f)
     }
 }
 
@@ -231,42 +208,13 @@ impl FromStr for SchedulerSpec {
     type Err = SpecError;
 
     fn from_str(s: &str) -> Result<Self, SpecError> {
-        let s = s.trim();
-        if s.is_empty() {
-            return Err(SpecError::Empty);
-        }
-        let bad = |reason: &str| SpecError::BadSyntax {
-            spec: s.to_string(),
-            reason: reason.to_string(),
-        };
-        let (name, rest) = match s.split_once(':') {
-            None => (s, None),
-            Some((name, rest)) => (name, Some(rest)),
-        };
-        if !valid_ident(name) {
-            return Err(bad("name must be a lowercase identifier"));
-        }
-        let mut params = BTreeMap::new();
-        if let Some(rest) = rest {
-            if rest.is_empty() {
-                return Err(bad("trailing ':' without parameters"));
-            }
-            for pair in rest.split(',') {
-                let (key, value) = pair
-                    .split_once('=')
-                    .ok_or_else(|| bad("parameters must look like key=value"))?;
-                if !valid_ident(key) {
-                    return Err(bad("parameter keys must be lowercase identifiers"));
-                }
-                if value.is_empty() {
-                    return Err(bad("parameter values must be non-empty"));
-                }
-                if params.insert(key.to_string(), value.to_string()).is_some() {
-                    return Err(bad("duplicate parameter key"));
-                }
+        match s.parse::<SpecBody>() {
+            Ok(body) => Ok(SchedulerSpec { body }),
+            Err(SpecParseError::Empty) => Err(SpecError::Empty),
+            Err(SpecParseError::BadSyntax { spec, reason }) => {
+                Err(SpecError::BadSyntax { spec, reason })
             }
         }
-        Ok(SchedulerSpec { name: name.to_string(), params })
     }
 }
 

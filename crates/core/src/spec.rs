@@ -1,0 +1,245 @@
+//! The shared `name[:key=value,...]` spec grammar.
+//!
+//! Two registries address their factories by spec strings: schedulers
+//! ([`crate::scheduler::registry::SchedulerSpec`], e.g. `rand:perms=15`)
+//! and workloads (`fairsched_workloads::spec::WorkloadSpec`, e.g.
+//! `synth:preset=ricc,scale=0.5`). Both must parse, canonicalize, and
+//! render *identically* — experiment matrices are pure data built from
+//! these strings — so the grammar lives here once and each registry wraps
+//! [`SpecBody`] in its own domain type with domain-worded errors.
+//!
+//! Grammar: `name` or `name:key=value,key=value`. Names and keys are
+//! lowercase identifiers (`[a-z0-9_-]`); values are non-empty and free of
+//! `,`/`=`. Parameters are kept sorted by key, so `Display` output is
+//! canonical and `FromStr` ∘ `Display` is the identity on canonical
+//! strings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Whether `s` is a valid spec name / parameter key.
+pub fn valid_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-_".contains(c))
+}
+
+/// Grammar-level parse failures (no domain knowledge: both registries map
+/// these into their own error types, preserving the wording).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecParseError {
+    /// The spec string was empty.
+    Empty,
+    /// The spec string does not follow `name[:key=value,...]`.
+    BadSyntax {
+        /// The offending input.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+/// Parameter-level failures reported by [`SpecBody`] helpers; the wrapping
+/// spec type attaches its own name and domain wording.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// A parameter key outside the accepted set.
+    Unknown {
+        /// The rejected key.
+        param: String,
+        /// Keys the factory accepts.
+        accepted: Vec<String>,
+    },
+    /// A parameter value failed to parse or violated a constraint.
+    Bad {
+        /// The parameter key.
+        param: String,
+        /// What was wrong with the value.
+        reason: String,
+    },
+}
+
+/// The parsed form shared by every spec type: a registry name plus sorted
+/// string parameters, with a canonical textual rendering.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpecBody {
+    name: String,
+    params: BTreeMap<String, String>,
+}
+
+impl SpecBody {
+    /// A parameterless spec.
+    pub fn bare(name: impl Into<String>) -> Self {
+        let name = name.into();
+        debug_assert!(valid_ident(&name), "invalid spec name {name:?}");
+        SpecBody { name, params: BTreeMap::new() }
+    }
+
+    /// Adds or replaces a parameter (builder style).
+    ///
+    /// # Panics
+    /// Panics if the key is not a lowercase identifier or the rendered
+    /// value is empty or contains `,`/`=` — such specs would break the
+    /// `Display`/`FromStr` (and serde) round-trip contract.
+    pub fn with(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        let key = key.into();
+        assert!(valid_ident(&key), "invalid spec param key {key:?}");
+        let value = value.to_string();
+        assert!(
+            !value.is_empty() && !value.contains([',', '=']),
+            "invalid spec param value {value:?} for key {key:?}"
+        );
+        self.params.insert(key, value);
+        self
+    }
+
+    /// The registry name this spec selects.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All parameters, sorted by key.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// A raw parameter value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params.get(key).map(String::as_str)
+    }
+
+    /// Rejects parameters outside `accepted` (factories call this first so
+    /// typos fail loudly instead of silently using defaults).
+    pub fn deny_unknown_params(&self, accepted: &[&str]) -> Result<(), ParamError> {
+        for key in self.params.keys() {
+            if !accepted.contains(&key.as_str()) {
+                return Err(ParamError::Unknown {
+                    param: key.clone(),
+                    accepted: accepted.iter().map(|s| s.to_string()).collect(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A typed parameter with a default.
+    pub fn parsed<T: FromStr>(&self, key: &str, default: T) -> Result<T, ParamError> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ParamError::Bad {
+                param: key.to_string(),
+                reason: format!("cannot parse {raw:?} as {}", std::any::type_name::<T>()),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for SpecBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            write!(f, "{}{k}={v}", if i == 0 { ':' } else { ',' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SpecBody {
+    type Err = SpecParseError;
+
+    fn from_str(s: &str) -> Result<Self, SpecParseError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SpecParseError::Empty);
+        }
+        let bad = |reason: &str| SpecParseError::BadSyntax {
+            spec: s.to_string(),
+            reason: reason.to_string(),
+        };
+        let (name, rest) = match s.split_once(':') {
+            None => (s, None),
+            Some((name, rest)) => (name, Some(rest)),
+        };
+        if !valid_ident(name) {
+            return Err(bad("name must be a lowercase identifier"));
+        }
+        let mut params = BTreeMap::new();
+        if let Some(rest) = rest {
+            if rest.is_empty() {
+                return Err(bad("trailing ':' without parameters"));
+            }
+            for pair in rest.split(',') {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| bad("parameters must look like key=value"))?;
+                if !valid_ident(key) {
+                    return Err(bad("parameter keys must be lowercase identifiers"));
+                }
+                if value.is_empty() {
+                    return Err(bad("parameter values must be non-empty"));
+                }
+                if params.insert(key.to_string(), value.to_string()).is_some() {
+                    return Err(bad("duplicate parameter key"));
+                }
+            }
+        }
+        Ok(SpecBody { name: name.to_string(), params })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_and_parameterized() {
+        let s: SpecBody = "ref".parse().unwrap();
+        assert_eq!(s.name(), "ref");
+        assert_eq!(s.params().count(), 0);
+
+        let s: SpecBody = "synth:preset=ricc,scale=0.5".parse().unwrap();
+        assert_eq!(s.name(), "synth");
+        assert_eq!(s.get("preset"), Some("ricc"));
+        assert_eq!(s.get("scale"), Some("0.5"));
+    }
+
+    #[test]
+    fn display_is_canonical_and_round_trips() {
+        for text in ["fpt:k=8", "synth:orgs=5,preset=lpc,scale=0.1", "swf:path=/a/b"] {
+            let spec: SpecBody = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+            let again: SpecBody = spec.to_string().parse().unwrap();
+            assert_eq!(again, spec);
+        }
+        // Parameters sort into canonical order.
+        let spec: SpecBody = "synth:scale=0.1,preset=lpc".parse().unwrap();
+        assert_eq!(spec.to_string(), "synth:preset=lpc,scale=0.1");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for text in ["", " ", "Ref", "x:", "x:k", "x:k=", "a b", "x:k=1,k=2", "x:=1"] {
+            assert!(text.parse::<SpecBody>().is_err(), "{text:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn param_helpers() {
+        let s: SpecBody = "fpt:k=8".parse().unwrap();
+        assert_eq!(s.parsed("k", 0usize).unwrap(), 8);
+        assert_eq!(s.parsed("horizon", 2_000u64).unwrap(), 2_000);
+        assert!(matches!(
+            s.deny_unknown_params(&["horizon"]),
+            Err(ParamError::Unknown { .. })
+        ));
+        let bad: SpecBody = "fpt:k=eight".parse().unwrap();
+        assert!(matches!(bad.parsed("k", 0usize), Err(ParamError::Bad { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid spec param value")]
+    fn with_rejects_values_that_break_round_trip() {
+        let _ = SpecBody::bare("x").with("k", "a,b=1");
+    }
+}

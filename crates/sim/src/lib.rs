@@ -49,4 +49,4 @@ pub mod session;
 
 pub use cluster::Cluster;
 pub use engine::{run_scheduler, simulate, simulate_with_options, SimOptions, SimResult};
-pub use session::{SimError, Simulation};
+pub use session::{GridCell, SimError, Simulation};

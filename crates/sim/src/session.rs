@@ -1,13 +1,14 @@
 //! The `Simulation` session API: one fluent, fallible entry point for
-//! running any registered scheduler over a trace.
+//! running any registered scheduler over any registered workload.
 //!
 //! The historical entry points ([`simulate`](crate::simulate),
 //! [`simulate_with_options`](crate::simulate_with_options)) take an
 //! already-constructed `&mut dyn Scheduler` and panic on every failure.
 //! [`Simulation`] replaces both concerns: schedulers are named by
-//! [`SchedulerSpec`] strings resolved through a
-//! [`Registry`], and every failure — malformed spec, unknown scheduler,
-//! invalid trace, scheduler contract violations — surfaces as a typed
+//! [`SchedulerSpec`] strings resolved through a [`Registry`], workloads by
+//! [`WorkloadSpec`] strings resolved through a [`WorkloadRegistry`], and
+//! every failure — malformed spec, unknown scheduler or workload, invalid
+//! trace, scheduler contract violations — surfaces as a typed
 //! [`SimError`].
 //!
 //! ```
@@ -33,6 +34,23 @@
 //! let specs = ["roundrobin".parse()?, "directcontr".parse()?];
 //! let results = Simulation::new(&trace).horizon(5_000).run_matrix(&specs)?;
 //! assert_eq!(results.len(), 2);
+//!
+//! // A session needs no hand-built trace: workloads are specs too, and a
+//! // whole (workload × scheduler) experiment grid is pure data.
+//! let result = Simulation::session()
+//!     .workload("fpt:k=2")?
+//!     .scheduler("fairshare")?
+//!     .horizon(500)
+//!     .seed(3)
+//!     .run()?;
+//! assert!(result.completed_jobs > 0);
+//!
+//! let grid = Simulation::session().horizon(500).seed(3).run_grid(
+//!     &["fpt:k=2".parse()?, "fpt:k=3".parse()?],
+//!     &["fifo".parse()?, "roundrobin".parse()?],
+//! );
+//! assert_eq!(grid.len(), 4);
+//! assert!(grid.iter().all(|cell| cell.result.is_ok()));
 //! # Ok::<(), fairsched_sim::SimError>(())
 //! ```
 
@@ -43,17 +61,26 @@ use fairsched_core::scheduler::registry::{
     BuildContext, Registry, SchedulerSpec, SpecError,
 };
 use fairsched_core::scheduler::Scheduler;
+use fairsched_workloads::spec::{
+    WorkloadContext, WorkloadError, WorkloadRegistry, WorkloadSpec,
+};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Why a simulation session could not produce a result.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum SimError {
     /// The trace fails model validation.
     InvalidTrace(TraceError),
     /// The scheduler spec was malformed, unknown, or had bad parameters.
     Spec(SpecError),
+    /// The workload spec was malformed, unknown, had bad parameters, or
+    /// failed to build (missing file, malformed SWF, invalid trace).
+    Workload(WorkloadError),
     /// `run` was called without choosing a scheduler.
     NoScheduler,
+    /// `run` was called on a session with neither a trace nor a workload.
+    NoWorkload,
     /// The scheduler broke the greedy contract by selecting an
     /// organization with no waiting jobs.
     BadSelection {
@@ -90,9 +117,14 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
             SimError::Spec(e) => write!(f, "{e}"),
+            SimError::Workload(e) => write!(f, "{e}"),
             SimError::NoScheduler => {
                 write!(f, "no scheduler chosen (call .scheduler(..) before .run())")
             }
+            SimError::NoWorkload => write!(
+                f,
+                "no trace or workload chosen (call Simulation::new(&trace) or .workload(..))"
+            ),
             SimError::BadSelection { scheduler, org, t } => write!(
                 f,
                 "scheduler {scheduler} selected {org} which has no waiting jobs at t={t}"
@@ -113,6 +145,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::InvalidTrace(e) => Some(e),
             SimError::Spec(e) => Some(e),
+            SimError::Workload(e) => Some(e),
             _ => None,
         }
     }
@@ -124,6 +157,12 @@ impl From<SpecError> for SimError {
     }
 }
 
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
 /// What `run` will instantiate.
 enum Chosen {
     None,
@@ -131,31 +170,88 @@ enum Chosen {
     Instance(Box<dyn Scheduler>),
 }
 
-/// A fluent simulation session over one trace.
+/// Where the session's trace comes from.
+enum Source<'a> {
+    /// Nothing chosen yet (only valid on a [`Simulation::session`]
+    /// template that is used for [`run_grid`](Simulation::run_grid) or
+    /// completed with [`workload`](Simulation::workload)).
+    None,
+    /// A caller-owned trace.
+    Trace(&'a Trace),
+    /// A workload spec, resolved through the workload registry with the
+    /// session seed when the run starts.
+    Workload(WorkloadSpec),
+}
+
+/// A fluent simulation session over one trace or workload spec.
 ///
 /// Defaults: horizon = [`Trace::completion_horizon`] (run to completion),
 /// `validate = false`, `seed = 0`, scheduler resolution through
-/// [`Registry::default`]. See the [module docs](self) for an example.
+/// [`Registry::shared`], workload resolution through
+/// [`WorkloadRegistry::shared`]. See the [module docs](self) for examples.
 pub struct Simulation<'a> {
-    trace: &'a Trace,
+    source: Source<'a>,
     registry: Option<&'a Registry>,
+    workloads: Option<&'a WorkloadRegistry>,
     chosen: Chosen,
     horizon: Option<Time>,
     validate: bool,
     seed: u64,
 }
 
-impl<'a> Simulation<'a> {
-    /// A session over `trace` with default settings.
-    pub fn new(trace: &'a Trace) -> Self {
+impl Simulation<'static> {
+    /// A settings-only session template with no trace or workload chosen
+    /// yet: complete it with [`workload`](Simulation::workload) /
+    /// [`workload_spec`](Simulation::workload_spec), or use it directly
+    /// for [`run_grid`](Simulation::run_grid), which supplies its own
+    /// workload axis.
+    pub fn session() -> Self {
         Simulation {
-            trace,
+            source: Source::None,
             registry: None,
+            workloads: None,
             chosen: Chosen::None,
             horizon: None,
             validate: false,
             seed: 0,
         }
+    }
+
+    /// A session over a registered workload, by spec string — shorthand
+    /// for `Simulation::session().workload(spec)`.
+    pub fn from_workload(spec: &str) -> Result<Self, SimError> {
+        Simulation::session().workload(spec)
+    }
+}
+
+impl<'a> Simulation<'a> {
+    /// A session over `trace` with default settings.
+    pub fn new(trace: &'a Trace) -> Self {
+        Simulation { source: Source::Trace(trace), ..Simulation::session() }
+    }
+
+    /// Chooses the workload by spec string (`"synth:preset=ricc,scale=0.5"`,
+    /// `"fpt:k=8"`, …), replacing any previously chosen trace or workload.
+    /// Fails fast on syntax errors; unknown names and bad parameter values
+    /// surface from [`run`](Simulation::run), where the workload registry
+    /// is consulted. The trace is built with the session
+    /// [`seed`](Simulation::seed).
+    pub fn workload(mut self, spec: &str) -> Result<Self, SimError> {
+        self.source = Source::Workload(spec.parse::<WorkloadSpec>()?);
+        Ok(self)
+    }
+
+    /// Chooses the workload by parsed spec.
+    pub fn workload_spec(mut self, spec: WorkloadSpec) -> Self {
+        self.source = Source::Workload(spec);
+        self
+    }
+
+    /// Resolves workload spec names through `registry` instead of
+    /// [`WorkloadRegistry::shared`].
+    pub fn workload_registry(mut self, registry: &'a WorkloadRegistry) -> Self {
+        self.workloads = Some(registry);
+        self
     }
 
     /// Chooses the scheduler by spec string (`"ref"`, `"rand:perms=15"`,
@@ -208,41 +304,66 @@ impl<'a> Simulation<'a> {
         self
     }
 
-    fn options(&self) -> SimOptions {
+    fn options_for(&self, trace: &Trace) -> SimOptions {
         SimOptions {
-            horizon: self.horizon.unwrap_or_else(|| self.trace.completion_horizon()),
+            horizon: self.horizon.unwrap_or_else(|| trace.completion_horizon()),
             validate: self.validate,
         }
     }
 
-    /// The registry this session resolves specs through: the explicit one
-    /// if supplied, else the process-wide [`Registry::shared`] default
-    /// (built once behind a `OnceLock`, not per call).
+    /// The registry this session resolves scheduler specs through: the
+    /// explicit one if supplied, else the process-wide [`Registry::shared`]
+    /// default (built once behind a `OnceLock`, not per call).
     fn resolve_registry(&self) -> &'a Registry {
         self.registry.unwrap_or_else(|| Registry::shared())
     }
 
-    fn build_spec(&self, spec: &SchedulerSpec) -> Result<Box<dyn Scheduler>, SimError> {
-        let ctx = BuildContext { trace: self.trace, seed: self.seed };
+    /// Likewise for workload specs.
+    fn resolve_workloads(&self) -> &'a WorkloadRegistry {
+        self.workloads.unwrap_or_else(|| WorkloadRegistry::shared())
+    }
+
+    /// The session's trace: borrowed when supplied via
+    /// [`new`](Simulation::new), built through the workload registry (with
+    /// the session seed) when chosen by spec.
+    fn resolve_trace(&self) -> Result<Cow<'a, Trace>, SimError> {
+        match &self.source {
+            Source::None => Err(SimError::NoWorkload),
+            Source::Trace(t) => Ok(Cow::Borrowed(*t)),
+            Source::Workload(spec) => {
+                let ctx = WorkloadContext { seed: self.seed };
+                Ok(Cow::Owned(self.resolve_workloads().build(spec, &ctx)?))
+            }
+        }
+    }
+
+    fn build_spec(
+        &self,
+        spec: &SchedulerSpec,
+        trace: &Trace,
+    ) -> Result<Box<dyn Scheduler>, SimError> {
+        let ctx = BuildContext { trace, seed: self.seed };
         self.resolve_registry().build(spec, &ctx).map_err(SimError::from)
     }
 
     /// Runs the session, consuming it.
     pub fn run(self) -> Result<SimResult, SimError> {
-        let options = self.options();
+        let trace = self.resolve_trace()?;
+        let options = self.options_for(&trace);
         let mut scheduler = match self.chosen {
             Chosen::None => return Err(SimError::NoScheduler),
             Chosen::Instance(s) => s,
-            Chosen::Spec(ref spec) => self.build_spec(spec)?,
+            Chosen::Spec(ref spec) => self.build_spec(spec, &trace)?,
         };
-        run_scheduler(self.trace, scheduler.as_mut(), options)
+        run_scheduler(&trace, scheduler.as_mut(), options)
     }
 
     /// Runs one simulation per spec with this session's settings (same
     /// trace, horizon, seed, validation) — the experiment-matrix helper
     /// behind the bench tables. Any scheduler chosen via
     /// [`scheduler`](Simulation::scheduler) is ignored here; only `specs`
-    /// are run.
+    /// are run. A workload source is resolved **once** and shared by every
+    /// cell.
     ///
     /// Sessions are embarrassingly parallel, so the specs are fanned out
     /// over [`parallel_map`](crate::parallel::parallel_map) worker
@@ -254,18 +375,85 @@ impl<'a> Simulation<'a> {
         &self,
         specs: &[SchedulerSpec],
     ) -> Result<Vec<SimResult>, SimError> {
-        let options = self.options();
+        let trace = self.resolve_trace()?;
+        self.run_matrix_on(&trace, specs).into_iter().collect()
+    }
+
+    /// The shared fan-out core of [`run_matrix`](Simulation::run_matrix)
+    /// and [`run_grid`](Simulation::run_grid): one result per scheduler
+    /// spec, in spec order, over an already-resolved trace.
+    fn run_matrix_on(
+        &self,
+        trace: &Trace,
+        specs: &[SchedulerSpec],
+    ) -> Vec<Result<SimResult, SimError>> {
+        let options = self.options_for(trace);
         let registry = self.resolve_registry();
-        let trace = self.trace;
         let seed = self.seed;
         crate::parallel::parallel_map(specs.to_vec(), move |spec| {
             let ctx = BuildContext { trace, seed };
             let mut scheduler = registry.build(&spec, &ctx).map_err(SimError::from)?;
             run_scheduler(trace, scheduler.as_mut(), options)
         })
-        .into_iter()
-        .collect()
     }
+
+    /// Runs the full `(workload × scheduler)` spec grid with this
+    /// session's settings — a whole experiment matrix as pure data. Cells
+    /// come back in row-major order (all schedulers of `workloads[0]`,
+    /// then `workloads[1]`, …), each carrying its own typed
+    /// `Result`: a workload that fails to build fails *its row's* cells
+    /// and the grid continues, so one bad spec cannot take down a sweep.
+    ///
+    /// Each workload is built once (with the session seed) and shared by
+    /// its row; scheduler cells fan out over
+    /// [`parallel_map`](crate::parallel::parallel_map) exactly as in
+    /// [`run_matrix`](Simulation::run_matrix), so results are identical to
+    /// the serial double loop.
+    pub fn run_grid(
+        &self,
+        workloads: &[WorkloadSpec],
+        schedulers: &[SchedulerSpec],
+    ) -> Vec<GridCell> {
+        let ctx = WorkloadContext { seed: self.seed };
+        let registry = self.resolve_workloads();
+        let mut cells = Vec::with_capacity(workloads.len() * schedulers.len());
+        for wspec in workloads {
+            match registry.build(wspec, &ctx) {
+                Err(e) => {
+                    for sspec in schedulers {
+                        cells.push(GridCell {
+                            workload: wspec.clone(),
+                            scheduler: sspec.clone(),
+                            result: Err(SimError::Workload(e.clone())),
+                        });
+                    }
+                }
+                Ok(trace) => {
+                    let row = self.run_matrix_on(&trace, schedulers);
+                    for (sspec, result) in schedulers.iter().zip(row) {
+                        cells.push(GridCell {
+                            workload: wspec.clone(),
+                            scheduler: sspec.clone(),
+                            result,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One cell of a [`Simulation::run_grid`] sweep: which workload × which
+/// scheduler, and the typed outcome.
+#[derive(Debug)]
+pub struct GridCell {
+    /// The workload axis value.
+    pub workload: WorkloadSpec,
+    /// The scheduler axis value.
+    pub scheduler: SchedulerSpec,
+    /// The run's outcome; errors are per-cell, the grid always completes.
+    pub result: Result<SimResult, SimError>,
 }
 
 impl fmt::Debug for Simulation<'_> {
@@ -274,6 +462,16 @@ impl fmt::Debug for Simulation<'_> {
             .field("horizon", &self.horizon)
             .field("validate", &self.validate)
             .field("seed", &self.seed)
+            .field(
+                "source",
+                &match &self.source {
+                    Source::None => "<none>".to_string(),
+                    Source::Trace(t) => {
+                        format!("<trace {} orgs, {} jobs>", t.n_orgs(), t.n_jobs())
+                    }
+                    Source::Workload(s) => s.to_string(),
+                },
+            )
             .field(
                 "scheduler",
                 &match &self.chosen {
@@ -452,6 +650,185 @@ mod tests {
         let err =
             Simulation::new(&trace).registry(&registry).scheduler("fifo").unwrap().run();
         assert!(matches!(err, Err(SimError::Spec(SpecError::UnknownScheduler { .. }))));
+    }
+
+    #[test]
+    fn workload_source_builds_through_registry() {
+        let result = Simulation::session()
+            .workload("fpt:k=2")
+            .unwrap()
+            .scheduler("fifo")
+            .unwrap()
+            .horizon(500)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert_eq!(result.scheduler, "Fifo");
+        assert!(result.completed_jobs > 0);
+    }
+
+    #[test]
+    fn workload_source_matches_direct_registry_build() {
+        use fairsched_workloads::spec::WorkloadRegistry;
+        let trace = WorkloadRegistry::shared()
+            .build_str("fpt:k=2", &WorkloadContext { seed: 9 })
+            .unwrap();
+        let direct = Simulation::new(&trace)
+            .scheduler("roundrobin")
+            .unwrap()
+            .horizon(400)
+            .seed(9)
+            .run()
+            .unwrap();
+        let via_spec = Simulation::from_workload("fpt:k=2")
+            .unwrap()
+            .scheduler("roundrobin")
+            .unwrap()
+            .horizon(400)
+            .seed(9)
+            .run()
+            .unwrap();
+        assert_eq!(direct.schedule, via_spec.schedule);
+        assert_eq!(direct.psi, via_spec.psi);
+    }
+
+    #[test]
+    fn session_without_source_is_typed_error() {
+        let err = Simulation::session().scheduler("fifo").unwrap().run();
+        assert!(matches!(err, Err(SimError::NoWorkload)));
+    }
+
+    #[test]
+    fn malformed_workload_spec_fails_fast() {
+        let err = Simulation::session().workload("fpt:k");
+        assert!(matches!(err, Err(SimError::Workload(WorkloadError::BadSyntax { .. }))));
+    }
+
+    #[test]
+    fn unknown_workload_surfaces_at_run() {
+        let err = Simulation::session()
+            .workload("marsbase:crew=3")
+            .unwrap()
+            .scheduler("fifo")
+            .unwrap()
+            .run();
+        assert!(matches!(
+            err,
+            Err(SimError::Workload(WorkloadError::UnknownWorkload { .. }))
+        ));
+    }
+
+    #[test]
+    fn run_matrix_over_workload_source_resolves_once_and_fans_out() {
+        let specs: Vec<SchedulerSpec> = ["fifo", "roundrobin", "rand:perms=5"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let session =
+            Simulation::session().workload("fpt:k=3").unwrap().horizon(600).seed(7);
+        let results = session.run_matrix(&specs).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].scheduler, "Fifo");
+        assert_eq!(results[2].scheduler, "Rand(N=5)");
+    }
+
+    /// The grid must equal the serial double loop cell for cell: same
+    /// row-major order, same schedules, same ψ vectors.
+    #[test]
+    fn run_grid_matches_serial_double_loop() {
+        use fairsched_workloads::spec::WorkloadRegistry;
+        let workloads: Vec<WorkloadSpec> = ["fpt:k=2", "fpt:horizon=500,k=3"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let schedulers: Vec<SchedulerSpec> = ["fifo", "fairshare", "rand:perms=4"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let grid = Simulation::session()
+            .horizon(400)
+            .validate(true)
+            .seed(11)
+            .run_grid(&workloads, &schedulers);
+        assert_eq!(grid.len(), 6);
+        let mut i = 0;
+        for wspec in &workloads {
+            let trace = WorkloadRegistry::shared()
+                .build(wspec, &WorkloadContext { seed: 11 })
+                .unwrap();
+            for sspec in &schedulers {
+                let cell = &grid[i];
+                assert_eq!(&cell.workload, wspec, "row-major order broken at {i}");
+                assert_eq!(&cell.scheduler, sspec, "row-major order broken at {i}");
+                let serial = Simulation::new(&trace)
+                    .scheduler_spec(sspec.clone())
+                    .horizon(400)
+                    .validate(true)
+                    .seed(11)
+                    .run()
+                    .unwrap();
+                let cell_result = cell.result.as_ref().unwrap();
+                assert_eq!(cell_result.schedule, serial.schedule, "cell {i} diverged");
+                assert_eq!(cell_result.psi, serial.psi, "ψ diverged at cell {i}");
+                i += 1;
+            }
+        }
+    }
+
+    /// One invalid workload spec fails its own row's cells with a typed
+    /// error; the rest of the grid still runs.
+    #[test]
+    fn run_grid_collects_typed_errors_and_continues() {
+        let workloads: Vec<WorkloadSpec> = ["fpt:k=2", "fpt:k=0", "fpt:k=3"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let schedulers: Vec<SchedulerSpec> =
+            ["fifo", "roundrobin"].iter().map(|s| s.parse().unwrap()).collect();
+        let grid =
+            Simulation::session().horizon(300).seed(5).run_grid(&workloads, &schedulers);
+        assert_eq!(grid.len(), 6);
+        for cell in &grid {
+            if cell.workload.to_string() == "fpt:k=0" {
+                assert!(
+                    matches!(
+                        cell.result,
+                        Err(SimError::Workload(WorkloadError::BadParam { .. }))
+                    ),
+                    "bad workload row must carry the typed build error"
+                );
+            } else {
+                assert!(
+                    cell.result.is_ok(),
+                    "healthy rows must survive a bad workload in the grid"
+                );
+            }
+        }
+        // Bad *scheduler* specs likewise fail per cell, not the grid.
+        let grid = Simulation::session().horizon(300).seed(5).run_grid(
+            &["fpt:k=2".parse().unwrap()],
+            &["fifo".parse().unwrap(), "warpdrive".parse().unwrap()],
+        );
+        assert!(grid[0].result.is_ok());
+        assert!(matches!(
+            grid[1].result,
+            Err(SimError::Spec(SpecError::UnknownScheduler { .. }))
+        ));
+    }
+
+    #[test]
+    fn grid_seed_flows_into_workload_builds() {
+        let workloads: Vec<WorkloadSpec> = vec!["fpt:k=2".parse().unwrap()];
+        let schedulers: Vec<SchedulerSpec> = vec!["fifo".parse().unwrap()];
+        let run = |seed| {
+            let mut grid = Simulation::session()
+                .horizon(300)
+                .seed(seed)
+                .run_grid(&workloads, &schedulers);
+            grid.remove(0).result.unwrap().schedule.entries().to_vec()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5), "different seeds must yield different workloads");
     }
 
     #[test]

@@ -20,15 +20,50 @@
 //! [`assign`] converts either source into a multi-organization
 //! [`fairsched_core::Trace`]: users → organizations uniformly, machines →
 //! organizations by Zipf/uniform/equal splits.
+//!
+//! # Spec-addressable workloads
+//!
+//! Every workload is reachable by a **spec string** through
+//! [`spec::WorkloadRegistry`], mirroring the scheduler registry — so an
+//! experiment matrix (workloads × schedulers) is pure data:
+//!
+//! | spec | meaning |
+//! |---|---|
+//! | `synth:preset=ricc,scale=0.5,orgs=8` | synthetic RICC-shaped workload at half scale, 8 organizations |
+//! | `synth:preset=lpc,scale=0.1,split=uniform` | LPC-EGEE shape, machines split uniformly instead of Zipf |
+//! | `swf:path=/logs/lpc.swf,start=0,end=86400` | replay the first day of a real archive log |
+//! | `fpt:k=8` | the lattice-bench FPT growth family at 8 organizations |
+//!
+//! ```
+//! use fairsched_workloads::spec::{WorkloadContext, WorkloadRegistry};
+//!
+//! let trace = WorkloadRegistry::shared()
+//!     .build_str("synth:horizon=1500,orgs=3,preset=lpc,scale=0.08",
+//!                &WorkloadContext { seed: 7 })
+//!     .unwrap();
+//! assert_eq!(trace.n_orgs(), 3);
+//! ```
+//!
+//! The grammar (`name[:key=value,...]`, sorted canonical parameters,
+//! `Display`/`FromStr` round-tripping exactly) is shared with scheduler
+//! specs via [`fairsched_core::spec`]. See [`spec`] for the full parameter
+//! tables and the [`spec::WorkloadFactory`] registration surface; every
+//! registered factory — built-in or downstream — is exercised by the
+//! workspace conformance suite (`tests/workload_conformance.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assign;
 pub mod presets;
+pub mod spec;
 pub mod swf;
 pub mod synth;
 
 pub use assign::{to_trace, MachineSplit, UserJob};
 pub use presets::{preset, Preset, PresetName};
+pub use spec::{
+    synth_spec, WorkloadContext, WorkloadError, WorkloadFactory, WorkloadRegistry,
+    WorkloadSpec,
+};
 pub use synth::{generate, SynthConfig};

@@ -46,7 +46,23 @@ impl PresetName {
         }
     }
 
-    /// Parses a label (case/punctuation-insensitive).
+    /// The canonical short key used in workload spec strings
+    /// (`synth:preset=<key>`); guaranteed to round-trip through
+    /// [`PresetName::parse`].
+    pub fn key(self) -> &'static str {
+        match self {
+            PresetName::LpcEgee => "lpc",
+            PresetName::PikIplex => "pik",
+            PresetName::Ricc => "ricc",
+            PresetName::SharcnetWhale => "sharcnet",
+        }
+    }
+
+    /// Parses a label (case/punctuation-insensitive). This is the **one**
+    /// parsing path for preset names: the CLI `--preset` flag, the bench
+    /// `--workload` flag, and the `synth` workload factory's `preset=`
+    /// parameter all resolve through it, so aliases and case rules cannot
+    /// drift apart.
     pub fn parse(s: &str) -> Option<PresetName> {
         let norm: String = s
             .chars()
@@ -149,6 +165,30 @@ mod tests {
             assert_eq!(PresetName::parse(name.label()), Some(name));
         }
         assert_eq!(PresetName::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn keys_and_aliases_all_resolve() {
+        // The canonical spec key round-trips...
+        for name in PresetName::ALL {
+            assert_eq!(PresetName::parse(name.key()), Some(name));
+        }
+        // ...and every documented alias/case/punctuation variant lands on
+        // the same preset as the canonical key (the single parsing path
+        // shared by `--preset`, `--workload`, and `synth:preset=`).
+        for (alias, want) in [
+            ("LPC", PresetName::LpcEgee),
+            ("lpc-egee", PresetName::LpcEgee),
+            ("LpcEgee", PresetName::LpcEgee),
+            ("PIK-IPLEX", PresetName::PikIplex),
+            ("pik_iplex", PresetName::PikIplex),
+            ("RICC", PresetName::Ricc),
+            ("whale", PresetName::SharcnetWhale),
+            ("Sharcnet", PresetName::SharcnetWhale),
+            ("SHARCNET-Whale", PresetName::SharcnetWhale),
+        ] {
+            assert_eq!(PresetName::parse(alias), Some(want), "alias {alias:?}");
+        }
     }
 
     #[test]

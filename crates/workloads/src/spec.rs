@@ -1,0 +1,971 @@
+//! The workload registry: one construction path for every workload.
+//!
+//! PR 1 made the *scheduler* axis of the paper's experiment matrix pure
+//! data (`SchedulerSpec` strings through
+//! `fairsched_core::scheduler::registry`); this module does the same for
+//! the *workload* axis, so a whole Section 7.2-style evaluation —
+//! workloads × machine splits × schedulers — is expressible as strings.
+//! It mirrors the scheduler registry piece for piece:
+//!
+//! * [`WorkloadSpec`] — a parsed, canonical description of a workload,
+//!   written as a string such as `"synth:preset=ricc,scale=0.5"`,
+//!   `"swf:path=/logs/lpc.swf,start=0,end=86400"` or `"fpt:k=8"`. Specs
+//!   share the [`fairsched_core::spec`] grammar with scheduler specs:
+//!   [`FromStr`]/[`Display`] round-trip exactly and parameters render in
+//!   canonical sorted order.
+//! * [`WorkloadFactory`] — an object-safe builder turning a spec plus a
+//!   [`WorkloadContext`] (seed) into a [`Trace`]. Factories also declare
+//!   [`conformance_specs`](WorkloadFactory::conformance_specs):
+//!   representative buildable specs that the cross-crate conformance
+//!   harness (`tests/workload_conformance.rs`) exercises, so
+//!   downstream-registered workloads inherit the round-trip, determinism
+//!   and validity guarantees for free.
+//! * [`WorkloadRegistry`] — a name → factory map.
+//!   [`WorkloadRegistry::default`] knows the built-in families below;
+//!   [`WorkloadRegistry::shared`] is the process-wide instance every
+//!   consumer (CLI `--workload`, bench experiments, `Simulation`
+//!   sessions) resolves through; [`WorkloadRegistry::register`] admits
+//!   downstream families without touching this crate.
+//!
+//! # Built-in families
+//!
+//! | spec | workload | parameters |
+//! |---|---|---|
+//! | `synth` | seeded synthetic preset ([`crate::presets`]) | `preset` (lpc \| pik \| ricc \| sharcnet, default lpc), `scale` (default 0.1), `orgs` (default 5), `horizon` (default 20000), `split` (zipf \| uniform \| equal, default zipf), `zipf` (exponent, default 1.0) |
+//! | `swf` | a Standard Workload Format log ([`crate::swf`]) | `path` (required), `start`/`end` (submit window, defaults 0/∞), `machines` (default 64), `orgs` (default 5), `split`, `zipf` |
+//! | `fpt` | the lattice-bench FPT growth family (`2k` users on `2k` machines, equal split) | `k` (required), `horizon` (default 2000), `load` (default 0.8), `median` (default 40), `sigma` (default 1.0), `maxdur` (default 500) |
+//!
+//! ```
+//! use fairsched_workloads::spec::{WorkloadContext, WorkloadRegistry, WorkloadSpec};
+//!
+//! let registry = WorkloadRegistry::default();
+//! let spec: WorkloadSpec = "synth:orgs=3,preset=lpc,scale=0.05".parse().unwrap();
+//! let trace = registry.build(&spec, &WorkloadContext { seed: 7 }).unwrap();
+//! assert_eq!(trace.n_orgs(), 3);
+//! assert_eq!(spec.to_string(), "synth:orgs=3,preset=lpc,scale=0.05");
+//! ```
+
+use crate::assign::{to_trace, MachineSplit};
+use crate::presets::{preset, PresetName};
+use crate::swf;
+use crate::synth::{generate, SynthConfig};
+use fairsched_core::model::{Time, Trace, TraceError};
+use fairsched_core::spec::{valid_ident, ParamError, SpecBody, SpecParseError};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Why a workload spec string or a build from one was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The spec string was empty.
+    Empty,
+    /// The spec string does not follow `name[:key=value,...]`.
+    BadSyntax {
+        /// The offending input.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// No factory is registered under the requested name.
+    UnknownWorkload {
+        /// The requested name.
+        name: String,
+        /// Registered names, sorted.
+        known: Vec<String>,
+    },
+    /// The named workload does not accept this parameter.
+    UnknownParam {
+        /// The workload name.
+        workload: String,
+        /// The rejected parameter key.
+        param: String,
+        /// Keys the workload accepts.
+        accepted: Vec<String>,
+    },
+    /// A parameter value failed to parse or violated a constraint.
+    BadParam {
+        /// The workload name.
+        workload: String,
+        /// The parameter key.
+        param: String,
+        /// What was wrong with the value.
+        reason: String,
+    },
+    /// A workload file (e.g. an SWF log) could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The workload file failed to parse as SWF.
+    Swf(swf::SwfError),
+    /// The generated trace failed model validation.
+    InvalidTrace(TraceError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Empty => write!(f, "empty workload spec"),
+            WorkloadError::BadSyntax { spec, reason } => {
+                write!(f, "malformed workload spec {spec:?}: {reason}")
+            }
+            WorkloadError::UnknownWorkload { name, known } => {
+                write!(f, "unknown workload {name:?} (known: {})", known.join(", "))
+            }
+            WorkloadError::UnknownParam { workload, param, accepted } => {
+                if accepted.is_empty() {
+                    write!(f, "workload {workload:?} takes no parameters, got {param:?}")
+                } else {
+                    write!(
+                        f,
+                        "workload {workload:?} does not accept {param:?} (accepted: {})",
+                        accepted.join(", ")
+                    )
+                }
+            }
+            WorkloadError::BadParam { workload, param, reason } => {
+                write!(f, "bad value for {workload}:{param}: {reason}")
+            }
+            WorkloadError::Io { path, message } => {
+                write!(f, "cannot read workload file {path:?}: {message}")
+            }
+            WorkloadError::Swf(e) => write!(f, "{e}"),
+            WorkloadError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Swf(e) => Some(e),
+            WorkloadError::InvalidTrace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<swf::SwfError> for WorkloadError {
+    fn from(e: swf::SwfError) -> Self {
+        WorkloadError::Swf(e)
+    }
+}
+
+impl From<TraceError> for WorkloadError {
+    fn from(e: TraceError) -> Self {
+        WorkloadError::InvalidTrace(e)
+    }
+}
+
+/// A parsed workload configuration: a registry name plus string
+/// parameters, with a canonical textual form.
+///
+/// The grammar is the shared [`fairsched_core::spec`] grammar (identical
+/// to scheduler specs): `name` or `name:key=value,...`, parameters sorted,
+/// `FromStr` ∘ `Display` the identity on canonical strings.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkloadSpec {
+    body: SpecBody,
+}
+
+impl WorkloadSpec {
+    /// A parameterless spec.
+    pub fn bare(name: impl Into<String>) -> Self {
+        WorkloadSpec { body: SpecBody::bare(name) }
+    }
+
+    /// Adds or replaces a parameter (builder style).
+    ///
+    /// # Panics
+    /// Panics if the key is not a lowercase identifier or the rendered
+    /// value is empty or contains `,`/`=` — such specs would break the
+    /// `Display`/`FromStr` round-trip contract.
+    pub fn with(self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        WorkloadSpec { body: self.body.with(key, value) }
+    }
+
+    /// The registry name this spec selects.
+    pub fn name(&self) -> &str {
+        self.body.name()
+    }
+
+    /// All parameters, sorted by key.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.body.params()
+    }
+
+    /// A raw parameter value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.body.get(key)
+    }
+
+    fn lift(&self, e: ParamError) -> WorkloadError {
+        match e {
+            ParamError::Unknown { param, accepted } => WorkloadError::UnknownParam {
+                workload: self.name().to_string(),
+                param,
+                accepted,
+            },
+            ParamError::Bad { param, reason } => WorkloadError::BadParam {
+                workload: self.name().to_string(),
+                param,
+                reason,
+            },
+        }
+    }
+
+    /// Rejects parameters outside `accepted` (factories call this first so
+    /// typos fail loudly instead of silently using defaults).
+    pub fn deny_unknown_params(&self, accepted: &[&str]) -> Result<(), WorkloadError> {
+        self.body.deny_unknown_params(accepted).map_err(|e| self.lift(e))
+    }
+
+    /// A typed parameter with a default.
+    pub fn parsed<T: FromStr>(&self, key: &str, default: T) -> Result<T, WorkloadError> {
+        self.body.parsed(key, default).map_err(|e| self.lift(e))
+    }
+
+    /// A helper for range/constraint violations discovered by factories.
+    pub fn bad_param(&self, key: &str, reason: impl Into<String>) -> WorkloadError {
+        WorkloadError::BadParam {
+            workload: self.name().to_string(),
+            param: key.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.body.fmt(f)
+    }
+}
+
+impl FromStr for WorkloadSpec {
+    type Err = WorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, WorkloadError> {
+        match s.parse::<SpecBody>() {
+            Ok(body) => Ok(WorkloadSpec { body }),
+            Err(SpecParseError::Empty) => Err(WorkloadError::Empty),
+            Err(SpecParseError::BadSyntax { spec, reason }) => {
+                Err(WorkloadError::BadSyntax { spec, reason })
+            }
+        }
+    }
+}
+
+/// Everything a factory may need beyond the spec itself: the seed driving
+/// generation, user→organization shuffling, and machine-split draws.
+#[derive(Copy, Clone, Debug)]
+pub struct WorkloadContext {
+    /// Seed for all workload randomness (same spec + same seed ⇒ the
+    /// identical [`Trace`], byte for byte — the conformance suite pins
+    /// this for every registered factory).
+    pub seed: u64,
+}
+
+/// An object-safe workload builder, registered under a unique name.
+pub trait WorkloadFactory: Send + Sync {
+    /// The registry name (what spec strings select).
+    fn name(&self) -> &str;
+
+    /// One-line human description, shown in CLI help.
+    fn summary(&self) -> &str;
+
+    /// Parameter keys this factory accepts (for error messages and docs).
+    fn accepted_params(&self) -> &[&str] {
+        &[]
+    }
+
+    /// Representative specs that must build in any environment — the
+    /// conformance harness runs every one of them through round-trip,
+    /// determinism, seed-sensitivity, and trace-validity checks. Must be
+    /// non-empty: the harness fails the build for factories that register
+    /// without conformance coverage.
+    fn conformance_specs(&self) -> Vec<WorkloadSpec>;
+
+    /// Whether different seeds must yield different traces (true for every
+    /// built-in family; a deterministic replay workload may opt out).
+    fn seed_sensitive(&self) -> bool {
+        true
+    }
+
+    /// Instantiates the trace for a spec in a context.
+    ///
+    /// Implementations should reject parameters outside
+    /// [`accepted_params`](WorkloadFactory::accepted_params) via
+    /// [`WorkloadSpec::deny_unknown_params`].
+    fn build(
+        &self,
+        spec: &WorkloadSpec,
+        ctx: &WorkloadContext,
+    ) -> Result<Trace, WorkloadError>;
+}
+
+/// A closure-backed [`WorkloadFactory`] (how all built-ins are defined).
+struct FnFactory<F> {
+    name: &'static str,
+    summary: &'static str,
+    accepted: &'static [&'static str],
+    conformance: fn() -> Vec<WorkloadSpec>,
+    build: F,
+}
+
+impl<F> WorkloadFactory for FnFactory<F>
+where
+    F: Fn(&WorkloadSpec, &WorkloadContext) -> Result<Trace, WorkloadError> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn summary(&self) -> &str {
+        self.summary
+    }
+
+    fn accepted_params(&self) -> &[&str] {
+        self.accepted
+    }
+
+    fn conformance_specs(&self) -> Vec<WorkloadSpec> {
+        (self.conformance)()
+    }
+
+    fn build(
+        &self,
+        spec: &WorkloadSpec,
+        ctx: &WorkloadContext,
+    ) -> Result<Trace, WorkloadError> {
+        spec.deny_unknown_params(self.accepted)?;
+        (self.build)(spec, ctx)
+    }
+}
+
+/// The name → factory map behind every workload construction in the
+/// workspace.
+///
+/// [`WorkloadRegistry::default`] pre-populates the built-in families
+/// (`synth`, `swf`, `fpt`); use [`WorkloadRegistry::new`] +
+/// [`WorkloadRegistry::register`] for a curated set, or `register` on a
+/// default registry to add downstream families.
+pub struct WorkloadRegistry {
+    factories: BTreeMap<String, Box<dyn WorkloadFactory>>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WorkloadRegistry { factories: BTreeMap::new() }
+    }
+
+    /// The process-wide default registry, built once on first use —
+    /// `Simulation` sessions, the bench runner, and the CLI all resolve
+    /// through it instead of rebuilding [`WorkloadRegistry::default`] per
+    /// call.
+    pub fn shared() -> &'static WorkloadRegistry {
+        static SHARED: std::sync::OnceLock<WorkloadRegistry> = std::sync::OnceLock::new();
+        SHARED.get_or_init(WorkloadRegistry::default)
+    }
+
+    /// Registers a factory, replacing any previous one of the same name
+    /// (last registration wins) and returning the replaced factory if any.
+    pub fn register(
+        &mut self,
+        factory: Box<dyn WorkloadFactory>,
+    ) -> Option<Box<dyn WorkloadFactory>> {
+        let name = factory.name().to_string();
+        debug_assert!(valid_ident(&name), "invalid factory name {name:?}");
+        self.factories.insert(name, factory)
+    }
+
+    /// The factory registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&dyn WorkloadFactory> {
+        self.factories.get(name).map(Box::as_ref)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+
+    /// Every factory's conformance specs, keyed by factory name — the
+    /// iteration surface of the cross-crate conformance harness.
+    pub fn conformance_specs(&self) -> Vec<(String, Vec<WorkloadSpec>)> {
+        self.factories
+            .values()
+            .map(|f| (f.name().to_string(), f.conformance_specs()))
+            .collect()
+    }
+
+    /// Builds a trace from a parsed spec.
+    pub fn build(
+        &self,
+        spec: &WorkloadSpec,
+        ctx: &WorkloadContext,
+    ) -> Result<Trace, WorkloadError> {
+        let factory = self.factories.get(spec.name()).ok_or_else(|| {
+            WorkloadError::UnknownWorkload {
+                name: spec.name().to_string(),
+                known: self.names().map(str::to_string).collect(),
+            }
+        })?;
+        factory.build(spec, ctx)
+    }
+
+    /// Parses and builds in one step.
+    pub fn build_str(
+        &self,
+        spec: &str,
+        ctx: &WorkloadContext,
+    ) -> Result<Trace, WorkloadError> {
+        self.build(&spec.parse()?, ctx)
+    }
+
+    /// A help listing: one `name — summary [params]` line per factory.
+    pub fn help(&self) -> String {
+        let mut out = String::new();
+        for f in self.factories.values() {
+            out.push_str(&format!("  {:<14} {}", f.name(), f.summary()));
+            if !f.accepted_params().is_empty() {
+                out.push_str(&format!(" (params: {})", f.accepted_params().join(", ")));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn register_fn<F>(
+        &mut self,
+        name: &'static str,
+        summary: &'static str,
+        accepted: &'static [&'static str],
+        conformance: fn() -> Vec<WorkloadSpec>,
+        build: F,
+    ) where
+        F: Fn(&WorkloadSpec, &WorkloadContext) -> Result<Trace, WorkloadError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.register(Box::new(FnFactory {
+            name,
+            summary,
+            accepted,
+            conformance,
+            build,
+        }));
+    }
+}
+
+impl fmt::Debug for WorkloadRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadRegistry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Resolves the shared `split`/`zipf` parameter pair into a
+/// [`MachineSplit`]; the `zipf` exponent is rejected unless `split` is
+/// `zipf` so a forgotten `split=uniform` cannot silently ignore it.
+fn split_from_spec(spec: &WorkloadSpec) -> Result<MachineSplit, WorkloadError> {
+    match spec.get("split").unwrap_or("zipf") {
+        "zipf" => {
+            let s = spec.parsed("zipf", 1.0f64)?;
+            if !s.is_finite() || s <= 0.0 {
+                return Err(spec.bad_param("zipf", "exponent must be positive"));
+            }
+            Ok(MachineSplit::Zipf(s))
+        }
+        other => {
+            if spec.get("zipf").is_some() {
+                return Err(spec.bad_param("zipf", "only meaningful with split=zipf"));
+            }
+            match other {
+                "uniform" => Ok(MachineSplit::Uniform),
+                "equal" => Ok(MachineSplit::Equal),
+                _ => Err(spec.bad_param(
+                    "split",
+                    format!("unknown split {other:?} (one of: zipf, uniform, equal)"),
+                )),
+            }
+        }
+    }
+}
+
+/// The canonical spec for a synthetic preset workload — the inverse of the
+/// `synth` factory, used by the bench runner and CLI to express their
+/// classic flag combinations as registry specs. A Zipf split with exponent
+/// 1.0 (the paper's default) is rendered with no `split`/`zipf` params,
+/// keeping the canonical form minimal.
+pub fn synth_spec(
+    preset: PresetName,
+    scale: f64,
+    orgs: usize,
+    split: MachineSplit,
+    horizon: Time,
+) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::bare("synth")
+        .with("preset", preset.key())
+        .with("scale", scale)
+        .with("orgs", orgs)
+        .with("horizon", horizon);
+    spec = match split {
+        // Zipf with exponent 1.0 is the default: omit both params so the
+        // canonical form stays minimal.
+        MachineSplit::Zipf(s) => {
+            if s == 1.0 {
+                spec
+            } else {
+                spec.with("split", "zipf").with("zipf", s)
+            }
+        }
+        MachineSplit::Uniform => spec.with("split", "uniform"),
+        MachineSplit::Equal => spec.with("split", "equal"),
+    };
+    spec
+}
+
+/// The canonical spec for the FPT lattice-bench family at `k`
+/// organizations (defaults for everything else).
+pub fn fpt_spec(k: usize) -> WorkloadSpec {
+    WorkloadSpec::bare("fpt").with("k", k)
+}
+
+/// The committed tiny SWF log used for conformance and examples (absolute
+/// path, so the harness finds it from any crate's test working directory).
+pub fn sample_swf_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/sample.swf")
+}
+
+fn synth_conformance() -> Vec<WorkloadSpec> {
+    vec![
+        "synth:horizon=1500,orgs=3,preset=lpc,scale=0.08".parse().unwrap(),
+        "synth:horizon=1200,orgs=2,preset=pik,scale=0.01,split=equal".parse().unwrap(),
+        "synth:horizon=1000,orgs=3,preset=ricc,scale=0.004,split=uniform"
+            .parse()
+            .unwrap(),
+        "synth:horizon=1200,orgs=4,preset=sharcnet,scale=0.008,split=zipf,zipf=1.5"
+            .parse()
+            .unwrap(),
+    ]
+}
+
+fn swf_conformance() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::bare("swf")
+            .with("path", sample_swf_path())
+            .with("machines", 6)
+            .with("orgs", 3),
+        WorkloadSpec::bare("swf")
+            .with("path", sample_swf_path())
+            .with("machines", 4)
+            .with("orgs", 2)
+            .with("start", 0)
+            .with("end", 500)
+            .with("split", "uniform"),
+    ]
+}
+
+fn fpt_conformance() -> Vec<WorkloadSpec> {
+    vec![
+        "fpt:k=3".parse().unwrap(),
+        "fpt:horizon=800,k=5,maxdur=120,median=25".parse().unwrap(),
+    ]
+}
+
+impl Default for WorkloadRegistry {
+    /// A registry with the built-in workload families: `synth` (the
+    /// Section 7.2 presets), `swf` (archive log replay), and `fpt` (the
+    /// lattice-bench growth family).
+    fn default() -> Self {
+        let mut r = WorkloadRegistry::new();
+        r.register_fn(
+            "synth",
+            "seeded synthetic preset (Section 7.2 archive shapes)",
+            &["preset", "scale", "orgs", "horizon", "split", "zipf"],
+            synth_conformance,
+            |spec, ctx| {
+                let name = spec.get("preset").unwrap_or("lpc");
+                let name = PresetName::parse(name).ok_or_else(|| {
+                    spec.bad_param(
+                        "preset",
+                        format!(
+                            "unknown preset {name:?} (one of: lpc, pik, ricc, sharcnet)"
+                        ),
+                    )
+                })?;
+                let scale = spec.parsed("scale", 0.1f64)?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(spec.bad_param("scale", "must be in (0, 1]"));
+                }
+                let orgs = spec.parsed("orgs", 5usize)?;
+                if orgs == 0 {
+                    return Err(spec.bad_param("orgs", "need at least one organization"));
+                }
+                let horizon = spec.parsed("horizon", 20_000u64)?;
+                if horizon == 0 {
+                    return Err(spec.bad_param("horizon", "must be positive"));
+                }
+                let split = split_from_spec(spec)?;
+                let p = preset(name, scale, horizon);
+                if p.synth.n_machines < orgs {
+                    return Err(spec.bad_param(
+                        "orgs",
+                        format!(
+                            "preset at this scale has only {} machines for {orgs} organizations",
+                            p.synth.n_machines
+                        ),
+                    ));
+                }
+                let jobs = generate(&p.synth, ctx.seed);
+                Ok(to_trace(&jobs, orgs, p.synth.n_machines, split, ctx.seed)?)
+            },
+        );
+        r.register_fn(
+            "swf",
+            "replay a Standard Workload Format archive log",
+            &["path", "start", "end", "machines", "orgs", "split", "zipf"],
+            swf_conformance,
+            |spec, ctx| {
+                let path = spec
+                    .get("path")
+                    .ok_or_else(|| {
+                        spec.bad_param("path", "required parameter is missing")
+                    })?
+                    .to_string();
+                let start = spec.parsed("start", 0u64)?;
+                let end = spec.parsed("end", Time::MAX)?;
+                if start >= end {
+                    return Err(spec.bad_param("end", "window end must exceed start"));
+                }
+                let machines = spec.parsed("machines", 64usize)?;
+                let orgs = spec.parsed("orgs", 5usize)?;
+                if orgs == 0 {
+                    return Err(spec.bad_param("orgs", "need at least one organization"));
+                }
+                if machines < orgs {
+                    return Err(spec.bad_param(
+                        "machines",
+                        format!("need at least one machine per organization ({orgs})"),
+                    ));
+                }
+                let split = split_from_spec(spec)?;
+                let text = std::fs::read_to_string(&path).map_err(|e| {
+                    WorkloadError::Io { path: path.clone(), message: e.to_string() }
+                })?;
+                let records = swf::parse(&text)?;
+                let jobs = swf::to_user_jobs(&records, start, end);
+                if jobs.is_empty() {
+                    return Err(spec.bad_param(
+                        "path",
+                        format!("submit window [{start}, {end}) selects no jobs"),
+                    ));
+                }
+                Ok(to_trace(&jobs, orgs, machines, split, ctx.seed)?)
+            },
+        );
+        r.register_fn(
+            "fpt",
+            "lattice-bench FPT growth family (2k users on 2k machines)",
+            &["k", "horizon", "load", "median", "sigma", "maxdur"],
+            fpt_conformance,
+            |spec, ctx| {
+                let k: usize = match spec.get("k") {
+                    None => {
+                        return Err(spec.bad_param("k", "required parameter is missing"))
+                    }
+                    Some(_) => spec.parsed("k", 0usize)?,
+                };
+                if k == 0 {
+                    return Err(spec.bad_param("k", "need at least one organization"));
+                }
+                let horizon = spec.parsed("horizon", 2_000u64)?;
+                if horizon == 0 {
+                    return Err(spec.bad_param("horizon", "must be positive"));
+                }
+                let load = spec.parsed("load", 0.8f64)?;
+                if !load.is_finite() || load <= 0.0 {
+                    return Err(spec.bad_param("load", "must be positive"));
+                }
+                let median = spec.parsed("median", 40.0f64)?;
+                if !median.is_finite() || median < 1.0 {
+                    return Err(spec.bad_param("median", "must be at least 1"));
+                }
+                let sigma = spec.parsed("sigma", 1.0f64)?;
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return Err(spec.bad_param("sigma", "must be non-negative"));
+                }
+                let maxdur = spec.parsed("maxdur", 500u64)?;
+                if maxdur == 0 {
+                    return Err(spec.bad_param("maxdur", "must be positive"));
+                }
+                let config = SynthConfig {
+                    n_users: 2 * k,
+                    horizon,
+                    n_machines: 2 * k,
+                    load,
+                    duration_median: median,
+                    duration_sigma: sigma,
+                    max_duration: maxdur,
+                    ..SynthConfig::default()
+                };
+                let jobs = generate(&config, ctx.seed);
+                Ok(to_trace(&jobs, k, 2 * k, MachineSplit::Equal, ctx.seed)?)
+            },
+        );
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(seed: u64) -> WorkloadContext {
+        WorkloadContext { seed }
+    }
+
+    #[test]
+    fn parses_and_round_trips() {
+        for text in [
+            "synth:preset=ricc,scale=0.5",
+            "fpt:k=8",
+            "swf:end=86400,path=/logs/lpc.swf,start=0",
+            "synth:orgs=8,preset=lpc,scale=0.5,split=uniform",
+        ] {
+            let spec: WorkloadSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+        }
+        // Params canonicalize into sorted order.
+        let spec: WorkloadSpec = "synth:scale=0.5,preset=ricc".parse().unwrap();
+        assert_eq!(spec.to_string(), "synth:preset=ricc,scale=0.5");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for text in ["", "  ", "Synth", "synth:", "synth:scale", "synth:scale="] {
+            assert!(text.parse::<WorkloadSpec>().is_err(), "{text:?} should not parse");
+        }
+        assert!(matches!("".parse::<WorkloadSpec>(), Err(WorkloadError::Empty)));
+        assert!(matches!(
+            "synth:".parse::<WorkloadSpec>(),
+            Err(WorkloadError::BadSyntax { .. })
+        ));
+    }
+
+    #[test]
+    fn default_registry_builds_every_conformance_spec() {
+        let registry = WorkloadRegistry::default();
+        for (name, specs) in registry.conformance_specs() {
+            assert!(!specs.is_empty(), "factory {name} has no conformance specs");
+            for spec in specs {
+                let trace = registry
+                    .build(&spec, &ctx(3))
+                    .unwrap_or_else(|e| panic!("conformance spec {spec} failed: {e}"));
+                assert!(trace.n_jobs() > 0, "{spec} built an empty trace");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_typed_error() {
+        let registry = WorkloadRegistry::default();
+        match registry.build_str("nonesuch:x=1", &ctx(0)) {
+            Err(WorkloadError::UnknownWorkload { name, known }) => {
+                assert_eq!(name, "nonesuch");
+                assert_eq!(known, vec!["fpt", "swf", "synth"]);
+            }
+            other => panic!("wrong outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_and_bad_params_are_typed_errors() {
+        let registry = WorkloadRegistry::default();
+        assert!(matches!(
+            registry.build_str("synth:bogus=1", &ctx(0)),
+            Err(WorkloadError::UnknownParam { .. })
+        ));
+        for bad in [
+            "synth:preset=venus",
+            "synth:scale=0",
+            "synth:scale=2",
+            "synth:orgs=0",
+            "synth:horizon=0",
+            "synth:split=diagonal",
+            "synth:split=equal,zipf=1.2",
+            "synth:orgs=900,preset=lpc,scale=0.1",
+            "fpt:k=0",
+            "fpt:k=three",
+            "fpt:k=2,load=0",
+            "swf:path=/nope,start=5,end=5",
+            "swf:machines=1,orgs=4,path=/nope",
+        ] {
+            assert!(
+                matches!(
+                    registry.build_str(bad, &ctx(0)),
+                    Err(WorkloadError::BadParam { .. })
+                ),
+                "{bad:?} should be BadParam"
+            );
+        }
+        // fpt without k, swf without path.
+        assert!(matches!(
+            registry.build_str("fpt", &ctx(0)),
+            Err(WorkloadError::BadParam { .. })
+        ));
+        assert!(matches!(
+            registry.build_str("swf", &ctx(0)),
+            Err(WorkloadError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn swf_missing_file_is_io_error() {
+        let registry = WorkloadRegistry::default();
+        assert!(matches!(
+            registry.build_str("swf:path=/no/such/file.swf", &ctx(0)),
+            Err(WorkloadError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn synth_spec_builder_is_canonical_and_builds() {
+        let spec =
+            synth_spec(PresetName::LpcEgee, 0.08, 3, MachineSplit::Zipf(1.0), 1_500);
+        assert_eq!(spec.to_string(), "synth:horizon=1500,orgs=3,preset=lpc,scale=0.08");
+        let spec2 = synth_spec(PresetName::Ricc, 0.004, 3, MachineSplit::Uniform, 1_000);
+        assert_eq!(
+            spec2.to_string(),
+            "synth:horizon=1000,orgs=3,preset=ricc,scale=0.004,split=uniform"
+        );
+        let spec3 =
+            synth_spec(PresetName::PikIplex, 0.01, 2, MachineSplit::Zipf(1.5), 900);
+        assert_eq!(
+            spec3.to_string(),
+            "synth:horizon=900,orgs=2,preset=pik,scale=0.01,split=zipf,zipf=1.5"
+        );
+        let registry = WorkloadRegistry::default();
+        let t = registry.build(&spec, &ctx(5)).unwrap();
+        assert_eq!(t.n_orgs(), 3);
+    }
+
+    #[test]
+    fn fpt_matches_direct_construction() {
+        // The registry fpt family must reproduce the historical
+        // `bench_workload` construction bit for bit (perf baselines and
+        // golden fixtures depend on it).
+        let k = 4;
+        let seed = 5;
+        let config = SynthConfig {
+            n_users: 2 * k,
+            horizon: 2_000,
+            n_machines: 2 * k,
+            load: 0.8,
+            duration_median: 40.0,
+            duration_sigma: 1.0,
+            max_duration: 500,
+            ..SynthConfig::default()
+        };
+        let jobs = generate(&config, seed);
+        let direct = to_trace(&jobs, k, 2 * k, MachineSplit::Equal, seed).unwrap();
+        let via_registry =
+            WorkloadRegistry::shared().build(&fpt_spec(k), &ctx(seed)).unwrap();
+        assert_eq!(direct, via_registry);
+    }
+
+    #[test]
+    fn synth_matches_direct_construction() {
+        let horizon = 1_500;
+        let p = preset(PresetName::LpcEgee, 0.08, horizon);
+        let jobs = generate(&p.synth, 9);
+        let direct =
+            to_trace(&jobs, 3, p.synth.n_machines, MachineSplit::Zipf(1.0), 9).unwrap();
+        let via_registry = WorkloadRegistry::shared()
+            .build(
+                &synth_spec(
+                    PresetName::LpcEgee,
+                    0.08,
+                    3,
+                    MachineSplit::Zipf(1.0),
+                    horizon,
+                ),
+                &ctx(9),
+            )
+            .unwrap();
+        assert_eq!(direct, via_registry);
+    }
+
+    #[test]
+    fn shared_registry_is_built_once_and_complete() {
+        let a = WorkloadRegistry::shared();
+        let b = WorkloadRegistry::shared();
+        assert!(std::ptr::eq(a, b), "shared() must return one instance");
+        let fresh = WorkloadRegistry::default();
+        assert_eq!(a.names().collect::<Vec<_>>(), fresh.names().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn registration_extends_and_overrides() {
+        struct Custom;
+        impl WorkloadFactory for Custom {
+            fn name(&self) -> &str {
+                "custom"
+            }
+            fn summary(&self) -> &str {
+                "test-only"
+            }
+            fn conformance_specs(&self) -> Vec<WorkloadSpec> {
+                vec![WorkloadSpec::bare("custom")]
+            }
+            fn build(
+                &self,
+                _spec: &WorkloadSpec,
+                _ctx: &WorkloadContext,
+            ) -> Result<Trace, WorkloadError> {
+                let mut b = Trace::builder();
+                let org = b.org("solo", 1);
+                b.job(org, 0, 3);
+                Ok(b.build()?)
+            }
+        }
+        let mut registry = WorkloadRegistry::default();
+        assert!(registry.register(Box::new(Custom)).is_none());
+        let t = registry.build_str("custom", &ctx(0)).unwrap();
+        assert_eq!(t.n_orgs(), 1);
+        assert!(registry.register(Box::new(Custom)).is_some());
+    }
+
+    #[test]
+    fn help_mentions_every_name() {
+        let registry = WorkloadRegistry::default();
+        let help = registry.help();
+        for name in registry.names() {
+            assert!(help.contains(name), "help is missing {name}");
+        }
+    }
+
+    #[test]
+    fn preset_param_shares_the_presetname_parsing_path() {
+        // Aliases and case-insensitive labels accepted by
+        // `PresetName::parse` work verbatim as `preset=` values.
+        let registry = WorkloadRegistry::default();
+        let base = "horizon=800,orgs=2,scale=0.05";
+        let canon =
+            registry.build_str(&format!("synth:{base},preset=lpc"), &ctx(3)).unwrap();
+        for alias in ["LPC", "lpc-egee", "LpcEgee", "LPC-EGEE"] {
+            let spec = WorkloadSpec::bare("synth")
+                .with("horizon", 800)
+                .with("orgs", 2)
+                .with("scale", 0.05)
+                .with("preset", alias);
+            let t = registry.build(&spec, &ctx(3)).unwrap();
+            assert_eq!(t, canon, "alias {alias:?} diverged from canonical preset");
+        }
+    }
+}

@@ -13,19 +13,21 @@
 use fairsched::core::fairness::FairnessReport;
 use fairsched::core::scheduler::SchedulerSpec;
 use fairsched::sim::{SimError, Simulation};
-use fairsched::workloads::{generate, preset, to_trace, MachineSplit, PresetName};
+use fairsched::workloads::{WorkloadContext, WorkloadRegistry};
 
 fn main() -> Result<(), SimError> {
     let horizon = 20_000;
     let seed = 2024;
-    let p = preset(PresetName::LpcEgee, 0.5, horizon);
-    let jobs = generate(&p.synth, seed);
-    let trace = to_trace(&jobs, 5, p.synth.n_machines, MachineSplit::Zipf(1.0), seed)
-        .expect("valid trace");
+    // The whole scenario is one workload registry spec: LPC-EGEE shape at
+    // half scale, five organizations, the paper's Zipf machine split.
+    let trace = WorkloadRegistry::shared().build_str(
+        "synth:horizon=20000,orgs=5,preset=lpc,scale=0.5",
+        &WorkloadContext { seed },
+    )?;
 
     println!(
         "consortium: 5 organizations, {} machines, {} jobs",
-        p.synth.n_machines,
+        trace.cluster_info().n_machines(),
         trace.n_jobs()
     );
     for (i, o) in trace.orgs().iter().enumerate() {

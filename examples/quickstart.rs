@@ -8,6 +8,7 @@ use fairsched::core::fairness::FairnessReport;
 use fairsched::core::scheduler::SchedulerSpec;
 use fairsched::core::Trace;
 use fairsched::sim::{SimError, Simulation};
+use fairsched::workloads::WorkloadSpec;
 
 fn main() -> Result<(), SimError> {
     // alpha brings 1 machine and a burst of work; beta brings 2 machines
@@ -38,6 +39,30 @@ fn main() -> Result<(), SimError> {
         );
         println!("--- {} ---", result.scheduler);
         println!("{report}");
+    }
+
+    // Workloads are registry specs too, so a whole experiment matrix —
+    // (workload × scheduler) — is pure data: no construction code at all.
+    let workloads: [WorkloadSpec; 2] = [
+        "fpt:k=2".parse().map_err(SimError::Workload)?,
+        "synth:horizon=800,orgs=3,preset=lpc,scale=0.05"
+            .parse()
+            .map_err(SimError::Workload)?,
+    ];
+    let schedulers: [SchedulerSpec; 2] = ["fairshare".parse()?, "roundrobin".parse()?];
+    println!("pure-data experiment grid (completed jobs per cell):");
+    for cell in
+        Simulation::session().horizon(800).seed(7).run_grid(&workloads, &schedulers)
+    {
+        let completed = cell
+            .result
+            .map(|r| r.completed_jobs.to_string())
+            .unwrap_or_else(|e| e.to_string());
+        println!(
+            "  {:<48} × {:<12} -> {completed}",
+            cell.workload.to_string(),
+            cell.scheduler.to_string()
+        );
     }
     Ok(())
 }

@@ -12,7 +12,7 @@
 
 use fairsched::core::fairness::FairnessReport;
 use fairsched::sim::{SimError, Simulation};
-use fairsched::workloads::{swf, to_trace, MachineSplit};
+use fairsched::workloads::{swf, WorkloadContext, WorkloadRegistry, WorkloadSpec};
 
 /// A hand-made SWF fragment: 18-field records, `;` headers, a cancelled
 /// job (runtime −1), parallel jobs (field 5 > 1), four users.
@@ -50,8 +50,18 @@ fn main() -> Result<(), SimError> {
         stats.jobs
     );
 
-    // Two organizations, four machines split by Zipf, users dealt uniformly.
-    let trace = to_trace(&jobs, 2, 4, MachineSplit::Zipf(1.0), 7).expect("valid trace");
+    // Replay through the workload registry: on disk, any archive log is
+    // addressable as an `swf:` spec (two organizations, four machines
+    // split by Zipf, users dealt uniformly — all parameters of the spec).
+    let log_path = std::env::temp_dir().join("fairsched_swf_replay_example.swf");
+    std::fs::write(&log_path, SAMPLE_LOG).expect("writable temp dir");
+    let spec = WorkloadSpec::bare("swf")
+        .with("path", log_path.display())
+        .with("machines", 4)
+        .with("orgs", 2)
+        .with("end", 1_000);
+    println!("\nworkload spec: {spec}");
+    let trace = WorkloadRegistry::shared().build(&spec, &WorkloadContext { seed: 7 })?;
     let horizon = 300;
 
     let session = Simulation::new(&trace).horizon(horizon);

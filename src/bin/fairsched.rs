@@ -11,6 +11,9 @@
 //! # any registry spec works, parameters included
 //! fairsched --preset lpc --scheduler rand:perms=75
 //! fairsched --preset lpc --scheduler general-ref:util=flowtime
+//! # workloads are registry specs too — the whole run is pure data
+//! fairsched --workload synth:preset=ricc,scale=0.02,orgs=4 --scheduler fairshare
+//! fairsched --workload fpt:k=6 --scheduler rand:perms=15 --horizon 2000
 //! # real archive log
 //! fairsched --swf ./LPC-EGEE-2004-1.2-cln.swf --machines 70 --orgs 5 \
 //!           --scheduler fairshare --horizon 50000
@@ -27,7 +30,8 @@ use fairsched::sim::gantt::render_gantt;
 use fairsched::sim::metrics::org_metrics;
 use fairsched::sim::Simulation;
 use fairsched::workloads::{
-    generate, preset, swf, to_trace, MachineSplit, PresetName, UserJob,
+    swf, synth_spec, MachineSplit, PresetName, WorkloadContext, WorkloadRegistry,
+    WorkloadSpec,
 };
 use serde::Serialize;
 use std::collections::HashMap;
@@ -35,17 +39,22 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fairsched [--preset NAME | --swf FILE] [options]
+        "usage: fairsched [--workload SPEC | --preset NAME | --swf FILE] [options]
 
 workload:
-  --preset NAME        synthetic preset: lpc | pik | ricc | sharcnet (default lpc)
+  --workload SPEC      a workload registry spec: NAME or NAME:key=value,...
+                       registered workloads:
+{workload_help}
+  --preset NAME        sugar for a synth: spec — lpc | pik | ricc | sharcnet
+                       (default lpc)
   --scale F            preset scale in (0,1] (default 0.1)
-  --swf FILE           replay a Standard Workload Format log instead
+  --swf FILE           sugar for an swf: spec — replay a Standard Workload
+                       Format log
   --machines M         machine count (SWF mode; default 64)
   --window-start T     SWF submit window start (default 0)
 
 scheduling:
-  --scheduler SPEC     a registry spec: NAME or NAME:key=value,...
+  --scheduler SPEC     a scheduler registry spec: NAME or NAME:key=value,...
                        (default directcontr); registered schedulers:
 {registry_help}
   --orgs K             number of organizations (default 5)
@@ -57,6 +66,12 @@ output:
   --json               print the full report as JSON (schedule omitted)
   --gantt              print an ASCII Gantt chart (small runs)
   --no-reference       skip the exact REF fairness comparison",
+        workload_help = WorkloadRegistry::shared()
+            .help()
+            .lines()
+            .map(|l| format!("     {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
         registry_help = Registry::default()
             .help()
             .lines()
@@ -71,6 +86,8 @@ output:
 #[derive(Serialize)]
 struct JsonReport {
     workload: String,
+    /// Canonical workload registry spec the trace was built from.
+    workload_spec: String,
     scheduler_spec: String,
     scheduler: String,
     n_orgs: usize,
@@ -133,8 +150,37 @@ fn main() {
         MachineSplit::Zipf(1.0)
     };
 
-    // Build the trace.
-    let (trace, source): (Trace, String) = if let Some(path) = opts.get("swf") {
+    // Resolve the workload flags into one registry spec: `--workload` is
+    // used verbatim; `--preset` and `--swf` are sugar for `synth:` /
+    // `swf:` specs. Either way the trace is built through the shared
+    // workload registry — the same path the bench tables and sessions use.
+    let (workload_spec, source): (WorkloadSpec, String) = if let Some(raw) =
+        opts.get("workload")
+    {
+        // The classic workload flags only parameterize the --preset/--swf
+        // sugar; with a full spec they would be silently contradicted, so
+        // say which ones are being ignored.
+        let ignored: Vec<&str> =
+            ["preset", "scale", "swf", "machines", "window-start", "orgs"]
+                .into_iter()
+                .filter(|k| opts.contains_key(*k))
+                .chain(has("uniform-split").then_some("uniform-split"))
+                .collect();
+        if !ignored.is_empty() {
+            eprintln!(
+                "warning: --workload takes a complete spec; ignoring --{} (set them as spec parameters instead)",
+                ignored.join(", --")
+            );
+        }
+        let spec: WorkloadSpec = raw.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        });
+        let source = spec.to_string();
+        (spec, source)
+    } else if let Some(path) = opts.get("swf") {
+        // Parse once up front for the summary line (the registry will
+        // re-read the file; CLI startup cost, not a hot path).
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             exit(1)
@@ -149,28 +195,35 @@ fn main() {
             stats.jobs, stats.users, stats.span, stats.runtime_percentiles.1
         );
         let start: u64 = get("window-start", "0").parse().unwrap_or_else(|_| usage());
-        let jobs: Vec<UserJob> = swf::to_user_jobs(&records, start, start + horizon);
         let machines: usize = get("machines", "64").parse().unwrap_or_else(|_| usage());
-        (
-            to_trace(&jobs, orgs, machines, split, seed).unwrap_or_else(|e| {
-                eprintln!("invalid trace: {e}");
-                exit(1)
-            }),
-            format!("SWF {path}"),
-        )
+        if path.contains([',', '=']) {
+            eprintln!("--swf path {path:?} contains ',' or '=' (unrepresentable in a workload spec)");
+            exit(1)
+        }
+        let mut spec = WorkloadSpec::bare("swf")
+            .with("path", path)
+            .with("start", start)
+            .with("end", start + horizon)
+            .with("machines", machines)
+            .with("orgs", orgs);
+        if matches!(split, MachineSplit::Uniform) {
+            spec = spec.with("split", "uniform");
+        }
+        (spec, format!("SWF {path}"))
     } else {
         let name = PresetName::parse(&get("preset", "lpc")).unwrap_or_else(|| usage());
         let scale: f64 = get("scale", "0.1").parse().unwrap_or_else(|_| usage());
-        let p = preset(name, scale, horizon);
-        let jobs = generate(&p.synth, seed);
         (
-            to_trace(&jobs, orgs, p.synth.n_machines, split, seed).unwrap_or_else(|e| {
-                eprintln!("invalid trace: {e}");
-                exit(1)
-            }),
+            synth_spec(name, scale, orgs, split, horizon),
             format!("{} (synthetic, scale {scale})", name.label()),
         )
     };
+    let trace: Trace = WorkloadRegistry::shared()
+        .build(&workload_spec, &WorkloadContext { seed })
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        });
 
     // One session template: trace + horizon + seed, any registry scheduler.
     let spec = get("scheduler", "directcontr").to_lowercase();
@@ -201,6 +254,7 @@ fn main() {
     if has("json") {
         let report = JsonReport {
             workload: source,
+            workload_spec: workload_spec.to_string(),
             scheduler_spec: spec,
             scheduler: result.scheduler.clone(),
             n_orgs: trace.n_orgs(),

@@ -23,9 +23,11 @@
 //! Every scheduler is reachable through the
 //! [`core::scheduler::registry`]: name it by a spec string — `"ref"`,
 //! `"directcontr"`, `"rand:perms=15"`, `"general-ref:util=flowtime"` — and
-//! run it with the [`sim::Simulation`] session builder. Failures (unknown
-//! specs, bad parameters, invalid traces, scheduler contract violations)
-//! come back as a typed [`sim::SimError`].
+//! run it with the [`sim::Simulation`] session builder. Workloads are spec
+//! strings too, through [`workloads::spec`] — `"synth:preset=ricc,scale=0.5"`,
+//! `"swf:path=/logs/lpc.swf"`, `"fpt:k=8"` — so a whole experiment matrix
+//! is pure data. Failures (unknown specs, bad parameters, invalid traces,
+//! scheduler contract violations) come back as a typed [`sim::SimError`].
 //!
 //! ```
 //! use fairsched::core::fairness::FairnessReport;
@@ -57,10 +59,32 @@
 //! ```
 //!
 //! To sweep several schedulers with identical settings, use
-//! [`sim::Simulation::run_matrix`]; to add your own policy, implement
+//! [`sim::Simulation::run_matrix`]; for a full **pure-data experiment
+//! matrix** — workloads × schedulers, no construction code — use
+//! [`sim::Simulation::run_grid`]:
+//!
+//! ```
+//! use fairsched::sim::Simulation;
+//!
+//! let grid = Simulation::session().horizon(500).seed(7).run_grid(
+//!     &["fpt:k=2".parse()?, "fpt:k=3".parse()?],
+//!     &["fairshare".parse()?, "roundrobin".parse()?],
+//! );
+//! assert_eq!(grid.len(), 4); // row-major: every workload × every scheduler
+//! for cell in &grid {
+//!     let done = cell.result.as_ref().map(|r| r.completed_jobs).unwrap_or(0);
+//!     println!("{} × {} -> {done} jobs", cell.workload, cell.scheduler);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! To add your own policy, implement
 //! [`core::scheduler::SchedulerFactory`] and
-//! [`core::scheduler::registry::Registry::register`] it — every consumer
-//! (CLI, bench tables, sessions) picks it up by spec string.
+//! [`core::scheduler::registry::Registry::register`] it; to add your own
+//! workload family, implement [`workloads::WorkloadFactory`] (declaring
+//! `conformance_specs`, which the workspace conformance suite exercises
+//! automatically) and [`workloads::WorkloadRegistry::register`] it — every
+//! consumer (CLI, bench tables, sessions) picks both up by spec string.
 
 pub use coopgame;
 pub use fairsched_core as core;

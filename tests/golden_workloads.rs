@@ -1,0 +1,119 @@
+//! Golden fixtures for the synthetic workload generator.
+//!
+//! The experiment inputs must be **bit-for-bit deterministic**: for a
+//! fixed workload spec and seed, the generated trace (every organization's
+//! machine count and every job's `(org, release, proc)` tuple) is fully
+//! determined. The fixtures under `tests/golden/workloads/` pin one tiny
+//! trace per Section 7.2 preset (plus the fpt lattice-bench family), built
+//! through the workload registry — so a refactor of the synth generator,
+//! the preset tables, or the user→organization assignment cannot silently
+//! shift every experiment's inputs.
+//!
+//! Regenerate with `REGEN_GOLDEN=1 cargo test --test golden_workloads` —
+//! but only when a *deliberate* generator change is being made, in which
+//! case the diff documents it (and invalidates comparisons against
+//! previously published numbers).
+
+use fairsched::core::Trace;
+use fairsched::workloads::spec::{WorkloadContext, WorkloadRegistry, WorkloadSpec};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Canonical, diff-friendly rendering: the spec + seed provenance, each
+/// organization's machine count, and one line per job.
+fn render(spec: &WorkloadSpec, seed: u64, trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "spec={spec}");
+    let _ = writeln!(out, "seed={seed}");
+    for org in trace.orgs() {
+        let _ = writeln!(out, "org={} machines={}", org.name, org.n_machines);
+    }
+    for job in trace.jobs() {
+        let _ = writeln!(
+            out,
+            "job={} org={} release={} proc={}",
+            job.id.index(),
+            job.org.index(),
+            job.release,
+            job.proc_time
+        );
+    }
+    out
+}
+
+struct Case {
+    name: &'static str,
+    spec: &'static str,
+    seed: u64,
+}
+
+/// One tiny case per preset (same shapes the conformance suite builds,
+/// small enough to diff by eye) plus the fpt bench family.
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "lpc_egee_tiny",
+            spec: "synth:horizon=1500,orgs=3,preset=lpc,scale=0.08",
+            seed: 42,
+        },
+        Case {
+            name: "pik_iplex_tiny",
+            spec: "synth:horizon=1200,orgs=2,preset=pik,scale=0.01,split=equal",
+            seed: 42,
+        },
+        Case {
+            name: "ricc_tiny",
+            spec: "synth:horizon=1000,orgs=3,preset=ricc,scale=0.004,split=uniform",
+            seed: 42,
+        },
+        Case {
+            name: "sharcnet_whale_tiny",
+            spec: "synth:horizon=1200,orgs=4,preset=sharcnet,scale=0.008,split=zipf,zipf=1.5",
+            seed: 42,
+        },
+        Case { name: "fpt_k3", spec: "fpt:horizon=800,k=3,maxdur=120", seed: 5 },
+    ]
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/workloads")
+        .join(format!("{name}.txt"))
+}
+
+#[test]
+fn preset_workloads_match_golden_fixtures() {
+    let regen = std::env::var_os("REGEN_GOLDEN").is_some();
+    let registry = WorkloadRegistry::shared();
+    let mut mismatches = Vec::new();
+    for case in cases() {
+        let spec: WorkloadSpec = case.spec.parse().expect("golden specs parse");
+        let ctx = WorkloadContext { seed: case.seed };
+        let trace = registry.build(&spec, &ctx).expect("golden specs build");
+        // Bit-identical across two runs in this process, by construction —
+        // the fixture additionally pins the bits across *code changes*.
+        assert_eq!(
+            trace,
+            registry.build(&spec, &ctx).unwrap(),
+            "{} not deterministic within one process",
+            case.name
+        );
+        let rendered = render(&spec, case.seed, &trace);
+        let path = golden_path(case.name);
+        if regen {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+        if rendered != expected {
+            mismatches.push(case.name);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "generated workloads diverged from the golden fixtures for: {mismatches:?} \
+         (REGEN_GOLDEN=1 only for deliberate generator changes)"
+    );
+}
