@@ -8,8 +8,8 @@
 //!        --seed S --json
 
 use fairsched_bench::cli::Cli;
+use fairsched_bench::format_sig;
 use fairsched_bench::runner::{run_delay_experiment, Algo, DelayExperiment};
-use fairsched_bench::table::format_sig;
 use fairsched_workloads::{synth_spec, MachineSplit, PresetName};
 use serde::Serialize;
 
@@ -54,6 +54,7 @@ fn main() {
             n_instances: instances,
             base_seed: seed,
             algos: algos.clone(),
+            metric: DelayExperiment::delay_metric(),
         };
         let stats = run_delay_experiment(&exp);
         points.push(Fig10Point {

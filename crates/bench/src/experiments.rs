@@ -2,8 +2,8 @@
 
 use crate::cli::Cli;
 use crate::runner::{default_scale, run_delay_experiment, Algo, DelayExperiment};
-use crate::table::DelayTable;
 use fairsched_core::model::Time;
+use fairsched_sim::report::{MetricSpec, SummaryTable};
 use fairsched_workloads::spec::WorkloadSpec;
 use fairsched_workloads::{synth_spec, MachineSplit, PresetName};
 
@@ -52,7 +52,9 @@ pub fn resolve_workloads(
 /// Recognized flags: `--instances N`, `--orgs K`, `--seed S`,
 /// `--scale F` (overrides per-preset defaults), `--paper-scale`
 /// (full archive sizes + 100 instances), `--uniform-split`,
-/// `--extended` (adds Rand(75), Fifo, Random rows), `--json`,
+/// `--extended` (adds Rand(75), Fifo, Random rows), `--json`, `--csv`,
+/// `--metric SPEC` (the metric-registry spec each cell aggregates;
+/// default `delay`, the paper's `Δψ/p_tot`),
 /// `--workload NAME_OR_SPEC` (restrict to one workload: a preset label or
 /// any workload registry spec string).
 pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances: usize) {
@@ -61,6 +63,13 @@ pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances:
         cli.get_or("instances", if paper_scale { 100 } else { default_instances });
     let n_orgs = cli.get_or("orgs", 5usize);
     let base_seed = cli.get_or("seed", 42u64);
+    let metric: MetricSpec = cli
+        .get("metric")
+        .map(|m| {
+            m.parse()
+                .unwrap_or_else(|e| panic!("--metric {m:?} is not a valid spec: {e}"))
+        })
+        .unwrap_or_else(DelayExperiment::delay_metric);
     let split = if cli.has("uniform-split") {
         MachineSplit::Uniform
     } else {
@@ -93,6 +102,7 @@ pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances:
             n_instances,
             base_seed,
             algos: algos.clone(),
+            metric: metric.clone(),
         };
         eprintln!(
             "running {label} ({workload}, {n_instances} instances, horizon {horizon})..."
@@ -100,15 +110,23 @@ pub fn run_delay_table(cli: &Cli, title: &str, horizon: Time, default_instances:
         cells.push(run_delay_experiment(&exp));
     }
 
-    let table = DelayTable {
+    let metric_label = if metric == DelayExperiment::delay_metric() {
+        "Δψ/p_tot".to_string()
+    } else {
+        metric.to_string()
+    };
+    let table = SummaryTable {
         title: format!(
-            "{title} — Δψ/p_tot (avg over {n_instances} instances, horizon {horizon}, {orgs_note})"
+            "{title} — {metric_label} (avg over {n_instances} instances, horizon {horizon}, {orgs_note})"
         ),
-        workloads: workloads.iter().map(|(label, _)| label.clone()).collect(),
+        metric: metric.to_string(),
+        columns: workloads.iter().map(|(label, _)| label.clone()).collect(),
         cells,
     };
     if cli.has("json") {
         println!("{}", table.to_json());
+    } else if cli.has("csv") {
+        println!("{}", table.to_csv());
     } else {
         println!("{}", table.render());
     }

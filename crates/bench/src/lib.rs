@@ -23,8 +23,8 @@ pub mod cli;
 pub mod experiments;
 pub mod parallel;
 pub mod runner;
-pub mod table;
 
+pub use fairsched_sim::report::{format_sig, LabeledStat, SummaryTable};
 pub use runner::{
     run_delay_experiment, Algo, AlgoStats, DelayExperiment, ExperimentOutcome,
     InstanceFailure,

@@ -1,16 +1,15 @@
 //! The delay-table experiment runner (Tables 1–2, Figure 10).
 
 use crate::parallel::parallel_map;
-use fairsched_core::fairness::FairnessReport;
 use fairsched_core::model::{Time, Trace};
 use fairsched_core::scheduler::registry::{
     BuildContext, Registry, SchedulerSpec, SpecError,
 };
 use fairsched_core::scheduler::Scheduler;
+use fairsched_sim::report::{LabeledStat, MetricSpec, Report};
 use fairsched_sim::{SimError, Simulation};
 use fairsched_workloads::spec::{WorkloadContext, WorkloadRegistry, WorkloadSpec};
 use fairsched_workloads::PresetName;
-use serde::Serialize;
 use std::fmt;
 
 /// The shared default scheduler registry that [`Algo`] and the experiment
@@ -142,33 +141,24 @@ pub struct DelayExperiment {
     pub base_seed: u64,
     /// Algorithms to evaluate.
     pub algos: Vec<Algo>,
+    /// The metric whose aggregate each cell reports — resolved through
+    /// the shared [`fairsched_sim::report::MetricRegistry`]. The paper's
+    /// tables use [`DelayExperiment::delay_metric`] (`Δψ/p_tot` vs REF);
+    /// any registered metric spec works (`stretch`,
+    /// `delay:norm=ideal`, …).
+    pub metric: MetricSpec,
 }
 
-/// Mean/sd of `Δψ/p_tot` for one algorithm.
-#[derive(Clone, Debug, Serialize)]
-pub struct AlgoStats {
-    /// Algorithm label.
-    pub label: String,
-    /// Mean unfairness over instances.
-    pub mean: f64,
-    /// Sample standard deviation.
-    pub sd: f64,
-    /// Per-instance values.
-    pub values: Vec<f64>,
-}
-
-impl AlgoStats {
-    fn from_values(label: String, values: Vec<f64>) -> AlgoStats {
-        let n = values.len().max(1) as f64;
-        let mean = values.iter().sum::<f64>() / n;
-        let var = if values.len() > 1 {
-            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
-        } else {
-            0.0
-        };
-        AlgoStats { label, mean, sd: var.sqrt(), values }
+impl DelayExperiment {
+    /// The paper's table metric: `delay` (aggregate `Δψ/p_tot` vs REF).
+    pub fn delay_metric() -> MetricSpec {
+        MetricSpec::bare("delay")
     }
 }
+
+/// Per-algorithm mean/sd of the experiment metric — the aggregation is
+/// [`fairsched_sim::report::LabeledStat`], shared with every report sink.
+pub type AlgoStats = LabeledStat;
 
 /// One failed experiment instance: which seed, and the typed reason
 /// (malformed spec, trace validation, scheduler contract violation, …).
@@ -197,10 +187,12 @@ pub struct ExperimentOutcome {
 }
 
 /// Runs one seeded instance: builds the workload through the shared
-/// [`WorkloadRegistry`], computes the REF reference schedule, then
-/// evaluates every algorithm's `Δψ/p_tot` — all through the [`Simulation`]
-/// session API and the shared default [`registry`]. Failures surface as
-/// typed [`SimError`]s instead of panics.
+/// [`WorkloadRegistry`], then evaluates every algorithm's experiment
+/// metric through the typed [`Report`] pipeline (the REF reference
+/// schedule is run automatically when the metric compares against it) —
+/// all through the [`Simulation`] session API and the shared default
+/// [`registry`]. Failures surface as typed [`SimError`]s instead of
+/// panics.
 pub fn run_instance(
     exp: &DelayExperiment,
     seed: u64,
@@ -228,32 +220,42 @@ pub fn run_instance_with_registries(
     registry: &Registry,
     workloads: &WorkloadRegistry,
 ) -> Result<Vec<(String, f64)>, SimError> {
-    let trace = workloads
-        .build(&exp.workload, &WorkloadContext { seed })
-        .map_err(SimError::Workload)?;
-
-    let session = Simulation::new(&trace)
-        .registry(registry)
-        .horizon(exp.horizon)
-        .seed(seed ^ 0x5eed);
-    let ref_result = session.run_matrix(&[SchedulerSpec::bare("ref")])?.remove(0);
-
-    let specs: Vec<SchedulerSpec> = exp.algos.iter().map(Algo::spec).collect();
-    let results = session.run_matrix(&specs)?;
+    let reports = run_instance_reports(exp, seed, registry, workloads)?;
     Ok(exp
         .algos
         .iter()
-        .zip(results)
-        .map(|(algo, result)| {
-            let report = FairnessReport::from_schedules(
-                &trace,
-                &result.schedule,
-                &ref_result.schedule,
-                exp.horizon,
-            );
-            (algo.label(), report.unfairness())
+        .zip(reports)
+        .map(|(algo, report)| {
+            let value =
+                report.columns.first().map(|c| c.aggregate.as_f64()).unwrap_or_default();
+            (algo.label(), value)
         })
         .collect())
+}
+
+/// The full per-instance reports behind [`run_instance`]: one typed
+/// [`Report`] per algorithm (canonical metric spec included for
+/// provenance), in algorithm order.
+pub fn run_instance_reports(
+    exp: &DelayExperiment,
+    seed: u64,
+    registry: &Registry,
+    workloads: &WorkloadRegistry,
+) -> Result<Vec<Report>, SimError> {
+    let trace = workloads
+        .build(&exp.workload, &WorkloadContext { seed })
+        .map_err(SimError::Workload)?;
+    let session = Simulation::new(&trace)
+        .registry(registry)
+        .horizon(exp.horizon)
+        .seed(seed ^ 0x5eed)
+        .metric_specs(vec![exp.metric.clone()]);
+    let specs: Vec<SchedulerSpec> = exp.algos.iter().map(Algo::spec).collect();
+    let mut reports = session.run_matrix_reports(&specs)?;
+    for report in &mut reports {
+        report.workload_spec = Some(exp.workload.clone());
+    }
+    Ok(reports)
 }
 
 /// Runs the full experiment (instances in parallel) and aggregates,
@@ -341,6 +343,7 @@ mod tests {
             n_instances: 2,
             base_seed: 7,
             algos: vec![Algo::RoundRobin, Algo::FairShare, Algo::Rand(5)],
+            metric: DelayExperiment::delay_metric(),
         }
     }
 
@@ -470,6 +473,7 @@ mod tests {
             n_instances: 1,
             base_seed: 3,
             algos: vec![Algo::Fifo, Algo::RoundRobin],
+            metric: DelayExperiment::delay_metric(),
         };
         let stats = run_delay_experiment(&exp);
         assert_eq!(stats.len(), 2);

@@ -139,12 +139,14 @@ impl SchedulerSpec {
         SchedulerSpec { body: SpecBody::bare(name) }
     }
 
-    /// Adds or replaces a parameter (builder style).
+    /// Adds or replaces a parameter (builder style). Values containing
+    /// the structural characters `%`/`,`/`=` are percent-escaped on
+    /// render, so the `Display`/`FromStr` (and serde) round trip holds
+    /// for any non-empty value.
     ///
     /// # Panics
     /// Panics if the key is not a lowercase identifier or the rendered
-    /// value is empty or contains `,`/`=` — such specs would break the
-    /// `Display`/`FromStr` (and serde) round-trip contract.
+    /// value is empty.
     pub fn with(self, key: impl Into<String>, value: impl fmt::Display) -> Self {
         SchedulerSpec { body: self.body.with(key, value) }
     }
@@ -597,9 +599,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid spec param value")]
-    fn with_rejects_values_that_break_round_trip() {
-        let _ = SchedulerSpec::bare("x").with("k", "a,b=1");
+    fn reserved_value_characters_round_trip_escaped() {
+        let spec = SchedulerSpec::bare("x").with("k", "a,b=1");
+        assert_eq!(spec.to_string(), "x:k=a%2cb%3d1");
+        let back: SchedulerSpec = spec.to_string().parse().unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.get("k"), Some("a,b=1"));
     }
 
     #[test]

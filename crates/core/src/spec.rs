@@ -9,10 +9,14 @@
 //! [`SpecBody`] in its own domain type with domain-worded errors.
 //!
 //! Grammar: `name` or `name:key=value,key=value`. Names and keys are
-//! lowercase identifiers (`[a-z0-9_-]`); values are non-empty and free of
-//! `,`/`=`. Parameters are kept sorted by key, so `Display` output is
-//! canonical and `FromStr` ∘ `Display` is the identity on canonical
-//! strings.
+//! lowercase identifiers (`[a-z0-9_-]`); values are non-empty. The
+//! structural characters `%`, `,`, `=` and ASCII whitespace are
+//! percent-escaped inside values (`%25`, `%2c`, `%3d`, `%20`, …), so
+//! arbitrary strings — e.g. SWF archive paths containing commas —
+//! round-trip: [`SpecBody::with`] stores the raw value, `Display`
+//! escapes it, and `FromStr` unescapes. Parameters
+//! are kept sorted by key, so `Display` output is canonical and
+//! `FromStr` ∘ `Display` is the identity on canonical strings.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -23,6 +27,60 @@ pub fn valid_ident(s: &str) -> bool {
     !s.is_empty()
         && s.chars()
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-_".contains(c))
+}
+
+/// Percent-escapes the characters the grammar cannot carry raw inside a
+/// parameter value: the structural `%`/`,`/`=` (→ `%25`/`%2c`/`%3d`) and
+/// ASCII whitespace (space/tab/LF/CR → `%20`/`%09`/`%0a`/`%0d`, which the
+/// whole-spec `trim` in `FromStr` would otherwise strip). Everything else
+/// passes through, so `unescape_value(&escape_value(v)) == v` for every
+/// string.
+pub fn escape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ',' => out.push_str("%2c"),
+            '=' => out.push_str("%3d"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0a"),
+            '\r' => out.push_str("%0d"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undoes [`escape_value`]. Only the escapes the grammar emits (`%25`,
+/// `%2c`, `%3d`, `%20`, `%09`, `%0a`, `%0d`, case-insensitive) are
+/// accepted; any other use of `%` is an error, keeping parse ∘ display
+/// exact.
+pub fn unescape_value(raw: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let pair: String = chars.by_ref().take(2).collect();
+        match pair.to_ascii_lowercase().as_str() {
+            "25" => out.push('%'),
+            "2c" => out.push(','),
+            "3d" => out.push('='),
+            "20" => out.push(' '),
+            "09" => out.push('\t'),
+            "0a" => out.push('\n'),
+            "0d" => out.push('\r'),
+            _ => {
+                return Err(format!(
+                    "invalid percent-escape \"%{pair}\" (defined: %25 %2c %3d %20 %09 %0a %0d)"
+                ))
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Grammar-level parse failures (no domain knowledge: both registries map
@@ -76,20 +134,20 @@ impl SpecBody {
         SpecBody { name, params: BTreeMap::new() }
     }
 
-    /// Adds or replaces a parameter (builder style).
+    /// Adds or replaces a parameter (builder style). The value is stored
+    /// raw; `Display` percent-escapes the structural characters
+    /// `%`/`,`/`=` (as `%25`/`%2c`/`%3d`) so any non-empty value —
+    /// archive paths with commas included — survives the
+    /// `Display`/`FromStr` (and serde) round trip.
     ///
     /// # Panics
     /// Panics if the key is not a lowercase identifier or the rendered
-    /// value is empty or contains `,`/`=` — such specs would break the
-    /// `Display`/`FromStr` (and serde) round-trip contract.
+    /// value is empty.
     pub fn with(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
         let key = key.into();
         assert!(valid_ident(&key), "invalid spec param key {key:?}");
         let value = value.to_string();
-        assert!(
-            !value.is_empty() && !value.contains([',', '=']),
-            "invalid spec param value {value:?} for key {key:?}"
-        );
+        assert!(!value.is_empty(), "empty spec param value for key {key:?}");
         self.params.insert(key, value);
         self
     }
@@ -139,7 +197,7 @@ impl fmt::Display for SpecBody {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.name)?;
         for (i, (k, v)) in self.params.iter().enumerate() {
-            write!(f, "{}{k}={v}", if i == 0 { ':' } else { ',' })?;
+            write!(f, "{}{k}={}", if i == 0 { ':' } else { ',' }, escape_value(v))?;
         }
         Ok(())
     }
@@ -149,7 +207,10 @@ impl FromStr for SpecBody {
     type Err = SpecParseError;
 
     fn from_str(s: &str) -> Result<Self, SpecParseError> {
-        let s = s.trim();
+        // Trim exactly the whitespace [`escape_value`] escapes (space,
+        // tab, LF, CR) — trimming more would strip value characters the
+        // renderer passed through raw and break the round trip.
+        let s = s.trim_matches([' ', '\t', '\n', '\r']);
         if s.is_empty() {
             return Err(SpecParseError::Empty);
         }
@@ -179,7 +240,8 @@ impl FromStr for SpecBody {
                 if value.is_empty() {
                     return Err(bad("parameter values must be non-empty"));
                 }
-                if params.insert(key.to_string(), value.to_string()).is_some() {
+                let value = unescape_value(value).map_err(|reason| bad(&reason))?;
+                if params.insert(key.to_string(), value).is_some() {
                     return Err(bad("duplicate parameter key"));
                 }
             }
@@ -191,6 +253,7 @@ impl FromStr for SpecBody {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn parses_bare_and_parameterized() {
@@ -238,8 +301,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid spec param value")]
-    fn with_rejects_values_that_break_round_trip() {
-        let _ = SpecBody::bare("x").with("k", "a,b=1");
+    #[should_panic(expected = "empty spec param value")]
+    fn with_rejects_empty_values() {
+        let _ = SpecBody::bare("x").with("k", "");
+    }
+
+    #[test]
+    fn reserved_characters_escape_and_round_trip() {
+        let spec = SpecBody::bare("swf").with("path", "/a,b=c/100%.swf");
+        assert_eq!(spec.to_string(), "swf:path=/a%2cb%3dc/100%25.swf");
+        let back: SpecBody = spec.to_string().parse().unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.get("path"), Some("/a,b=c/100%.swf"));
+        // Canonical fixpoint: re-rendering the reparsed spec is stable.
+        assert_eq!(back.to_string(), spec.to_string());
+        // Upper-case escapes are accepted on input, lower-case on output.
+        let upper: SpecBody = "swf:path=/a%2Cb%3Dc/100%25.swf".parse().unwrap();
+        assert_eq!(upper, spec);
+    }
+
+    #[test]
+    fn exotic_whitespace_values_round_trip() {
+        // FromStr trims only the four escaped ASCII whitespace chars, so
+        // values carrying other (unescaped) whitespace — vertical tab,
+        // form feed, NBSP — pass through raw and round-trip, even at the
+        // value edges or as the entire value.
+        for value in ["a\u{000B}", "\u{000C}", "\u{00A0}padded\u{00A0}", "x y\u{000B}"] {
+            let spec = SpecBody::bare("x").with("k", value);
+            let back: SpecBody = spec.to_string().parse().unwrap();
+            assert_eq!(back.get("k"), Some(value), "value {value:?} did not round-trip");
+            assert_eq!(back.to_string(), spec.to_string());
+        }
+        // Escaped ASCII whitespace still survives trimming positions.
+        let spec = SpecBody::bare("x").with("k", " lead and trail ");
+        assert_eq!(spec.to_string(), "x:k=%20lead%20and%20trail%20");
+        let back: SpecBody = spec.to_string().parse().unwrap();
+        assert_eq!(back.get("k"), Some(" lead and trail "));
+    }
+
+    #[test]
+    fn malformed_percent_escapes_are_rejected() {
+        for text in ["x:k=100%", "x:k=%2", "x:k=%zz", "x:k=a%41b"] {
+            assert!(
+                matches!(text.parse::<SpecBody>(), Err(SpecParseError::BadSyntax { .. })),
+                "{text:?} should not parse"
+            );
+        }
+    }
+
+    proptest! {
+        /// escape ∘ parse identity: any value built from the alphabet
+        /// (reserved characters included) survives the render/reparse
+        /// round trip exactly.
+        #[test]
+        fn prop_escape_parse_identity(
+            picks in proptest::collection::vec(0usize..12, 1..40)
+        ) {
+            const ALPHABET: [char; 12] =
+                ['a', 'z', '0', '9', '/', '.', '-', '_', '%', ',', '=', ' '];
+            let raw: String = picks.iter().map(|&i| ALPHABET[i]).collect();
+            prop_assert_eq!(unescape_value(&escape_value(&raw)).unwrap(), raw.clone());
+            let spec = SpecBody::bare("x").with("k", &raw);
+            let back: SpecBody = spec.to_string().parse().unwrap();
+            prop_assert_eq!(back.get("k"), Some(raw.as_str()));
+            prop_assert_eq!(back.to_string(), spec.to_string());
+        }
     }
 }

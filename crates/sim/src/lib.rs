@@ -45,8 +45,13 @@ pub mod exhaustive;
 pub mod gantt;
 pub mod metrics;
 pub mod parallel;
+pub mod report;
 pub mod session;
 
 pub use cluster::Cluster;
 pub use engine::{run_scheduler, simulate, simulate_with_options, SimOptions, SimResult};
-pub use session::{GridCell, SimError, Simulation};
+pub use report::{
+    MetricColumn, MetricContext, MetricError, MetricFactory, MetricRegistry, MetricSpec,
+    MetricValue, Report,
+};
+pub use session::{GridCell, ReportCell, SimError, Simulation, DEFAULT_REPORT_METRICS};

@@ -1,0 +1,1678 @@
+//! The metrics registry and the typed `Report` pipeline — the measurement
+//! half of the spec-addressable triad.
+//!
+//! PR 1 made *schedulers* pure data (`SchedulerSpec` through
+//! `fairsched_core::scheduler::registry`), PR 3 did the same for
+//! *workloads* (`WorkloadSpec` through `fairsched_workloads::spec`); this
+//! module completes the triad for *fairness measures*, so a whole
+//! evaluation — which policies, on which workloads, measured how — is
+//! expressible as strings. It mirrors the other two registries piece for
+//! piece:
+//!
+//! * [`MetricSpec`] — a parsed, canonical description of a fairness
+//!   index, written as a string such as `"delay"`, `"delay:norm=ideal"`,
+//!   `"psi"`, `"utility:kind=contrib"`, `"stretch"` or `"ranking"`. Specs
+//!   share the [`fairsched_core::spec`] grammar with scheduler and
+//!   workload specs: `FromStr`/`Display` round-trip exactly and
+//!   parameters render in canonical sorted order.
+//! * [`MetricFactory`] — an object-safe evaluator turning a spec plus a
+//!   [`MetricContext`] (trace, schedule, exact `ψ_sp`, horizon, optional
+//!   REF reference) into a per-organization [`MetricColumn`]. Factories
+//!   declare [`conformance_specs`](MetricFactory::conformance_specs)
+//!   (mandatory — the cross-crate harness in `tests/metric_conformance.rs`
+//!   fails factories registered without coverage), whether they
+//!   [`need a reference`](MetricFactory::needs_reference) schedule, and
+//!   whether their values are
+//!   [`horizon-invariant`](MetricFactory::horizon_invariant) once every
+//!   scheduled job has completed.
+//! * [`MetricRegistry`] — a name → factory map with the built-in
+//!   families below; [`MetricRegistry::shared`] is the process-wide
+//!   instance, [`MetricRegistry::register`] admits downstream fairness
+//!   indices in one file.
+//!
+//! # Built-in metric families
+//!
+//! | spec | per-organization value | aggregate | reference? |
+//! |---|---|---|---|
+//! | `machines` | machines contributed | pool size | no |
+//! | `completed` | jobs completed by the horizon | total | no |
+//! | `flow` | total flow time of completed jobs | total | no |
+//! | `waiting` | total waiting time of started jobs | total | no |
+//! | `units` | unit job parts executed | busy time | no |
+//! | `stretch` | mean stretch of completed jobs | overall mean | no |
+//! | `utilization` | executed units / own machine-time | pool utilization | no |
+//! | `psi` | exact `ψ_sp` | coalition value | no |
+//! | `utility` | pluggable utility (`kind` = sp \| flowtime \| makespan \| share \| tardiness \| contrib) | sum | no |
+//! | `delay` | deviation from REF (`norm` = ptot \| none \| ideal) | `Δψ/p_tot` (the paper's Tables 1–2 number) | yes |
+//! | `ranking` | rank shift vs the REF ordering | Kendall-tau distance | yes |
+//!
+//! Results come back as a typed [`Report`]: one row per organization, one
+//! [`MetricColumn`] per requested spec, with the canonical spec strings
+//! carried for provenance and sink adapters [`Report::to_json`],
+//! [`Report::to_csv`] and [`Report::render_table`] replacing the
+//! hand-rolled output paths the bench tables and the CLI used to own.
+
+use crate::engine::SimResult;
+use crate::metrics::org_metrics;
+use fairsched_core::model::{Time, Trace};
+use fairsched_core::schedule::Schedule;
+use fairsched_core::scheduler::registry::SchedulerSpec;
+use fairsched_core::spec::{valid_ident, ParamError, SpecBody, SpecParseError};
+use fairsched_core::utility::{
+    sp_value, FlowTime, Makespan, ResourceShare, SpUtility, Tardiness, Util, Utility,
+};
+use fairsched_workloads::spec::WorkloadSpec;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Why a metric spec string or an evaluation from one was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricError {
+    /// The spec string was empty.
+    Empty,
+    /// The spec string does not follow `name[:key=value,...]`.
+    BadSyntax {
+        /// The offending input.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// No factory is registered under the requested name.
+    UnknownMetric {
+        /// The requested name.
+        name: String,
+        /// Registered names, sorted.
+        known: Vec<String>,
+    },
+    /// The named metric does not accept this parameter.
+    UnknownParam {
+        /// The metric name.
+        metric: String,
+        /// The rejected parameter key.
+        param: String,
+        /// Keys the metric accepts.
+        accepted: Vec<String>,
+    },
+    /// A parameter value failed to parse or violated a constraint.
+    BadParam {
+        /// The metric name.
+        metric: String,
+        /// The parameter key.
+        param: String,
+        /// What was wrong with the value.
+        reason: String,
+    },
+    /// The metric compares against the REF reference schedule, but the
+    /// context carries none (e.g. the CLI was run with `--no-reference`).
+    NeedsReference {
+        /// The metric name.
+        metric: String,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::Empty => write!(f, "empty metric spec"),
+            MetricError::BadSyntax { spec, reason } => {
+                write!(f, "malformed metric spec {spec:?}: {reason}")
+            }
+            MetricError::UnknownMetric { name, known } => {
+                write!(f, "unknown metric {name:?} (known: {})", known.join(", "))
+            }
+            MetricError::UnknownParam { metric, param, accepted } => {
+                if accepted.is_empty() {
+                    write!(f, "metric {metric:?} takes no parameters, got {param:?}")
+                } else {
+                    write!(
+                        f,
+                        "metric {metric:?} does not accept {param:?} (accepted: {})",
+                        accepted.join(", ")
+                    )
+                }
+            }
+            MetricError::BadParam { metric, param, reason } => {
+                write!(f, "bad value for {metric}:{param}: {reason}")
+            }
+            MetricError::NeedsReference { metric } => write!(
+                f,
+                "metric {metric:?} needs the REF reference schedule, but none was provided"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+/// A parsed metric configuration: a registry name plus string parameters,
+/// with a canonical textual form — the shared [`fairsched_core::spec`]
+/// grammar wrapped with metric-worded errors, exactly as
+/// [`SchedulerSpec`] and [`WorkloadSpec`] wrap it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricSpec {
+    body: SpecBody,
+}
+
+impl MetricSpec {
+    /// A parameterless spec.
+    pub fn bare(name: impl Into<String>) -> Self {
+        MetricSpec { body: SpecBody::bare(name) }
+    }
+
+    /// Adds or replaces a parameter (builder style). Values containing
+    /// the structural characters `%`/`,`/`=` are percent-escaped on
+    /// render, so the `Display`/`FromStr` round trip holds for any
+    /// non-empty value.
+    ///
+    /// # Panics
+    /// Panics if the key is not a lowercase identifier or the rendered
+    /// value is empty.
+    pub fn with(self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        MetricSpec { body: self.body.with(key, value) }
+    }
+
+    /// The registry name this spec selects.
+    pub fn name(&self) -> &str {
+        self.body.name()
+    }
+
+    /// All parameters, sorted by key.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.body.params()
+    }
+
+    /// A raw parameter value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.body.get(key)
+    }
+
+    fn lift(&self, e: ParamError) -> MetricError {
+        match e {
+            ParamError::Unknown { param, accepted } => MetricError::UnknownParam {
+                metric: self.name().to_string(),
+                param,
+                accepted,
+            },
+            ParamError::Bad { param, reason } => {
+                MetricError::BadParam { metric: self.name().to_string(), param, reason }
+            }
+        }
+    }
+
+    /// Rejects parameters outside `accepted` (factories call this first so
+    /// typos fail loudly instead of silently using defaults).
+    pub fn deny_unknown_params(&self, accepted: &[&str]) -> Result<(), MetricError> {
+        self.body.deny_unknown_params(accepted).map_err(|e| self.lift(e))
+    }
+
+    /// A typed parameter with a default.
+    pub fn parsed<T: FromStr>(&self, key: &str, default: T) -> Result<T, MetricError> {
+        self.body.parsed(key, default).map_err(|e| self.lift(e))
+    }
+
+    /// A helper for range/constraint violations discovered by factories.
+    pub fn bad_param(&self, key: &str, reason: impl Into<String>) -> MetricError {
+        MetricError::BadParam {
+            metric: self.name().to_string(),
+            param: key.to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Parses a comma-separated metric list as the CLI's `--metrics` flag
+    /// accepts it (`delay,psi`, `delay:norm=ideal,stretch`). A segment
+    /// that looks like a bare `key=value` continuation (no `:` of its
+    /// own) is glued onto the previous spec, so multi-parameter specs
+    /// survive the outer comma split.
+    pub fn parse_list(text: &str) -> Result<Vec<MetricSpec>, MetricError> {
+        let mut pieces: Vec<String> = Vec::new();
+        for segment in text.split(',') {
+            match pieces.last_mut() {
+                Some(last) if segment.contains('=') && !segment.contains(':') => {
+                    last.push(',');
+                    last.push_str(segment);
+                }
+                _ => pieces.push(segment.to_string()),
+            }
+        }
+        pieces.iter().map(|p| p.parse()).collect()
+    }
+}
+
+impl fmt::Display for MetricSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.body.fmt(f)
+    }
+}
+
+impl FromStr for MetricSpec {
+    type Err = MetricError;
+
+    fn from_str(s: &str) -> Result<Self, MetricError> {
+        match s.parse::<SpecBody>() {
+            Ok(body) => Ok(MetricSpec { body }),
+            Err(SpecParseError::Empty) => Err(MetricError::Empty),
+            Err(SpecParseError::BadSyntax { spec, reason }) => {
+                Err(MetricError::BadSyntax { spec, reason })
+            }
+        }
+    }
+}
+
+impl serde::Serialize for MetricSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
+    }
+}
+
+impl serde::Deserialize for MetricSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::String(s) => {
+                s.parse().map_err(|e: MetricError| serde::DeError(e.to_string()))
+            }
+            _ => Err(serde::DeError::expected("string", "MetricSpec")),
+        }
+    }
+}
+
+/// One measured value: exact integers stay exact (`ψ_sp`, delays, counts
+/// are integer quantities in this model), ratios are floats. Rendering
+/// ([`MetricValue::render`], JSON serialization) is locale-independent
+/// and round-trippable: integers verbatim, floats via Rust's
+/// shortest-round-trip `{:?}` formatting.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// An exact integer quantity.
+    Int(i128),
+    /// A real-valued quantity (ratio, mean, distance).
+    Float(f64),
+}
+
+impl MetricValue {
+    /// The value as `f64` (exact for the integer range `f64` covers; the
+    /// aggregation layer works in `f64` like the paper's tables).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            MetricValue::Int(i) => *i as f64,
+            MetricValue::Float(v) => *v,
+        }
+    }
+
+    /// Exact, locale-stable, round-trippable text: parsing the output
+    /// recovers the value bit for bit.
+    pub fn render(&self) -> String {
+        match self {
+            MetricValue::Int(i) => i.to_string(),
+            MetricValue::Float(v) => format!("{v:?}"),
+        }
+    }
+
+    /// Human-oriented rendering for tables: integers exact, floats with
+    /// the paper's ~3 significant digits ([`format_sig`]).
+    pub fn render_sig(&self) -> String {
+        match self {
+            MetricValue::Int(i) => i.to_string(),
+            MetricValue::Float(v) => format_sig(*v),
+        }
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl serde::Serialize for MetricValue {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            MetricValue::Int(i) => serde::Value::Number(i.to_string()),
+            // serde_json convention for non-finite floats; finite floats
+            // keep the shortest representation that round-trips exactly.
+            MetricValue::Float(v) if v.is_finite() => {
+                serde::Value::Number(format!("{v:?}"))
+            }
+            MetricValue::Float(_) => serde::Value::Null,
+        }
+    }
+}
+
+/// The REF comparison data for reference-based metrics (`delay`,
+/// `ranking`): the reference schedule and its exact `ψ_sp` vector at the
+/// same horizon.
+#[derive(Copy, Clone, Debug)]
+pub struct ReferenceData<'a> {
+    /// The reference (fair) schedule.
+    pub schedule: &'a Schedule,
+    /// Exact `ψ_sp` per organization under the reference, at the context
+    /// horizon.
+    pub psi: &'a [Util],
+}
+
+/// Everything a metric may read: the evaluated schedule with its exact
+/// utilities, and (optionally) the REF reference.
+#[derive(Copy, Clone, Debug)]
+pub struct MetricContext<'a> {
+    /// The trace the schedule was produced from.
+    pub trace: &'a Trace,
+    /// The evaluated schedule.
+    pub schedule: &'a Schedule,
+    /// Exact `ψ_sp` per organization at `horizon`.
+    pub psi: &'a [Util],
+    /// The evaluation horizon.
+    pub horizon: Time,
+    /// The REF comparison data, when a reference run is available.
+    pub reference: Option<ReferenceData<'a>>,
+}
+
+impl<'a> MetricContext<'a> {
+    /// A context over a finished [`SimResult`] (no reference).
+    pub fn from_result(trace: &'a Trace, result: &'a SimResult) -> Self {
+        MetricContext {
+            trace,
+            schedule: &result.schedule,
+            psi: &result.psi,
+            horizon: result.horizon,
+            reference: None,
+        }
+    }
+
+    /// Attaches a reference run (builder style). The reference must have
+    /// been evaluated at the same horizon.
+    pub fn with_reference(mut self, reference: &'a SimResult) -> Self {
+        self.reference =
+            Some(ReferenceData { schedule: &reference.schedule, psi: &reference.psi });
+        self
+    }
+
+    fn require_reference(
+        &self,
+        spec: &MetricSpec,
+    ) -> Result<ReferenceData<'a>, MetricError> {
+        self.reference.ok_or_else(|| MetricError::NeedsReference {
+            metric: spec.name().to_string(),
+        })
+    }
+}
+
+/// One evaluated metric: the canonical spec it came from (provenance),
+/// one value per organization, and the aggregate over the whole cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricColumn {
+    /// The canonical spec this column answers.
+    pub spec: MetricSpec,
+    /// One value per organization, in trace order.
+    pub per_org: Vec<MetricValue>,
+    /// The cluster-wide aggregate (sum, mean or distance — see the
+    /// factory's summary).
+    pub aggregate: MetricValue,
+}
+
+/// An object-safe fairness-index evaluator, registered under a unique
+/// name.
+pub trait MetricFactory: Send + Sync {
+    /// The registry name (what spec strings select).
+    fn name(&self) -> &str;
+
+    /// One-line human description, shown in CLI help.
+    fn summary(&self) -> &str;
+
+    /// Parameter keys this factory accepts (for error messages and docs).
+    fn accepted_params(&self) -> &[&str] {
+        &[]
+    }
+
+    /// Representative specs that must evaluate in any environment — the
+    /// conformance harness (`tests/metric_conformance.rs`) runs every one
+    /// of them through round-trip, determinism, shape, and (where
+    /// claimed) horizon-invariance checks. Must be non-empty: the
+    /// harness's coverage gate fails factories registered without
+    /// conformance coverage.
+    fn conformance_specs(&self) -> Vec<MetricSpec>;
+
+    /// Whether this metric compares against the REF reference schedule
+    /// ([`MetricContext::reference`]). Consumers use this to decide
+    /// whether a reference run is needed at all.
+    fn needs_reference(&self) -> bool {
+        false
+    }
+
+    /// Whether the metric's values are invariant to the evaluation
+    /// horizon once every scheduled job has completed (true for counting
+    /// metrics like `flow` or `completed`; false for `ψ_sp`-based ones,
+    /// which keep growing with `t`). Claimed invariance is enforced by
+    /// the conformance harness.
+    fn horizon_invariant(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the metric for a spec in a context.
+    ///
+    /// Implementations should reject parameters outside
+    /// [`accepted_params`](MetricFactory::accepted_params) via
+    /// [`MetricSpec::deny_unknown_params`].
+    fn evaluate(
+        &self,
+        spec: &MetricSpec,
+        ctx: &MetricContext<'_>,
+    ) -> Result<MetricColumn, MetricError>;
+}
+
+/// A closure-backed [`MetricFactory`] (how all built-ins are defined).
+struct FnMetric<F> {
+    name: &'static str,
+    summary: &'static str,
+    accepted: &'static [&'static str],
+    conformance: fn() -> Vec<MetricSpec>,
+    needs_reference: bool,
+    horizon_invariant: bool,
+    eval: F,
+}
+
+impl<F> MetricFactory for FnMetric<F>
+where
+    F: Fn(&MetricSpec, &MetricContext<'_>) -> Result<MetricColumn, MetricError>
+        + Send
+        + Sync,
+{
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn summary(&self) -> &str {
+        self.summary
+    }
+
+    fn accepted_params(&self) -> &[&str] {
+        self.accepted
+    }
+
+    fn conformance_specs(&self) -> Vec<MetricSpec> {
+        (self.conformance)()
+    }
+
+    fn needs_reference(&self) -> bool {
+        self.needs_reference
+    }
+
+    fn horizon_invariant(&self) -> bool {
+        self.horizon_invariant
+    }
+
+    fn evaluate(
+        &self,
+        spec: &MetricSpec,
+        ctx: &MetricContext<'_>,
+    ) -> Result<MetricColumn, MetricError> {
+        spec.deny_unknown_params(self.accepted)?;
+        if self.needs_reference {
+            ctx.require_reference(spec)?;
+        }
+        (self.eval)(spec, ctx)
+    }
+}
+
+/// The name → factory map behind every fairness measurement in the
+/// workspace.
+///
+/// [`MetricRegistry::default`] pre-populates the built-in families (see
+/// the [module docs](self)); use [`MetricRegistry::new`] +
+/// [`MetricRegistry::register`] for a curated set, or `register` on a
+/// default registry to add downstream fairness indices.
+pub struct MetricRegistry {
+    factories: BTreeMap<String, Box<dyn MetricFactory>>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricRegistry { factories: BTreeMap::new() }
+    }
+
+    /// The process-wide default registry, built once on first use —
+    /// `Simulation` reports, the bench runner, and the CLI all resolve
+    /// through it instead of rebuilding [`MetricRegistry::default`] per
+    /// call.
+    pub fn shared() -> &'static MetricRegistry {
+        static SHARED: std::sync::OnceLock<MetricRegistry> = std::sync::OnceLock::new();
+        SHARED.get_or_init(MetricRegistry::default)
+    }
+
+    /// Registers a factory, replacing any previous one of the same name
+    /// (last registration wins) and returning the replaced factory if
+    /// any.
+    pub fn register(
+        &mut self,
+        factory: Box<dyn MetricFactory>,
+    ) -> Option<Box<dyn MetricFactory>> {
+        let name = factory.name().to_string();
+        debug_assert!(valid_ident(&name), "invalid factory name {name:?}");
+        self.factories.insert(name, factory)
+    }
+
+    /// The factory registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&dyn MetricFactory> {
+        self.factories.get(name).map(Box::as_ref)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+
+    /// Every factory's conformance specs, keyed by factory name — the
+    /// iteration surface of the cross-crate conformance harness.
+    pub fn conformance_specs(&self) -> Vec<(String, Vec<MetricSpec>)> {
+        self.factories
+            .values()
+            .map(|f| (f.name().to_string(), f.conformance_specs()))
+            .collect()
+    }
+
+    /// Whether any of `specs` resolves to a factory that needs the REF
+    /// reference (unknown names resolve to "no" here; they fail with a
+    /// typed error at evaluation).
+    pub fn any_needs_reference(&self, specs: &[MetricSpec]) -> bool {
+        specs
+            .iter()
+            .any(|s| self.get(s.name()).is_some_and(MetricFactory::needs_reference))
+    }
+
+    /// Evaluates one metric spec over a context.
+    pub fn evaluate(
+        &self,
+        spec: &MetricSpec,
+        ctx: &MetricContext<'_>,
+    ) -> Result<MetricColumn, MetricError> {
+        let factory = self.factories.get(spec.name()).ok_or_else(|| {
+            MetricError::UnknownMetric {
+                name: spec.name().to_string(),
+                known: self.names().map(str::to_string).collect(),
+            }
+        })?;
+        factory.evaluate(spec, ctx)
+    }
+
+    /// A help listing: one `name — summary [params]` line per factory.
+    pub fn help(&self) -> String {
+        let mut out = String::new();
+        for f in self.factories.values() {
+            out.push_str(&format!("  {:<14} {}", f.name(), f.summary()));
+            if !f.accepted_params().is_empty() {
+                out.push_str(&format!(" (params: {})", f.accepted_params().join(", ")));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn register_fn<F>(
+        &mut self,
+        name: &'static str,
+        summary: &'static str,
+        accepted: &'static [&'static str],
+        conformance: fn() -> Vec<MetricSpec>,
+        needs_reference: bool,
+        horizon_invariant: bool,
+        eval: F,
+    ) where
+        F: Fn(&MetricSpec, &MetricContext<'_>) -> Result<MetricColumn, MetricError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.register(Box::new(FnMetric {
+            name,
+            summary,
+            accepted,
+            conformance,
+            needs_reference,
+            horizon_invariant,
+            eval,
+        }));
+    }
+}
+
+impl fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricRegistry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+fn column(
+    spec: &MetricSpec,
+    per_org: Vec<MetricValue>,
+    aggregate: MetricValue,
+) -> MetricColumn {
+    MetricColumn { spec: spec.clone(), per_org, aggregate }
+}
+
+fn int_column(spec: &MetricSpec, per_org: Vec<i128>) -> MetricColumn {
+    let aggregate = MetricValue::Int(per_org.iter().sum());
+    column(spec, per_org.into_iter().map(MetricValue::Int).collect(), aggregate)
+}
+
+/// Ranks organizations by a utility vector, best (largest) first, ties
+/// broken by organization index. `rank[u]` is the 0-based position of
+/// organization `u` in that ordering.
+fn ranks_by_desc(values: &[Util]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[b].cmp(&values[a]).then(a.cmp(&b)));
+    let mut rank = vec![0usize; values.len()];
+    for (pos, &org) in order.iter().enumerate() {
+        rank[org] = pos;
+    }
+    rank
+}
+
+impl Default for MetricRegistry {
+    /// A registry with the built-in metric families (see the
+    /// [module docs](self) for the full table).
+    fn default() -> Self {
+        let mut r = MetricRegistry::new();
+        r.register_fn(
+            "machines",
+            "machines each organization contributes to the pool",
+            &[],
+            || vec![MetricSpec::bare("machines")],
+            false,
+            true,
+            |spec, ctx| {
+                Ok(int_column(
+                    spec,
+                    ctx.trace.orgs().iter().map(|o| o.n_machines as i128).collect(),
+                ))
+            },
+        );
+        r.register_fn(
+            "completed",
+            "jobs completed by the horizon",
+            &[],
+            || vec![MetricSpec::bare("completed")],
+            false,
+            true,
+            |spec, ctx| {
+                let m = org_metrics(ctx.trace, ctx.schedule, ctx.horizon);
+                Ok(int_column(spec, m.iter().map(|o| o.completed as i128).collect()))
+            },
+        );
+        r.register_fn(
+            "flow",
+            "total flow time (completion - release) of completed jobs",
+            &[],
+            || vec![MetricSpec::bare("flow")],
+            false,
+            true,
+            |spec, ctx| {
+                let m = org_metrics(ctx.trace, ctx.schedule, ctx.horizon);
+                Ok(int_column(spec, m.iter().map(|o| o.flow_time as i128).collect()))
+            },
+        );
+        r.register_fn(
+            "waiting",
+            "total waiting time (start - release) of started jobs",
+            &[],
+            || vec![MetricSpec::bare("waiting")],
+            false,
+            true,
+            |spec, ctx| {
+                let m = org_metrics(ctx.trace, ctx.schedule, ctx.horizon);
+                Ok(int_column(spec, m.iter().map(|o| o.waiting_time as i128).collect()))
+            },
+        );
+        r.register_fn(
+            "units",
+            "unit job parts executed before the horizon",
+            &[],
+            || vec![MetricSpec::bare("units")],
+            false,
+            true,
+            |spec, ctx| {
+                let m = org_metrics(ctx.trace, ctx.schedule, ctx.horizon);
+                Ok(int_column(spec, m.iter().map(|o| o.units as i128).collect()))
+            },
+        );
+        r.register_fn(
+            "stretch",
+            "mean stretch (flow / processing time) of completed jobs",
+            &[],
+            || vec![MetricSpec::bare("stretch")],
+            false,
+            true,
+            |spec, ctx| {
+                let m = org_metrics(ctx.trace, ctx.schedule, ctx.horizon);
+                let per_org: Vec<MetricValue> =
+                    m.iter().map(|o| MetricValue::Float(o.mean_stretch)).collect();
+                let jobs: usize = m.iter().map(|o| o.completed).sum();
+                let aggregate = if jobs == 0 {
+                    MetricValue::Float(0.0)
+                } else {
+                    // Per-org means recombined by completed-job weight:
+                    // the overall mean stretch across every completed job.
+                    let total: f64 =
+                        m.iter().map(|o| o.mean_stretch * o.completed as f64).sum();
+                    MetricValue::Float(total / jobs as f64)
+                };
+                Ok(column(spec, per_org, aggregate))
+            },
+        );
+        r.register_fn(
+            "utilization",
+            "executed units over own machine-time (aggregate: pool utilization)",
+            &[],
+            || vec![MetricSpec::bare("utilization")],
+            false,
+            false,
+            |spec, ctx| {
+                let info = ctx.trace.cluster_info();
+                let m = org_metrics(ctx.trace, ctx.schedule, ctx.horizon);
+                let per_org: Vec<MetricValue> = m
+                    .iter()
+                    .map(|o| {
+                        let denom = info.machines_of(o.org) as f64 * ctx.horizon as f64;
+                        MetricValue::Float(if denom > 0.0 {
+                            o.units as f64 / denom
+                        } else {
+                            0.0
+                        })
+                    })
+                    .collect();
+                let aggregate = MetricValue::Float(if ctx.horizon > 0 {
+                    ctx.schedule.utilization(info.n_machines(), ctx.horizon)
+                } else {
+                    0.0
+                });
+                Ok(column(spec, per_org, aggregate))
+            },
+        );
+        r.register_fn(
+            "psi",
+            "exact strategy-proof utility psi_sp (aggregate: coalition value)",
+            &[],
+            || vec![MetricSpec::bare("psi")],
+            false,
+            false,
+            |spec, ctx| Ok(int_column(spec, ctx.psi.to_vec())),
+        );
+        r.register_fn(
+            "utility",
+            "pluggable utility function",
+            &["kind"],
+            || {
+                vec![
+                    MetricSpec::bare("utility"),
+                    "utility:kind=flowtime".parse().unwrap(),
+                    "utility:kind=contrib".parse().unwrap(),
+                ]
+            },
+            false,
+            false,
+            |spec, ctx| {
+                let kind = spec.get("kind").unwrap_or("sp");
+                let per_org: Vec<f64> = match kind {
+                    "sp" => SpUtility.org_values(ctx.trace, ctx.schedule, ctx.horizon),
+                    "flowtime" => FlowTime.org_values(ctx.trace, ctx.schedule, ctx.horizon),
+                    "makespan" => Makespan.org_values(ctx.trace, ctx.schedule, ctx.horizon),
+                    "share" => {
+                        ResourceShare.org_values(ctx.trace, ctx.schedule, ctx.horizon)
+                    }
+                    "tardiness" => {
+                        Tardiness.org_values(ctx.trace, ctx.schedule, ctx.horizon)
+                    }
+                    // Direct contribution: the psi_sp produced on the
+                    // machines each organization *owns* (what its hardware
+                    // earned the coalition), as opposed to `psi`, which is
+                    // what its jobs received.
+                    "contrib" => {
+                        let info = ctx.trace.cluster_info();
+                        let mut acc = vec![0 as Util; ctx.trace.n_orgs()];
+                        for e in ctx.schedule.entries() {
+                            acc[info.owner(e.machine).index()] +=
+                                sp_value(e.start, e.proc_time, ctx.horizon);
+                        }
+                        acc.into_iter().map(|v| v as f64).collect()
+                    }
+                    other => {
+                        return Err(spec.bad_param(
+                            "kind",
+                            format!(
+                                "unknown utility {other:?} (one of: sp, flowtime, makespan, share, tardiness, contrib)"
+                            ),
+                        ))
+                    }
+                };
+                let aggregate = MetricValue::Float(per_org.iter().sum());
+                Ok(column(
+                    spec,
+                    per_org.into_iter().map(MetricValue::Float).collect(),
+                    aggregate,
+                ))
+            },
+        );
+        r.register_fn(
+            "delay",
+            "deviation from the REF reference (aggregate: the paper's delta-psi/p_tot)",
+            &["norm"],
+            || {
+                vec![
+                    MetricSpec::bare("delay"),
+                    "delay:norm=none".parse().unwrap(),
+                    "delay:norm=ideal".parse().unwrap(),
+                ]
+            },
+            true,
+            false,
+            |spec, ctx| {
+                let reference = ctx.require_reference(spec)?;
+                let devs: Vec<Util> = ctx
+                    .psi
+                    .iter()
+                    .zip(reference.psi)
+                    .map(|(psi, psi_ref)| psi - psi_ref)
+                    .collect();
+                let delta_psi: Util = devs.iter().map(|d| d.abs()).sum();
+                match spec.get("norm").unwrap_or("ptot") {
+                    // The paper's headline number: the average unjustified
+                    // delay (or speed-up) of a job unit. Computed exactly
+                    // as `FairnessReport::unfairness` for bit-identity
+                    // with the historical tables.
+                    "ptot" => {
+                        let p_tot = reference.schedule.completed_units(ctx.horizon);
+                        let scale = |v: Util| {
+                            MetricValue::Float(if p_tot == 0 {
+                                0.0
+                            } else {
+                                v as f64 / p_tot as f64
+                            })
+                        };
+                        let aggregate = scale(delta_psi);
+                        Ok(column(spec, devs.into_iter().map(scale).collect(), aggregate))
+                    }
+                    // Raw integer deviations (signed per organization,
+                    // Manhattan distance aggregate).
+                    "none" => Ok(column(
+                        spec,
+                        devs.iter().map(|&d| MetricValue::Int(d)).collect(),
+                        MetricValue::Int(delta_psi),
+                    )),
+                    // Relative to the ideal: each organization's deviation
+                    // as a fraction of its reference utility.
+                    "ideal" => {
+                        let per_org: Vec<MetricValue> = devs
+                            .iter()
+                            .zip(reference.psi)
+                            .map(|(&d, &ideal)| {
+                                MetricValue::Float(if ideal == 0 {
+                                    0.0
+                                } else {
+                                    d as f64 / ideal as f64
+                                })
+                            })
+                            .collect();
+                        let total_ideal: Util =
+                            reference.psi.iter().map(|v| v.abs()).sum();
+                        let aggregate = MetricValue::Float(if total_ideal == 0 {
+                            0.0
+                        } else {
+                            delta_psi as f64 / total_ideal as f64
+                        });
+                        Ok(column(spec, per_org, aggregate))
+                    }
+                    other => Err(spec.bad_param(
+                        "norm",
+                        format!("unknown norm {other:?} (one of: ptot, none, ideal)"),
+                    )),
+                }
+            },
+        );
+        r.register_fn(
+            "ranking",
+            "rank shift vs the REF ordering (aggregate: Kendall-tau distance)",
+            &[],
+            || vec![MetricSpec::bare("ranking")],
+            true,
+            false,
+            |spec, ctx| {
+                let reference = ctx.require_reference(spec)?;
+                let rank_eval = ranks_by_desc(ctx.psi);
+                let rank_ref = ranks_by_desc(reference.psi);
+                let per_org: Vec<MetricValue> = rank_ref
+                    .iter()
+                    .zip(&rank_eval)
+                    // Positive = the organization moved up (was favored)
+                    // relative to its fair position.
+                    .map(|(&r, &e)| MetricValue::Int(r as i128 - e as i128))
+                    .collect();
+                let k = ctx.psi.len();
+                let mut discordant = 0usize;
+                for u in 0..k {
+                    for v in (u + 1)..k {
+                        let eval_says = rank_eval[u] < rank_eval[v];
+                        let ref_says = rank_ref[u] < rank_ref[v];
+                        if eval_says != ref_says {
+                            discordant += 1;
+                        }
+                    }
+                }
+                let pairs = k * (k.saturating_sub(1)) / 2;
+                let aggregate = MetricValue::Float(if pairs == 0 {
+                    0.0
+                } else {
+                    discordant as f64 / pairs as f64
+                });
+                Ok(column(spec, per_org, aggregate))
+            },
+        );
+        r
+    }
+}
+
+/// A typed measurement report: one run, measured by a list of metric
+/// specs. The canonical spec strings ride along for provenance, so any
+/// sink output is self-describing.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The evaluated scheduler's display name.
+    pub scheduler: String,
+    /// The scheduler registry spec, when the run was spec-addressed.
+    pub scheduler_spec: Option<SchedulerSpec>,
+    /// The workload registry spec, when the trace was spec-addressed.
+    pub workload_spec: Option<WorkloadSpec>,
+    /// The evaluation horizon.
+    pub horizon: Time,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Organization names, in trace order.
+    pub orgs: Vec<String>,
+    /// One evaluated column per requested metric spec, in request order.
+    pub columns: Vec<MetricColumn>,
+}
+
+impl Report {
+    /// Evaluates `specs` over a finished run (plus the REF reference run,
+    /// for metrics that compare against it). Provenance fields
+    /// (`scheduler_spec`, `workload_spec`, `seed`) start empty; the
+    /// `Simulation` session fills them in.
+    pub fn evaluate(
+        registry: &MetricRegistry,
+        specs: &[MetricSpec],
+        trace: &Trace,
+        result: &SimResult,
+        reference: Option<&SimResult>,
+    ) -> Result<Report, MetricError> {
+        let mut ctx = MetricContext::from_result(trace, result);
+        if let Some(reference) = reference {
+            ctx = ctx.with_reference(reference);
+        }
+        let columns = specs
+            .iter()
+            .map(|spec| registry.evaluate(spec, &ctx))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Report {
+            scheduler: result.scheduler.clone(),
+            scheduler_spec: None,
+            workload_spec: None,
+            horizon: result.horizon,
+            seed: 0,
+            orgs: trace.orgs().iter().map(|o| o.name.clone()).collect(),
+            columns,
+        })
+    }
+
+    /// The canonical spec strings of the evaluated columns (the
+    /// provenance every sink carries).
+    pub fn metric_specs(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.spec.to_string()).collect()
+    }
+
+    /// The column evaluated for `spec` (by canonical string equality).
+    pub fn column(&self, spec: &str) -> Option<&MetricColumn> {
+        let wanted: MetricSpec = spec.parse().ok()?;
+        self.columns.iter().find(|c| c.spec == wanted)
+    }
+
+    /// The report as a JSON value tree (see [`Report::to_json`] for the
+    /// schema).
+    pub fn to_json_value(&self) -> serde::Value {
+        use serde::Value;
+        let spec_strings = self.metric_specs();
+        let orgs: Vec<Value> = self
+            .orgs
+            .iter()
+            .enumerate()
+            .map(|(u, name)| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(name.clone())),
+                    (
+                        "metrics".to_string(),
+                        Value::Object(
+                            self.columns
+                                .iter()
+                                .zip(&spec_strings)
+                                .map(|(c, s)| {
+                                    (s.clone(), serde::Serialize::to_value(&c.per_org[u]))
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let aggregates = Value::Object(
+            self.columns
+                .iter()
+                .zip(&spec_strings)
+                .map(|(c, s)| (s.clone(), serde::Serialize::to_value(&c.aggregate)))
+                .collect(),
+        );
+        let opt_spec = |s: &Option<String>| match s {
+            Some(s) => Value::String(s.clone()),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            ("scheduler".to_string(), Value::String(self.scheduler.clone())),
+            (
+                "scheduler_spec".to_string(),
+                opt_spec(&self.scheduler_spec.as_ref().map(|s| s.to_string())),
+            ),
+            (
+                "workload_spec".to_string(),
+                opt_spec(&self.workload_spec.as_ref().map(|s| s.to_string())),
+            ),
+            ("horizon".to_string(), Value::Number(self.horizon.to_string())),
+            ("seed".to_string(), Value::Number(self.seed.to_string())),
+            (
+                "metric_specs".to_string(),
+                Value::Array(spec_strings.iter().cloned().map(Value::String).collect()),
+            ),
+            ("orgs".to_string(), Value::Array(orgs)),
+            ("aggregates".to_string(), aggregates),
+        ])
+    }
+
+    /// Machine-readable JSON: run provenance (`scheduler`,
+    /// `scheduler_spec`, `workload_spec`, `horizon`, `seed`), the
+    /// canonical `metric_specs`, per-organization `metrics` objects keyed
+    /// by those same canonical strings, and the cluster-wide
+    /// `aggregates`. All numbers are exact and round-trippable (integers
+    /// verbatim, floats in shortest-round-trip form).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json_pretty()
+    }
+
+    /// CSV: one `org` row per organization plus an `(all)` aggregate
+    /// row; columns are the canonical metric specs. Values use the exact
+    /// [`MetricValue::render`] form; fields containing commas or quotes
+    /// are double-quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("org");
+        for spec in self.metric_specs() {
+            out.push(',');
+            out.push_str(&field(&spec));
+        }
+        out.push('\n');
+        for (u, name) in self.orgs.iter().enumerate() {
+            out.push_str(&field(name));
+            for c in &self.columns {
+                out.push(',');
+                out.push_str(&c.per_org[u].render());
+            }
+            out.push('\n');
+        }
+        out.push_str("(all)");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&c.aggregate.render());
+        }
+        out.push('\n');
+        out
+    }
+
+    /// A human-oriented aligned table: one row per organization plus the
+    /// `(all)` aggregate row, floats at the paper's ~3 significant
+    /// digits.
+    pub fn render_table(&self) -> String {
+        let specs = self.metric_specs();
+        let org_w = self
+            .orgs
+            .iter()
+            .map(String::len)
+            .chain([8, "(all)".len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .zip(&specs)
+            .map(|(c, s)| {
+                c.per_org
+                    .iter()
+                    .chain([&c.aggregate])
+                    .map(|v| v.render_sig().len())
+                    .chain([s.len()])
+                    .max()
+                    .unwrap_or(6)
+                    + 2
+            })
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!("{:<org_w$}", "org"));
+        for (s, w) in specs.iter().zip(&widths) {
+            out.push_str(&format!("{s:>w$}", w = w));
+        }
+        out.push('\n');
+        for (u, name) in self.orgs.iter().enumerate() {
+            out.push_str(&format!("{name:<org_w$}"));
+            for (c, w) in self.columns.iter().zip(&widths) {
+                out.push_str(&format!("{:>w$}", c.per_org[u].render_sig(), w = w));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<org_w$}", "(all)"));
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!("{:>w$}", c.aggregate.render_sig(), w = w));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or newline
+/// (RFC 4180 style), so canonical spec strings — which legitimately
+/// contain commas — survive the CSV sinks verbatim.
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Formats with 3 significant-ish digits like the paper's tables (e.g.
+/// `238`, `0.014`, `2839`). Presentation only — machine outputs (JSON,
+/// CSV) always carry exact round-trippable values.
+pub fn format_sig(v: f64) -> String {
+    if v < 0.0 {
+        format!("-{}", format_sig(-v))
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Mean/sd aggregation of one labelled value series — the per-algorithm
+/// cell statistic of the paper's Tables 1–2 (previously inlined in the
+/// bench runner).
+#[derive(Clone, Debug, Serialize)]
+pub struct LabeledStat {
+    /// Row label (algorithm name or spec).
+    pub label: String,
+    /// Mean over the series.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two values).
+    pub sd: f64,
+    /// The raw per-instance values.
+    pub values: Vec<f64>,
+}
+
+impl LabeledStat {
+    /// Aggregates a value series (mean + sample sd).
+    pub fn from_values(label: String, values: Vec<f64>) -> LabeledStat {
+        let n = values.len().max(1) as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        LabeledStat { label, mean, sd: var.sqrt(), values }
+    }
+}
+
+/// A Table-1-style summary grid: one row per algorithm, one (avg, sd)
+/// column pair per workload, each cell aggregating one metric over many
+/// instances. The sink successor of the bench crate's hand-rolled
+/// `DelayTable`: [`SummaryTable::render`] is presentational
+/// ([`format_sig`]), [`SummaryTable::to_json`] and
+/// [`SummaryTable::to_csv`] carry exact round-trippable floats.
+#[derive(Clone, Debug, Serialize)]
+pub struct SummaryTable {
+    /// Table title.
+    pub title: String,
+    /// Canonical spec of the metric the cells aggregate.
+    pub metric: String,
+    /// Column (workload) labels.
+    pub columns: Vec<String>,
+    /// `cells[c]` = per-algorithm stats for column `c`.
+    pub cells: Vec<Vec<LabeledStat>>,
+}
+
+impl SummaryTable {
+    /// Renders the paper-style table (3 significant digits; see
+    /// [`SummaryTable::to_json`] for exact values).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let algo_w = 16;
+        let col_w = 11;
+        out.push_str(&format!("{:<algo_w$}", ""));
+        for c in &self.columns {
+            out.push_str(&format!("{:>width$}", c, width = 2 * col_w));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<algo_w$}", "algorithm"));
+        for _ in &self.columns {
+            out.push_str(&format!("{:>col_w$}{:>col_w$}", "Avg", "St.dev"));
+        }
+        out.push('\n');
+        let n_algos = self.cells.first().map_or(0, |c| c.len());
+        for a in 0..n_algos {
+            out.push_str(&format!("{:<algo_w$}", self.cells[0][a].label));
+            for c in 0..self.columns.len() {
+                let s = &self.cells[c][a];
+                out.push_str(&format!(
+                    "{:>col_w$}{:>col_w$}",
+                    format_sig(s.mean),
+                    format_sig(s.sd)
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable JSON with exact, round-trippable floats (no
+    /// [`format_sig`] truncation — the fix for the historical
+    /// render-vs-JSON drift).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+
+    /// CSV: one row per algorithm, `avg`/`sd` column pair per workload
+    /// column, exact values. Labels containing commas (canonical
+    /// multi-parameter workload specs) are CSV-quoted, not rewritten.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("algorithm");
+        for c in &self.columns {
+            out.push_str(&format!(
+                ",{},{}",
+                field(&format!("{c} avg")),
+                field(&format!("{c} sd"))
+            ));
+        }
+        out.push('\n');
+        let n_algos = self.cells.first().map_or(0, |c| c.len());
+        for a in 0..n_algos {
+            out.push_str(&field(&self.cells[0][a].label));
+            for c in 0..self.columns.len() {
+                let s = &self.cells[c][a];
+                out.push_str(&format!(",{:?},{:?}", s.mean, s.sd));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use fairsched_core::fairness::FairnessReport;
+
+    fn small_trace() -> Trace {
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        let c = b.org("b", 2);
+        b.job(a, 0, 3).job(c, 0, 2).job(a, 2, 1).job(c, 4, 4);
+        b.build().unwrap()
+    }
+
+    fn run(trace: &Trace, scheduler: &str, horizon: Time) -> SimResult {
+        Simulation::new(trace)
+            .scheduler(scheduler)
+            .unwrap()
+            .horizon(horizon)
+            .seed(3)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn metric_specs_round_trip_canonically() {
+        for text in ["delay", "delay:norm=ideal", "psi", "utility:kind=contrib"] {
+            let spec: MetricSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+        }
+        let spec: MetricSpec = "utility:kind=sp".parse().unwrap();
+        assert_eq!(spec.name(), "utility");
+        assert_eq!(spec.get("kind"), Some("sp"));
+    }
+
+    #[test]
+    fn parse_list_splits_and_glues_parameters() {
+        let specs = MetricSpec::parse_list("delay,psi").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].to_string(), "delay");
+        let specs = MetricSpec::parse_list("delay:norm=ideal,stretch").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].to_string(), "delay:norm=ideal");
+        assert_eq!(specs[1].to_string(), "stretch");
+        assert!(MetricSpec::parse_list("delay,,psi").is_err());
+    }
+
+    #[test]
+    fn registry_errors_are_typed() {
+        let registry = MetricRegistry::default();
+        let trace = small_trace();
+        let result = run(&trace, "fifo", 50);
+        let ctx = MetricContext::from_result(&trace, &result);
+        assert!(matches!(
+            registry.evaluate(&"nonesuch".parse().unwrap(), &ctx),
+            Err(MetricError::UnknownMetric { .. })
+        ));
+        assert!(matches!(
+            registry.evaluate(&"psi:warp=9".parse().unwrap(), &ctx),
+            Err(MetricError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            registry.evaluate(&"utility:kind=vibes".parse().unwrap(), &ctx),
+            Err(MetricError::BadParam { .. })
+        ));
+        assert!(matches!(
+            registry.evaluate(&"delay".parse().unwrap(), &ctx),
+            Err(MetricError::NeedsReference { .. })
+        ));
+        assert!(matches!(
+            registry.evaluate(&"delay:norm=sideways".parse().unwrap(), &ctx),
+            Err(MetricError::NeedsReference { .. }) | Err(MetricError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn counting_metrics_match_org_metrics_bit_for_bit() {
+        let trace = small_trace();
+        let result = run(&trace, "roundrobin", 40);
+        let ctx = MetricContext::from_result(&trace, &result);
+        let registry = MetricRegistry::default();
+        let m = org_metrics(&trace, &result.schedule, 40);
+        let col =
+            |name: &str| registry.evaluate(&name.parse().unwrap(), &ctx).unwrap().per_org;
+        for (u, om) in m.iter().enumerate() {
+            assert_eq!(col("completed")[u], MetricValue::Int(om.completed as i128));
+            assert_eq!(col("flow")[u], MetricValue::Int(om.flow_time as i128));
+            assert_eq!(col("waiting")[u], MetricValue::Int(om.waiting_time as i128));
+            assert_eq!(col("units")[u], MetricValue::Int(om.units as i128));
+            match col("stretch")[u] {
+                MetricValue::Float(v) => {
+                    assert_eq!(v.to_bits(), om.mean_stretch.to_bits())
+                }
+                other => panic!("stretch must be a float, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            col("psi"),
+            result.psi.iter().map(|&p| MetricValue::Int(p)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn delay_default_matches_fairness_report_bit_for_bit() {
+        let trace = small_trace();
+        let horizon = 40;
+        let eval = run(&trace, "fifo", horizon);
+        let reference = run(&trace, "ref", horizon);
+        let ctx = MetricContext::from_result(&trace, &eval).with_reference(&reference);
+        let col =
+            MetricRegistry::shared().evaluate(&"delay".parse().unwrap(), &ctx).unwrap();
+        let old = FairnessReport::from_schedules(
+            &trace,
+            &eval.schedule,
+            &reference.schedule,
+            horizon,
+        );
+        match col.aggregate {
+            MetricValue::Float(v) => {
+                assert_eq!(v.to_bits(), old.unfairness().to_bits())
+            }
+            other => panic!("delay aggregate must be a float, got {other:?}"),
+        }
+        // norm=none carries the signed integer deviations.
+        let raw = MetricRegistry::shared()
+            .evaluate(&"delay:norm=none".parse().unwrap(), &ctx)
+            .unwrap();
+        for (u, o) in old.per_org.iter().enumerate() {
+            assert_eq!(raw.per_org[u], MetricValue::Int(o.deviation()));
+        }
+        assert_eq!(raw.aggregate, MetricValue::Int(old.delta_psi));
+    }
+
+    #[test]
+    fn ranking_is_zero_against_itself_and_detects_swaps() {
+        let trace = small_trace();
+        let result = run(&trace, "ref", 40);
+        let ctx = MetricContext::from_result(&trace, &result).with_reference(&result);
+        let col =
+            MetricRegistry::shared().evaluate(&"ranking".parse().unwrap(), &ctx).unwrap();
+        assert_eq!(col.aggregate, MetricValue::Float(0.0));
+        assert!(col.per_org.iter().all(|v| *v == MetricValue::Int(0)));
+        // A fabricated reference with the opposite ordering flips every
+        // pair.
+        let mut swapped = result.clone();
+        swapped.psi.reverse();
+        let ctx2 = MetricContext::from_result(&trace, &result).with_reference(&swapped);
+        let col2 = MetricRegistry::shared()
+            .evaluate(&"ranking".parse().unwrap(), &ctx2)
+            .unwrap();
+        match col2.aggregate {
+            MetricValue::Float(v) => assert!(v > 0.0, "swapped ranking must differ"),
+            other => panic!("ranking aggregate must be a float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utility_contrib_attributes_value_to_machine_owners() {
+        let trace = small_trace();
+        let result = run(&trace, "fifo", 50);
+        let ctx = MetricContext::from_result(&trace, &result);
+        let col = MetricRegistry::shared()
+            .evaluate(&"utility:kind=contrib".parse().unwrap(), &ctx)
+            .unwrap();
+        // Total contribution equals the coalition value.
+        let total: f64 = col.per_org.iter().map(MetricValue::as_f64).sum();
+        assert_eq!(total, result.coalition_value() as f64);
+    }
+
+    #[test]
+    fn report_sinks_are_consistent_and_round_trippable() {
+        let trace = small_trace();
+        let result = run(&trace, "fairshare", 40);
+        let reference = run(&trace, "ref", 40);
+        let specs: Vec<MetricSpec> = ["machines", "completed", "psi", "delay"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let report = Report::evaluate(
+            MetricRegistry::shared(),
+            &specs,
+            &trace,
+            &result,
+            Some(&reference),
+        )
+        .unwrap();
+        assert_eq!(report.metric_specs(), ["machines", "completed", "psi", "delay"]);
+        assert_eq!(report.orgs, ["a", "b"]);
+
+        // JSON: parse back and compare the delay aggregate bit for bit.
+        let json = report.to_json();
+        let v = serde_json::parse_value(&json).unwrap();
+        let aggregates = v.get("aggregates").unwrap();
+        let delay_text = match aggregates.get("delay").unwrap() {
+            serde::Value::Number(n) => n.clone(),
+            other => panic!("delay aggregate must be a number, got {other:?}"),
+        };
+        let reparsed: f64 = delay_text.parse().unwrap();
+        assert_eq!(
+            reparsed.to_bits(),
+            report.column("delay").unwrap().aggregate.as_f64().to_bits(),
+            "JSON floats must round-trip exactly"
+        );
+        assert_eq!(
+            v.get("metric_specs").unwrap(),
+            &serde::Value::Array(vec![
+                serde::Value::String("machines".into()),
+                serde::Value::String("completed".into()),
+                serde::Value::String("psi".into()),
+                serde::Value::String("delay".into()),
+            ])
+        );
+
+        // CSV: header carries canonical specs, one row per org + (all).
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "org,machines,completed,psi,delay");
+        assert_eq!(lines.len(), 2 + trace.n_orgs());
+        assert!(lines.last().unwrap().starts_with("(all),"));
+
+        // Table: every org and spec appears.
+        let table = report.render_table();
+        for needle in ["org", "a", "b", "(all)", "machines", "delay"] {
+            assert!(table.contains(needle), "table is missing {needle}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn summary_table_renders_and_serializes_exactly() {
+        let stat = |label: &str, mean: f64| LabeledStat {
+            label: label.into(),
+            mean,
+            sd: mean / 2.0,
+            values: vec![mean],
+        };
+        let t = SummaryTable {
+            title: "Table 1".into(),
+            metric: "delay".into(),
+            columns: vec!["LPC-EGEE".into(), "RICC".into()],
+            cells: vec![
+                vec![stat("RoundRobin", 238.4), stat("FairShare", 16.0)],
+                vec![stat("RoundRobin", 2839.0), stat("FairShare", 0.1 + 0.2)],
+            ],
+        };
+        let r = t.render();
+        assert!(r.contains("RoundRobin"));
+        assert!(r.contains("LPC-EGEE"));
+        assert!(r.contains("238"));
+        let json = t.to_json();
+        assert!(json.contains("\"metric\": \"delay\""));
+        // The 0.30000000000000004 cell must survive JSON exactly — no
+        // format_sig truncation drift between render() and to_json().
+        let v = serde_json::parse_value(&json).unwrap();
+        let cells = match v.get("cells").unwrap() {
+            serde::Value::Array(c) => c,
+            _ => panic!("cells must be an array"),
+        };
+        let ricc = match &cells[1] {
+            serde::Value::Array(c) => c,
+            _ => panic!("column must be an array"),
+        };
+        let mean_text = match ricc[1].get("mean").unwrap() {
+            serde::Value::Number(n) => n.clone(),
+            _ => panic!("mean must be a number"),
+        };
+        assert_eq!(mean_text.parse::<f64>().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("algorithm,LPC-EGEE avg,LPC-EGEE sd,RICC avg,RICC sd"));
+        assert!(csv.contains("0.30000000000000004"));
+        // Canonical multi-parameter spec labels survive the CSV sink
+        // verbatim via RFC 4180 quoting, not comma rewriting.
+        let spec_table = SummaryTable {
+            title: "t".into(),
+            metric: "delay".into(),
+            columns: vec!["synth:horizon=800,orgs=3".into()],
+            cells: vec![vec![stat("fifo", 1.0)]],
+        };
+        let csv = spec_table.to_csv();
+        assert!(
+            csv.starts_with("algorithm,\"synth:horizon=800,orgs=3 avg\""),
+            "comma-bearing labels must be quoted, got: {csv}"
+        );
+        assert!(csv.contains("synth:horizon=800,orgs=3"));
+    }
+
+    #[test]
+    fn format_sig_matches_paper_style() {
+        assert_eq!(format_sig(0.0), "0");
+        assert_eq!(format_sig(0.0144), "0.014");
+        assert_eq!(format_sig(6.04), "6.0");
+        assert_eq!(format_sig(238.4), "238");
+        assert_eq!(format_sig(-238.4), "-238");
+        assert_eq!(format_sig(-0.0144), "-0.014");
+    }
+
+    #[test]
+    fn shared_registry_is_built_once_and_complete() {
+        let a = MetricRegistry::shared();
+        let b = MetricRegistry::shared();
+        assert!(std::ptr::eq(a, b), "shared() must return one instance");
+        let fresh = MetricRegistry::default();
+        assert_eq!(a.names().collect::<Vec<_>>(), fresh.names().collect::<Vec<_>>());
+        assert!(a.names().count() >= 10);
+    }
+
+    #[test]
+    fn help_mentions_every_name() {
+        let registry = MetricRegistry::default();
+        let help = registry.help();
+        for name in registry.names() {
+            assert!(help.contains(name), "help is missing {name}");
+        }
+    }
+
+    #[test]
+    fn registration_extends_and_overrides() {
+        struct Custom;
+        impl MetricFactory for Custom {
+            fn name(&self) -> &str {
+                "custom"
+            }
+            fn summary(&self) -> &str {
+                "test-only"
+            }
+            fn conformance_specs(&self) -> Vec<MetricSpec> {
+                vec![MetricSpec::bare("custom")]
+            }
+            fn evaluate(
+                &self,
+                spec: &MetricSpec,
+                ctx: &MetricContext<'_>,
+            ) -> Result<MetricColumn, MetricError> {
+                Ok(MetricColumn {
+                    spec: spec.clone(),
+                    per_org: vec![MetricValue::Int(1); ctx.trace.n_orgs()],
+                    aggregate: MetricValue::Int(ctx.trace.n_orgs() as i128),
+                })
+            }
+        }
+        let mut registry = MetricRegistry::default();
+        assert!(registry.register(Box::new(Custom)).is_none());
+        let trace = small_trace();
+        let result = run(&trace, "fifo", 30);
+        let ctx = MetricContext::from_result(&trace, &result);
+        let col = registry.evaluate(&"custom".parse().unwrap(), &ctx).unwrap();
+        assert_eq!(col.aggregate, MetricValue::Int(2));
+        assert!(registry.register(Box::new(Custom)).is_some());
+    }
+}

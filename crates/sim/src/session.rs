@@ -55,6 +55,7 @@
 //! ```
 
 use crate::engine::{run_scheduler, SimOptions, SimResult};
+use crate::report::{MetricError, MetricRegistry, MetricSpec, Report};
 use fairsched_core::model::{OrgId, Time, Trace, TraceError};
 use fairsched_core::schedule::ScheduleViolation;
 use fairsched_core::scheduler::registry::{
@@ -77,6 +78,9 @@ pub enum SimError {
     /// The workload spec was malformed, unknown, had bad parameters, or
     /// failed to build (missing file, malformed SWF, invalid trace).
     Workload(WorkloadError),
+    /// A metric spec was malformed, unknown, had bad parameters, or could
+    /// not be evaluated (e.g. a reference-based metric with no REF run).
+    Metric(MetricError),
     /// `run` was called without choosing a scheduler.
     NoScheduler,
     /// `run` was called on a session with neither a trace nor a workload.
@@ -118,6 +122,7 @@ impl fmt::Display for SimError {
             SimError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
             SimError::Spec(e) => write!(f, "{e}"),
             SimError::Workload(e) => write!(f, "{e}"),
+            SimError::Metric(e) => write!(f, "{e}"),
             SimError::NoScheduler => {
                 write!(f, "no scheduler chosen (call .scheduler(..) before .run())")
             }
@@ -146,6 +151,7 @@ impl std::error::Error for SimError {
             SimError::InvalidTrace(e) => Some(e),
             SimError::Spec(e) => Some(e),
             SimError::Workload(e) => Some(e),
+            SimError::Metric(e) => Some(e),
             _ => None,
         }
     }
@@ -160,6 +166,12 @@ impl From<SpecError> for SimError {
 impl From<WorkloadError> for SimError {
     fn from(e: WorkloadError) -> Self {
         SimError::Workload(e)
+    }
+}
+
+impl From<MetricError> for SimError {
+    fn from(e: MetricError) -> Self {
+        SimError::Metric(e)
     }
 }
 
@@ -193,11 +205,20 @@ pub struct Simulation<'a> {
     source: Source<'a>,
     registry: Option<&'a Registry>,
     workloads: Option<&'a WorkloadRegistry>,
+    metrics_registry: Option<&'a MetricRegistry>,
+    metrics: Vec<MetricSpec>,
     chosen: Chosen,
     horizon: Option<Time>,
     validate: bool,
     seed: u64,
 }
+
+/// The metric specs a report-producing run evaluates when none were
+/// chosen with [`Simulation::metrics`]: the classic per-organization
+/// summary (machine counts, completions, flow, waiting, exact `ψ_sp`) —
+/// reference-free, so it works on any session.
+pub const DEFAULT_REPORT_METRICS: [&str; 5] =
+    ["machines", "completed", "flow", "waiting", "psi"];
 
 impl Simulation<'static> {
     /// A settings-only session template with no trace or workload chosen
@@ -210,6 +231,8 @@ impl Simulation<'static> {
             source: Source::None,
             registry: None,
             workloads: None,
+            metrics_registry: None,
+            metrics: Vec::new(),
             chosen: Chosen::None,
             horizon: None,
             validate: false,
@@ -251,6 +274,35 @@ impl<'a> Simulation<'a> {
     /// [`WorkloadRegistry::shared`].
     pub fn workload_registry(mut self, registry: &'a WorkloadRegistry) -> Self {
         self.workloads = Some(registry);
+        self
+    }
+
+    /// Chooses the metrics the report-producing runs
+    /// ([`run_report`](Simulation::run_report),
+    /// [`run_matrix_reports`](Simulation::run_matrix_reports),
+    /// [`run_grid_reports`](Simulation::run_grid_reports)) evaluate, by
+    /// spec string (`"delay"`, `"delay:norm=ideal"`, `"psi"`, …). Fails
+    /// fast on syntax errors; unknown names and bad parameter values
+    /// surface from the run, where the metric registry is consulted.
+    /// Without this call the [`DEFAULT_REPORT_METRICS`] set is used.
+    pub fn metrics(mut self, specs: &[&str]) -> Result<Self, SimError> {
+        self.metrics = specs
+            .iter()
+            .map(|s| s.parse::<MetricSpec>())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self)
+    }
+
+    /// Chooses the metrics by parsed specs.
+    pub fn metric_specs(mut self, specs: Vec<MetricSpec>) -> Self {
+        self.metrics = specs;
+        self
+    }
+
+    /// Resolves metric spec names through `registry` instead of
+    /// [`MetricRegistry::shared`].
+    pub fn metric_registry(mut self, registry: &'a MetricRegistry) -> Self {
+        self.metrics_registry = Some(registry);
         self
     }
 
@@ -321,6 +373,39 @@ impl<'a> Simulation<'a> {
     /// Likewise for workload specs.
     fn resolve_workloads(&self) -> &'a WorkloadRegistry {
         self.workloads.unwrap_or_else(|| WorkloadRegistry::shared())
+    }
+
+    /// Likewise for metric specs.
+    fn resolve_metrics(&self) -> &'a MetricRegistry {
+        self.metrics_registry.unwrap_or_else(|| MetricRegistry::shared())
+    }
+
+    /// The metric specs report runs evaluate: the chosen ones, or
+    /// [`DEFAULT_REPORT_METRICS`].
+    fn effective_metrics(&self) -> Vec<MetricSpec> {
+        if self.metrics.is_empty() {
+            DEFAULT_REPORT_METRICS
+                .iter()
+                .map(|s| s.parse().expect("default metric specs parse"))
+                .collect()
+        } else {
+            self.metrics.clone()
+        }
+    }
+
+    /// Runs the REF reference scheduler over `trace` with this session's
+    /// settings (for reference-based metrics).
+    fn run_reference(&self, trace: &Trace) -> Result<SimResult, SimError> {
+        let mut scheduler = self.build_spec(&SchedulerSpec::bare("ref"), trace)?;
+        run_scheduler(trace, scheduler.as_mut(), self.options_for(trace))
+    }
+
+    /// The session's workload provenance, if it was chosen by spec.
+    fn workload_provenance(&self) -> Option<WorkloadSpec> {
+        match &self.source {
+            Source::Workload(spec) => Some(spec.clone()),
+            _ => None,
+        }
     }
 
     /// The session's trace: borrowed when supplied via
@@ -442,6 +527,152 @@ impl<'a> Simulation<'a> {
         }
         cells
     }
+
+    /// Runs the session and measures it: like [`run`](Simulation::run),
+    /// but the outcome is a typed [`Report`] evaluating the session's
+    /// metric specs (set with [`metrics`](Simulation::metrics); default
+    /// [`DEFAULT_REPORT_METRICS`]). When any chosen metric compares
+    /// against REF (`delay`, `ranking`), the exact reference schedule is
+    /// run automatically with the same settings.
+    pub fn run_report(mut self) -> Result<Report, SimError> {
+        let specs = self.effective_metrics();
+        let metric_registry = self.resolve_metrics();
+        let chosen = std::mem::replace(&mut self.chosen, Chosen::None);
+        let scheduler_spec = match &chosen {
+            Chosen::Spec(spec) => Some(spec.clone()),
+            _ => None,
+        };
+        let workload_spec = self.workload_provenance();
+        let trace = self.resolve_trace()?;
+        let options = self.options_for(&trace);
+        let mut scheduler = match chosen {
+            Chosen::None => return Err(SimError::NoScheduler),
+            Chosen::Instance(s) => s,
+            Chosen::Spec(ref spec) => self.build_spec(spec, &trace)?,
+        };
+        let result = run_scheduler(&trace, scheduler.as_mut(), options)?;
+        let reference = if metric_registry.any_needs_reference(&specs) {
+            Some(self.run_reference(&trace)?)
+        } else {
+            None
+        };
+        let mut report = Report::evaluate(
+            metric_registry,
+            &specs,
+            &trace,
+            &result,
+            reference.as_ref(),
+        )?;
+        report.seed = self.seed;
+        report.scheduler_spec = scheduler_spec;
+        report.workload_spec = workload_spec;
+        Ok(report)
+    }
+
+    /// [`run_matrix`](Simulation::run_matrix), reported: one [`Report`]
+    /// per scheduler spec, in spec order, over one resolved trace and
+    /// (when needed) one shared REF reference run.
+    pub fn run_matrix_reports(
+        &self,
+        specs: &[SchedulerSpec],
+    ) -> Result<Vec<Report>, SimError> {
+        let trace = self.resolve_trace()?;
+        self.run_matrix_reports_on(&trace, specs).into_iter().collect()
+    }
+
+    /// The shared core of [`run_matrix_reports`](Simulation::run_matrix_reports)
+    /// and [`run_grid_reports`](Simulation::run_grid_reports): per-spec
+    /// typed results over an already-resolved trace.
+    fn run_matrix_reports_on(
+        &self,
+        trace: &Trace,
+        specs: &[SchedulerSpec],
+    ) -> Vec<Result<Report, SimError>> {
+        let metric_specs = self.effective_metrics();
+        let metric_registry = self.resolve_metrics();
+        let reference = if metric_registry.any_needs_reference(&metric_specs) {
+            match self.run_reference(trace) {
+                Ok(r) => Some(r),
+                Err(e) => return specs.iter().map(|_| Err(e.clone())).collect(),
+            }
+        } else {
+            None
+        };
+        let workload_spec = self.workload_provenance();
+        self.run_matrix_on(trace, specs)
+            .into_iter()
+            .zip(specs)
+            .map(|(result, spec)| {
+                let mut report = Report::evaluate(
+                    metric_registry,
+                    &metric_specs,
+                    trace,
+                    &result?,
+                    reference.as_ref(),
+                )?;
+                report.seed = self.seed;
+                report.scheduler_spec = Some(spec.clone());
+                report.workload_spec = workload_spec.clone();
+                Ok(report)
+            })
+            .collect()
+    }
+
+    /// [`run_grid`](Simulation::run_grid), reported: the full
+    /// `(workload × scheduler)` grid in row-major order, each cell a
+    /// typed [`Report`] (or the typed error that stopped it). Workloads
+    /// are built once per row; when a reference-based metric is chosen,
+    /// REF runs once per row and is shared by its cells.
+    pub fn run_grid_reports(
+        &self,
+        workloads: &[WorkloadSpec],
+        schedulers: &[SchedulerSpec],
+    ) -> Vec<ReportCell> {
+        let ctx = WorkloadContext { seed: self.seed };
+        let registry = self.resolve_workloads();
+        let mut cells = Vec::with_capacity(workloads.len() * schedulers.len());
+        for wspec in workloads {
+            match registry.build(wspec, &ctx) {
+                Err(e) => {
+                    for sspec in schedulers {
+                        cells.push(ReportCell {
+                            workload: wspec.clone(),
+                            scheduler: sspec.clone(),
+                            report: Err(SimError::Workload(e.clone())),
+                        });
+                    }
+                }
+                Ok(trace) => {
+                    let row = self.run_matrix_reports_on(&trace, schedulers);
+                    for (sspec, report) in schedulers.iter().zip(row) {
+                        let report = report.map(|mut r| {
+                            r.workload_spec = Some(wspec.clone());
+                            r
+                        });
+                        cells.push(ReportCell {
+                            workload: wspec.clone(),
+                            scheduler: sspec.clone(),
+                            report,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One cell of a [`Simulation::run_grid_reports`] sweep: which workload ×
+/// which scheduler, and the typed measured outcome.
+#[derive(Debug)]
+pub struct ReportCell {
+    /// The workload axis value.
+    pub workload: WorkloadSpec,
+    /// The scheduler axis value.
+    pub scheduler: SchedulerSpec,
+    /// The measured outcome; errors are per-cell, the grid always
+    /// completes.
+    pub report: Result<Report, SimError>,
 }
 
 /// One cell of a [`Simulation::run_grid`] sweep: which workload × which
@@ -829,6 +1060,134 @@ mod tests {
         };
         assert_eq!(run(4), run(4));
         assert_ne!(run(4), run(5), "different seeds must yield different workloads");
+    }
+
+    #[test]
+    fn run_report_defaults_to_the_classic_summary() {
+        let trace = small_trace();
+        let report = Simulation::new(&trace)
+            .scheduler("fifo")
+            .unwrap()
+            .horizon(50)
+            .run_report()
+            .unwrap();
+        assert_eq!(report.metric_specs(), DEFAULT_REPORT_METRICS);
+        assert_eq!(report.scheduler, "Fifo");
+        assert_eq!(report.scheduler_spec.as_ref().unwrap().to_string(), "fifo");
+        assert_eq!(report.orgs, ["a", "b"]);
+        // machines column reflects the trace.
+        let machines = report.column("machines").unwrap();
+        assert_eq!(machines.per_org.len(), 2);
+    }
+
+    #[test]
+    fn run_report_runs_the_reference_for_delay_metrics() {
+        use crate::report::MetricValue;
+        let trace = small_trace();
+        let report = Simulation::new(&trace)
+            .scheduler("roundrobin")
+            .unwrap()
+            .horizon(50)
+            .metrics(&["delay", "psi", "ranking"])
+            .unwrap()
+            .run_report()
+            .unwrap();
+        assert_eq!(report.metric_specs(), ["delay", "psi", "ranking"]);
+        assert!(matches!(
+            report.column("delay").unwrap().aggregate,
+            MetricValue::Float(v) if v >= 0.0
+        ));
+        // REF against itself is perfectly fair: delay 0 everywhere.
+        let self_fair = Simulation::new(&trace)
+            .scheduler("ref")
+            .unwrap()
+            .horizon(50)
+            .metrics(&["delay"])
+            .unwrap()
+            .run_report()
+            .unwrap();
+        assert_eq!(self_fair.column("delay").unwrap().aggregate, MetricValue::Float(0.0));
+    }
+
+    #[test]
+    fn malformed_metric_spec_fails_fast_and_unknown_surfaces_at_run() {
+        let trace = small_trace();
+        let err = Simulation::new(&trace).metrics(&["delay:norm"]);
+        assert!(matches!(err, Err(SimError::Metric(MetricError::BadSyntax { .. }))));
+        let err = Simulation::new(&trace)
+            .scheduler("fifo")
+            .unwrap()
+            .metrics(&["vibes"])
+            .unwrap()
+            .run_report();
+        assert!(matches!(err, Err(SimError::Metric(MetricError::UnknownMetric { .. }))));
+    }
+
+    #[test]
+    fn run_matrix_reports_match_individual_runs_and_carry_provenance() {
+        let specs: Vec<SchedulerSpec> =
+            ["fifo", "fairshare"].iter().map(|s| s.parse().unwrap()).collect();
+        let session = Simulation::session()
+            .workload("fpt:k=2")
+            .unwrap()
+            .horizon(400)
+            .seed(9)
+            .metrics(&["delay", "psi"])
+            .unwrap();
+        let reports = session.run_matrix_reports(&specs).unwrap();
+        assert_eq!(reports.len(), 2);
+        for (spec, report) in specs.iter().zip(&reports) {
+            assert_eq!(report.scheduler_spec.as_ref().unwrap(), spec);
+            assert_eq!(report.workload_spec.as_ref().unwrap().to_string(), "fpt:k=2");
+            assert_eq!(report.seed, 9);
+            let solo = Simulation::session()
+                .workload("fpt:k=2")
+                .unwrap()
+                .scheduler_spec(spec.clone())
+                .horizon(400)
+                .seed(9)
+                .metrics(&["delay", "psi"])
+                .unwrap()
+                .run_report()
+                .unwrap();
+            assert_eq!(
+                report.column("psi").unwrap().per_org,
+                solo.column("psi").unwrap().per_org,
+                "matrix report diverged from solo run for {spec}"
+            );
+            assert_eq!(
+                report.column("delay").unwrap().aggregate,
+                solo.column("delay").unwrap().aggregate
+            );
+        }
+    }
+
+    #[test]
+    fn run_grid_reports_collect_typed_errors_and_continue() {
+        let workloads: Vec<WorkloadSpec> =
+            ["fpt:k=2", "fpt:k=0"].iter().map(|s| s.parse().unwrap()).collect();
+        let schedulers: Vec<SchedulerSpec> =
+            ["fifo", "roundrobin"].iter().map(|s| s.parse().unwrap()).collect();
+        let cells = Simulation::session()
+            .horizon(300)
+            .seed(5)
+            .metrics(&["completed", "psi"])
+            .unwrap()
+            .run_grid_reports(&workloads, &schedulers);
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            if cell.workload.to_string() == "fpt:k=0" {
+                assert!(matches!(
+                    cell.report,
+                    Err(SimError::Workload(WorkloadError::BadParam { .. }))
+                ));
+            } else {
+                let report = cell.report.as_ref().unwrap();
+                assert_eq!(report.workload_spec.as_ref().unwrap(), &cell.workload);
+                assert_eq!(report.scheduler_spec.as_ref().unwrap(), &cell.scheduler);
+                assert_eq!(report.metric_specs(), ["completed", "psi"]);
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! | `synth:preset=lpc,scale=0.1,split=uniform` | LPC-EGEE shape, machines split uniformly instead of Zipf |
 //! | `swf:path=/logs/lpc.swf,start=0,end=86400` | replay the first day of a real archive log |
 //! | `fpt:k=8` | the lattice-bench FPT growth family at 8 organizations |
+//! | `trace:path=/scenarios/burst.json` | replay a serialized trace verbatim ([`spec::write_trace_json`] exports one) |
 //!
 //! ```
 //! use fairsched_workloads::spec::{WorkloadContext, WorkloadRegistry};
@@ -63,7 +64,7 @@ pub mod synth;
 pub use assign::{to_trace, MachineSplit, UserJob};
 pub use presets::{preset, Preset, PresetName};
 pub use spec::{
-    synth_spec, WorkloadContext, WorkloadError, WorkloadFactory, WorkloadRegistry,
-    WorkloadSpec,
+    synth_spec, trace_to_json, write_trace_json, WorkloadContext, WorkloadError,
+    WorkloadFactory, WorkloadRegistry, WorkloadSpec,
 };
 pub use synth::{generate, SynthConfig};

@@ -34,6 +34,7 @@
 //! | `synth` | seeded synthetic preset ([`crate::presets`]) | `preset` (lpc \| pik \| ricc \| sharcnet, default lpc), `scale` (default 0.1), `orgs` (default 5), `horizon` (default 20000), `split` (zipf \| uniform \| equal, default zipf), `zipf` (exponent, default 1.0) |
 //! | `swf` | a Standard Workload Format log ([`crate::swf`]) | `path` (required), `start`/`end` (submit window, defaults 0/∞), `machines` (default 64), `orgs` (default 5), `split`, `zipf` |
 //! | `fpt` | the lattice-bench FPT growth family (`2k` users on `2k` machines, equal split) | `k` (required), `horizon` (default 2000), `load` (default 0.8), `median` (default 40), `sigma` (default 1.0), `maxdur` (default 500) |
+//! | `trace` | a serialized [`Trace`] replayed verbatim from JSON (see [`write_trace_json`]) | `path` (required) |
 //!
 //! ```
 //! use fairsched_workloads::spec::{WorkloadContext, WorkloadRegistry, WorkloadSpec};
@@ -101,6 +102,13 @@ pub enum WorkloadError {
     },
     /// The workload file failed to parse as SWF.
     Swf(swf::SwfError),
+    /// A serialized trace file failed to parse as JSON.
+    Json {
+        /// The path that failed.
+        path: String,
+        /// The parse error message.
+        message: String,
+    },
     /// The generated trace failed model validation.
     InvalidTrace(TraceError),
 }
@@ -133,6 +141,9 @@ impl fmt::Display for WorkloadError {
                 write!(f, "cannot read workload file {path:?}: {message}")
             }
             WorkloadError::Swf(e) => write!(f, "{e}"),
+            WorkloadError::Json { path, message } => {
+                write!(f, "cannot parse trace file {path:?}: {message}")
+            }
             WorkloadError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
         }
     }
@@ -177,12 +188,14 @@ impl WorkloadSpec {
         WorkloadSpec { body: SpecBody::bare(name) }
     }
 
-    /// Adds or replaces a parameter (builder style).
+    /// Adds or replaces a parameter (builder style). Values containing
+    /// the structural characters `%`/`,`/`=` are percent-escaped on
+    /// render, so the `Display`/`FromStr` round trip holds for any
+    /// non-empty value (e.g. archive paths with commas).
     ///
     /// # Panics
     /// Panics if the key is not a lowercase identifier or the rendered
-    /// value is empty or contains `,`/`=` — such specs would break the
-    /// `Display`/`FromStr` round-trip contract.
+    /// value is empty.
     pub fn with(self, key: impl Into<String>, value: impl fmt::Display) -> Self {
         WorkloadSpec { body: self.body.with(key, value) }
     }
@@ -542,6 +555,28 @@ pub fn sample_swf_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/sample.swf")
 }
 
+/// The committed tiny serialized trace used by the `trace:` family's
+/// conformance specs.
+pub fn sample_trace_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/sample_trace.json")
+}
+
+/// Serializes a [`Trace`] to the JSON format the `trace:` workload family
+/// replays — the export half of making externally generated scenarios
+/// spec-addressable (`trace:path=...`).
+pub fn trace_to_json(trace: &Trace) -> String {
+    serde_json::to_string_pretty(trace).expect("traces serialize")
+}
+
+/// Writes [`trace_to_json`] to a file, so the canonical export/import
+/// cycle is `write_trace_json(&trace, p)` → `trace:path=p`.
+pub fn write_trace_json(
+    trace: &Trace,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, trace_to_json(trace))
+}
+
 fn synth_conformance() -> Vec<WorkloadSpec> {
     vec![
         "synth:horizon=1500,orgs=3,preset=lpc,scale=0.08".parse().unwrap(),
@@ -578,12 +613,62 @@ fn fpt_conformance() -> Vec<WorkloadSpec> {
     ]
 }
 
+/// The `trace:` family: replay a serialized [`Trace`] from JSON verbatim.
+/// Deterministic by construction — the file *is* the trace — so it opts
+/// out of seed sensitivity.
+struct TraceFileFactory;
+
+impl WorkloadFactory for TraceFileFactory {
+    fn name(&self) -> &str {
+        "trace"
+    }
+
+    fn summary(&self) -> &str {
+        "replay a serialized trace from JSON (see write_trace_json)"
+    }
+
+    fn accepted_params(&self) -> &[&str] {
+        &["path"]
+    }
+
+    fn conformance_specs(&self) -> Vec<WorkloadSpec> {
+        vec![WorkloadSpec::bare("trace").with("path", sample_trace_path())]
+    }
+
+    fn seed_sensitive(&self) -> bool {
+        false
+    }
+
+    fn build(
+        &self,
+        spec: &WorkloadSpec,
+        _ctx: &WorkloadContext,
+    ) -> Result<Trace, WorkloadError> {
+        spec.deny_unknown_params(self.accepted_params())?;
+        let path = spec
+            .get("path")
+            .ok_or_else(|| spec.bad_param("path", "required parameter is missing"))?
+            .to_string();
+        let text = std::fs::read_to_string(&path).map_err(|e| WorkloadError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+        let trace: Trace = serde_json::from_str(&text).map_err(|e| {
+            WorkloadError::Json { path: path.clone(), message: e.to_string() }
+        })?;
+        trace.validate()?;
+        Ok(trace)
+    }
+}
+
 impl Default for WorkloadRegistry {
     /// A registry with the built-in workload families: `synth` (the
-    /// Section 7.2 presets), `swf` (archive log replay), and `fpt` (the
-    /// lattice-bench growth family).
+    /// Section 7.2 presets), `swf` (archive log replay), `fpt` (the
+    /// lattice-bench growth family), and `trace` (serialized-trace
+    /// replay).
     fn default() -> Self {
         let mut r = WorkloadRegistry::new();
+        r.register(Box::new(TraceFileFactory));
         r.register_fn(
             "synth",
             "seeded synthetic preset (Section 7.2 archive shapes)",
@@ -778,7 +863,7 @@ mod tests {
         match registry.build_str("nonesuch:x=1", &ctx(0)) {
             Err(WorkloadError::UnknownWorkload { name, known }) => {
                 assert_eq!(name, "nonesuch");
-                assert_eq!(known, vec!["fpt", "swf", "synth"]);
+                assert_eq!(known, vec!["fpt", "swf", "synth", "trace"]);
             }
             other => panic!("wrong outcome: {other:?}"),
         }
@@ -832,6 +917,64 @@ mod tests {
             registry.build_str("swf:path=/no/such/file.swf", &ctx(0)),
             Err(WorkloadError::Io { .. })
         ));
+    }
+
+    #[test]
+    fn trace_family_replays_serialized_traces_verbatim() {
+        let registry = WorkloadRegistry::default();
+        let spec = WorkloadSpec::bare("trace").with("path", sample_trace_path());
+        let a = registry.build(&spec, &ctx(0)).unwrap();
+        assert_eq!(a.n_orgs(), 2);
+        assert_eq!(a.n_jobs(), 4);
+        assert_eq!(a.orgs()[0].name, "alpha");
+        assert_eq!(a.jobs()[2].deadline, Some(9));
+        // Seed-independent: the file is the trace.
+        assert_eq!(a, registry.build(&spec, &ctx(99)).unwrap());
+        // Export ∘ import is the identity.
+        let dir = std::env::temp_dir().join("fairsched_trace_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        write_trace_json(&a, &path).unwrap();
+        let spec2 = WorkloadSpec::bare("trace").with("path", path.display());
+        assert_eq!(registry.build(&spec2, &ctx(3)).unwrap(), a);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_family_errors_are_typed() {
+        let registry = WorkloadRegistry::default();
+        assert!(matches!(
+            registry.build_str("trace", &ctx(0)),
+            Err(WorkloadError::BadParam { .. })
+        ));
+        assert!(matches!(
+            registry.build_str("trace:path=/no/such/trace.json", &ctx(0)),
+            Err(WorkloadError::Io { .. })
+        ));
+        // A readable file that is not a serialized trace is a Json error.
+        assert!(matches!(
+            registry.build(
+                &WorkloadSpec::bare("trace").with("path", sample_swf_path()),
+                &ctx(0)
+            ),
+            Err(WorkloadError::Json { .. })
+        ));
+        // A parseable file describing an invalid trace fails validation.
+        let dir = std::env::temp_dir().join("fairsched_trace_invalid");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("invalid.json");
+        std::fs::write(
+            &path,
+            r#"{"orgs":[{"name":"a","n_machines":1}],
+               "jobs":[{"id":0,"org":0,"release":0,"proc_time":0,"deadline":null}]}"#,
+        )
+        .unwrap();
+        let spec = WorkloadSpec::bare("trace").with("path", path.display());
+        assert!(matches!(
+            registry.build(&spec, &ctx(0)),
+            Err(WorkloadError::InvalidTrace(TraceError::ZeroProcTime { .. }))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -41,8 +41,22 @@ fn main() -> Result<(), SimError> {
         println!("{report}");
     }
 
+    // Metrics are registry specs too: ask for the fairness indices you
+    // want by string and get a typed Report with JSON/CSV/table sinks.
+    // `delay` compares against REF, which runs automatically.
+    let report = Simulation::new(&trace)
+        .scheduler("fairshare")?
+        .horizon(horizon)
+        .seed(7)
+        .metrics(&["delay", "psi", "stretch"])?
+        .run_report()?;
+    println!("spec-addressed measurement ({}):", report.metric_specs().join(", "));
+    print!("{}", report.render_table());
+    println!();
+
     // Workloads are registry specs too, so a whole experiment matrix —
-    // (workload × scheduler) — is pure data: no construction code at all.
+    // (workload × scheduler × metrics) — is pure data: no construction
+    // or measurement code at all.
     let workloads: [WorkloadSpec; 2] = [
         "fpt:k=2".parse().map_err(SimError::Workload)?,
         "synth:horizon=800,orgs=3,preset=lpc,scale=0.05"
@@ -50,16 +64,15 @@ fn main() -> Result<(), SimError> {
             .map_err(SimError::Workload)?,
     ];
     let schedulers: [SchedulerSpec; 2] = ["fairshare".parse()?, "roundrobin".parse()?];
-    println!("pure-data experiment grid (completed jobs per cell):");
-    for cell in
-        Simulation::session().horizon(800).seed(7).run_grid(&workloads, &schedulers)
-    {
-        let completed = cell
-            .result
-            .map(|r| r.completed_jobs.to_string())
+    println!("pure-data experiment grid (Δψ/p_tot per cell):");
+    let session = Simulation::session().horizon(800).seed(7).metrics(&["delay"])?;
+    for cell in session.run_grid_reports(&workloads, &schedulers) {
+        let delay = cell
+            .report
+            .map(|r| r.column("delay").expect("requested").aggregate.to_string())
             .unwrap_or_else(|e| e.to_string());
         println!(
-            "  {:<48} × {:<12} -> {completed}",
+            "  {:<48} × {:<12} -> {delay}",
             cell.workload.to_string(),
             cell.scheduler.to_string()
         );

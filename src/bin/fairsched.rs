@@ -17,7 +17,10 @@
 //! # real archive log
 //! fairsched --swf ./LPC-EGEE-2004-1.2-cln.swf --machines 70 --orgs 5 \
 //!           --scheduler fairshare --horizon 50000
-//! # machine-readable output
+//! # metrics are registry specs too (delay runs the REF reference itself)
+//! fairsched --workload fpt:k=3 --metrics delay,psi
+//! fairsched --workload fpt:k=3 --metrics delay:norm=ideal,ranking,stretch
+//! # machine-readable output (carries canonical metric_specs)
 //! fairsched --preset lpc --scale 0.1 --json
 //! # show the schedule
 //! fairsched --preset lpc --scale 0.1 --horizon 500 --gantt
@@ -27,13 +30,13 @@ use fairsched::core::fairness::FairnessReport;
 use fairsched::core::scheduler::registry::Registry;
 use fairsched::core::Trace;
 use fairsched::sim::gantt::render_gantt;
-use fairsched::sim::metrics::org_metrics;
-use fairsched::sim::Simulation;
+use fairsched::sim::report::{MetricRegistry, MetricSpec, Report};
+use fairsched::sim::{Simulation, DEFAULT_REPORT_METRICS};
 use fairsched::workloads::{
     swf, synth_spec, MachineSplit, PresetName, WorkloadContext, WorkloadRegistry,
     WorkloadSpec,
 };
-use serde::Serialize;
+use serde::Value;
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -63,9 +66,21 @@ scheduling:
   --uniform-split      split machines uniformly instead of Zipf
 
 output:
-  --json               print the full report as JSON (schedule omitted)
+  --metrics SPECS      comma-separated metric registry specs to evaluate
+                       (default {default_metrics}); registered metrics:
+{metric_help}
+  --json               print the full report as JSON (schedule omitted;
+                       carries the canonical metric_specs)
   --gantt              print an ASCII Gantt chart (small runs)
-  --no-reference       skip the exact REF fairness comparison",
+  --no-reference       skip the exact REF run (reference-based metrics
+                       like delay/ranking then fail with a typed error)",
+        default_metrics = DEFAULT_REPORT_METRICS.join(","),
+        metric_help = MetricRegistry::shared()
+            .help()
+            .lines()
+            .map(|l| format!("     {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
         workload_help = WorkloadRegistry::shared()
             .help()
             .lines()
@@ -80,40 +95,6 @@ output:
             .join("\n"),
     );
     exit(2)
-}
-
-/// The `--json` payload: run summary plus per-organization metrics.
-#[derive(Serialize)]
-struct JsonReport {
-    workload: String,
-    /// Canonical workload registry spec the trace was built from.
-    workload_spec: String,
-    scheduler_spec: String,
-    scheduler: String,
-    n_orgs: usize,
-    n_machines: usize,
-    n_jobs: usize,
-    horizon: u64,
-    seed: u64,
-    started_jobs: usize,
-    completed_jobs: usize,
-    busy_time: u64,
-    utilization: f64,
-    coalition_value: i128,
-    orgs: Vec<JsonOrg>,
-    /// Δψ/p_tot against the exact REF reference (absent with
-    /// `--no-reference` or when REF itself is evaluated).
-    unfairness_vs_ref: Option<f64>,
-}
-
-#[derive(Serialize)]
-struct JsonOrg {
-    name: String,
-    machines: usize,
-    completed: usize,
-    flow_time: u64,
-    waiting_time: u64,
-    psi_sp: i128,
 }
 
 fn main() {
@@ -225,6 +206,15 @@ fn main() {
             exit(1)
         });
 
+    // The requested fairness metrics: a comma-separated list of metric
+    // registry specs (multi-parameter specs survive the outer split).
+    let metric_specs: Vec<MetricSpec> =
+        MetricSpec::parse_list(&get("metrics", &DEFAULT_REPORT_METRICS.join(",")))
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1)
+            });
+
     // One session template: trace + horizon + seed, any registry scheduler.
     let spec = get("scheduler", "directcontr").to_lowercase();
     let session = || Simulation::new(&trace).horizon(horizon).seed(seed);
@@ -233,58 +223,77 @@ fn main() {
         exit(1)
     });
 
-    // The REF fairness comparison (skippable; pointless against itself).
-    let unfairness = if !has("no-reference") && spec != "ref" {
-        let fair = session().scheduler("ref").and_then(|s| s.run()).unwrap_or_else(|e| {
+    // The exact REF reference run, serving both the human fairness
+    // comparison and reference-based metrics (delay, ranking). Skipped
+    // when REF itself is evaluated — its own result is the reference
+    // then — or with --no-reference, where reference-based metrics fail
+    // with a typed error below.
+    let fair = if !has("no-reference") && spec != "ref" {
+        Some(session().scheduler("ref").and_then(|s| s.run()).unwrap_or_else(|e| {
             eprintln!("reference run failed: {e}");
             exit(1)
-        });
-        Some(FairnessReport::from_schedules(
-            &trace,
-            &result.schedule,
-            &fair.schedule,
-            horizon,
-        ))
+        }))
     } else {
         None
     };
+    let unfairness = fair.as_ref().filter(|_| spec != "ref").map(|fair| {
+        FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, horizon)
+    });
 
-    let metrics = org_metrics(&trace, &result.schedule, horizon);
+    // The typed report: the session's measurement pipeline, shared with
+    // bench tables and grid sweeps. REF may serve as its own reference.
+    let reference = if spec == "ref" { Some(&result) } else { fair.as_ref() };
+    let mut report = Report::evaluate(
+        MetricRegistry::shared(),
+        &metric_specs,
+        &trace,
+        &result,
+        reference,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    report.seed = seed;
+    report.workload_spec = Some(workload_spec.clone());
+    report.scheduler_spec = spec.parse().ok();
 
     if has("json") {
-        let report = JsonReport {
-            workload: source,
-            workload_spec: workload_spec.to_string(),
-            scheduler_spec: spec,
-            scheduler: result.scheduler.clone(),
-            n_orgs: trace.n_orgs(),
-            n_machines: trace.cluster_info().n_machines(),
-            n_jobs: trace.n_jobs(),
-            horizon,
-            seed,
-            started_jobs: result.started_jobs,
-            completed_jobs: result.completed_jobs,
-            busy_time: result.busy_time,
-            utilization: result.utilization,
-            coalition_value: result.coalition_value(),
-            orgs: metrics
-                .iter()
-                .zip(&result.psi)
-                .map(|(m, psi)| JsonOrg {
-                    name: trace.orgs()[m.org.index()].name.clone(),
-                    machines: trace.cluster_info().machines_of(m.org),
-                    completed: m.completed,
-                    flow_time: m.flow_time,
-                    waiting_time: m.waiting_time,
-                    psi_sp: *psi,
-                })
-                .collect(),
-            unfairness_vs_ref: unfairness.as_ref().map(|r| r.unfairness()),
-        };
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("serializable report")
-        );
+        let report_value = report.to_json_value();
+        let take = |key: &str| report_value.get(key).expect("report field").clone();
+        let payload = Value::Object(vec![
+            ("workload".into(), Value::String(source)),
+            ("workload_spec".into(), Value::String(workload_spec.to_string())),
+            ("scheduler_spec".into(), Value::String(spec)),
+            ("scheduler".into(), Value::String(result.scheduler.clone())),
+            ("n_orgs".into(), Value::Number(trace.n_orgs().to_string())),
+            (
+                "n_machines".into(),
+                Value::Number(trace.cluster_info().n_machines().to_string()),
+            ),
+            ("n_jobs".into(), Value::Number(trace.n_jobs().to_string())),
+            ("horizon".into(), Value::Number(horizon.to_string())),
+            ("seed".into(), Value::Number(seed.to_string())),
+            ("started_jobs".into(), Value::Number(result.started_jobs.to_string())),
+            ("completed_jobs".into(), Value::Number(result.completed_jobs.to_string())),
+            ("busy_time".into(), Value::Number(result.busy_time.to_string())),
+            ("utilization".into(), serde::Serialize::to_value(&result.utilization)),
+            (
+                "coalition_value".into(),
+                Value::Number(result.coalition_value().to_string()),
+            ),
+            ("metric_specs".into(), take("metric_specs")),
+            ("orgs".into(), take("orgs")),
+            ("aggregates".into(), take("aggregates")),
+            (
+                "unfairness_vs_ref".into(),
+                match &unfairness {
+                    Some(r) => serde::Serialize::to_value(&r.unfairness()),
+                    None => Value::Null,
+                },
+            ),
+        ]);
+        println!("{}", payload.to_json_pretty());
         return;
     }
 
@@ -304,21 +313,7 @@ fn main() {
     );
 
     println!("\nper-organization metrics:");
-    println!(
-        "{:<8}{:>10}{:>10}{:>12}{:>12}{:>14}",
-        "org", "machines", "done", "flow", "waiting", "ψ_sp"
-    );
-    for (m, psi) in metrics.iter().zip(&result.psi) {
-        println!(
-            "{:<8}{:>10}{:>10}{:>12}{:>12}{:>14}",
-            trace.orgs()[m.org.index()].name,
-            trace.cluster_info().machines_of(m.org),
-            m.completed,
-            m.flow_time,
-            m.waiting_time,
-            psi
-        );
-    }
+    print!("{}", report.render_table());
 
     if let Some(report) = &unfairness {
         println!("\nfairness vs exact REF reference:");

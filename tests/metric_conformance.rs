@@ -1,0 +1,373 @@
+//! The cross-crate metric conformance suite.
+//!
+//! Every factory registered in a [`MetricRegistry`] — built-in or
+//! downstream — must uphold the same contract, checked here for each of
+//! the representative specs it declares via
+//! [`MetricFactory::conformance_specs`]:
+//!
+//! 1. **coverage** — the factory declares at least one conformance spec
+//!    (one assert over registry iteration, so registering a metric
+//!    without conformance coverage fails CI);
+//! 2. **round-trip** — `parse(display(spec)) == spec`, and `display` is
+//!    canonical (re-rendering the reparsed spec is a fixpoint);
+//! 3. **determinism** — the same spec over the same context evaluates to
+//!    the identical column, bit for bit, across repeated evaluations;
+//! 4. **shape** — one value per organization, aggregate present;
+//! 5. **reference coherence** — a factory claiming
+//!    [`MetricFactory::needs_reference`] fails typedly without a
+//!    reference and succeeds with one; a factory not claiming it must
+//!    evaluate without one;
+//! 6. **horizon invariance where claimed** — factories claiming
+//!    [`MetricFactory::horizon_invariant`] must evaluate to the same
+//!    values at any horizon past the schedule's completion.
+//!
+//! Downstream crates get the same guarantees for free: the suite is a
+//! plain function over any registry, demonstrated below on a registry
+//! extended with a custom fairness index.
+
+use fairsched::core::utility::sp_vector;
+use fairsched::core::Trace;
+use fairsched::sim::report::{
+    MetricColumn, MetricContext, MetricError, MetricFactory, MetricRegistry, MetricSpec,
+    MetricValue, ReferenceData,
+};
+use fairsched::sim::{SimResult, Simulation};
+use fairsched::workloads::spec::{WorkloadContext, WorkloadRegistry};
+
+/// The fixed scenario every factory is probed on: a small registry-built
+/// workload, one practical scheduler, and the exact REF reference, run to
+/// completion (so horizon-invariance claims are checkable past it).
+struct Scenario {
+    trace: Trace,
+    eval: SimResult,
+    reference: SimResult,
+}
+
+fn scenario() -> Scenario {
+    let trace = WorkloadRegistry::shared()
+        .build_str("fpt:horizon=600,k=2", &WorkloadContext { seed: 11 })
+        .unwrap();
+    let run = |spec: &str| {
+        Simulation::new(&trace).scheduler(spec).unwrap().seed(11).run().unwrap()
+    };
+    let eval = run("fairshare");
+    let reference = run("ref");
+    Scenario { trace, eval, reference }
+}
+
+/// A context over the scenario's schedules at an explicit horizon (the
+/// ψ vectors are recomputed for that horizon, exactly as a run evaluated
+/// there would see them).
+fn context_at<'a>(
+    s: &'a Scenario,
+    horizon: u64,
+    psi: &'a [i128],
+    psi_ref: &'a [i128],
+) -> MetricContext<'a> {
+    MetricContext {
+        trace: &s.trace,
+        schedule: &s.eval.schedule,
+        psi,
+        horizon,
+        reference: Some(ReferenceData { schedule: &s.reference.schedule, psi: psi_ref }),
+    }
+}
+
+/// Canonical, bit-faithful rendering of a column for equality checks.
+fn render_column(c: &MetricColumn) -> String {
+    let mut out = format!("{}|", c.spec);
+    for v in &c.per_org {
+        out.push_str(&v.render());
+        out.push(';');
+    }
+    out.push_str(&c.aggregate.render());
+    out
+}
+
+/// Runs the full conformance contract over every factory in `registry`,
+/// returning human-readable violations (empty = conformant).
+fn conformance_violations(registry: &MetricRegistry) -> Vec<String> {
+    let s = scenario();
+    let h1 = s.eval.horizon;
+    let h2 = h1 * 2 + 17;
+    let psi_h1 = sp_vector(&s.trace, &s.eval.schedule, h1);
+    let psi_h2 = sp_vector(&s.trace, &s.eval.schedule, h2);
+    let ref_h1 = sp_vector(&s.trace, &s.reference.schedule, h1);
+    let ref_h2 = sp_vector(&s.trace, &s.reference.schedule, h2);
+
+    let mut violations = Vec::new();
+    let mut fail = |name: &str, spec: &str, what: String| {
+        violations.push(format!("[{name}] {spec}: {what}"));
+    };
+
+    for (name, specs) in registry.conformance_specs() {
+        // 1. Coverage: registry iteration makes this a one-assert check.
+        if specs.is_empty() {
+            fail(&name, "<none>", "factory declares no conformance specs".into());
+            continue;
+        }
+        let factory = registry.get(&name).expect("iterated name is registered");
+
+        for spec in &specs {
+            let label = spec.to_string();
+
+            if spec.name() != name {
+                fail(
+                    &name,
+                    &label,
+                    "conformance spec selects a different factory".into(),
+                );
+                continue;
+            }
+
+            // 2. Round-trip: parse ∘ display is the identity, display is
+            //    canonical (a fixpoint under reparsing).
+            match label.parse::<MetricSpec>() {
+                Err(e) => {
+                    fail(&name, &label, format!("display does not reparse: {e}"));
+                    continue;
+                }
+                Ok(reparsed) => {
+                    if &reparsed != spec {
+                        fail(&name, &label, "parse(display(spec)) != spec".into());
+                    }
+                    if reparsed.to_string() != label {
+                        fail(&name, &label, "display is not canonical".into());
+                    }
+                }
+            }
+
+            // 5a. Reference coherence: reference-based factories must
+            //     fail typedly when the context has no reference.
+            let bare = MetricContext {
+                trace: &s.trace,
+                schedule: &s.eval.schedule,
+                psi: &psi_h1,
+                horizon: h1,
+                reference: None,
+            };
+            match (factory.needs_reference(), registry.evaluate(spec, &bare)) {
+                (true, Err(MetricError::NeedsReference { .. })) => {}
+                (true, other) => fail(
+                    &name,
+                    &label,
+                    format!(
+                        "claims needs_reference but evaluating without one gave {other:?}"
+                    ),
+                ),
+                (false, Err(e)) => {
+                    fail(&name, &label, format!("failed without a reference: {e}"))
+                }
+                (false, Ok(_)) => {}
+            }
+
+            // 3 + 4. Determinism and shape, over the full context.
+            let ctx = context_at(&s, h1, &psi_h1, &ref_h1);
+            let a = match registry.evaluate(spec, &ctx) {
+                Ok(c) => c,
+                Err(e) => {
+                    fail(&name, &label, format!("evaluation failed: {e}"));
+                    continue;
+                }
+            };
+            match registry.evaluate(spec, &ctx) {
+                Ok(b) if render_column(&a) == render_column(&b) => {}
+                Ok(_) => fail(
+                    &name,
+                    &label,
+                    "two evaluations differ (non-deterministic)".into(),
+                ),
+                Err(e) => fail(&name, &label, format!("re-evaluation failed: {e}")),
+            }
+            if a.per_org.len() != s.trace.n_orgs() {
+                fail(
+                    &name,
+                    &label,
+                    format!(
+                        "column has {} values for {} organizations",
+                        a.per_org.len(),
+                        s.trace.n_orgs()
+                    ),
+                );
+            }
+            if a.spec != *spec {
+                fail(&name, &label, "column spec differs from the request".into());
+            }
+
+            // 6. Horizon invariance where claimed: the schedule is fully
+            //    complete at h1, so any later horizon must agree.
+            if factory.horizon_invariant() {
+                let ctx2 = context_at(&s, h2, &psi_h2, &ref_h2);
+                match registry.evaluate(spec, &ctx2) {
+                    Ok(b) => {
+                        if render_column(&a) != render_column(&b) {
+                            fail(
+                                &name,
+                                &label,
+                                format!(
+                                    "claims horizon invariance but values differ at h={h1} vs h={h2}"
+                                ),
+                            );
+                        }
+                    }
+                    Err(e) => fail(
+                        &name,
+                        &label,
+                        format!("evaluation at horizon {h2} failed: {e}"),
+                    ),
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[test]
+fn every_registered_factory_conforms() {
+    let violations = conformance_violations(MetricRegistry::shared());
+    assert!(
+        violations.is_empty(),
+        "metric conformance violations:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn every_registered_factory_has_conformance_coverage() {
+    // The one-assert CI gate: registering a metric family without
+    // conformance specs fails the build.
+    let registry = MetricRegistry::shared();
+    let covered: Vec<(String, usize)> = registry
+        .conformance_specs()
+        .into_iter()
+        .map(|(name, specs)| (name, specs.len()))
+        .collect();
+    assert!(
+        covered.iter().all(|(_, n)| *n > 0) && covered.len() >= 10,
+        "factories without conformance specs: {covered:?}"
+    );
+}
+
+#[test]
+fn conformance_specs_cover_every_builtin_family() {
+    let names: Vec<String> =
+        MetricRegistry::shared().names().map(str::to_string).collect();
+    assert_eq!(
+        names,
+        [
+            "completed",
+            "delay",
+            "flow",
+            "machines",
+            "psi",
+            "ranking",
+            "stretch",
+            "units",
+            "utility",
+            "utilization",
+            "waiting",
+        ]
+    );
+}
+
+/// A downstream fairness index registered into an extended registry
+/// inherits the whole contract from the same harness function — no extra
+/// test code — and a factory registered *without* coverage is caught by
+/// the coverage gate.
+#[test]
+fn downstream_factories_get_conformance_for_free() {
+    /// Largest-minus-smallest ψ (a max-min fairness gap index).
+    struct PsiGap;
+    impl MetricFactory for PsiGap {
+        fn name(&self) -> &str {
+            "psigap"
+        }
+        fn summary(&self) -> &str {
+            "test-only max-min psi gap"
+        }
+        fn conformance_specs(&self) -> Vec<MetricSpec> {
+            vec![MetricSpec::bare("psigap")]
+        }
+        fn evaluate(
+            &self,
+            spec: &MetricSpec,
+            ctx: &MetricContext<'_>,
+        ) -> Result<MetricColumn, MetricError> {
+            spec.deny_unknown_params(&[])?;
+            let max = ctx.psi.iter().max().copied().unwrap_or(0);
+            Ok(MetricColumn {
+                spec: spec.clone(),
+                per_org: ctx.psi.iter().map(|p| MetricValue::Int(max - p)).collect(),
+                aggregate: MetricValue::Int(
+                    max - ctx.psi.iter().min().copied().unwrap_or(0),
+                ),
+            })
+        }
+    }
+
+    let mut registry = MetricRegistry::default();
+    registry.register(Box::new(PsiGap));
+    let violations = conformance_violations(&registry);
+    assert!(
+        violations.is_empty(),
+        "downstream factory failed inherited conformance:\n  {}",
+        violations.join("\n  ")
+    );
+
+    struct NoCoverage;
+    impl MetricFactory for NoCoverage {
+        fn name(&self) -> &str {
+            "nocoverage"
+        }
+        fn summary(&self) -> &str {
+            "registers without conformance specs"
+        }
+        fn conformance_specs(&self) -> Vec<MetricSpec> {
+            Vec::new()
+        }
+        fn evaluate(
+            &self,
+            spec: &MetricSpec,
+            ctx: &MetricContext<'_>,
+        ) -> Result<MetricColumn, MetricError> {
+            Ok(MetricColumn {
+                spec: spec.clone(),
+                per_org: vec![MetricValue::Int(0); ctx.trace.n_orgs()],
+                aggregate: MetricValue::Int(0),
+            })
+        }
+    }
+    registry.register(Box::new(NoCoverage));
+    let violations = conformance_violations(&registry);
+    assert!(
+        violations.iter().any(|v| v.contains("no conformance specs")),
+        "missing coverage must be reported, got: {violations:?}"
+    );
+}
+
+/// Spec strings are the experiment-matrix data format; the error surface
+/// must stay typed end to end (no panics) for matrix tooling to collect.
+#[test]
+fn registry_errors_are_typed_not_panics() {
+    let registry = MetricRegistry::shared();
+    let s = scenario();
+    let ctx = MetricContext::from_result(&s.trace, &s.eval);
+    assert!(matches!("".parse::<MetricSpec>(), Err(MetricError::Empty)));
+    assert!(matches!("delay:".parse::<MetricSpec>(), Err(MetricError::BadSyntax { .. })));
+    assert!(matches!(
+        registry.evaluate(&"atlantis".parse().unwrap(), &ctx),
+        Err(MetricError::UnknownMetric { .. })
+    ));
+    assert!(matches!(
+        registry.evaluate(&"psi:warp=9".parse().unwrap(), &ctx),
+        Err(MetricError::UnknownParam { .. })
+    ));
+    assert!(matches!(
+        registry.evaluate(&"utility:kind=vibes".parse().unwrap(), &ctx),
+        Err(MetricError::BadParam { .. })
+    ));
+    assert!(matches!(
+        registry.evaluate(&"delay".parse().unwrap(), &ctx),
+        Err(MetricError::NeedsReference { .. })
+    ));
+}

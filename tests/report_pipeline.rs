@@ -1,0 +1,203 @@
+//! End-to-end equivalence of the typed `Report` pipeline with the
+//! pre-refactor measurement paths, pinned on the `fpt:k=8` bench family
+//! (the workload behind `BENCH_lattice.json`, which must stay
+//! comparable).
+//!
+//! The historical paths being matched bit for bit:
+//!
+//! * the bench runner's per-instance `Δψ/p_tot` (previously
+//!   `FairnessReport::from_schedules(..).unfairness()` inlined in
+//!   `runner.rs`);
+//! * the CLI's per-organization numbers (previously ad-hoc
+//!   `OrgMetrics` fields).
+
+use fairsched::core::fairness::FairnessReport;
+use fairsched::core::scheduler::registry::SchedulerSpec;
+use fairsched::core::Trace;
+use fairsched::sim::metrics::org_metrics;
+use fairsched::sim::report::{MetricRegistry, MetricValue, Report};
+use fairsched::sim::Simulation;
+use fairsched::workloads::spec::{WorkloadContext, WorkloadRegistry};
+use fairsched_bench::runner::{run_instance, Algo, DelayExperiment};
+
+const HORIZON: u64 = 2_000;
+const SEED: u64 = 42;
+
+fn bench_family_trace(seed: u64) -> Trace {
+    WorkloadRegistry::shared().build_str("fpt:k=8", &WorkloadContext { seed }).unwrap()
+}
+
+/// The pre-refactor bench computation, reproduced verbatim: REF and every
+/// algorithm through `run_matrix`, then `FairnessReport` per algorithm.
+fn old_style_unfairness(trace: &Trace, specs: &[SchedulerSpec], seed: u64) -> Vec<f64> {
+    let session = Simulation::new(trace).horizon(HORIZON).seed(seed ^ 0x5eed);
+    let ref_result = session.run_matrix(&[SchedulerSpec::bare("ref")]).unwrap().remove(0);
+    let results = session.run_matrix(specs).unwrap();
+    results
+        .iter()
+        .map(|result| {
+            FairnessReport::from_schedules(
+                trace,
+                &result.schedule,
+                &ref_result.schedule,
+                HORIZON,
+            )
+            .unfairness()
+        })
+        .collect()
+}
+
+/// The acceptance gate: bench-runner delay values through the metric
+/// registry are bit-identical to the pre-refactor `FairnessReport` path
+/// for the `fpt:k=8` bench family.
+#[test]
+fn bench_runner_delay_is_bit_identical_to_the_old_path() {
+    let exp = DelayExperiment {
+        workload: "fpt:k=8".parse().unwrap(),
+        horizon: HORIZON,
+        n_instances: 1,
+        base_seed: SEED,
+        algos: vec![Algo::RoundRobin, Algo::FairShare, Algo::Rand(5), Algo::Fifo],
+        metric: DelayExperiment::delay_metric(),
+    };
+    let new = run_instance(&exp, SEED).unwrap();
+
+    let trace = bench_family_trace(SEED);
+    let specs: Vec<SchedulerSpec> = exp.algos.iter().map(Algo::spec).collect();
+    let old = old_style_unfairness(&trace, &specs, SEED);
+
+    assert_eq!(new.len(), old.len());
+    for ((label, new_value), old_value) in new.iter().zip(&old) {
+        assert_eq!(
+            new_value.to_bits(),
+            old_value.to_bits(),
+            "delay for {label} drifted: new {new_value} vs old {old_value}"
+        );
+    }
+}
+
+/// Session reports carry the same per-organization numbers the CLI's
+/// bespoke `OrgMetrics`-based JSON used to: completed / flow / waiting /
+/// ψ, bit for bit, plus the `Δψ/p_tot` aggregate.
+#[test]
+fn grid_and_session_reports_match_org_metrics_bit_for_bit() {
+    let trace = bench_family_trace(SEED);
+    let report = Simulation::new(&trace)
+        .scheduler("fairshare")
+        .unwrap()
+        .horizon(HORIZON)
+        .seed(SEED)
+        .metrics(&["completed", "flow", "waiting", "psi", "delay", "stretch"])
+        .unwrap()
+        .run_report()
+        .unwrap();
+
+    let result = Simulation::new(&trace)
+        .scheduler("fairshare")
+        .unwrap()
+        .horizon(HORIZON)
+        .seed(SEED)
+        .run()
+        .unwrap();
+    let fair = Simulation::new(&trace)
+        .scheduler("ref")
+        .unwrap()
+        .horizon(HORIZON)
+        .seed(SEED)
+        .run()
+        .unwrap();
+    let old_metrics = org_metrics(&trace, &result.schedule, HORIZON);
+    let old_fairness =
+        FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, HORIZON);
+
+    for (u, om) in old_metrics.iter().enumerate() {
+        assert_eq!(
+            report.column("completed").unwrap().per_org[u],
+            MetricValue::Int(om.completed as i128)
+        );
+        assert_eq!(
+            report.column("flow").unwrap().per_org[u],
+            MetricValue::Int(om.flow_time as i128)
+        );
+        assert_eq!(
+            report.column("waiting").unwrap().per_org[u],
+            MetricValue::Int(om.waiting_time as i128)
+        );
+        assert_eq!(
+            report.column("psi").unwrap().per_org[u],
+            MetricValue::Int(result.psi[u])
+        );
+        match report.column("stretch").unwrap().per_org[u] {
+            MetricValue::Float(v) => assert_eq!(v.to_bits(), om.mean_stretch.to_bits()),
+            ref other => panic!("stretch must be a float, got {other:?}"),
+        }
+    }
+    match report.column("delay").unwrap().aggregate {
+        MetricValue::Float(v) => {
+            assert_eq!(v.to_bits(), old_fairness.unfairness().to_bits())
+        }
+        ref other => panic!("delay aggregate must be a float, got {other:?}"),
+    }
+
+    // The grid pipeline reports the same cells.
+    let cells = Simulation::session()
+        .horizon(HORIZON)
+        .seed(SEED)
+        .metrics(&["psi", "delay"])
+        .unwrap()
+        .run_grid_reports(&["fpt:k=8".parse().unwrap()], &["fairshare".parse().unwrap()]);
+    assert_eq!(cells.len(), 1);
+    let grid_report = cells[0].report.as_ref().unwrap();
+    assert_eq!(
+        grid_report.column("psi").unwrap().per_org,
+        report.column("psi").unwrap().per_org
+    );
+    assert_eq!(
+        grid_report.column("delay").unwrap().aggregate,
+        report.column("delay").unwrap().aggregate
+    );
+}
+
+/// The same report drives every sink without re-running anything, and all
+/// three sinks agree on the canonical metric specs.
+#[test]
+fn report_sinks_agree_on_provenance() {
+    let report = Simulation::session()
+        .workload("fpt:k=3")
+        .unwrap()
+        .scheduler("roundrobin")
+        .unwrap()
+        .horizon(HORIZON)
+        .seed(SEED)
+        .metrics(&["delay", "delay:norm=ideal", "ranking", "utilization"])
+        .unwrap()
+        .run_report()
+        .unwrap();
+    let specs = report.metric_specs();
+    assert_eq!(specs, ["delay", "delay:norm=ideal", "ranking", "utilization"]);
+
+    let json = report.to_json();
+    let csv = report.to_csv();
+    let table = report.render_table();
+    for spec in &specs {
+        assert!(json.contains(spec), "JSON sink is missing {spec}");
+        assert!(csv.contains(spec), "CSV sink is missing {spec}");
+        assert!(table.contains(spec), "table sink is missing {spec}");
+    }
+    // Bench's SummaryTable aggregation and the registry agree: the mean
+    // of a single instance is the instance value itself.
+    let exp = DelayExperiment {
+        workload: "fpt:k=3".parse().unwrap(),
+        horizon: HORIZON,
+        n_instances: 1,
+        base_seed: SEED,
+        algos: vec![Algo::RoundRobin],
+        metric: DelayExperiment::delay_metric(),
+    };
+    let stats = fairsched_bench::run_delay_experiment(&exp);
+    assert_eq!(stats.len(), 1);
+    assert_eq!(stats[0].values.len(), 1);
+    assert!(stats[0].values[0] >= 0.0);
+    assert!(MetricRegistry::shared().names().count() >= 10);
+    let _: &Report = &report;
+}

@@ -225,7 +225,7 @@ fn every_registered_factory_has_conformance_coverage() {
 fn conformance_specs_cover_every_builtin_family() {
     let names: Vec<String> =
         WorkloadRegistry::shared().names().map(str::to_string).collect();
-    assert_eq!(names, ["fpt", "swf", "synth"]);
+    assert_eq!(names, ["fpt", "swf", "synth", "trace"]);
 }
 
 /// A downstream factory registered into an extended registry inherits the
