@@ -119,6 +119,31 @@ pub struct CaseResult {
     pub lattice: Option<LatticeCounters>,
 }
 
+/// One measured timeline (streaming-sweep) row: the fairness trajectory
+/// evaluator timed against the naive per-sample recompute on the same
+/// schedules, at one sample count. Rows at several sample counts
+/// demonstrate the sub-quadratic scaling claim: the oracle's wall time
+/// grows linearly with `samples` while the streaming sweep's stays nearly
+/// flat (one pass over the schedule entries regardless).
+#[derive(Clone, Debug, Serialize)]
+pub struct TimelineCase {
+    /// Case id, e.g. `"timeline/k=8/s=512"`.
+    pub name: String,
+    /// Requested sample count.
+    pub samples: usize,
+    /// Points actually emitted (dedup'd grid).
+    pub points: usize,
+    /// Streaming sweep (`fairness_timeline`), min wall ns.
+    pub streaming_wall_ns_min: u64,
+    /// Naive per-sample recompute (`fairness_timeline_oracle`), min wall
+    /// ns.
+    pub oracle_wall_ns_min: u64,
+    /// `oracle / streaming`.
+    pub speedup_vs_oracle: f64,
+    /// The trajectory's final `Δψ/p_tot` (equals the endpoint `delay`).
+    pub final_unfairness: f64,
+}
+
 /// The committed reference point.
 #[derive(Clone, Debug, Serialize)]
 pub struct ReferencePoint {
@@ -148,6 +173,9 @@ pub struct BaselineReport {
     pub reference: ReferencePoint,
     /// All measured cases.
     pub cases: Vec<CaseResult>,
+    /// The fairness-trajectory rows: streaming sweep vs naive oracle at
+    /// growing sample counts on the `fpt:k=8` baseline workload.
+    pub timeline: Vec<TimelineCase>,
     /// Headline comparison.
     pub summary: Summary,
 }
@@ -274,6 +302,8 @@ pub fn run_baseline(paper_scale: bool, samples: usize) -> BaselineReport {
         ));
     }
 
+    let timeline = measure_timeline(&trace8, samples);
+
     let ref_k8 = cases
         .iter()
         .find(|c| c.name == "ref/k=8")
@@ -289,11 +319,81 @@ pub fn run_baseline(paper_scale: bool, samples: usize) -> BaselineReport {
             ref_k8_wall_ns_min: PRE_FASTPATH_REF_K8_WALL_NS,
         },
         cases,
+        timeline,
         summary: Summary {
             ref_k8_wall_ns_min: ref_k8,
             speedup_vs_reference: PRE_FASTPATH_REF_K8_WALL_NS as f64 / ref_k8 as f64,
         },
     }
+}
+
+/// Times the streaming timeline sweep against the naive per-sample oracle
+/// on the `fpt:k=8` baseline workload (FairShare vs the exact REF
+/// reference, the same schedules for both evaluators), at growing sample
+/// counts. The streaming rows should stay nearly flat while the oracle's
+/// wall time grows with `samples` — the sub-quadratic scaling evidence.
+fn measure_timeline(trace: &Trace, runs: usize) -> Vec<TimelineCase> {
+    use fairsched_core::fairness::{fairness_timeline, fairness_timeline_oracle};
+    use fairsched_core::scheduler::FairShareScheduler;
+
+    let horizon = 2_000;
+    let eval = simulate(trace, &mut FairShareScheduler::new(), horizon);
+    let reference = simulate(trace, &mut RefScheduler::new(trace), horizon);
+
+    let time_min = |f: &dyn Fn() -> usize| -> (u64, usize) {
+        let mut min = u128::MAX;
+        let mut points = 0;
+        for _ in 0..runs.max(1) {
+            let started = Instant::now();
+            points = std::hint::black_box(f());
+            min = min.min(started.elapsed().as_nanos());
+        }
+        (min as u64, points)
+    };
+
+    [64usize, 256, 1024]
+        .into_iter()
+        .map(|samples| {
+            let series = fairness_timeline(
+                trace,
+                &eval.schedule,
+                &reference.schedule,
+                horizon,
+                samples,
+            );
+            let final_unfairness =
+                series.last().map(|p| p.unfairness()).unwrap_or_default();
+            let (streaming_ns, points) = time_min(&|| {
+                fairness_timeline(
+                    trace,
+                    &eval.schedule,
+                    &reference.schedule,
+                    horizon,
+                    samples,
+                )
+                .len()
+            });
+            let (oracle_ns, _) = time_min(&|| {
+                fairness_timeline_oracle(
+                    trace,
+                    &eval.schedule,
+                    &reference.schedule,
+                    horizon,
+                    samples,
+                )
+                .len()
+            });
+            TimelineCase {
+                name: format!("timeline/k=8/s={samples}"),
+                samples,
+                points,
+                streaming_wall_ns_min: streaming_ns,
+                oracle_wall_ns_min: oracle_ns,
+                speedup_vs_oracle: oracle_ns as f64 / streaming_ns as f64,
+                final_unfairness,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -317,8 +417,19 @@ mod tests {
             assert!(lattice.sim_starts > 0);
         }
         assert!(report.summary.speedup_vs_reference > 0.0);
+        // The trajectory rows: one per sample count, each with both
+        // evaluators measured and the dedup'd point count.
+        assert_eq!(report.timeline.len(), 3);
+        for t in &report.timeline {
+            assert!(t.streaming_wall_ns_min > 0);
+            assert!(t.oracle_wall_ns_min > 0);
+            assert!(t.points > 0 && t.points <= t.samples);
+            assert!(t.final_unfairness >= 0.0);
+        }
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("fairsched-bench-lattice/v1"));
         assert!(json.contains("events_per_sec"));
+        assert!(json.contains("timeline/k=8/s=1024"));
+        assert!(json.contains("speedup_vs_oracle"));
     }
 }

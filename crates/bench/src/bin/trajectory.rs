@@ -1,0 +1,60 @@
+//! Regenerates the **unfairness trajectory**: `Δψ(t)/p_tot(t)` per sample
+//! time for each algorithm — Definition 3.1's "fair at every moment" view
+//! that the endpoint tables (1–2) cannot show. The final row of every
+//! column equals the algorithm's Table 1-style delay cell bit for bit.
+//!
+//! ```text
+//! cargo run -p fairsched-bench --release --bin trajectory -- \
+//!     [--workload SPEC] [--horizon T] [--samples N] [--seed S] \
+//!     [--algos SPEC,SPEC,...] [--json|--csv]
+//! ```
+//!
+//! Defaults: the `fpt:k=8` lattice-bench workload at horizon 2000, 32
+//! samples, the paper's Table 1 algorithm set.
+
+use fairsched_bench::cli::Cli;
+use fairsched_bench::trajectory::{run_trajectory, TrajectoryExperiment};
+use fairsched_bench::Algo;
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.get_or("workload", "fpt:k=8".to_string());
+    let horizon: u64 = cli.get_or("horizon", 2_000);
+    let samples: usize = cli.get_or("samples", 32usize).max(1);
+    let seed: u64 = cli.get_or("seed", 42);
+    let algos: Vec<Algo> = match cli.get("algos") {
+        None => Algo::TABLE_SET.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                Algo::parse(s.trim())
+                    .unwrap_or_else(|e| panic!("--algos entry {s:?} is not a spec: {e}"))
+            })
+            .collect(),
+    };
+
+    let exp = TrajectoryExperiment {
+        workload: workload.parse().unwrap_or_else(|e| {
+            panic!("--workload {workload:?} is not a valid spec: {e}")
+        }),
+        horizon,
+        seed,
+        samples,
+        algos,
+    };
+    eprintln!(
+        "running trajectory ({}, horizon {horizon}, {samples} samples, seed {seed})...",
+        exp.workload
+    );
+    let trajectory = run_trajectory(&exp).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1)
+    });
+    if cli.has("json") {
+        println!("{}", trajectory.to_json());
+    } else if cli.has("csv") {
+        println!("{}", trajectory.to_csv());
+    } else {
+        println!("{}", trajectory.render());
+    }
+}

@@ -11,6 +11,7 @@
 //! | `fig2` | Figure 2 — the worked `ψ_sp` example |
 //! | `fig7` | Figure 7 / Theorem 6.2 — greedy utilization envelope |
 //! | `fpras` | Theorem 5.6 — RAND's ε-approximation vs sample count |
+//! | `trajectory` | the unfairness trajectory `Δψ(t)/p_tot(t)` per sample time (see [`trajectory`]) |
 //! | `bench_baseline` | `BENCH_lattice.json` — the tracked lattice perf baseline (see [`baseline`]) |
 //!
 //! Run e.g. `cargo run -p fairsched-bench --release --bin table1 -- --help`.
@@ -23,6 +24,7 @@ pub mod cli;
 pub mod experiments;
 pub mod parallel;
 pub mod runner;
+pub mod trajectory;
 
 pub use fairsched_sim::report::{format_sig, LabeledStat, SummaryTable};
 pub use runner::{

@@ -226,8 +226,23 @@ pub fn run_instance_with_registries(
         .iter()
         .zip(reports)
         .map(|(algo, report)| {
-            let value =
-                report.columns.first().map(|c| c.aggregate.as_f64()).unwrap_or_default();
+            // A scalar metric contributes its aggregate; a time-series
+            // metric (the `timeline` family) projects to its final
+            // sample — which for `stat=unfairness` equals `delay`'s
+            // `Δψ/p_tot` at the horizon bit for bit, so timeline cells
+            // aggregate exactly like the paper's tables.
+            let value = report
+                .columns
+                .first()
+                .map(|c| c.aggregate.as_f64())
+                .or_else(|| {
+                    report
+                        .series
+                        .first()
+                        .and_then(|s| s.final_aggregate())
+                        .map(|v| v.as_f64())
+                })
+                .unwrap_or_default();
             (algo.label(), value)
         })
         .collect())
@@ -478,6 +493,27 @@ mod tests {
         let stats = run_delay_experiment(&exp);
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].values.len(), 1);
+    }
+
+    /// A timeline metric in a table cell projects to its final sample,
+    /// which (at `stat=unfairness`) is bit-identical to the `delay` cell —
+    /// so trajectory tables stay comparable with the paper's.
+    #[test]
+    fn timeline_metric_cells_project_to_the_final_point() {
+        let mut exp = tiny_exp();
+        exp.n_instances = 1;
+        let delay_vals = run_instance(&exp, 3).unwrap();
+        exp.metric = "timeline:samples=16".parse().unwrap();
+        let timeline_vals = run_instance(&exp, 3).unwrap();
+        assert_eq!(timeline_vals.len(), delay_vals.len());
+        for ((l1, v1), (l2, v2)) in timeline_vals.iter().zip(&delay_vals) {
+            assert_eq!(l1, l2);
+            assert_eq!(
+                v1.to_bits(),
+                v2.to_bits(),
+                "timeline cell must equal delay for {l1}"
+            );
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod session;
 pub use cluster::Cluster;
 pub use engine::{run_scheduler, simulate, simulate_with_options, SimOptions, SimResult};
 pub use report::{
-    MetricColumn, MetricContext, MetricError, MetricFactory, MetricRegistry, MetricSpec,
-    MetricValue, Report,
+    MetricColumn, MetricContext, MetricError, MetricFactory, MetricOutput,
+    MetricRegistry, MetricSpec, MetricValue, Report, TimeSeriesColumn,
 };
 pub use session::{GridCell, ReportCell, SimError, Simulation, DEFAULT_REPORT_METRICS};

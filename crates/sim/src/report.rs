@@ -45,15 +45,30 @@
 //! | `utility` | pluggable utility (`kind` = sp \| flowtime \| makespan \| share \| tardiness \| contrib) | sum | no |
 //! | `delay` | deviation from REF (`norm` = ptot \| none \| ideal) | `Δψ/p_tot` (the paper's Tables 1–2 number) | yes |
 //! | `ranking` | rank shift vs the REF ordering | Kendall-tau distance | yes |
+//! | `timeline` | fairness trajectory per sample time (`samples` = N, `stat` = unfairness \| delta_psi \| ptot) | `Δψ(t)/p_tot(t)` series | yes |
 //!
 //! Results come back as a typed [`Report`]: one row per organization, one
 //! [`MetricColumn`] per requested spec, with the canonical spec strings
 //! carried for provenance and sink adapters [`Report::to_json`],
 //! [`Report::to_csv`] and [`Report::render_table`] replacing the
 //! hand-rolled output paths the bench tables and the CLI used to own.
+//!
+//! # The time-series axis
+//!
+//! Definition 3.1 demands fairness *at every time moment*, so a report
+//! has a third axis besides organizations × metrics: **time**. A factory
+//! may produce a [`TimeSeriesColumn`] instead of a scalar
+//! [`MetricColumn`] — per-organization values *per sample time* plus an
+//! aggregate trajectory — distinguished by the [`MetricOutput`] it
+//! returns from [`MetricFactory::evaluate`]. The built-in `timeline`
+//! family streams `ψ/ψ*/p_tot` through the dedup'd sample grid of
+//! [`fairsched_core::fairness::timeline_sample_times`] in a single pass
+//! over the schedule entries (`O(entries + samples·orgs)`); every sink
+//! carries series alongside scalar columns.
 
 use crate::engine::SimResult;
 use crate::metrics::org_metrics;
+use fairsched_core::fairness::{schedule_series, timeline_sample_times};
 use fairsched_core::model::{Time, Trace};
 use fairsched_core::schedule::Schedule;
 use fairsched_core::scheduler::registry::SchedulerSpec;
@@ -411,6 +426,98 @@ pub struct MetricColumn {
     pub aggregate: MetricValue,
 }
 
+/// One evaluated time-series metric — the third `Report` axis: values
+/// *per organization per sample time*, plus the cluster-wide aggregate
+/// trajectory. Produced by factories whose [`MetricOutput`] is
+/// [`MetricOutput::Series`] (the built-in `timeline` family).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimeSeriesColumn {
+    /// The canonical spec this series answers.
+    pub spec: MetricSpec,
+    /// The strictly increasing sample times (the dedup'd grid of
+    /// [`fairsched_core::fairness::timeline_sample_times`]: every time in
+    /// `(0, horizon]`, the last exactly the horizon).
+    pub times: Vec<Time>,
+    /// `per_org[u][i]` = organization `u`'s value at `times[i]`.
+    pub per_org: Vec<Vec<MetricValue>>,
+    /// `aggregate[i]` = the cluster-wide value at `times[i]`.
+    pub aggregate: Vec<MetricValue>,
+}
+
+impl TimeSeriesColumn {
+    /// The final sample's aggregate — the scalar a series projects to when
+    /// a consumer needs one number (e.g. a bench table cell). For the
+    /// `timeline` family this equals the corresponding endpoint metric at
+    /// the horizon (`stat=unfairness` ↔ `delay`'s `Δψ/p_tot`) bit for bit.
+    pub fn final_aggregate(&self) -> Option<MetricValue> {
+        self.aggregate.last().copied()
+    }
+}
+
+/// What evaluating one metric spec produced: a scalar per-organization
+/// [`MetricColumn`], or a per-organization [`TimeSeriesColumn`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricOutput {
+    /// A scalar column (one value per organization + aggregate).
+    Column(MetricColumn),
+    /// A time series (values per organization per sample time).
+    Series(TimeSeriesColumn),
+}
+
+impl MetricOutput {
+    /// The canonical spec this output answers.
+    pub fn spec(&self) -> &MetricSpec {
+        match self {
+            MetricOutput::Column(c) => &c.spec,
+            MetricOutput::Series(s) => &s.spec,
+        }
+    }
+
+    /// The scalar column, if this output is one.
+    pub fn as_column(&self) -> Option<&MetricColumn> {
+        match self {
+            MetricOutput::Column(c) => Some(c),
+            MetricOutput::Series(_) => None,
+        }
+    }
+
+    /// Consumes into the scalar column, if this output is one.
+    pub fn into_column(self) -> Option<MetricColumn> {
+        match self {
+            MetricOutput::Column(c) => Some(c),
+            MetricOutput::Series(_) => None,
+        }
+    }
+
+    /// The time series, if this output is one.
+    pub fn as_series(&self) -> Option<&TimeSeriesColumn> {
+        match self {
+            MetricOutput::Column(_) => None,
+            MetricOutput::Series(s) => Some(s),
+        }
+    }
+
+    /// Consumes into the time series, if this output is one.
+    pub fn into_series(self) -> Option<TimeSeriesColumn> {
+        match self {
+            MetricOutput::Column(_) => None,
+            MetricOutput::Series(s) => Some(s),
+        }
+    }
+}
+
+impl From<MetricColumn> for MetricOutput {
+    fn from(c: MetricColumn) -> Self {
+        MetricOutput::Column(c)
+    }
+}
+
+impl From<TimeSeriesColumn> for MetricOutput {
+    fn from(s: TimeSeriesColumn) -> Self {
+        MetricOutput::Series(s)
+    }
+}
+
 /// An object-safe fairness-index evaluator, registered under a unique
 /// name.
 pub trait MetricFactory: Send + Sync {
@@ -449,7 +556,10 @@ pub trait MetricFactory: Send + Sync {
         false
     }
 
-    /// Evaluates the metric for a spec in a context.
+    /// Evaluates the metric for a spec in a context, producing either a
+    /// scalar [`MetricColumn`] or a [`TimeSeriesColumn`] (wrapped in
+    /// [`MetricOutput`]; scalar factories simply return
+    /// `Ok(column.into())`).
     ///
     /// Implementations should reject parameters outside
     /// [`accepted_params`](MetricFactory::accepted_params) via
@@ -458,7 +568,7 @@ pub trait MetricFactory: Send + Sync {
         &self,
         spec: &MetricSpec,
         ctx: &MetricContext<'_>,
-    ) -> Result<MetricColumn, MetricError>;
+    ) -> Result<MetricOutput, MetricError>;
 }
 
 /// A closure-backed [`MetricFactory`] (how all built-ins are defined).
@@ -474,7 +584,7 @@ struct FnMetric<F> {
 
 impl<F> MetricFactory for FnMetric<F>
 where
-    F: Fn(&MetricSpec, &MetricContext<'_>) -> Result<MetricColumn, MetricError>
+    F: Fn(&MetricSpec, &MetricContext<'_>) -> Result<MetricOutput, MetricError>
         + Send
         + Sync,
 {
@@ -506,7 +616,7 @@ where
         &self,
         spec: &MetricSpec,
         ctx: &MetricContext<'_>,
-    ) -> Result<MetricColumn, MetricError> {
+    ) -> Result<MetricOutput, MetricError> {
         spec.deny_unknown_params(self.accepted)?;
         if self.needs_reference {
             ctx.require_reference(spec)?;
@@ -586,7 +696,7 @@ impl MetricRegistry {
         &self,
         spec: &MetricSpec,
         ctx: &MetricContext<'_>,
-    ) -> Result<MetricColumn, MetricError> {
+    ) -> Result<MetricOutput, MetricError> {
         let factory = self.factories.get(spec.name()).ok_or_else(|| {
             MetricError::UnknownMetric {
                 name: spec.name().to_string(),
@@ -620,7 +730,7 @@ impl MetricRegistry {
         horizon_invariant: bool,
         eval: F,
     ) where
-        F: Fn(&MetricSpec, &MetricContext<'_>) -> Result<MetricColumn, MetricError>
+        F: Fn(&MetricSpec, &MetricContext<'_>) -> Result<MetricOutput, MetricError>
             + Send
             + Sync
             + 'static,
@@ -649,11 +759,11 @@ fn column(
     spec: &MetricSpec,
     per_org: Vec<MetricValue>,
     aggregate: MetricValue,
-) -> MetricColumn {
-    MetricColumn { spec: spec.clone(), per_org, aggregate }
+) -> MetricOutput {
+    MetricOutput::Column(MetricColumn { spec: spec.clone(), per_org, aggregate })
 }
 
-fn int_column(spec: &MetricSpec, per_org: Vec<i128>) -> MetricColumn {
+fn int_column(spec: &MetricSpec, per_org: Vec<i128>) -> MetricOutput {
     let aggregate = MetricValue::Int(per_org.iter().sum());
     column(spec, per_org.into_iter().map(MetricValue::Int).collect(), aggregate)
 }
@@ -969,9 +1079,130 @@ impl Default for MetricRegistry {
                 Ok(column(spec, per_org, aggregate))
             },
         );
+        r.register_fn(
+            "timeline",
+            "fairness trajectory vs REF per sample time (Definition 3.1)",
+            &["samples", "stat"],
+            || {
+                vec![
+                    MetricSpec::bare("timeline"),
+                    "timeline:samples=16".parse().unwrap(),
+                    "timeline:samples=8,stat=delta_psi".parse().unwrap(),
+                    "timeline:stat=ptot".parse().unwrap(),
+                ]
+            },
+            true,
+            false,
+            |spec, ctx| {
+                let reference = ctx.require_reference(spec)?;
+                // A zero sample count would trip the core grid's contract
+                // panic; spec-addressed evaluation stays typed end to end.
+                let samples: usize = spec.parsed("samples", DEFAULT_TIMELINE_SAMPLES)?;
+                if samples == 0 {
+                    return Err(spec.bad_param("samples", "must be at least 1"));
+                }
+                // Spec strings are untrusted experiment input: a huge
+                // count would make every series row `samples` values long
+                // (a horizon-scale allocation per organization), so cap
+                // the grid at the factory boundary with a typed error.
+                if samples > MAX_TIMELINE_SAMPLES {
+                    return Err(spec.bad_param(
+                        "samples",
+                        format!("at most {MAX_TIMELINE_SAMPLES} samples per timeline"),
+                    ));
+                }
+                let stat = spec.get("stat").unwrap_or("unfairness");
+                if !matches!(stat, "unfairness" | "delta_psi" | "ptot") {
+                    return Err(spec.bad_param(
+                        "stat",
+                        format!(
+                            "unknown stat {stat:?} (one of: unfairness, delta_psi, ptot)"
+                        ),
+                    ));
+                }
+                let times = timeline_sample_times(ctx.horizon, samples);
+                // One streaming pass per schedule: O(entries + samples·orgs),
+                // bit-identical to a per-sample sp_vector recompute. The
+                // ptot stat reads only the reference, so the evaluated
+                // schedule is swept only when a ψ comparison needs it.
+                let refs = schedule_series(ctx.trace, reference.schedule, &times);
+                let eval = (stat != "ptot")
+                    .then(|| schedule_series(ctx.trace, ctx.schedule, &times));
+                let n = ctx.trace.n_orgs();
+                // (Vec::clone drops reserved capacity, so reserve per row.)
+                let mut per_org: Vec<Vec<MetricValue>> =
+                    (0..n).map(|_| Vec::with_capacity(times.len())).collect();
+                let mut aggregate = Vec::with_capacity(times.len());
+                let mut devs: Vec<Util> = Vec::with_capacity(n);
+                for i in 0..times.len() {
+                    let p_tot: Time = refs.units[i].iter().sum();
+                    // Deviations only matter to the ψ-comparing stats.
+                    let delta_psi: Util = match &eval {
+                        None => 0,
+                        Some(eval) => {
+                            devs.clear();
+                            devs.extend((0..n).map(|u| eval.psi[i][u] - refs.psi[i][u]));
+                            devs.iter().map(|d| d.abs()).sum()
+                        }
+                    };
+                    match stat {
+                        // The paper's headline ratio, per moment: the
+                        // same arithmetic as `FairnessReport::unfairness`
+                        // (and `delay:norm=ptot`), so the final point is
+                        // bit-identical to the endpoint metrics.
+                        "unfairness" => {
+                            let scale = |v: Util| {
+                                MetricValue::Float(if p_tot == 0 {
+                                    0.0
+                                } else {
+                                    v as f64 / p_tot as f64
+                                })
+                            };
+                            for (u, &d) in devs.iter().enumerate() {
+                                per_org[u].push(scale(d));
+                            }
+                            aggregate.push(scale(delta_psi));
+                        }
+                        // Raw signed deviations + Manhattan distance.
+                        "delta_psi" => {
+                            for (u, &d) in devs.iter().enumerate() {
+                                per_org[u].push(MetricValue::Int(d));
+                            }
+                            aggregate.push(MetricValue::Int(delta_psi));
+                        }
+                        // Reference throughput: unit parts completed in
+                        // the REF schedule, per organization and total.
+                        "ptot" => {
+                            for (row, &units) in per_org.iter_mut().zip(&refs.units[i]) {
+                                row.push(MetricValue::Int(units as i128));
+                            }
+                            aggregate.push(MetricValue::Int(p_tot as i128));
+                        }
+                        _ => unreachable!("stat validated above"),
+                    }
+                }
+                Ok(MetricOutput::Series(TimeSeriesColumn {
+                    spec: spec.clone(),
+                    times,
+                    per_org,
+                    aggregate,
+                }))
+            },
+        );
         r
     }
 }
+
+/// The sample count the `timeline` metric family uses when the spec
+/// carries no `samples` parameter.
+pub const DEFAULT_TIMELINE_SAMPLES: usize = 64;
+
+/// The largest sample count the `timeline` family accepts. Every emitted
+/// point costs one value per organization in the report (and its sinks),
+/// so an unbounded spec-supplied count would turn one metric string into
+/// a multi-gigabyte allocation; requests above this fail with a typed
+/// [`MetricError::BadParam`].
+pub const MAX_TIMELINE_SAMPLES: usize = 1 << 20;
 
 /// A typed measurement report: one run, measured by a list of metric
 /// specs. The canonical spec strings ride along for provenance, so any
@@ -990,8 +1221,11 @@ pub struct Report {
     pub seed: u64,
     /// Organization names, in trace order.
     pub orgs: Vec<String>,
-    /// One evaluated column per requested metric spec, in request order.
+    /// The evaluated scalar columns, in request order among themselves.
     pub columns: Vec<MetricColumn>,
+    /// The evaluated time-series columns (the `timeline` family), in
+    /// request order among themselves.
+    pub series: Vec<TimeSeriesColumn>,
 }
 
 impl Report {
@@ -1010,10 +1244,14 @@ impl Report {
         if let Some(reference) = reference {
             ctx = ctx.with_reference(reference);
         }
-        let columns = specs
-            .iter()
-            .map(|spec| registry.evaluate(spec, &ctx))
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut columns = Vec::new();
+        let mut series = Vec::new();
+        for spec in specs {
+            match registry.evaluate(spec, &ctx)? {
+                MetricOutput::Column(c) => columns.push(c),
+                MetricOutput::Series(s) => series.push(s),
+            }
+        }
         Ok(Report {
             scheduler: result.scheduler.clone(),
             scheduler_spec: None,
@@ -1022,19 +1260,33 @@ impl Report {
             seed: 0,
             orgs: trace.orgs().iter().map(|o| o.name.clone()).collect(),
             columns,
+            series,
         })
     }
 
     /// The canonical spec strings of the evaluated columns (the
-    /// provenance every sink carries).
+    /// provenance every sink carries): scalar columns first, then
+    /// time-series columns, each group in request order.
     pub fn metric_specs(&self) -> Vec<String> {
-        self.columns.iter().map(|c| c.spec.to_string()).collect()
+        self.columns
+            .iter()
+            .map(|c| c.spec.to_string())
+            .chain(self.series.iter().map(|s| s.spec.to_string()))
+            .collect()
     }
 
-    /// The column evaluated for `spec` (by canonical string equality).
+    /// The scalar column evaluated for `spec` (by canonical string
+    /// equality).
     pub fn column(&self, spec: &str) -> Option<&MetricColumn> {
         let wanted: MetricSpec = spec.parse().ok()?;
         self.columns.iter().find(|c| c.spec == wanted)
+    }
+
+    /// The time-series column evaluated for `spec` (by canonical string
+    /// equality).
+    pub fn time_series(&self, spec: &str) -> Option<&TimeSeriesColumn> {
+        let wanted: MetricSpec = spec.parse().ok()?;
+        self.series.iter().find(|s| s.spec == wanted)
     }
 
     /// The report as a JSON value tree (see [`Report::to_json`] for the
@@ -1075,7 +1327,7 @@ impl Report {
             Some(s) => Value::String(s.clone()),
             None => Value::Null,
         };
-        Value::Object(vec![
+        let mut fields = vec![
             ("scheduler".to_string(), Value::String(self.scheduler.clone())),
             (
                 "scheduler_spec".to_string(),
@@ -1093,7 +1345,56 @@ impl Report {
             ),
             ("orgs".to_string(), Value::Array(orgs)),
             ("aggregates".to_string(), aggregates),
-        ])
+        ];
+        // The time axis, present only when a series metric was evaluated
+        // (so scalar-only reports keep their historical schema byte for
+        // byte): per series, the sample times, per-organization value
+        // rows, and the aggregate trajectory — all exact round-trippable
+        // numbers.
+        if !self.series.is_empty() {
+            let values = |vs: &[MetricValue]| {
+                Value::Array(vs.iter().map(serde::Serialize::to_value).collect())
+            };
+            let series: Vec<Value> = self
+                .series
+                .iter()
+                .map(|s| {
+                    Value::Object(vec![
+                        ("spec".to_string(), Value::String(s.spec.to_string())),
+                        (
+                            "times".to_string(),
+                            Value::Array(
+                                s.times
+                                    .iter()
+                                    .map(|t| Value::Number(t.to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "orgs".to_string(),
+                            Value::Array(
+                                self.orgs
+                                    .iter()
+                                    .zip(&s.per_org)
+                                    .map(|(name, vs)| {
+                                        Value::Object(vec![
+                                            (
+                                                "name".to_string(),
+                                                Value::String(name.clone()),
+                                            ),
+                                            ("values".to_string(), values(vs)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("aggregate".to_string(), values(&s.aggregate)),
+                    ])
+                })
+                .collect();
+            fields.push(("series".to_string(), Value::Array(series)));
+        }
+        Value::Object(fields)
     }
 
     /// Machine-readable JSON: run provenance (`scheduler`,
@@ -1110,36 +1411,70 @@ impl Report {
     /// row; columns are the canonical metric specs. Values use the exact
     /// [`MetricValue::render`] form; fields containing commas or quotes
     /// are double-quoted.
+    ///
+    /// Each time-series column follows as its own block after a blank
+    /// line: the header's first cell is the canonical series spec (where
+    /// the scalar block says `org`, this block says which series the `t`
+    /// column belongs to), then one column per organization plus `(all)`,
+    /// and one row per sample time — exact values throughout.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str("org");
-        for spec in self.metric_specs() {
-            out.push(',');
-            out.push_str(&field(&spec));
-        }
-        out.push('\n');
-        for (u, name) in self.orgs.iter().enumerate() {
-            out.push_str(&field(name));
+        // A series-only report has no scalar values to tabulate; skip the
+        // degenerate name-only block and emit the series directly.
+        let series_only = self.columns.is_empty() && !self.series.is_empty();
+        if !series_only {
+            out.push_str("org");
             for c in &self.columns {
                 out.push(',');
-                out.push_str(&c.per_org[u].render());
+                out.push_str(&csv_field(&c.spec.to_string()));
+            }
+            out.push('\n');
+            for (u, name) in self.orgs.iter().enumerate() {
+                out.push_str(&csv_field(name));
+                for c in &self.columns {
+                    out.push(',');
+                    out.push_str(&c.per_org[u].render());
+                }
+                out.push('\n');
+            }
+            out.push_str("(all)");
+            for c in &self.columns {
+                out.push(',');
+                out.push_str(&c.aggregate.render());
             }
             out.push('\n');
         }
-        out.push_str("(all)");
-        for c in &self.columns {
-            out.push(',');
-            out.push_str(&c.aggregate.render());
+        for s in &self.series {
+            if !series_only || !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&csv_field(&s.spec.to_string()));
+            for name in &self.orgs {
+                out.push(',');
+                out.push_str(&csv_field(name));
+            }
+            out.push_str(",(all)\n");
+            for (i, t) in s.times.iter().enumerate() {
+                out.push_str(&t.to_string());
+                for vs in &s.per_org {
+                    out.push(',');
+                    out.push_str(&vs[i].render());
+                }
+                out.push(',');
+                out.push_str(&s.aggregate[i].render());
+                out.push('\n');
+            }
         }
-        out.push('\n');
         out
     }
 
     /// A human-oriented aligned table: one row per organization plus the
     /// `(all)` aggregate row, floats at the paper's ~3 significant
-    /// digits.
+    /// digits. Each time-series column follows as its own titled table
+    /// (one row per sample time).
     pub fn render_table(&self) -> String {
-        let specs = self.metric_specs();
+        let specs: Vec<String> =
+            self.columns.iter().map(|c| c.spec.to_string()).collect();
         let org_w = self
             .orgs
             .iter()
@@ -1164,31 +1499,89 @@ impl Report {
             })
             .collect();
         let mut out = String::new();
-        out.push_str(&format!("{:<org_w$}", "org"));
-        for (s, w) in specs.iter().zip(&widths) {
-            out.push_str(&format!("{s:>w$}", w = w));
-        }
-        out.push('\n');
-        for (u, name) in self.orgs.iter().enumerate() {
-            out.push_str(&format!("{name:<org_w$}"));
+        // A series-only report has no scalar values to tabulate; skip the
+        // degenerate name-only table and render the series directly.
+        let series_only = self.columns.is_empty() && !self.series.is_empty();
+        if !series_only {
+            out.push_str(&format!("{:<org_w$}", "org"));
+            for (s, w) in specs.iter().zip(&widths) {
+                out.push_str(&format!("{s:>w$}", w = w));
+            }
+            out.push('\n');
+            for (u, name) in self.orgs.iter().enumerate() {
+                out.push_str(&format!("{name:<org_w$}"));
+                for (c, w) in self.columns.iter().zip(&widths) {
+                    out.push_str(&format!("{:>w$}", c.per_org[u].render_sig(), w = w));
+                }
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<org_w$}", "(all)"));
             for (c, w) in self.columns.iter().zip(&widths) {
-                out.push_str(&format!("{:>w$}", c.per_org[u].render_sig(), w = w));
+                out.push_str(&format!("{:>w$}", c.aggregate.render_sig(), w = w));
             }
             out.push('\n');
         }
-        out.push_str(&format!("{:<org_w$}", "(all)"));
-        for (c, w) in self.columns.iter().zip(&widths) {
-            out.push_str(&format!("{:>w$}", c.aggregate.render_sig(), w = w));
+        for s in &self.series {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{}:\n", s.spec));
+            let columns: Vec<Vec<String>> = s
+                .per_org
+                .iter()
+                .chain([&s.aggregate])
+                .map(|vs| vs.iter().map(MetricValue::render_sig).collect())
+                .collect();
+            let labels: Vec<&str> =
+                self.orgs.iter().map(String::as_str).chain(["(all)"]).collect();
+            out.push_str(&render_time_table(&s.times, &labels, &columns));
         }
-        out.push('\n');
         out
     }
 }
 
+/// Renders an aligned time table: a left-justified `t` column plus one
+/// right-justified labeled column per value series (cells pre-rendered;
+/// `columns[c][i]` belongs to `labels[c]` at `times[i]`). The one layout
+/// shared by [`Report::render_table`]'s series blocks and the bench
+/// trajectory figure.
+pub fn render_time_table(
+    times: &[Time],
+    labels: &[&str],
+    columns: &[Vec<String>],
+) -> String {
+    let t_w =
+        times.iter().map(|t| t.to_string().len()).chain(["t".len()]).max().unwrap_or(1)
+            + 2;
+    let widths: Vec<usize> = columns
+        .iter()
+        .zip(labels)
+        .map(|(vals, label)| {
+            vals.iter().map(String::len).chain([label.len()]).max().unwrap_or(6) + 2
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!("{:<t_w$}", "t"));
+    for (label, w) in labels.iter().zip(&widths) {
+        out.push_str(&format!("{label:>w$}", w = w));
+    }
+    out.push('\n');
+    for (i, t) in times.iter().enumerate() {
+        out.push_str(&format!("{t:<t_w$}"));
+        for (vals, w) in columns.iter().zip(&widths) {
+            out.push_str(&format!("{:>w$}", vals[i], w = w));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Quotes a CSV field when it contains a delimiter, quote, or newline
 /// (RFC 4180 style), so canonical spec strings — which legitimately
-/// contain commas — survive the CSV sinks verbatim.
-fn field(s: &str) -> String {
+/// contain commas — survive the CSV sinks verbatim. Public so every CSV
+/// sink in the workspace (bench trajectory included) shares the one
+/// quoting rule.
+pub fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -1309,14 +1702,14 @@ impl SummaryTable {
         for c in &self.columns {
             out.push_str(&format!(
                 ",{},{}",
-                field(&format!("{c} avg")),
-                field(&format!("{c} sd"))
+                csv_field(&format!("{c} avg")),
+                csv_field(&format!("{c} sd"))
             ));
         }
         out.push('\n');
         let n_algos = self.cells.first().map_or(0, |c| c.len());
         for a in 0..n_algos {
-            out.push_str(&field(&self.cells[0][a].label));
+            out.push_str(&csv_field(&self.cells[0][a].label));
             for c in 0..self.columns.len() {
                 let s = &self.cells[c][a];
                 out.push_str(&format!(",{:?},{:?}", s.mean, s.sd));
@@ -1409,8 +1802,14 @@ mod tests {
         let ctx = MetricContext::from_result(&trace, &result);
         let registry = MetricRegistry::default();
         let m = org_metrics(&trace, &result.schedule, 40);
-        let col =
-            |name: &str| registry.evaluate(&name.parse().unwrap(), &ctx).unwrap().per_org;
+        let col = |name: &str| {
+            registry
+                .evaluate(&name.parse().unwrap(), &ctx)
+                .unwrap()
+                .into_column()
+                .unwrap()
+                .per_org
+        };
         for (u, om) in m.iter().enumerate() {
             assert_eq!(col("completed")[u], MetricValue::Int(om.completed as i128));
             assert_eq!(col("flow")[u], MetricValue::Int(om.flow_time as i128));
@@ -1436,8 +1835,11 @@ mod tests {
         let eval = run(&trace, "fifo", horizon);
         let reference = run(&trace, "ref", horizon);
         let ctx = MetricContext::from_result(&trace, &eval).with_reference(&reference);
-        let col =
-            MetricRegistry::shared().evaluate(&"delay".parse().unwrap(), &ctx).unwrap();
+        let col = MetricRegistry::shared()
+            .evaluate(&"delay".parse().unwrap(), &ctx)
+            .unwrap()
+            .into_column()
+            .unwrap();
         let old = FairnessReport::from_schedules(
             &trace,
             &eval.schedule,
@@ -1453,6 +1855,8 @@ mod tests {
         // norm=none carries the signed integer deviations.
         let raw = MetricRegistry::shared()
             .evaluate(&"delay:norm=none".parse().unwrap(), &ctx)
+            .unwrap()
+            .into_column()
             .unwrap();
         for (u, o) in old.per_org.iter().enumerate() {
             assert_eq!(raw.per_org[u], MetricValue::Int(o.deviation()));
@@ -1465,8 +1869,11 @@ mod tests {
         let trace = small_trace();
         let result = run(&trace, "ref", 40);
         let ctx = MetricContext::from_result(&trace, &result).with_reference(&result);
-        let col =
-            MetricRegistry::shared().evaluate(&"ranking".parse().unwrap(), &ctx).unwrap();
+        let col = MetricRegistry::shared()
+            .evaluate(&"ranking".parse().unwrap(), &ctx)
+            .unwrap()
+            .into_column()
+            .unwrap();
         assert_eq!(col.aggregate, MetricValue::Float(0.0));
         assert!(col.per_org.iter().all(|v| *v == MetricValue::Int(0)));
         // A fabricated reference with the opposite ordering flips every
@@ -1476,6 +1883,8 @@ mod tests {
         let ctx2 = MetricContext::from_result(&trace, &result).with_reference(&swapped);
         let col2 = MetricRegistry::shared()
             .evaluate(&"ranking".parse().unwrap(), &ctx2)
+            .unwrap()
+            .into_column()
             .unwrap();
         match col2.aggregate {
             MetricValue::Float(v) => assert!(v > 0.0, "swapped ranking must differ"),
@@ -1490,6 +1899,8 @@ mod tests {
         let ctx = MetricContext::from_result(&trace, &result);
         let col = MetricRegistry::shared()
             .evaluate(&"utility:kind=contrib".parse().unwrap(), &ctx)
+            .unwrap()
+            .into_column()
             .unwrap();
         // Total contribution equals the coalition value.
         let total: f64 = col.per_org.iter().map(MetricValue::as_f64).sum();
@@ -1658,12 +2069,13 @@ mod tests {
                 &self,
                 spec: &MetricSpec,
                 ctx: &MetricContext<'_>,
-            ) -> Result<MetricColumn, MetricError> {
+            ) -> Result<MetricOutput, MetricError> {
                 Ok(MetricColumn {
                     spec: spec.clone(),
                     per_org: vec![MetricValue::Int(1); ctx.trace.n_orgs()],
                     aggregate: MetricValue::Int(ctx.trace.n_orgs() as i128),
-                })
+                }
+                .into())
             }
         }
         let mut registry = MetricRegistry::default();
@@ -1671,8 +2083,233 @@ mod tests {
         let trace = small_trace();
         let result = run(&trace, "fifo", 30);
         let ctx = MetricContext::from_result(&trace, &result);
-        let col = registry.evaluate(&"custom".parse().unwrap(), &ctx).unwrap();
+        let col = registry
+            .evaluate(&"custom".parse().unwrap(), &ctx)
+            .unwrap()
+            .into_column()
+            .unwrap();
         assert_eq!(col.aggregate, MetricValue::Int(2));
         assert!(registry.register(Box::new(Custom)).is_some());
+    }
+
+    fn ref_context() -> (Trace, SimResult, SimResult) {
+        let trace = small_trace();
+        let eval = run(&trace, "fifo", 40);
+        let reference = run(&trace, "ref", 40);
+        (trace, eval, reference)
+    }
+
+    #[test]
+    fn timeline_specs_round_trip_canonically() {
+        for text in
+            ["timeline", "timeline:samples=64", "timeline:samples=8,stat=delta_psi"]
+        {
+            let spec: MetricSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(spec.name(), "timeline");
+        }
+    }
+
+    /// The historical `fairness_timeline` path panicked on `samples == 0`
+    /// (and a non-numeric count never reached it); the spec-addressed
+    /// family stays typed end to end.
+    #[test]
+    fn timeline_bad_params_are_typed_errors_not_panics() {
+        let (trace, eval, reference) = ref_context();
+        let ctx = MetricContext::from_result(&trace, &eval).with_reference(&reference);
+        let registry = MetricRegistry::shared();
+        let err = |spec: &str| registry.evaluate(&spec.parse().unwrap(), &ctx);
+        assert!(matches!(
+            err("timeline:samples=0"),
+            Err(MetricError::BadParam { ref metric, ref param, .. })
+                if metric == "timeline" && param == "samples"
+        ));
+        assert!(matches!(
+            err("timeline:samples=lots"),
+            Err(MetricError::BadParam { ref param, .. }) if param == "samples"
+        ));
+        // Untrusted spec input cannot request an unbounded grid (every
+        // point costs a value per organization in the report).
+        assert!(matches!(
+            err(&format!("timeline:samples={}", MAX_TIMELINE_SAMPLES + 1)),
+            Err(MetricError::BadParam { ref param, .. }) if param == "samples"
+        ));
+        assert!(matches!(
+            err("timeline:stat=vibes"),
+            Err(MetricError::BadParam { ref param, .. }) if param == "stat"
+        ));
+        assert!(matches!(err("timeline:warp=9"), Err(MetricError::UnknownParam { .. })));
+        let bare = MetricContext::from_result(&trace, &eval);
+        assert!(matches!(
+            registry.evaluate(&"timeline".parse().unwrap(), &bare),
+            Err(MetricError::NeedsReference { ref metric }) if metric == "timeline"
+        ));
+    }
+
+    /// Series shape, the dedup'd grid contract, and endpoint bit-identity
+    /// with the scalar metrics: `stat=unfairness` ends on `delay`'s
+    /// `Δψ/p_tot`, `stat=delta_psi` on `delay:norm=none`'s Manhattan
+    /// distance, `stat=ptot` on the reference's completed units.
+    #[test]
+    fn timeline_series_shape_and_endpoints_match_scalar_metrics() {
+        let (trace, eval, reference) = ref_context();
+        let ctx = MetricContext::from_result(&trace, &eval).with_reference(&reference);
+        let registry = MetricRegistry::shared();
+        let series = |spec: &str| {
+            registry
+                .evaluate(&spec.parse().unwrap(), &ctx)
+                .unwrap()
+                .into_series()
+                .unwrap()
+        };
+        let column = |spec: &str| {
+            registry
+                .evaluate(&spec.parse().unwrap(), &ctx)
+                .unwrap()
+                .into_column()
+                .unwrap()
+        };
+
+        let s = series("timeline:samples=16");
+        assert!(s.times.windows(2).all(|w| w[0] < w[1]), "grid must increase");
+        assert!(s.times.len() <= 16);
+        assert_eq!(*s.times.last().unwrap(), ctx.horizon);
+        assert_eq!(s.per_org.len(), trace.n_orgs());
+        for vs in &s.per_org {
+            assert_eq!(vs.len(), s.times.len());
+        }
+        assert_eq!(s.aggregate.len(), s.times.len());
+        let delay = column("delay");
+        match (s.final_aggregate().unwrap(), delay.aggregate) {
+            (MetricValue::Float(a), MetricValue::Float(b)) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "endpoint must equal delay")
+            }
+            other => panic!("both must be floats, got {other:?}"),
+        }
+        // Per-org endpoints equal delay's scaled deviations too.
+        for (u, v) in delay.per_org.iter().enumerate() {
+            assert_eq!(s.per_org[u].last().unwrap(), v);
+        }
+
+        let d = series("timeline:samples=16,stat=delta_psi");
+        assert_eq!(
+            d.final_aggregate().unwrap(),
+            column("delay:norm=none").aggregate,
+            "delta_psi endpoint must equal the Manhattan distance"
+        );
+        // More samples than horizon moments: dedup'd, never duplicated.
+        let oversampled = series("timeline:samples=4000,stat=delta_psi");
+        assert_eq!(oversampled.times.len(), ctx.horizon as usize);
+        assert_eq!(oversampled.final_aggregate(), d.final_aggregate());
+
+        let p = series("timeline:samples=16,stat=ptot");
+        assert_eq!(
+            p.final_aggregate().unwrap(),
+            MetricValue::Int(reference.schedule.completed_units(ctx.horizon) as i128)
+        );
+        // p_tot is monotone in t.
+        let ints: Vec<i128> = p
+            .aggregate
+            .iter()
+            .map(|v| match v {
+                MetricValue::Int(i) => *i,
+                other => panic!("ptot must be integer, got {other:?}"),
+            })
+            .collect();
+        assert!(ints.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn report_sinks_carry_time_series() {
+        let (trace, eval, reference) = ref_context();
+        let specs: Vec<MetricSpec> =
+            ["psi", "timeline:samples=4"].iter().map(|s| s.parse().unwrap()).collect();
+        let report = Report::evaluate(
+            MetricRegistry::shared(),
+            &specs,
+            &trace,
+            &eval,
+            Some(&reference),
+        )
+        .unwrap();
+        assert_eq!(report.columns.len(), 1);
+        assert_eq!(report.series.len(), 1);
+        assert_eq!(report.metric_specs(), ["psi", "timeline:samples=4"]);
+        let s = report.time_series("timeline:samples=4").unwrap();
+
+        // JSON: the series field carries times/orgs/aggregate with exact
+        // round-trippable values.
+        let v = serde_json::parse_value(&report.to_json()).unwrap();
+        let series = match v.get("series").unwrap() {
+            serde::Value::Array(a) => a,
+            other => panic!("series must be an array, got {other:?}"),
+        };
+        assert_eq!(series.len(), 1);
+        assert_eq!(
+            series[0].get("spec").unwrap(),
+            &serde::Value::String("timeline:samples=4".into())
+        );
+        let aggregate = match series[0].get("aggregate").unwrap() {
+            serde::Value::Array(a) => a,
+            other => panic!("aggregate must be an array, got {other:?}"),
+        };
+        assert_eq!(aggregate.len(), s.times.len());
+        if let serde::Value::Number(n) = &aggregate[s.times.len() - 1] {
+            let reparsed: f64 = n.parse().unwrap();
+            assert_eq!(
+                reparsed.to_bits(),
+                s.final_aggregate().unwrap().as_f64().to_bits(),
+                "series floats must round-trip exactly"
+            );
+        } else {
+            panic!("aggregate entries must be numbers");
+        }
+
+        // A scalar-only report keeps the historical schema: no series key.
+        let scalar_only = Report::evaluate(
+            MetricRegistry::shared(),
+            &["psi".parse().unwrap()],
+            &trace,
+            &eval,
+            None,
+        )
+        .unwrap();
+        let v = serde_json::parse_value(&scalar_only.to_json()).unwrap();
+        assert!(v.get("series").is_none(), "scalar reports must not grow a series key");
+
+        // CSV: the series block header names the spec, the orgs, (all).
+        let csv = report.to_csv();
+        assert!(csv.contains("\ntimeline:samples=4,a,b,(all)\n"), "csv:\n{csv}");
+        let last_t = s.times.last().unwrap();
+        assert!(
+            csv.lines().any(|l| l.starts_with(&format!("{last_t},"))),
+            "csv must carry a row for the final sample time:\n{csv}"
+        );
+
+        // Table: the series is rendered under its spec heading.
+        let table = report.render_table();
+        assert!(table.contains("timeline:samples=4:"), "table:\n{table}");
+        assert!(table.contains("(all)"));
+
+        // A series-only report skips the degenerate scalar block: no
+        // value-less `org` table/CSV header, straight to the series.
+        let series_only = Report::evaluate(
+            MetricRegistry::shared(),
+            &["timeline:samples=4".parse().unwrap()],
+            &trace,
+            &eval,
+            Some(&reference),
+        )
+        .unwrap();
+        let table = series_only.render_table();
+        assert!(
+            table.starts_with("timeline:samples=4:"),
+            "series-only table must skip the scalar block:\n{table}"
+        );
+        let csv = series_only.to_csv();
+        assert!(
+            csv.starts_with("timeline:samples=4,a,b,(all)\n"),
+            "series-only CSV must skip the scalar block:\n{csv}"
+        );
     }
 }

@@ -1190,6 +1190,70 @@ mod tests {
         }
     }
 
+    /// The time axis flows through the session pipeline transparently:
+    /// a `timeline` spec triggers the automatic REF run, the report
+    /// carries the series, and its endpoint equals the scalar `delay`.
+    #[test]
+    fn run_report_carries_timeline_series() {
+        let trace = small_trace();
+        let report = Simulation::new(&trace)
+            .scheduler("fifo")
+            .unwrap()
+            .horizon(50)
+            .metrics(&["delay", "timeline:samples=8"])
+            .unwrap()
+            .run_report()
+            .unwrap();
+        assert_eq!(report.metric_specs(), ["delay", "timeline:samples=8"]);
+        let series = report.time_series("timeline:samples=8").unwrap();
+        assert_eq!(*series.times.last().unwrap(), 50);
+        assert_eq!(
+            series.final_aggregate().unwrap(),
+            report.column("delay").unwrap().aggregate,
+            "trajectory endpoint must equal the scalar delay"
+        );
+        // The timeline alone also triggers the automatic reference run.
+        let solo = Simulation::new(&trace)
+            .scheduler("fifo")
+            .unwrap()
+            .horizon(50)
+            .metrics(&["timeline:samples=8"])
+            .unwrap()
+            .run_report()
+            .unwrap();
+        assert_eq!(solo.time_series("timeline:samples=8").unwrap(), series);
+        // A zero sample count is a typed error, not the core panic.
+        let err = Simulation::new(&trace)
+            .scheduler("fifo")
+            .unwrap()
+            .horizon(50)
+            .metrics(&["timeline:samples=0"])
+            .unwrap()
+            .run_report();
+        assert!(matches!(err, Err(SimError::Metric(MetricError::BadParam { .. }))));
+    }
+
+    #[test]
+    fn grid_reports_carry_timeline_series() {
+        let cells = Simulation::session()
+            .horizon(300)
+            .seed(5)
+            .metrics(&["timeline:samples=6"])
+            .unwrap()
+            .run_grid_reports(
+                &["fpt:k=2".parse().unwrap()],
+                &["fifo".parse().unwrap(), "fairshare".parse().unwrap()],
+            );
+        assert_eq!(cells.len(), 2);
+        for cell in &cells {
+            let report = cell.report.as_ref().unwrap();
+            let s = report.time_series("timeline:samples=6").unwrap();
+            assert_eq!(*s.times.last().unwrap(), 300);
+            assert_eq!(s.aggregate.len(), s.times.len());
+            assert!(s.times.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
     #[test]
     fn seed_reaches_randomized_schedulers() {
         let trace = small_trace();

@@ -20,6 +20,9 @@
 //! # metrics are registry specs too (delay runs the REF reference itself)
 //! fairsched --workload fpt:k=3 --metrics delay,psi
 //! fairsched --workload fpt:k=3 --metrics delay:norm=ideal,ranking,stretch
+//! # the time axis: the per-moment fairness trajectory of Definition 3.1
+//! fairsched --workload fpt:k=3 --metrics timeline:samples=64
+//! fairsched --workload fpt:k=3 --metrics delay,timeline:samples=32,stat=delta_psi
 //! # machine-readable output (carries canonical metric_specs)
 //! fairsched --preset lpc --scale 0.1 --json
 //! # show the schedule
@@ -293,6 +296,19 @@ fn main() {
                 },
             ),
         ]);
+        // Time-series metrics (the `timeline` family) ride along only
+        // when evaluated, keeping scalar-only reports schema-identical to
+        // the historical goldens.
+        let payload = match report_value.get("series") {
+            Some(series) => match payload {
+                Value::Object(mut fields) => {
+                    fields.push(("series".into(), series.clone()));
+                    Value::Object(fields)
+                }
+                other => other,
+            },
+            None => payload,
+        };
         println!("{}", payload.to_json_pretty());
         return;
     }

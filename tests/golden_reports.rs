@@ -57,6 +57,25 @@ fn cases() -> Vec<Case> {
                 "delay:norm=ideal,ranking,utilization",
             ],
         },
+        // The time-series axis: a timeline spec next to a scalar one pins
+        // the `series` schema (spec/times/orgs/values/aggregate) and its
+        // coexistence with the scalar columns.
+        Case {
+            name: "fpt_k2_timeline",
+            args: &[
+                "--json",
+                "--workload",
+                "fpt:horizon=500,k=2",
+                "--horizon",
+                "500",
+                "--seed",
+                "3",
+                "--scheduler",
+                "fifo",
+                "--metrics",
+                "delay,timeline:samples=8",
+            ],
+        },
     ]
 }
 
@@ -124,6 +143,45 @@ fn no_reference_with_delay_metric_is_a_typed_error() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
         stderr.contains("needs the REF reference"),
+        "unexpected error output: {stderr}"
+    );
+}
+
+/// The timeline family compares against REF too: `--no-reference` +
+/// `timeline` is the same typed NeedsReference error.
+#[test]
+fn no_reference_with_timeline_metric_is_a_typed_error() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fairsched"))
+        .args([
+            "--json",
+            "--workload",
+            "fpt:k=2",
+            "--metrics",
+            "timeline:samples=8",
+            "--no-reference",
+        ])
+        .output()
+        .expect("fairsched binary runs");
+    assert!(!output.status.success(), "--no-reference with timeline must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("timeline") && stderr.contains("needs the REF reference"),
+        "unexpected error output: {stderr}"
+    );
+}
+
+/// A malformed timeline sample count fails with the typed parameter
+/// error (the historical core path panicked on zero samples).
+#[test]
+fn zero_timeline_samples_is_a_typed_error() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fairsched"))
+        .args(["--json", "--workload", "fpt:k=2", "--metrics", "timeline:samples=0"])
+        .output()
+        .expect("fairsched binary runs");
+    assert!(!output.status.success(), "samples=0 must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("timeline:samples") && stderr.contains("at least 1"),
         "unexpected error output: {stderr}"
     );
 }

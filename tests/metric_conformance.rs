@@ -28,8 +28,8 @@
 use fairsched::core::utility::sp_vector;
 use fairsched::core::Trace;
 use fairsched::sim::report::{
-    MetricColumn, MetricContext, MetricError, MetricFactory, MetricRegistry, MetricSpec,
-    MetricValue, ReferenceData,
+    MetricColumn, MetricContext, MetricError, MetricFactory, MetricOutput,
+    MetricRegistry, MetricSpec, MetricValue, ReferenceData,
 };
 use fairsched::sim::{SimResult, Simulation};
 use fairsched::workloads::spec::{WorkloadContext, WorkloadRegistry};
@@ -73,15 +73,40 @@ fn context_at<'a>(
     }
 }
 
-/// Canonical, bit-faithful rendering of a column for equality checks.
-fn render_column(c: &MetricColumn) -> String {
-    let mut out = format!("{}|", c.spec);
-    for v in &c.per_org {
-        out.push_str(&v.render());
-        out.push(';');
+/// Canonical, bit-faithful rendering of an output for equality checks
+/// (scalar columns and time-series columns alike).
+fn render_output(o: &MetricOutput) -> String {
+    match o {
+        MetricOutput::Column(c) => {
+            let mut out = format!("{}|", c.spec);
+            for v in &c.per_org {
+                out.push_str(&v.render());
+                out.push(';');
+            }
+            out.push_str(&c.aggregate.render());
+            out
+        }
+        MetricOutput::Series(s) => {
+            let mut out = format!("{}|t:", s.spec);
+            for t in &s.times {
+                out.push_str(&t.to_string());
+                out.push(';');
+            }
+            for vs in &s.per_org {
+                out.push('|');
+                for v in vs {
+                    out.push_str(&v.render());
+                    out.push(';');
+                }
+            }
+            out.push('|');
+            for v in &s.aggregate {
+                out.push_str(&v.render());
+                out.push(';');
+            }
+            out
+        }
     }
-    out.push_str(&c.aggregate.render());
-    out
 }
 
 /// Runs the full conformance contract over every factory in `registry`,
@@ -171,7 +196,7 @@ fn conformance_violations(registry: &MetricRegistry) -> Vec<String> {
                 }
             };
             match registry.evaluate(spec, &ctx) {
-                Ok(b) if render_column(&a) == render_column(&b) => {}
+                Ok(b) if render_output(&a) == render_output(&b) => {}
                 Ok(_) => fail(
                     &name,
                     &label,
@@ -179,19 +204,51 @@ fn conformance_violations(registry: &MetricRegistry) -> Vec<String> {
                 ),
                 Err(e) => fail(&name, &label, format!("re-evaluation failed: {e}")),
             }
-            if a.per_org.len() != s.trace.n_orgs() {
-                fail(
-                    &name,
-                    &label,
-                    format!(
-                        "column has {} values for {} organizations",
-                        a.per_org.len(),
-                        s.trace.n_orgs()
-                    ),
-                );
+            match &a {
+                MetricOutput::Column(c) => {
+                    if c.per_org.len() != s.trace.n_orgs() {
+                        fail(
+                            &name,
+                            &label,
+                            format!(
+                                "column has {} values for {} organizations",
+                                c.per_org.len(),
+                                s.trace.n_orgs()
+                            ),
+                        );
+                    }
+                }
+                MetricOutput::Series(sr) => {
+                    if sr.per_org.len() != s.trace.n_orgs() {
+                        fail(
+                            &name,
+                            &label,
+                            format!(
+                                "series has {} organization rows for {} organizations",
+                                sr.per_org.len(),
+                                s.trace.n_orgs()
+                            ),
+                        );
+                    }
+                    if sr.per_org.iter().any(|vs| vs.len() != sr.times.len())
+                        || sr.aggregate.len() != sr.times.len()
+                    {
+                        fail(&name, &label, "series rows disagree with the grid".into());
+                    }
+                    if !sr.times.windows(2).all(|w| w[0] < w[1])
+                        || sr.times.iter().any(|&t| t == 0 || t > h1)
+                    {
+                        fail(
+                            &name,
+                            &label,
+                            "series grid is not strictly increasing within (0, horizon]"
+                                .into(),
+                        );
+                    }
+                }
             }
-            if a.spec != *spec {
-                fail(&name, &label, "column spec differs from the request".into());
+            if a.spec() != spec {
+                fail(&name, &label, "output spec differs from the request".into());
             }
 
             // 6. Horizon invariance where claimed: the schedule is fully
@@ -200,7 +257,7 @@ fn conformance_violations(registry: &MetricRegistry) -> Vec<String> {
                 let ctx2 = context_at(&s, h2, &psi_h2, &ref_h2);
                 match registry.evaluate(spec, &ctx2) {
                     Ok(b) => {
-                        if render_column(&a) != render_column(&b) {
+                        if render_output(&a) != render_output(&b) {
                             fail(
                                 &name,
                                 &label,
@@ -262,6 +319,7 @@ fn conformance_specs_cover_every_builtin_family() {
             "psi",
             "ranking",
             "stretch",
+            "timeline",
             "units",
             "utility",
             "utilization",
@@ -292,7 +350,7 @@ fn downstream_factories_get_conformance_for_free() {
             &self,
             spec: &MetricSpec,
             ctx: &MetricContext<'_>,
-        ) -> Result<MetricColumn, MetricError> {
+        ) -> Result<MetricOutput, MetricError> {
             spec.deny_unknown_params(&[])?;
             let max = ctx.psi.iter().max().copied().unwrap_or(0);
             Ok(MetricColumn {
@@ -301,7 +359,8 @@ fn downstream_factories_get_conformance_for_free() {
                 aggregate: MetricValue::Int(
                     max - ctx.psi.iter().min().copied().unwrap_or(0),
                 ),
-            })
+            }
+            .into())
         }
     }
 
@@ -329,12 +388,13 @@ fn downstream_factories_get_conformance_for_free() {
             &self,
             spec: &MetricSpec,
             ctx: &MetricContext<'_>,
-        ) -> Result<MetricColumn, MetricError> {
+        ) -> Result<MetricOutput, MetricError> {
             Ok(MetricColumn {
                 spec: spec.clone(),
                 per_org: vec![MetricValue::Int(0); ctx.trace.n_orgs()],
                 aggregate: MetricValue::Int(0),
-            })
+            }
+            .into())
         }
     }
     registry.register(Box::new(NoCoverage));

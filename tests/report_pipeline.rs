@@ -158,6 +158,59 @@ fn grid_and_session_reports_match_org_metrics_bit_for_bit() {
     );
 }
 
+/// The timeline metric through the full session pipeline is bit-identical
+/// to evaluating `FairnessReport::from_schedules` at every sample time —
+/// the streamed time axis reports exactly the per-moment numbers the
+/// historical endpoint path would, on the `fpt:k=8` bench family.
+#[test]
+fn timeline_metric_matches_per_sample_fairness_reports() {
+    let trace = bench_family_trace(SEED);
+    let report = Simulation::new(&trace)
+        .scheduler("fifo")
+        .unwrap()
+        .horizon(HORIZON)
+        .seed(SEED)
+        .metrics(&["timeline:samples=10", "timeline:samples=10,stat=delta_psi"])
+        .unwrap()
+        .run_report()
+        .unwrap();
+    let unfairness = report.time_series("timeline:samples=10").unwrap();
+    let delta = report.time_series("timeline:samples=10,stat=delta_psi").unwrap();
+    assert_eq!(*unfairness.times.last().unwrap(), HORIZON);
+    assert_eq!(unfairness.times, delta.times);
+
+    let result = Simulation::new(&trace)
+        .scheduler("fifo")
+        .unwrap()
+        .horizon(HORIZON)
+        .run()
+        .unwrap();
+    let fair =
+        Simulation::new(&trace).scheduler("ref").unwrap().horizon(HORIZON).run().unwrap();
+    let mut nonzero = false;
+    for (i, &t) in unfairness.times.iter().enumerate() {
+        let old =
+            FairnessReport::from_schedules(&trace, &result.schedule, &fair.schedule, t);
+        match unfairness.aggregate[i] {
+            MetricValue::Float(v) => {
+                assert_eq!(
+                    v.to_bits(),
+                    old.unfairness().to_bits(),
+                    "unfairness drifted at t={t}"
+                );
+                nonzero |= v != 0.0;
+            }
+            ref other => panic!("unfairness must be a float, got {other:?}"),
+        }
+        assert_eq!(
+            delta.aggregate[i],
+            MetricValue::Int(old.delta_psi),
+            "delta_psi drifted at t={t}"
+        );
+    }
+    assert!(nonzero, "the pinned trajectory should not be all zeros");
+}
+
 /// The same report drives every sink without re-running anything, and all
 /// three sinks agree on the canonical metric specs.
 #[test]
