@@ -1,0 +1,370 @@
+//! The committed lint configuration: `lint_allow.toml` (suppressions with
+//! mandatory justifications) and `lint_ratchet.toml` (per-rule violation
+//! ceilings that may only decrease).
+//!
+//! The build environment has no crates.io access, so a `toml` dependency
+//! is not an option; [`toml_lite`] parses exactly the subset these two
+//! files use — `[section]`, `[[array-of-table]]`, `key = "string"`,
+//! `key = integer`, and `#` comments — and rejects everything else, so a
+//! typo in a config file is a loud error, not a silently ignored entry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation failure in a lint config file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The file the error is about.
+    pub file: String,
+    /// 1-based line (0 when the error is not line-anchored).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.file, self.line, self.message)
+        } else {
+            write!(f, "{}: {}", self.file, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Minimal TOML-subset parsing: just enough for the two lint files.
+pub mod toml_lite {
+    use super::ConfigError;
+
+    /// A parsed value: the subset has only strings and integers.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum Value {
+        /// A quoted string.
+        Str(String),
+        /// A non-negative integer.
+        Int(u64),
+    }
+
+    /// One `[section]` or `[[section]]` with its `key = value` pairs.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Table {
+        /// The bracketed name.
+        pub name: String,
+        /// Whether it was declared `[[name]]` (array-of-tables entry).
+        pub array: bool,
+        /// The section's key/value pairs in file order.
+        pub entries: Vec<(String, Value)>,
+        /// 1-based line of the section header.
+        pub line: u32,
+    }
+
+    /// Parses the TOML subset. Top-level keys before any section header
+    /// are rejected (the lint files never use them).
+    pub fn parse(file_label: &str, text: &str) -> Result<Vec<Table>, ConfigError> {
+        let err = |line: u32, message: String| ConfigError {
+            file: file_label.to_string(),
+            line,
+            message,
+        };
+        let mut tables: Vec<Table> = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("[[") {
+                let name = rest
+                    .strip_suffix("]]")
+                    .ok_or_else(|| err(lineno, "unterminated [[section]]".into()))?;
+                tables.push(Table {
+                    name: name.trim().to_string(),
+                    array: true,
+                    entries: Vec::new(),
+                    line: lineno,
+                });
+            } else if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, "unterminated [section]".into()))?;
+                tables.push(Table {
+                    name: name.trim().to_string(),
+                    array: false,
+                    entries: Vec::new(),
+                    line: lineno,
+                });
+            } else {
+                let (key, value) = line.split_once('=').ok_or_else(|| {
+                    err(lineno, format!("expected key = value, got {line:?}"))
+                })?;
+                let value = parse_value(value.trim()).map_err(|m| {
+                    err(lineno, format!("bad value for {}: {m}", key.trim()))
+                })?;
+                let table = tables.last_mut().ok_or_else(|| {
+                    err(lineno, "key = value before any [section]".into())
+                })?;
+                table.entries.push((key.trim().to_string(), value));
+            }
+        }
+        Ok(tables)
+    }
+
+    fn parse_value(text: &str) -> Result<Value, String> {
+        if let Some(rest) = text.strip_prefix('"') {
+            let inner = rest
+                .strip_suffix('"')
+                .ok_or_else(|| "unterminated string".to_string())?;
+            if inner.contains('"') || inner.contains('\\') {
+                return Err("escapes and embedded quotes are outside the subset".into());
+            }
+            return Ok(Value::Str(inner.to_string()));
+        }
+        text.parse::<u64>()
+            .map(Value::Int)
+            .map_err(|_| format!("expected a quoted string or an integer, got {text:?}"))
+    }
+
+    /// Strips a `#` comment, respecting `#` inside quoted strings.
+    fn strip_comment(line: &str) -> &str {
+        let mut in_str = false;
+        for (i, c) in line.char_indices() {
+            match c {
+                '"' => in_str = !in_str,
+                '#' if !in_str => return &line[..i],
+                _ => {}
+            }
+        }
+        line
+    }
+}
+
+use toml_lite::{Table, Value};
+
+/// One suppression: up to `count` findings of `rule` in `path` are
+/// accepted, with a mandatory human justification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// Workspace-relative file path (forward slashes).
+    pub path: String,
+    /// How many findings the entry covers.
+    pub count: u64,
+    /// Why the findings are acceptable (must be non-empty — allowlist
+    /// etiquette is enforced mechanically).
+    pub reason: String,
+    /// Source line in `lint_allow.toml`.
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    /// All entries, file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses `lint_allow.toml` text. Every entry must be an `[[allow]]`
+    /// table carrying `rule`, `path`, `count >= 1`, and a non-empty
+    /// `reason`.
+    pub fn parse(file_label: &str, text: &str) -> Result<Self, ConfigError> {
+        let tables = toml_lite::parse(file_label, text)?;
+        let mut entries = Vec::new();
+        for t in tables {
+            if !(t.array && t.name == "allow") {
+                return Err(ConfigError {
+                    file: file_label.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "unexpected section [{}{}{}] (only [[allow]] entries are defined)",
+                        if t.array { "[" } else { "" },
+                        t.name,
+                        if t.array { "]" } else { "" },
+                    ),
+                });
+            }
+            entries.push(allow_entry(file_label, &t)?);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Total allowance for `(rule, path)`.
+    pub fn allowance(&self, rule: &str, path: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.rule == rule && e.path == path)
+            .map(|e| e.count)
+            .sum()
+    }
+}
+
+fn allow_entry(file_label: &str, t: &Table) -> Result<AllowEntry, ConfigError> {
+    let err = |message: String| ConfigError {
+        file: file_label.to_string(),
+        line: t.line,
+        message,
+    };
+    let mut rule = None;
+    let mut path = None;
+    let mut count = None;
+    let mut reason = None;
+    for (k, v) in &t.entries {
+        match (k.as_str(), v) {
+            ("rule", Value::Str(s)) => rule = Some(s.clone()),
+            ("path", Value::Str(s)) => path = Some(s.clone()),
+            ("count", Value::Int(n)) => count = Some(*n),
+            ("reason", Value::Str(s)) => reason = Some(s.clone()),
+            (k, _) => {
+                return Err(err(format!("unknown or mistyped key {k:?} in [[allow]]")))
+            }
+        }
+    }
+    let rule = rule.ok_or_else(|| err("[[allow]] missing rule".into()))?;
+    let path = path.ok_or_else(|| err("[[allow]] missing path".into()))?;
+    let count = count.ok_or_else(|| err("[[allow]] missing count".into()))?;
+    let reason = reason.ok_or_else(|| err("[[allow]] missing reason".into()))?;
+    if count == 0 {
+        return Err(
+            err("[[allow]] count must be >= 1 (delete the entry instead)".into()),
+        );
+    }
+    if reason.trim().is_empty() {
+        return Err(err(
+            "[[allow]] reason must be a non-empty justification (allowlist etiquette)"
+                .into(),
+        ));
+    }
+    Ok(AllowEntry { rule, path, count, reason, line: t.line })
+}
+
+/// The parsed ratchet: rule → maximum accepted violation count. The
+/// committed counts may only decrease over time; `fairsched-analyze check
+/// --update-ratchet` rewrites the file to the current (lower) counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ratchet {
+    /// Rule → ceiling.
+    pub limits: BTreeMap<String, u64>,
+}
+
+impl Ratchet {
+    /// Parses `lint_ratchet.toml` text: a single `[ratchet]` section of
+    /// `rule = count` pairs.
+    pub fn parse(file_label: &str, text: &str) -> Result<Self, ConfigError> {
+        let tables = toml_lite::parse(file_label, text)?;
+        let mut limits = BTreeMap::new();
+        for t in tables {
+            if t.array || t.name != "ratchet" {
+                return Err(ConfigError {
+                    file: file_label.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "unexpected section {:?} (only [ratchet] is defined)",
+                        t.name
+                    ),
+                });
+            }
+            for (k, v) in &t.entries {
+                let Value::Int(n) = v else {
+                    return Err(ConfigError {
+                        file: file_label.to_string(),
+                        line: t.line,
+                        message: format!("ratchet count for {k:?} must be an integer"),
+                    });
+                };
+                if limits.insert(k.clone(), *n).is_some() {
+                    return Err(ConfigError {
+                        file: file_label.to_string(),
+                        line: t.line,
+                        message: format!("duplicate ratchet entry for {k:?}"),
+                    });
+                }
+            }
+        }
+        Ok(Ratchet { limits })
+    }
+
+    /// Renders the canonical file text for `--update-ratchet`.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Per-rule violation ceilings for `fairsched-analyze check`.\n\
+             # Counts may only decrease: lower the number when you fix sites,\n\
+             # never raise it. Regenerate with `fairsched-analyze check\n\
+             # --update-ratchet` after a burn-down.\n\n[ratchet]\n",
+        );
+        for (rule, count) in &self.limits {
+            out.push_str(&format!("{rule} = {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allowlist() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "panic-free"
+path = "crates/bench/src/baseline.rs"
+count = 3
+reason = "bench harness, trusted schedulers"
+
+[[allow]]
+rule = "spec-literal"
+path = "crates/core/src/spec.rs"
+count = 2
+reason = "deliberate malformed fixtures"
+"#;
+        let a = Allowlist::parse("lint_allow.toml", text).unwrap();
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.allowance("panic-free", "crates/bench/src/baseline.rs"), 3);
+        assert_eq!(a.allowance("panic-free", "crates/core/src/spec.rs"), 0);
+    }
+
+    #[test]
+    fn allowlist_requires_reason() {
+        let text = "[[allow]]\nrule = \"panic-free\"\npath = \"x.rs\"\ncount = 1\nreason = \"  \"\n";
+        let e = Allowlist::parse("lint_allow.toml", text).unwrap_err();
+        assert!(e.message.contains("reason"), "{e}");
+        let text2 = "[[allow]]\nrule = \"panic-free\"\npath = \"x.rs\"\ncount = 1\n";
+        assert!(Allowlist::parse("lint_allow.toml", text2).is_err());
+    }
+
+    #[test]
+    fn allowlist_rejects_zero_count_and_unknown_keys() {
+        let zero = "[[allow]]\nrule = \"r\"\npath = \"p\"\ncount = 0\nreason = \"x\"\n";
+        assert!(Allowlist::parse("lint_allow.toml", zero).is_err());
+        let unknown = "[[allow]]\nrule = \"r\"\npath = \"p\"\ncount = 1\nreason = \"x\"\nnote = \"y\"\n";
+        assert!(Allowlist::parse("lint_allow.toml", unknown).is_err());
+    }
+
+    #[test]
+    fn parses_ratchet_and_renders_canonically() {
+        let text = "[ratchet]\npanic-free = 240 # ceiling\ntime-arith = 12\n";
+        let r = Ratchet::parse("lint_ratchet.toml", text).unwrap();
+        assert_eq!(r.limits.get("panic-free"), Some(&240));
+        let rendered = r.render();
+        let again = Ratchet::parse("lint_ratchet.toml", &rendered).unwrap();
+        assert_eq!(again, r);
+    }
+
+    #[test]
+    fn ratchet_rejects_duplicates_and_strings() {
+        assert!(Ratchet::parse("r", "[ratchet]\na = 1\na = 2\n").is_err());
+        assert!(Ratchet::parse("r", "[ratchet]\na = \"1\"\n").is_err());
+        assert!(Ratchet::parse("r", "[other]\na = 1\n").is_err());
+    }
+
+    #[test]
+    fn toml_lite_rejects_garbage() {
+        assert!(toml_lite::parse("f", "just words\n").is_err());
+        assert!(toml_lite::parse("f", "[sec\n").is_err());
+        assert!(toml_lite::parse("f", "a = 1\n").is_err());
+    }
+}

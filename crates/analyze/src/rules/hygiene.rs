@@ -1,0 +1,260 @@
+//! `hygiene`: golden / bench artifact schema checks and orphan detection.
+//!
+//! The golden corpus is the regression anchor for the whole workspace, so
+//! it gets its own lint family:
+//!
+//! * `tests/golden/reports/*.json` must parse and carry the report
+//!   schema's load-bearing keys (`workload_spec`, `scheduler_spec`,
+//!   `metric_specs`, `orgs`, `aggregates`), with `orgs` entries holding
+//!   `name` + `metrics`;
+//! * `tests/golden/workloads/*.txt` must open with a `spec=` header and
+//!   list at least one `org=` line;
+//! * `tests/golden/*.txt` (schedule goldens) must open with `scheduler=`
+//!   and carry a `horizon=` line;
+//! * `BENCH_lattice.json` must declare `schema =
+//!   "fairsched-bench-lattice/v1"` with non-empty `cases`, a `timeline`
+//!   array, and a `summary` object;
+//! * every golden file must be referenced by name from some workspace
+//!   `.rs` file — an unreferenced golden is dead weight that silently
+//!   stops guarding anything (reported as an orphan).
+
+use crate::rules::HYGIENE;
+use crate::{Finding, SourceFile};
+
+/// The expected `schema` tag in `BENCH_lattice.json`.
+pub const BENCH_SCHEMA: &str = "fairsched-bench-lattice/v1";
+
+/// Keys every golden report JSON must carry.
+const REPORT_KEYS: [&str; 5] =
+    ["workload_spec", "scheduler_spec", "metric_specs", "orgs", "aggregates"];
+
+fn get<'a>(v: &'a serde::Value, key: &str) -> Option<&'a serde::Value> {
+    match v {
+        serde::Value::Object(entries) => {
+            entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+        _ => None,
+    }
+}
+
+/// Checks one golden report JSON (already parsed; parse failures are
+/// reported by the caller, which owns the file I/O).
+pub fn check_report(path: &str, doc: &serde::Value, out: &mut Vec<Finding>) {
+    for key in REPORT_KEYS {
+        if get(doc, key).is_none() {
+            out.push(Finding::new(
+                HYGIENE,
+                path,
+                0,
+                format!("golden report is missing required key {key:?}"),
+            ));
+        }
+    }
+    if let Some(serde::Value::Array(orgs)) = get(doc, "orgs") {
+        for (i, org) in orgs.iter().enumerate() {
+            if get(org, "name").is_none() || get(org, "metrics").is_none() {
+                out.push(Finding::new(
+                    HYGIENE,
+                    path,
+                    0,
+                    format!("golden report orgs[{i}] is missing name/metrics"),
+                ));
+            }
+        }
+    }
+}
+
+/// Checks one workload golden's text.
+pub fn check_workload_golden(path: &str, text: &str, out: &mut Vec<Finding>) {
+    let first = text.lines().next().unwrap_or("");
+    if !first.starts_with("spec=") {
+        out.push(Finding::new(
+            HYGIENE,
+            path,
+            1,
+            "workload golden must open with a `spec=` header".to_string(),
+        ));
+    }
+    if !text.lines().any(|l| l.starts_with("org=")) {
+        out.push(Finding::new(
+            HYGIENE,
+            path,
+            0,
+            "workload golden lists no `org=` lines".to_string(),
+        ));
+    }
+}
+
+/// Checks one schedule golden's text (`tests/golden/*.txt`).
+pub fn check_schedule_golden(path: &str, text: &str, out: &mut Vec<Finding>) {
+    let first = text.lines().next().unwrap_or("");
+    if !first.starts_with("scheduler=") {
+        out.push(Finding::new(
+            HYGIENE,
+            path,
+            1,
+            "schedule golden must open with a `scheduler=` header".to_string(),
+        ));
+    }
+    if !text.lines().any(|l| l.starts_with("horizon=")) {
+        out.push(Finding::new(
+            HYGIENE,
+            path,
+            0,
+            "schedule golden carries no `horizon=` line".to_string(),
+        ));
+    }
+}
+
+/// Checks the bench lattice artifact (already parsed).
+pub fn check_bench_lattice(path: &str, doc: &serde::Value, out: &mut Vec<Finding>) {
+    match get(doc, "schema") {
+        Some(serde::Value::String(s)) if s == BENCH_SCHEMA => {}
+        other => out.push(Finding::new(
+            HYGIENE,
+            path,
+            0,
+            format!("bench artifact schema must be {BENCH_SCHEMA:?}, found {other:?}"),
+        )),
+    }
+    match get(doc, "cases") {
+        Some(serde::Value::Array(cases)) if !cases.is_empty() => {
+            for (i, case) in cases.iter().enumerate() {
+                for key in ["name", "scheduler", "lattice"] {
+                    if get(case, key).is_none() {
+                        out.push(Finding::new(
+                            HYGIENE,
+                            path,
+                            0,
+                            format!("bench cases[{i}] is missing {key:?}"),
+                        ));
+                    }
+                }
+            }
+        }
+        _ => out.push(Finding::new(
+            HYGIENE,
+            path,
+            0,
+            "bench artifact must carry a non-empty `cases` array".to_string(),
+        )),
+    }
+    if !matches!(get(doc, "timeline"), Some(serde::Value::Array(_))) {
+        out.push(Finding::new(
+            HYGIENE,
+            path,
+            0,
+            "bench artifact must carry a `timeline` array".to_string(),
+        ));
+    }
+    if !matches!(get(doc, "summary"), Some(serde::Value::Object(_))) {
+        out.push(Finding::new(
+            HYGIENE,
+            path,
+            0,
+            "bench artifact must carry a `summary` object".to_string(),
+        ));
+    }
+}
+
+/// Orphan detection: a golden (workspace-relative path) is an orphan when
+/// no workspace `.rs` source mentions its file name — or its extensionless
+/// stem, since the golden test tables name cases by stem and append the
+/// extension when resolving the path.
+pub fn check_orphans(
+    golden_paths: &[String],
+    sources: &[SourceFile],
+    out: &mut Vec<Finding>,
+) {
+    for path in golden_paths {
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let stem = name.rsplit_once('.').map_or(name, |(s, _)| s);
+        let referenced =
+            sources.iter().any(|s| s.text.contains(name) || s.text.contains(stem));
+        if !referenced {
+            out.push(Finding::new(
+                HYGIENE,
+                path,
+                0,
+                "orphan golden: no workspace source references this file".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(json: &str) -> serde::Value {
+        serde_json::parse_value(json).expect("test json")
+    }
+
+    #[test]
+    fn report_schema_violations_are_found() {
+        let doc = parse(r#"{"workload_spec": "fpt:k=3", "orgs": [{"name": "org0"}]}"#);
+        let mut out = Vec::new();
+        check_report("tests/golden/reports/x.json", &doc, &mut out);
+        // Missing scheduler_spec, metric_specs, aggregates + org without
+        // metrics.
+        assert_eq!(out.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn good_report_passes() {
+        let doc = parse(
+            r#"{"workload_spec": "w", "scheduler_spec": "s", "metric_specs": ["m"],
+                "orgs": [{"name": "org0", "metrics": {"m": 1}}], "aggregates": {"m": 1}}"#,
+        );
+        let mut out = Vec::new();
+        check_report("r.json", &doc, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn workload_and_schedule_golden_headers() {
+        let mut out = Vec::new();
+        check_workload_golden(
+            "w.txt",
+            "spec=fpt:k=3\nseed=1\norg=org0 machines=2\n",
+            &mut out,
+        );
+        check_schedule_golden("s.txt", "scheduler=Ref\nhorizon=40\n", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        check_workload_golden("w.txt", "seed=1\n", &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn bench_schema_and_cases_are_checked() {
+        let mut out = Vec::new();
+        let good = parse(
+            r#"{"schema": "fairsched-bench-lattice/v1",
+                "cases": [{"name": "c", "scheduler": "ref", "lattice": {}}],
+                "timeline": [], "summary": {}}"#,
+        );
+        check_bench_lattice("BENCH_lattice.json", &good, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let bad = parse(r#"{"schema": "v0", "cases": []}"#);
+        check_bench_lattice("BENCH_lattice.json", &bad, &mut out);
+        assert_eq!(out.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn orphans_are_reported() {
+        let src = SourceFile {
+            rel: "tests/t.rs".into(),
+            text: "load(\"tests/golden/used.txt\")".into(),
+            lexed: lex("load(\"tests/golden/used.txt\")"),
+        };
+        let mut out = Vec::new();
+        check_orphans(
+            &["tests/golden/used.txt".into(), "tests/golden/unused.txt".into()],
+            &[src],
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].path, "tests/golden/unused.txt");
+    }
+}

@@ -1,0 +1,29 @@
+//! The four lint rule families.
+//!
+//! Every rule produces [`crate::Finding`]s with a stable rule id — the id
+//! is what `lint_allow.toml`, `lint_ratchet.toml`, and inline
+//! `lint:allow(...)` comments key on:
+//!
+//! | id             | family                                             |
+//! |----------------|----------------------------------------------------|
+//! | `panic-free`   | panic sites in non-test library code               |
+//! | `time-arith`   | raw `*`/`+` on `Time`/`Frac`-typed values          |
+//! | `spec-literal` | spec-string literals vs the live registries        |
+//! | `hygiene`      | golden / bench JSON schema and orphan goldens      |
+
+pub mod hygiene;
+pub mod panic_free;
+pub mod spec_literals;
+pub mod time_arith;
+
+/// Rule id for the panic-freedom family.
+pub const PANIC_FREE: &str = "panic-free";
+/// Rule id for the `Time` arithmetic widening family.
+pub const TIME_ARITH: &str = "time-arith";
+/// Rule id for the spec-literal validity family.
+pub const SPEC_LITERAL: &str = "spec-literal";
+/// Rule id for golden/bench hygiene.
+pub const HYGIENE: &str = "hygiene";
+
+/// All rule ids, in reporting order.
+pub const ALL_RULES: [&str; 4] = [PANIC_FREE, TIME_ARITH, SPEC_LITERAL, HYGIENE];

@@ -1,0 +1,234 @@
+//! `time-arith`: raw `*`/`+` on `Time`/`Frac`-typed values.
+//!
+//! `Time` is a bare `u64`, and the workspace's worst historical bug class
+//! is narrow arithmetic on it (`horizon * i` wrapping in release builds —
+//! see `tests/overflow_guard.rs`). Library code must route `Time`
+//! products and `Time + Time` sums through `fairsched_core::checked_time`
+//! or widen explicitly (`x as u128 * y as u128`).
+//!
+//! This is a token-level *heuristic*, not a type checker:
+//!
+//! 1. A first pass over every library file collects identifiers declared
+//!    with `: Time` or `: Frac` (struct fields, fn params, let bindings —
+//!    they all lex as `name : Time`).
+//! 2. A second pass flags `a * b` where either chain-final operand
+//!    identifier is such a name, and `a + b` where **both** are (sums
+//!    with literals are overwhelmingly clock steps; products are the
+//!    dangerous shape even with one literal).
+//!
+//! An operand immediately widened with `as u128` / `as i128` / `as f64` /
+//! `as Util` is approved; `as u64` is *not* (it stays narrow). Method
+//! calls as operands are skipped (their type is unknowable here), as is
+//! `checked_time.rs` itself — it is the approved vocabulary.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{LexedFile, Tok, Token};
+use crate::rules::TIME_ARITH;
+use crate::Finding;
+
+/// Casting to one of these immediately after an operand counts as the
+/// approved widening idiom. (`Util` is the workspace's `i128` alias.)
+const WIDE_TYPES: [&str; 4] = ["u128", "i128", "f64", "Util"];
+
+/// The time-like type names whose declarations seed the identifier set.
+const TIME_TYPES: [&str; 2] = ["Time", "Frac"];
+
+/// Pass 1: collect identifiers declared `name: Time` / `name: &Frac` /
+/// `name: mut Time` across a set of lexed files.
+pub fn collect_time_names(files: &[(&str, &LexedFile)]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (_, file) in files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let Tok::Ident(name) = &toks[i].tok else { continue };
+            if !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':'))) {
+                continue;
+            }
+            // `a::b` paths lex as `a : : b` — skip those.
+            let mut j = i + 2;
+            if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct(':'))) {
+                continue;
+            }
+            // Skip reference/mut/lifetime noise between `:` and the type.
+            while let Some(t) = toks.get(j) {
+                match &t.tok {
+                    Tok::Punct('&') | Tok::Lifetime => j += 1,
+                    Tok::Ident(m) if m == "mut" => j += 1,
+                    _ => break,
+                }
+            }
+            if let Some(Tok::Ident(ty)) = toks.get(j).map(|t| &t.tok) {
+                if TIME_TYPES.contains(&ty.as_str()) {
+                    names.insert(name.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Pass 2: scan one library file against the collected name set.
+pub fn check(
+    rel_path: &str,
+    file: &LexedFile,
+    time_names: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    if rel_path.ends_with("core/src/checked_time.rs") {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let op = match &toks[i].tok {
+            Tok::Punct(c @ ('*' | '+')) => *c,
+            _ => continue,
+        };
+        if toks[i].in_test || file.allowed(TIME_ARITH, toks[i].line) {
+            continue;
+        }
+        // `*=` / `+=` compound assignment and `**`-style noise: skip.
+        if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('=' | '*'))) {
+            continue;
+        }
+        // Left operand must be a value token right before the operator
+        // (anything else is deref, glob import, generics, `&x + …`, ...).
+        let Some(prev) = (i > 0).then(|| &toks[i - 1]) else { continue };
+        let left = operand_name(prev);
+        if left.is_none() && !matches!(prev.tok, Tok::Num(_)) {
+            continue;
+        }
+        let left_widened = left.is_some()
+            && i >= 3
+            && matches!(&toks[i - 2].tok, Tok::Ident(a) if a == "as")
+            && matches!(&toks[i - 1].tok, Tok::Ident(ty) if WIDE_TYPES.contains(&ty.as_str()));
+        // After a cast the adjacent ident is the *type*; the value name
+        // sits before `as`.
+        let left_name = if left_widened { None } else { left };
+
+        // Right operand: resolve `recv.field.final` chains to the final
+        // identifier; bail on calls and non-value tokens.
+        let Some((right_name, after)) = right_operand(toks, i + 1) else { continue };
+        if matches!(toks.get(after).map(|t| &t.tok), Some(Tok::Punct('('))) {
+            continue; // method/function call operand: type unknown.
+        }
+        let right_widened = matches!(
+            toks.get(after).map(|t| &t.tok), Some(Tok::Ident(a)) if a == "as")
+            && matches!(
+                toks.get(after + 1).map(|t| &t.tok),
+                Some(Tok::Ident(ty)) if WIDE_TYPES.contains(&ty.as_str()));
+        let right_name = if right_widened { None } else { right_name };
+
+        let is_time =
+            |n: &Option<String>| n.as_deref().is_some_and(|n| time_names.contains(n));
+        let (left_time, right_time) = (is_time(&left_name), is_time(&right_name));
+        let hit = match op {
+            '*' => left_time || right_time,
+            _ => left_time && right_time,
+        };
+        if hit {
+            let name = left_name.filter(|_| left_time).or(right_name).unwrap_or_default();
+            out.push(Finding::new(
+                TIME_ARITH,
+                rel_path,
+                toks[i].line,
+                format!(
+                    "raw `{op}` on `Time`/`Frac`-typed `{name}` — use \
+                     fairsched_core::checked_time or widen with `as u128`"
+                ),
+            ));
+        }
+    }
+}
+
+/// The identifier named by a single operand token, if any.
+fn operand_name(t: &Token) -> Option<String> {
+    match &t.tok {
+        Tok::Ident(n) => Some(n.clone()),
+        _ => None,
+    }
+}
+
+/// Resolves the token(s) starting at `start` as a right operand. Returns
+/// `(chain_final_ident, index_after_operand)`; numbers yield `(None, _)`.
+fn right_operand(toks: &[Token], start: usize) -> Option<(Option<String>, usize)> {
+    match toks.get(start).map(|t| &t.tok) {
+        Some(Tok::Num(_)) => Some((None, start + 1)),
+        Some(Tok::Ident(first)) => {
+            let mut name = first.clone();
+            let mut j = start;
+            while matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('.'))) {
+                match toks.get(j + 2).map(|t| &t.tok) {
+                    Some(Tok::Ident(n)) => {
+                        name = n.clone();
+                        j += 2;
+                    }
+                    _ => break,
+                }
+            }
+            Some((Some(name), j + 1))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = lex(src);
+        let names = collect_time_names(&[("lib.rs", &file)]);
+        let mut out = Vec::new();
+        check("lib.rs", &file, &names, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_raw_time_products_and_sums() {
+        let src = r#"
+            pub struct J { pub start: Time, pub proc_time: Time }
+            fn f(horizon: Time, i: u64) -> Time { horizon * i }
+            fn g(j: &J) -> Time { j.start + j.proc_time }
+            fn h(horizon: Time) -> Time { 2 * horizon }
+        "#;
+        let found = run(src);
+        assert_eq!(found.len(), 3, "{found:?}");
+    }
+
+    #[test]
+    fn widening_and_helpers_are_approved() {
+        let src = r#"
+            fn f(horizon: Time, i: u64) -> u128 { horizon as u128 * i as u128 }
+            fn g(start: Time, d: Time) -> Time { checked_time::completion(start, d) }
+            fn h(x: Time) -> f64 { x as f64 * 0.5 }
+        "#;
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn non_time_math_clock_steps_and_tests_are_exempt() {
+        let src = r#"
+            fn f(a: usize, b: usize) -> usize { a * b + a }
+            fn step(t: Time) -> Time { t + 1 }
+            fn call(h: Time) -> Time { h * len() }
+            #[cfg(test)]
+            mod tests {
+                fn t(h: Time) -> Time { h * 2 }
+            }
+        "#;
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn inline_allow_and_helper_file_are_exempt() {
+        let src = "fn f(h: Time, i: u64) -> Time {\n    // lint:allow(time-arith) bounded by caller\n    h * i\n}\n";
+        assert!(run(src).is_empty());
+        let file = lex("fn f(h: Time, i: u64) -> Time { h * i }");
+        let names = collect_time_names(&[("x", &file)]);
+        let mut out = Vec::new();
+        check("crates/core/src/checked_time.rs", &file, &names, &mut out);
+        assert!(out.is_empty());
+    }
+}

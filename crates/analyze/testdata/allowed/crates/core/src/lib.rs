@@ -1,0 +1,10 @@
+//! Allowlist fixture: two seeded panic sites, fully covered by the
+//! fixture's `lint_allow.toml`.
+
+pub fn covered_one(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn covered_two(x: Option<u64>) -> u64 {
+    x.expect("covered")
+}

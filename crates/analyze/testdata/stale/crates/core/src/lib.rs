@@ -1,0 +1,5 @@
+//! Stale-ratchet fixture: clean library code under a too-high ceiling.
+
+pub fn fine(x: u64) -> u64 {
+    x.saturating_add(1)
+}

@@ -1,0 +1,47 @@
+//! Seeded-violation fixture: every library-code rule must fire on this
+//! file. Line positions matter to the integration tests — edit with care.
+
+pub fn bad_panics(x: Option<u64>) -> u64 {
+    if x.is_none() {
+        panic!("seeded panic site");
+    }
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u64>) -> u64 {
+    x.expect("seeded expect site")
+}
+
+pub fn bad_unreachable(x: u64) -> u64 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn bad_time_product(horizon: Time, i: u64) -> Time {
+    horizon * i
+}
+
+pub fn bad_time_sum(start: Time, proc_time: Time) -> Time {
+    start + proc_time
+}
+
+pub fn allowed_time_product(horizon: Time, i: u64) -> Time {
+    // lint:allow(time-arith) seeded inline-allow coverage
+    horizon * i
+}
+
+pub fn bad_spec() -> &'static str {
+    "nosuchfamily:k=1"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scope_is_exempt() {
+        let h: Time = 10;
+        assert_eq!(h * 2, bad_panics(Some(20)).unwrap());
+        panic!("fine here");
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests driving [`fairsched_analyze::run_check`] against the
+//! seeded fixture workspaces under `testdata/` — each rule family must
+//! fire on the violations fixture, the allowlist must suppress, and a
+//! too-high ratchet must be reported as stale (not a failure).
+//!
+//! `testdata/` is a skipped directory name in the workspace walker, so
+//! these deliberately broken files are invisible when the analyzer runs
+//! over the real repository.
+
+use std::path::PathBuf;
+
+use fairsched_analyze::{run_check, Finding, Options, Outcome};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("testdata").join(name)
+}
+
+fn check(name: &str) -> Outcome {
+    run_check(&Options { root: fixture(name), update_ratchet: false })
+        .expect("fixture check runs")
+}
+
+fn of_rule<'a>(o: &'a Outcome, rule: &str) -> Vec<&'a Finding> {
+    o.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn violations_fixture_trips_every_rule_family() {
+    let o = check("violations");
+    assert!(!o.ok(), "seeded violations must fail: {:?}", o.failures);
+
+    // panic-free: panic!, unwrap, expect, unreachable! — and nothing from
+    // the #[cfg(test)] module.
+    let pf = of_rule(&o, "panic-free");
+    assert_eq!(pf.len(), 4, "{pf:?}");
+    assert!(pf.iter().all(|f| f.path == "crates/core/src/lib.rs"));
+    assert!(pf.iter().any(|f| f.message.contains("`panic!`")));
+    assert!(pf.iter().any(|f| f.message.contains(".unwrap(")));
+    assert!(pf.iter().any(|f| f.message.contains(".expect(")));
+    assert!(pf.iter().any(|f| f.message.contains("`unreachable!`")));
+
+    // time-arith: the raw product and the Time+Time sum, but not the
+    // inline-allowed product.
+    let ta = of_rule(&o, "time-arith");
+    assert_eq!(ta.len(), 2, "{ta:?}");
+    assert!(ta.iter().any(|f| f.message.contains("raw `*`")));
+    assert!(ta.iter().any(|f| f.message.contains("raw `+`")));
+
+    // spec-literal: the unknown family in library code (coverage-gate
+    // findings about the tiny workspace land on the synthetic
+    // `workspace` path and are ignored here).
+    let sl: Vec<_> = of_rule(&o, "spec-literal")
+        .into_iter()
+        .filter(|f| f.path != "workspace")
+        .collect();
+    assert_eq!(sl.len(), 1, "{sl:?}");
+    assert!(sl[0].message.contains("nosuchfamily"));
+
+    // hygiene: bad report schema (missing keys + org without metrics),
+    // workload golden without a spec= header, wrong bench schema, and
+    // orphan goldens.
+    let hy = of_rule(&o, "hygiene");
+    assert!(
+        hy.iter().any(|f| f.path.ends_with("bad_report.json")
+            && f.message.contains("scheduler_spec")),
+        "{hy:?}"
+    );
+    assert!(hy.iter().any(|f| f.message.contains("`spec=` header")), "{hy:?}");
+    assert!(hy
+        .iter()
+        .any(|f| f.path == "BENCH_lattice.json" && f.message.contains("schema")));
+    assert!(
+        hy.iter()
+            .any(|f| f.path.ends_with("orphan_schedule.txt")
+                && f.message.contains("orphan"))
+    );
+
+    // With no committed ratchet every non-zero family is a failure.
+    assert!(o.failures.iter().any(|f| f.contains("panic-free")));
+    assert!(o.failures.iter().any(|f| f.contains("time-arith")));
+}
+
+#[test]
+fn allowlist_suppresses_and_unused_entries_are_flagged() {
+    let o = check("allowed");
+    assert!(o.ok(), "fully covered fixture must pass: {:?}", o.failures);
+    assert_eq!(o.suppressed, 2, "both seeded panic sites suppressed");
+    assert_eq!(of_rule(&o, "panic-free").len(), 0);
+    assert!(
+        o.warnings
+            .iter()
+            .any(|w| w.contains("time-arith") && w.contains("only 0 matched")),
+        "unused allowlist entry must be reported: {:?}",
+        o.warnings
+    );
+}
+
+#[test]
+fn too_high_ratchet_is_reported_stale_but_passes() {
+    let o = check("stale");
+    assert!(o.ok(), "{:?}", o.failures);
+    assert_eq!(of_rule(&o, "panic-free").len(), 0);
+    assert!(
+        o.warnings.iter().any(|w| w.contains("panic-free") && w.contains("stale")),
+        "stale ratchet must be surfaced: {:?}",
+        o.warnings
+    );
+}
+
+#[test]
+fn report_json_carries_rule_counts_and_verdict() {
+    let o = check("violations");
+    let report = o.report();
+    let serde::Value::Object(entries) = &report else { panic!("object report") };
+    let get = |k: &str| entries.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    assert!(matches!(get("ok"), Some(serde::Value::Bool(false))));
+    let Some(serde::Value::Object(rules)) = get("rules") else { panic!("rules object") };
+    assert_eq!(rules.len(), 4);
+    // Round-trips through the JSON writer/parser.
+    let text = report.to_json_pretty();
+    let parsed = serde_json::parse_value(&text).expect("report parses");
+    assert_eq!(format!("{parsed:?}"), format!("{report:?}"));
+}

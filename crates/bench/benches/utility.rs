@@ -52,7 +52,8 @@ fn bench_sp_vector(c: &mut Criterion) {
     };
     let jobs = generate(&config, 3);
     let trace = to_trace(&jobs, 5, 32, MachineSplit::Equal, 3).unwrap();
-    let result = simulate(&trace, &mut FifoScheduler::new(), 50_000);
+    let result =
+        simulate(&trace, &mut FifoScheduler::new(), 50_000).expect("engine contract");
     c.bench_function("sp_vector_full_schedule", |b| {
         b.iter(|| black_box(sp_vector(&trace, &result.schedule, 50_000)));
     });

@@ -202,7 +202,10 @@ fn measure<S: Scheduler, B: Fn(&Trace) -> S, L: Fn(&S) -> Option<LatticeCounters
     build: B,
     lattice_of: L,
 ) -> CaseResult {
-    let run = |s: &mut S| simulate(trace, s, horizon);
+    // Built-in schedulers on registry workloads cannot violate the engine
+    // contract; a panic here means a bug worth stopping the bench for
+    // (allowlisted for the panic-free-library rule).
+    let run = |s: &mut S| simulate(trace, s, horizon).expect("engine contract");
     // Warmup — runs are deterministic, so this run also yields the
     // display name, the event counts, and the lattice counters.
     let mut warm = build(trace);
@@ -337,8 +340,10 @@ fn measure_timeline(trace: &Trace, runs: usize) -> Vec<TimelineCase> {
     use fairsched_core::scheduler::FairShareScheduler;
 
     let horizon = 2_000;
-    let eval = simulate(trace, &mut FairShareScheduler::new(), horizon);
-    let reference = simulate(trace, &mut RefScheduler::new(trace), horizon);
+    let eval = simulate(trace, &mut FairShareScheduler::new(), horizon)
+        .expect("engine contract");
+    let reference =
+        simulate(trace, &mut RefScheduler::new(trace), horizon).expect("engine contract");
 
     let time_min = |f: &dyn Fn() -> usize| -> (u64, usize) {
         let mut min = u128::MAX;

@@ -189,6 +189,7 @@ mod tests {
 
     #[test]
     fn spec_workloads_keep_their_canonical_label() {
+        // lint:allow(spec-literal) unsorted input; asserts it canonicalizes
         let c = cli(&["--workload", "fpt:k=4,horizon=800"]);
         let w = resolve_workloads(&c, 500, 5, MachineSplit::Zipf(1.0), false);
         assert_eq!(w[0].0, "fpt:horizon=800,k=4");

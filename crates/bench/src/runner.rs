@@ -470,6 +470,7 @@ mod tests {
         assert_eq!(outcome.stats.len(), exp.algos.len());
         assert!(outcome.stats.iter().all(|s| s.values.is_empty()));
         // An unknown workload *name* is equally typed.
+        // lint:allow(spec-literal) deliberately unregistered family.
         exp.workload = "quantumfoam:qubits=8".parse().unwrap();
         let outcome = try_run_delay_experiment_with_registry(&exp, registry());
         assert!(outcome.failures.iter().all(|f| matches!(

@@ -1,0 +1,134 @@
+//! Widening and overflow-aware arithmetic on [`Time`] values.
+//!
+//! The same integer-overflow bug class has bitten this reproduction
+//! twice (`Frac::cmp` cross-multiplication, the timeline sample grid's
+//! `horizon·i` product), so raw `*`/`+` on `Time`-typed quantities in
+//! library code is now flagged by the `time-arith-widening` rule of
+//! `fairsched-analyze`. This module is the approved vocabulary: every
+//! helper either widens to `u128` before multiplying, saturates at
+//! [`Time::MAX`], or reports overflow through `Option` — never wraps.
+//!
+//! Goldens pin schedules bit-for-bit, and all helpers here agree exactly
+//! with the raw operators whenever those do not overflow, so migrating a
+//! call site cannot change a pinned value.
+
+use crate::model::Time;
+
+/// Completion time `start + proc_time`, saturating at [`Time::MAX`].
+///
+/// A saturated completion is "beyond any representable horizon", which
+/// is exactly how the engine and the evaluation sweeps treat it; the raw
+/// `+` would wrap in release-style builds and place the completion in
+/// the past.
+#[inline]
+pub fn completion(start: Time, proc_time: Time) -> Time {
+    start.saturating_add(proc_time)
+}
+
+/// Completion time `start + proc_time` widened to `u128`, for sweeps
+/// that must order completions exactly even past [`Time::MAX`].
+#[inline]
+pub fn wide_completion(start: Time, proc_time: Time) -> u128 {
+    start as u128 + proc_time as u128
+}
+
+/// The exact product `a · b` widened to `u128` (cannot overflow:
+/// `u64::MAX² < u128::MAX`).
+#[inline]
+pub fn wide_mul(a: Time, b: Time) -> u128 {
+    a as u128 * b as u128
+}
+
+/// `⌊value · num / den⌋` computed in `u128`, so the intermediate product
+/// cannot wrap — the timeline sample grid's `⌊horizon·i/samples⌋` shape.
+///
+/// The true quotient always fits in [`Time`] when `num ≤ den`; for
+/// `num > den` a quotient beyond [`Time::MAX`] saturates. `den == 0`
+/// yields [`Time::MAX`] (the ∞ convention [`crate::scheduler::Frac`]
+/// uses for empty denominators) instead of panicking.
+#[inline]
+pub fn scale_floor(value: Time, num: u64, den: u64) -> Time {
+    if den == 0 {
+        return Time::MAX;
+    }
+    let wide = value as u128 * num as u128 / den as u128;
+    Time::try_from(wide).unwrap_or(Time::MAX)
+}
+
+/// Overflow-reporting addition (thin, analyzer-approved wrapper).
+#[inline]
+pub fn checked_add(a: Time, b: Time) -> Option<Time> {
+    a.checked_add(b)
+}
+
+/// Overflow-reporting multiplication (thin, analyzer-approved wrapper).
+#[inline]
+pub fn checked_mul(a: Time, b: Time) -> Option<Time> {
+    a.checked_mul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_matches_raw_add_when_in_range() {
+        assert_eq!(completion(3, 4), 7);
+        assert_eq!(completion(0, 0), 0);
+        assert_eq!(completion(Time::MAX - 5, 5), Time::MAX);
+    }
+
+    #[test]
+    fn completion_saturates_instead_of_wrapping() {
+        assert_eq!(completion(Time::MAX, 1), Time::MAX);
+        assert_eq!(completion(Time::MAX - 1, 7), Time::MAX);
+        // The raw operator would have wrapped to a completion in the past.
+        assert_eq!((Time::MAX - 1).wrapping_add(7), 5);
+    }
+
+    #[test]
+    fn wide_completion_orders_past_time_max() {
+        let a = wide_completion(Time::MAX, 2);
+        let b = wide_completion(Time::MAX, 3);
+        assert!(a < b);
+        assert_eq!(a, Time::MAX as u128 + 2);
+    }
+
+    #[test]
+    fn wide_mul_is_exact_at_the_extremes() {
+        assert_eq!(wide_mul(Time::MAX, Time::MAX), (Time::MAX as u128).pow(2));
+        assert_eq!(wide_mul(0, Time::MAX), 0);
+    }
+
+    #[test]
+    fn scale_floor_matches_narrow_math_in_range() {
+        assert_eq!(scale_floor(100, 1, 4), 25);
+        assert_eq!(scale_floor(100, 3, 4), 75);
+        assert_eq!(scale_floor(7, 2, 3), 4);
+        assert_eq!(scale_floor(0, 5, 7), 0);
+    }
+
+    #[test]
+    fn scale_floor_survives_products_past_time_max() {
+        // horizon·i overflows u64 for any fraction of Time::MAX: the
+        // pre-PR-5 sample grid bug shape.
+        assert_eq!(scale_floor(Time::MAX, 1, 2), Time::MAX / 2);
+        assert_eq!(scale_floor(Time::MAX, 2, 2), Time::MAX);
+        assert_eq!(scale_floor(Time::MAX / 3, 3, 3), Time::MAX / 3);
+    }
+
+    #[test]
+    fn scale_floor_edge_denominators() {
+        assert_eq!(scale_floor(5, 7, 0), Time::MAX);
+        // Saturates when the true quotient exceeds Time::MAX.
+        assert_eq!(scale_floor(Time::MAX, 3, 1), Time::MAX);
+    }
+
+    #[test]
+    fn checked_wrappers_delegate() {
+        assert_eq!(checked_add(1, 2), Some(3));
+        assert_eq!(checked_add(Time::MAX, 1), None);
+        assert_eq!(checked_mul(3, 4), Some(12));
+        assert_eq!(checked_mul(Time::MAX, 2), None);
+    }
+}

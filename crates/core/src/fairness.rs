@@ -146,7 +146,7 @@ pub fn timeline_sample_times(horizon: Time, samples: usize) -> Vec<Time> {
     let mut times = Vec::with_capacity(samples);
     let mut last: Time = 0;
     for i in 1..=samples {
-        let t = (horizon as u128 * i as u128 / samples as u128) as Time;
+        let t = crate::checked_time::scale_floor(horizon, i as u64, samples as u64);
         if t > last {
             times.push(t);
             last = t;
@@ -224,6 +224,7 @@ impl OrgAcc {
         // The entry leaves the running set with Δ = c − s = p.
         self.running -= 1;
         self.run_delta_sum -= p;
+        // lint:allow(time-arith) p is shadowed to Util (i128) above: wide.
         self.run_delta2_sum -= p * p;
         self.completed_units += p;
         // Σ_{i=s}^{s+p−1} i = p(2s+p−1)/2, always an integer.
@@ -287,7 +288,8 @@ pub fn schedule_series(
     // Completion as u128: `s + p` may exceed `Time::MAX` (a job that
     // never finishes within representable time), which the naive path
     // never computes — widen instead of overflowing.
-    let completion_of = |e: &ScheduledJob| e.start as u128 + e.proc_time as u128;
+    let completion_of =
+        |e: &ScheduledJob| crate::checked_time::wide_completion(e.start, e.proc_time);
     // Entries are kept in start order by `Schedule`; completions need
     // their own order (one sort, done once per sweep).
     let mut by_completion: Vec<usize> = (0..entries.len()).collect();

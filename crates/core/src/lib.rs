@@ -39,6 +39,8 @@
 //!   own policies via [`scheduler::registry::Registry::register`].
 //! * [`fairness`] — the evaluation metric `Δψ/p_tot` of Section 7.2 and
 //!   the per-moment unfairness timeline.
+//! * [`checked_time`] — widening/saturating arithmetic on [`Time`]
+//!   values, the vocabulary the `time-arith-widening` lint rule approves.
 //! * [`analysis`] — materialize the cooperative game a trace induces
 //!   (supermodularity/core checks, Shapley shares, the Theorem 5.3 gap).
 //! * [`reduction`] — the executable SUBSETSUM reduction of Theorem 5.1.
@@ -47,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checked_time;
 pub mod fairness;
 pub mod model;
 pub mod reduction;

@@ -22,10 +22,12 @@ pub struct ScheduledJob {
 }
 
 impl ScheduledJob {
-    /// Completion time.
+    /// Completion time, saturating at [`Time::MAX`] (a saturated
+    /// completion is beyond any representable horizon; the raw `+` would
+    /// wrap it into the past in release-style builds).
     #[inline]
     pub fn completion(&self) -> Time {
-        self.start + self.proc_time
+        crate::checked_time::completion(self.start, self.proc_time)
     }
 
     /// Number of unit-size parts completed strictly before `t`

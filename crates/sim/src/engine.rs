@@ -2,6 +2,7 @@
 
 use crate::cluster::Cluster;
 use crate::session::SimError;
+use fairsched_core::checked_time;
 use fairsched_core::model::{JobId, MachineId, Time, Trace};
 use fairsched_core::schedule::{Schedule, ScheduledJob};
 use fairsched_core::scheduler::{Scheduler, SelectContext};
@@ -54,35 +55,33 @@ impl SimResult {
 /// Runs `scheduler` over `trace` until `horizon` (no validation).
 ///
 /// Legacy entry point kept for compatibility; prefer
-/// [`Simulation`](crate::Simulation), which reports failures as typed
-/// [`SimError`]s instead of panicking.
-///
-/// # Panics
-/// Panics where [`run_scheduler`] would return an error.
+/// [`Simulation`](crate::Simulation), the session API. Engine-contract
+/// violations (invalid trace, ungreedy selection, out-of-range machine
+/// pick) are reported as typed [`SimError`]s — until this repo's first
+/// panic-free-library ratchet these wrappers re-panicked on them.
 pub fn simulate(
     trace: &Trace,
     scheduler: &mut dyn Scheduler,
     horizon: Time,
-) -> SimResult {
+) -> Result<SimResult, SimError> {
     simulate_with_options(trace, scheduler, SimOptions { horizon, validate: false })
 }
 
 /// Runs `scheduler` over `trace` with explicit options.
 ///
 /// Legacy entry point kept for compatibility; prefer
-/// [`Simulation`](crate::Simulation). Equivalent to [`run_scheduler`]
-/// except that failures panic.
+/// [`Simulation`](crate::Simulation). Equivalent to [`run_scheduler`].
 ///
-/// # Panics
-/// Panics if the trace is invalid, if the scheduler selects an organization
-/// without waiting jobs or picks an out-of-range machine, or (with
-/// `validate`) if the schedule violates a model invariant.
+/// # Errors
+/// Exactly those of [`run_scheduler`]: [`SimError::InvalidTrace`],
+/// [`SimError::BadSelection`], [`SimError::BadMachinePick`], and (with
+/// `validate`) [`SimError::InvalidSchedule`].
 pub fn simulate_with_options(
     trace: &Trace,
     scheduler: &mut dyn Scheduler,
     options: SimOptions,
-) -> SimResult {
-    run_scheduler(trace, scheduler, options).unwrap_or_else(|e| panic!("{e}"))
+) -> Result<SimResult, SimError> {
+    run_scheduler(trace, scheduler, options)
 }
 
 /// Runs `scheduler` over `trace`, reporting failures as [`SimError`]s.
@@ -212,7 +211,8 @@ pub fn run_scheduler(
                 }
             };
             let machine = cluster.start(machine_idx, job_id, t);
-            completions.push(Reverse((t + job.proc_time, machine.0)));
+            completions
+                .push(Reverse((checked_time::completion(t, job.proc_time), machine.0)));
             schedule.push(ScheduledJob {
                 job: job_id,
                 org: job.org,
@@ -277,7 +277,8 @@ mod tests {
             &trace,
             &mut FifoScheduler::new(),
             SimOptions { horizon: 100, validate: true },
-        );
+        )
+        .expect("valid run");
         let starts: Vec<Time> = r.schedule.entries().iter().map(|e| e.start).collect();
         assert_eq!(starts, vec![0, 2, 10]);
         assert_eq!(r.completed_jobs, 3);
@@ -294,7 +295,7 @@ mod tests {
         let a = b.org("a", 1);
         b.job(a, 0, 10).job(a, 0, 10);
         let trace = b.build().unwrap();
-        let r = simulate(&trace, &mut FifoScheduler::new(), 5);
+        let r = simulate(&trace, &mut FifoScheduler::new(), 5).expect("valid run");
         // Only the first job started (second would start at 10 > horizon).
         assert_eq!(r.started_jobs, 1);
         assert_eq!(r.completed_jobs, 0);
@@ -323,7 +324,8 @@ mod tests {
                 &trace,
                 s.as_mut(),
                 SimOptions { horizon: 50, validate: true },
-            );
+            )
+            .expect("valid run");
             assert_eq!(r.started_jobs, 4, "{} must start all jobs", r.scheduler);
             assert_eq!(r.completed_jobs, 4);
         }
@@ -340,7 +342,8 @@ mod tests {
             &trace,
             &mut RoundRobinScheduler::new(),
             SimOptions { horizon: 15, validate: true },
-        );
+        )
+        .expect("valid run");
         // 6 jobs × 5 on 2 machines = exactly 15 each machine: full util.
         assert!((r.utilization - 1.0).abs() < 1e-12);
     }
@@ -351,7 +354,7 @@ mod tests {
         // closed-form evaluation.
         let trace = small_trace();
         let mut r = RefScheduler::new(&trace);
-        let result = simulate(&trace, &mut r, 30);
+        let result = simulate(&trace, &mut r, 30).expect("valid run");
         assert_eq!(r.psi(30), result.psi);
     }
 
@@ -360,7 +363,7 @@ mod tests {
         let mut b = Trace::builder();
         b.org("a", 1);
         let trace = b.build().unwrap();
-        let r = simulate(&trace, &mut FifoScheduler::new(), 10);
+        let r = simulate(&trace, &mut FifoScheduler::new(), 10).expect("valid run");
         assert_eq!(r.started_jobs, 0);
         assert_eq!(r.utilization, 0.0);
     }
@@ -370,7 +373,7 @@ mod tests {
         let trace = small_trace();
         let run = |seed: u64| {
             let mut s = DirectContrScheduler::new(seed);
-            let r = simulate(&trace, &mut s, 40);
+            let r = simulate(&trace, &mut s, 40).expect("valid run");
             r.schedule.entries().to_vec()
         };
         assert_eq!(run(5), run(5));
@@ -484,10 +487,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "OutOfRangePicker")]
-    fn legacy_simulate_panics_on_bad_machine_pick() {
+    fn legacy_simulate_reports_bad_machine_pick_as_typed_error() {
+        // These wrappers used to re-panic on engine-contract violations;
+        // they now surface the same typed SimError as run_scheduler.
         let trace = small_trace();
-        let _ = simulate(&trace, &mut OutOfRangePicker, 50);
+        match simulate(&trace, &mut OutOfRangePicker, 50) {
+            Err(SimError::BadMachinePick { scheduler, .. }) => {
+                assert_eq!(scheduler, "OutOfRangePicker")
+            }
+            other => panic!("expected BadMachinePick, got {other:?}"),
+        }
     }
 
     #[test]

@@ -34,7 +34,8 @@
 //!
 //! The pre-session entry points [`simulate`] / [`simulate_with_options`]
 //! remain for code that already holds a `&mut dyn Scheduler`; they are
-//! thin panicking wrappers over [`run_scheduler`].
+//! thin wrappers over [`run_scheduler`] and report engine-contract
+//! violations as the same typed [`SimError`]s.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -66,7 +66,7 @@ pub fn units_upper_bound(trace: &Trace, n_machines: usize, horizon: Time) -> Tim
         .iter()
         .map(|j| j.proc_time.min(horizon.saturating_sub(j.release)))
         .sum();
-    work.min(n_machines as Time * horizon)
+    work.min((n_machines as Time).saturating_mul(horizon))
 }
 
 #[cfg(test)]
@@ -81,7 +81,8 @@ mod tests {
         let c = b.org("b", 1);
         b.job(a, 0, 4).job(c, 1, 2);
         let trace = b.build().unwrap();
-        let r = crate::simulate(&trace, &mut FifoScheduler::new(), 100);
+        let r =
+            crate::simulate(&trace, &mut FifoScheduler::new(), 100).expect("valid run");
         (trace, r.schedule)
     }
 

@@ -3,7 +3,7 @@
 //!
 //! The historical entry points ([`simulate`](crate::simulate),
 //! [`simulate_with_options`](crate::simulate_with_options)) take an
-//! already-constructed `&mut dyn Scheduler` and panic on every failure.
+//! already-constructed `&mut dyn Scheduler`.
 //! [`Simulation`] replaces both concerns: schedulers are named by
 //! [`SchedulerSpec`] strings resolved through a [`Registry`], workloads by
 //! [`WorkloadSpec`] strings resolved through a [`WorkloadRegistry`], and
@@ -938,6 +938,7 @@ mod tests {
     #[test]
     fn unknown_workload_surfaces_at_run() {
         let err = Simulation::session()
+            // lint:allow(spec-literal) deliberately unregistered family.
             .workload("marsbase:crew=3")
             .unwrap()
             .scheduler("fifo")

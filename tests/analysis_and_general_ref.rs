@@ -97,13 +97,15 @@ fn general_ref_with_sp_is_close_to_exact_ref() {
             &trace,
             &mut exact,
             SimOptions { horizon, validate: true },
-        );
+        )
+        .expect("valid run");
         let mut general = GeneralRefScheduler::new(&trace, SpUtility);
         let run = simulate_with_options(
             &trace,
             &mut general,
             SimOptions { horizon, validate: true },
-        );
+        )
+        .expect("valid run");
         let report = FairnessReport::from_schedules(
             &trace,
             &run.schedule,

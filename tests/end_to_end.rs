@@ -44,7 +44,8 @@ fn every_scheduler_produces_a_valid_schedule_on_a_preset_workload() {
             &trace,
             s.as_mut(),
             SimOptions { horizon, validate: true },
-        );
+        )
+        .expect("valid run");
         assert!(r.started_jobs > 0, "{} started nothing", r.scheduler);
         assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-12);
         // psi must be consistent with the schedule's own closed form.
@@ -62,7 +63,8 @@ fn ref_is_perfectly_fair_against_itself_and_others_are_not_generally() {
         &trace,
         &mut reference,
         SimOptions { horizon, validate: true },
-    );
+    )
+    .expect("valid run");
     let self_report =
         FairnessReport::from_schedules(&trace, &fair.schedule, &fair.schedule, horizon);
     assert_eq!(self_report.delta_psi, 0);
@@ -71,7 +73,8 @@ fn ref_is_perfectly_fair_against_itself_and_others_are_not_generally() {
     // Round robin should show measurable unfairness on a loaded workload.
     let mut rr = RoundRobinScheduler::new();
     let rr_result =
-        simulate_with_options(&trace, &mut rr, SimOptions { horizon, validate: true });
+        simulate_with_options(&trace, &mut rr, SimOptions { horizon, validate: true })
+            .expect("valid run");
     let rr_report = FairnessReport::from_schedules(
         &trace,
         &rr_result.schedule,
@@ -109,6 +112,7 @@ fn all_greedy_schedulers_complete_the_same_units_on_unit_jobs() {
                     s.as_mut(),
                     SimOptions { horizon, validate: true },
                 )
+                .expect("valid run")
                 .coalition_value()
             })
             .collect();
@@ -132,7 +136,8 @@ fn horizon_zero_and_tiny_traces_are_handled() {
             &trace,
             s.as_mut(),
             SimOptions { horizon: 0, validate: true },
-        );
+        )
+        .expect("valid run");
         assert_eq!(r.busy_time, 0, "{}", r.scheduler);
     }
 }
@@ -154,7 +159,8 @@ fn machine_heavy_and_machine_less_orgs_coexist() {
             &trace,
             s.as_mut(),
             SimOptions { horizon, validate: true },
-        );
+        )
+        .expect("valid run");
         assert_eq!(r.started_jobs, 6, "{} must run the guest's jobs", r.scheduler);
     }
 }

@@ -19,9 +19,9 @@ fn relative_error(k: usize, n_perms: usize, seed: u64, horizon: u64) -> f64 {
     let jobs = generate(&config, seed);
     let trace = to_trace(&jobs, k, k * 2, MachineSplit::Equal, seed).unwrap();
     let mut reference = RefScheduler::new(&trace);
-    let fair = simulate(&trace, &mut reference, horizon);
+    let fair = simulate(&trace, &mut reference, horizon).expect("valid run");
     let mut rand = RandScheduler::new(&trace, n_perms, seed ^ 0xf00d);
-    let result = simulate(&trace, &mut rand, horizon);
+    let result = simulate(&trace, &mut rand, horizon).expect("valid run");
     let norm: i128 = fair.psi.iter().sum();
     if norm == 0 {
         return 0.0;

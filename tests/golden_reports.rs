@@ -54,6 +54,7 @@ fn cases() -> Vec<Case> {
                 "--scheduler",
                 "fairshare",
                 "--metrics",
+                // lint:allow(spec-literal) comma-joined metric *list*, split by parse_list
                 "delay:norm=ideal,ranking,utilization",
             ],
         },

@@ -419,6 +419,7 @@ fn registry_errors_are_typed_not_panics() {
         Err(MetricError::UnknownMetric { .. })
     ));
     assert!(matches!(
+        // lint:allow(spec-literal) deliberately rejected parameter.
         registry.evaluate(&"psi:warp=9".parse().unwrap(), &ctx),
         Err(MetricError::UnknownParam { .. })
     ));

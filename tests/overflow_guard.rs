@@ -1,0 +1,82 @@
+//! Regression guards for the `Time`-overflow bug class.
+//!
+//! PR 5 fixed a sample grid that computed `horizon·i` in `u64`: correct
+//! in dev builds only by panicking, and *silently wrong* in release-style
+//! builds (overflow-checks off), where the product wraps. These tests pin
+//! (a) that the workspace now computes those shapes through widening
+//! helpers, and (b) that the dev/test profile traps overflow
+//! (`overflow-checks = true` in the workspace `Cargo.toml`), so a
+//! reintroduced raw multiply fails loudly instead of wrapping.
+
+use fairsched::core::checked_time;
+use fairsched::core::fairness::timeline_sample_times;
+use fairsched::core::Time;
+
+/// The pre-PR-5 grid shape: `(horizon * i) / samples` in `u64`. With a
+/// horizon in the upper half of the `Time` range the product wraps for
+/// every `i ≥ 2` — this is exactly the multiply that used to ship.
+fn pre_pr5_grid_point_wrapping(horizon: Time, i: u64, samples: u64) -> Time {
+    horizon.wrapping_mul(i) / samples
+}
+
+#[test]
+fn pre_pr5_style_multiply_would_have_wrapped_silently() {
+    let horizon = Time::MAX / 2 + 1;
+    let samples = 4u64;
+    // The raw u64 product overflows for i >= 2 …
+    assert_eq!(horizon.checked_mul(2), None);
+    // … and in a release-style build (no overflow checks) it wraps to a
+    // grid point *before* the previous one: a silently corrupted,
+    // non-monotone sample grid.
+    let wrapped = pre_pr5_grid_point_wrapping(horizon, 2, samples);
+    let correct = checked_time::scale_floor(horizon, 2, samples);
+    assert!(wrapped < correct, "wrapped {wrapped} vs correct {correct}");
+    assert_eq!(wrapped, 0); // 2·(MAX/2+1) wraps to exactly 0.
+    assert_eq!(correct, horizon / 2);
+}
+
+#[test]
+fn dev_profile_traps_the_wrap_instead_of_wrapping() {
+    // With `overflow-checks = true` (workspace dev/test profile) the raw
+    // multiply panics, so a reintroduction of the pre-PR-5 arithmetic
+    // cannot silently pass the test suite. `catch_unwind` keeps this
+    // observable as a plain assertion.
+    let horizon = Time::MAX / 2 + 1;
+    let result = std::panic::catch_unwind(|| std::hint::black_box(horizon) * 2);
+    assert!(
+        result.is_err(),
+        "dev/test builds must trap u64 overflow (overflow-checks = true)"
+    );
+}
+
+#[test]
+fn widened_sample_grid_is_exact_at_huge_horizons() {
+    let horizon = Time::MAX - 7;
+    let times = timeline_sample_times(horizon, 8);
+    // Strictly increasing, within (0, horizon], ending exactly at the
+    // horizon — the invariants a wrapped grid violated.
+    assert!(times.windows(2).all(|w| w[0] < w[1]));
+    assert!(times.iter().all(|&t| t > 0 && t <= horizon));
+    assert_eq!(*times.last().unwrap(), horizon);
+    // Each point is the exact widened quotient.
+    for (idx, &t) in times.iter().enumerate() {
+        let i = (idx + 1) as u64;
+        assert_eq!(t, ((horizon as u128 * i as u128) / 8) as Time);
+    }
+}
+
+#[test]
+fn scale_floor_agrees_with_narrow_math_when_in_range() {
+    // The helper is a drop-in for the raw expression wherever that was
+    // correct: same values on the whole in-range grid.
+    for horizon in [1u64, 10, 1_000, 123_456] {
+        for samples in [1u64, 2, 7, 64] {
+            for i in 1..=samples {
+                assert_eq!(
+                    checked_time::scale_floor(horizon, i, samples),
+                    horizon * i / samples
+                );
+            }
+        }
+    }
+}

@@ -246,6 +246,7 @@ fn downstream_factories_get_conformance_for_free() {
         fn conformance_specs(&self) -> Vec<WorkloadSpec> {
             vec![
                 WorkloadSpec::bare("sawtooth").with("orgs", 3).with("jobs", 20),
+                // lint:allow(spec-literal) test-local family, not in the shared registry
                 "sawtooth:jobs=7,orgs=2".parse().unwrap(),
             ]
         }
@@ -326,6 +327,7 @@ fn registry_errors_are_typed_not_panics() {
         Err(WorkloadError::UnknownWorkload { .. })
     ));
     assert!(matches!(
+        // lint:allow(spec-literal) deliberately rejected parameter.
         registry.build_str("synth:warp=9", &ctx),
         Err(WorkloadError::UnknownParam { .. })
     ));
