@@ -66,8 +66,13 @@ pub struct SourceFile {
 /// The crate source trees held to the library-code rules (`panic-free`,
 /// `time-arith`). Tests, benches, the CLI facade, the compat stubs, and
 /// this analyzer are exempt.
-pub const LIBRARY_PREFIXES: [&str; 4] =
-    ["crates/core/src/", "crates/sim/src/", "crates/workloads/src/", "crates/bench/src/"];
+pub const LIBRARY_PREFIXES: [&str; 5] = [
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/workloads/src/",
+    "crates/bench/src/",
+    "crates/experiment/src/",
+];
 
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", "testdata", ".github"];
@@ -362,6 +367,29 @@ fn collect_goldens(
             )),
         }
     }
+    // Committed experiment specs, wherever they live: every
+    // `*.experiment.json` must load through the real spec parser, and its
+    // spec strings join the literal pool so an unknown scheduler or
+    // workload name in a fixture fails the lint, not the nightly run.
+    walk(root, root, &mut |abs, rel| {
+        if !rel.ends_with(".experiment.json") {
+            return Ok(());
+        }
+        let text = fs::read_to_string(abs)?;
+        match serde_json::parse_value(&text) {
+            Ok(doc) => {
+                hygiene::check_experiment_spec(rel, &doc, findings);
+                spec_literals::literals_from_json(rel, &doc, literals);
+            }
+            Err(e) => findings.push(Finding::new(
+                rules::HYGIENE,
+                rel,
+                0,
+                format!("experiment spec does not parse as JSON: {e:?}"),
+            )),
+        }
+        Ok(())
+    })?;
     Ok(goldens)
 }
 
@@ -396,9 +424,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn library_scope_is_the_four_crates() {
+    fn library_scope_is_the_five_crates() {
         assert!(is_library("crates/core/src/fairness.rs"));
         assert!(is_library("crates/bench/src/baseline.rs"));
+        assert!(is_library("crates/experiment/src/runner.rs"));
         assert!(!is_library("crates/core/tests/x.rs"));
         assert!(!is_library("tests/end_to_end.rs"));
         assert!(!is_library("crates/compat/serde/src/lib.rs"));

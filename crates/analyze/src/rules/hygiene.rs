@@ -14,6 +14,10 @@
 //! * `BENCH_lattice.json` must declare `schema =
 //!   "fairsched-bench-lattice/v1"` with non-empty `cases`, a `timeline`
 //!   array, and a `summary` object;
+//! * every committed `*.experiment.json` fixture must load through the
+//!   real [`fairsched_experiment::ExperimentSpec`] parser (and its spec
+//!   strings are validated against the live registries by the
+//!   spec-literal rule);
 //! * every golden file must be referenced by name from some workspace
 //!   `.rs` file — an unreferenced golden is dead weight that silently
 //!   stops guarding anything (reported as an orphan).
@@ -157,6 +161,16 @@ pub fn check_bench_lattice(path: &str, doc: &serde::Value, out: &mut Vec<Finding
     }
 }
 
+/// Checks one committed `*.experiment.json` fixture (already parsed)
+/// against the real loader — the exact code `fairsched experiment run`
+/// uses — so a fixture that drifts from the spec schema fails the lint
+/// with the loader's own typed diagnostic.
+pub fn check_experiment_spec(path: &str, doc: &serde::Value, out: &mut Vec<Finding>) {
+    if let Err(e) = fairsched_experiment::ExperimentSpec::from_json_value(doc) {
+        out.push(Finding::new(HYGIENE, path, 0, e.to_string()));
+    }
+}
+
 /// Orphan detection: a golden (workspace-relative path) is an orphan when
 /// no workspace `.rs` source mentions its file name — or its extensionless
 /// stem, since the golden test tables name cases by stem and append the
@@ -239,6 +253,24 @@ mod tests {
         let bad = parse(r#"{"schema": "v0", "cases": []}"#);
         check_bench_lattice("BENCH_lattice.json", &bad, &mut out);
         assert_eq!(out.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn experiment_specs_go_through_the_real_loader() {
+        let mut out = Vec::new();
+        let good = parse(
+            r#"{"schema": "fairsched-experiment/v1", "name": "t",
+                "workloads": ["fpt:k=2"], "schedulers": ["fifo"]}"#,
+        );
+        check_experiment_spec("t.experiment.json", &good, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let bad = parse(
+            r#"{"schema": "fairsched-experiment/v1", "name": "t",
+                "workloads": ["fpt:k="], "schedulers": ["fifo"]}"#,
+        );
+        check_experiment_spec("t.experiment.json", &bad, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("workloads[0]"), "{out:?}");
     }
 
     #[test]

@@ -273,6 +273,86 @@ pub fn run_instance_reports(
     Ok(reports)
 }
 
+/// What [`persist_instance_cells`] did for one instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PersistedCells {
+    /// Cells computed and committed by this call.
+    pub written: usize,
+    /// Cells skipped because an intact committed result already existed.
+    pub skipped: usize,
+    /// The cell file paths, in algorithm order.
+    pub paths: Vec<std::path::PathBuf>,
+}
+
+/// Persists one instance's per-algorithm reports as durable experiment
+/// cells under `dir` — the same content-addressed
+/// `<fnv128(key)>.json` format the `fairsched experiment` runner
+/// commits, written with the same atomic write-then-rename. Re-running
+/// skips every intact committed cell, so an interrupted bench sweep
+/// resumes instead of recomputing: bench artifacts are experiment cells.
+///
+/// The cell key records the exact seeds [`run_instance_reports`] uses
+/// (workload built at `seed`, session seeded `seed ^ 0x5eed`), so a cell
+/// written here is bit-identical to one computed by the durable runner
+/// for the same decoupled-seed spec.
+pub fn persist_instance_cells(
+    exp: &DelayExperiment,
+    instance: u64,
+    dir: &std::path::Path,
+    registry: &Registry,
+    workloads: &WorkloadRegistry,
+) -> Result<PersistedCells, SimError> {
+    use fairsched_experiment::{decode_cell, encode_cell, CellKey};
+
+    let seed = exp.base_seed.wrapping_add(instance);
+    let keys: Vec<CellKey> = exp
+        .algos
+        .iter()
+        .map(|algo| CellKey {
+            workload: exp.workload.clone(),
+            scheduler: algo.spec(),
+            metrics: vec![exp.metric.clone()],
+            horizon: Some(exp.horizon),
+            validate: false,
+            instance,
+            workload_seed: seed,
+            scheduler_seed: seed ^ 0x5eed,
+        })
+        .collect();
+    std::fs::create_dir_all(dir).map_err(|e| SimError::io("create-dir", dir, &e))?;
+    let mut out = PersistedCells::default();
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let path = dir.join(key.file_name());
+        let intact = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::parse_value(&text).ok())
+            .and_then(|v| decode_cell(&v))
+            .is_some_and(|stored| stored.key == key.canonical());
+        if intact {
+            out.skipped += 1;
+        } else {
+            pending.push(i);
+        }
+        out.paths.push(path);
+    }
+    if pending.is_empty() {
+        return Ok(out);
+    }
+    let reports = run_instance_reports(exp, seed, registry, workloads)?;
+    for i in pending {
+        let outcome: Result<Report, SimError> = Ok(reports[i].clone());
+        let mut text = encode_cell(&keys[i], &outcome).to_json_pretty();
+        text.push('\n');
+        let path = &out.paths[i];
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, &text).map_err(|e| SimError::io("write", &tmp, &e))?;
+        std::fs::rename(&tmp, path).map_err(|e| SimError::io("rename", path, &e))?;
+        out.written += 1;
+    }
+    Ok(out)
+}
+
 /// Runs the full experiment (instances in parallel) and aggregates,
 /// reporting any per-instance failures to stderr. See
 /// [`try_run_delay_experiment_with_registry`] for the non-printing,
@@ -360,6 +440,36 @@ mod tests {
             algos: vec![Algo::RoundRobin, Algo::FairShare, Algo::Rand(5)],
             metric: DelayExperiment::delay_metric(),
         }
+    }
+
+    #[test]
+    fn persisted_cells_skip_on_rerun_and_round_trip() {
+        let exp = tiny_exp();
+        let dir = std::env::temp_dir().join("fairsched-bench-cells-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let first =
+            persist_instance_cells(&exp, 0, &dir, registry(), WorkloadRegistry::shared())
+                .unwrap();
+        assert_eq!(first.written, exp.algos.len());
+        assert_eq!(first.skipped, 0);
+        // Every committed cell decodes, carries its own key, and holds a
+        // successful report for the experiment's metric.
+        for path in &first.paths {
+            let text = std::fs::read_to_string(path).unwrap();
+            let value = serde_json::parse_value(&text).unwrap();
+            let stored = fairsched_experiment::decode_cell(&value).unwrap();
+            assert_eq!(stored.status, "done");
+            let report = stored.report.unwrap();
+            assert_eq!(report.columns[0].spec, exp.metric);
+        }
+        // A second call recomputes nothing: bench artifacts resume.
+        let again =
+            persist_instance_cells(&exp, 0, &dir, registry(), WorkloadRegistry::shared())
+                .unwrap();
+        assert_eq!(again.written, 0);
+        assert_eq!(again.skipped, exp.algos.len());
+        assert_eq!(again.paths, first.paths);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Deterministic fault injection for the durable runner.
+//!
+//! Every filesystem side effect in the [`runner`](crate::runner) passes
+//! through a named *fail point* (the [`SITES`] list). A [`FaultPlan`]
+//! arms sites by 1-based hit index: `cell.commit@2` fires the second
+//! time the runner reaches `cell.commit`. Two modes:
+//!
+//! * `crash` (the default) — the runner aborts instantly with
+//!   [`Fault::Crash`] and performs no further writes, leaving the
+//!   filesystem exactly as a `kill -9` at that instruction would. The
+//!   CLI maps this to exit status 137 (the SIGKILL status), so CI can
+//!   drive simulated and real kills through one code path.
+//! * `io` — the hook reports a synthetic transient failure
+//!   ([`Fault::Io`]), exercising the bounded-backoff retry path.
+//!
+//! Plans are plain data — no globals, no threads, `std` only. They parse
+//! from `site@N[:crash|io]` atoms joined by `;`, the grammar of the
+//! `FAIRSCHED_FAILPOINTS` environment variable the CLI reads. Hit
+//! counters live in the plan instance and the runner executes cells
+//! serially, so a given plan replays the exact same fault schedule on
+//! every run — which is what makes the kill-point sweep test
+//! deterministic.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Every fail point the runner passes through. The kill-point sweep test
+/// enumerates this list, so a new site added here is automatically swept.
+///
+/// `*.tmp` sites fire before the scratch file is written, `*.commit`
+/// sites between the scratch write and the atomic rename — the two
+/// distinct crash windows of a write-then-rename commit.
+pub const SITES: [&str; 7] = [
+    "spec.tmp",
+    "spec.commit",
+    "journal.append",
+    "cell.tmp",
+    "cell.commit",
+    "report.tmp",
+    "report.commit",
+];
+
+/// What an armed fail point does when it fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Abort the run with no further writes (a simulated `kill -9`).
+    Crash,
+    /// Report a synthetic transient io failure (retry-path exercise).
+    Io,
+}
+
+/// One armed site: fire `mode` on the `hit`-th (1-based) pass through
+/// `site`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arm {
+    /// The site name (one of [`SITES`] for the built-in runner).
+    pub site: String,
+    /// The 1-based hit index at which to fire.
+    pub hit: u64,
+    /// What to do when firing.
+    pub mode: FaultMode,
+}
+
+/// The injected outcome delivered by [`FaultPlan::check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Abort with no further writes.
+    Crash {
+        /// The site that fired.
+        site: String,
+    },
+    /// A synthetic transient io failure.
+    Io {
+        /// The site that fired.
+        site: String,
+    },
+}
+
+/// A malformed fault-plan atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending `site@N[:mode]` atom.
+    pub atom: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fail-point atom {:?}: {}", self.atom, self.reason)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// A deterministic fault schedule plus its per-site hit counters.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    arms: Vec<Arm>,
+    hits: HashMap<String, u64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every site passes.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arms one site (builder style).
+    pub fn arm(mut self, site: &str, hit: u64, mode: FaultMode) -> Self {
+        self.arms.push(Arm { site: site.to_string(), hit, mode });
+        self
+    }
+
+    /// Parses `site@N[:crash|io]` atoms joined by `;` (the
+    /// `FAIRSCHED_FAILPOINTS` grammar). Whitespace around atoms is
+    /// ignored; empty input is the empty plan.
+    pub fn parse(text: &str) -> Result<Self, PlanParseError> {
+        let mut plan = FaultPlan::default();
+        for atom in text.split(';').map(str::trim).filter(|a| !a.is_empty()) {
+            let bad = |reason: &str| PlanParseError {
+                atom: atom.to_string(),
+                reason: reason.to_string(),
+            };
+            let (site_hit, mode) = match atom.split_once(':') {
+                None => (atom, FaultMode::Crash),
+                Some((sh, "crash")) => (sh, FaultMode::Crash),
+                Some((sh, "io")) => (sh, FaultMode::Io),
+                Some((_, other)) => {
+                    return Err(PlanParseError {
+                        atom: atom.to_string(),
+                        reason: format!("unknown mode {other:?} (crash or io)"),
+                    })
+                }
+            };
+            let Some((site, hit)) = site_hit.split_once('@') else {
+                return Err(bad("missing @N hit index"));
+            };
+            if site.is_empty() {
+                return Err(bad("empty site name"));
+            }
+            let hit: u64 = hit.parse().map_err(|_| bad("hit index must be a number"))?;
+            if hit == 0 {
+                return Err(bad("hit indices are 1-based"));
+            }
+            plan.arms.push(Arm { site: site.to_string(), hit, mode });
+        }
+        Ok(plan)
+    }
+
+    /// Whether any site is armed.
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// Registers one pass through `site` and returns the fault to
+    /// inject, if an arm matches this hit. Counters advance whether or
+    /// not a fault fires, so a retried operation passes its site on the
+    /// next attempt — exactly how a transient fault behaves.
+    pub fn check(&mut self, site: &str) -> Option<Fault> {
+        let count = self.hits.entry(site.to_string()).or_insert(0);
+        *count += 1;
+        let n = *count;
+        for arm in &self.arms {
+            if arm.site == site && arm.hit == n {
+                return Some(match arm.mode {
+                    FaultMode::Crash => Fault::Crash { site: site.to_string() },
+                    FaultMode::Io => Fault::Io { site: site.to_string() },
+                });
+            }
+        }
+        None
+    }
+
+    /// How many times `site` has been passed so far.
+    pub fn hits(&self, site: &str) -> u64 {
+        self.hits.get(site).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms_with_modes_and_defaults() {
+        let plan = FaultPlan::parse("cell.commit@2; journal.append@1:io").unwrap();
+        assert_eq!(plan.arms.len(), 2);
+        assert_eq!(plan.arms[0].site, "cell.commit");
+        assert_eq!(plan.arms[0].hit, 2);
+        assert_eq!(plan.arms[0].mode, FaultMode::Crash);
+        assert_eq!(plan.arms[1].mode, FaultMode::Io);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_atoms_are_typed_errors() {
+        for bad in ["cell.commit", "@1", "x@0", "x@y", "x@1:explode"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn fires_on_the_exact_hit_only() {
+        let mut plan = FaultPlan::none().arm("s", 2, FaultMode::Crash);
+        assert_eq!(plan.check("s"), None);
+        assert_eq!(plan.check("other"), None);
+        assert_eq!(plan.check("s"), Some(Fault::Crash { site: "s".into() }));
+        assert_eq!(plan.check("s"), None);
+        assert_eq!(plan.hits("s"), 3);
+        assert_eq!(plan.hits("other"), 1);
+    }
+
+    #[test]
+    fn counters_advance_past_a_fired_io_arm() {
+        // An io arm fires once; the retry that follows passes.
+        let mut plan = FaultPlan::none().arm("w", 1, FaultMode::Io);
+        assert_eq!(plan.check("w"), Some(Fault::Io { site: "w".into() }));
+        assert_eq!(plan.check("w"), None);
+    }
+
+    #[test]
+    fn sites_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for site in SITES {
+            assert!(seen.insert(site), "duplicate site {site}");
+        }
+    }
+}

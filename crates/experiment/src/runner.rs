@@ -1,0 +1,701 @@
+//! The durable runner: executes a grid spec cell by cell, committing
+//! each result atomically and resuming from whatever survived a crash.
+//!
+//! Durability invariants (the kill-point sweep in the facade tests
+//! crashes at every [`SITES`](crate::failpoint::SITES) entry to prove
+//! them):
+//!
+//! 1. **Atomic commits.** Every file the runner produces — the spec
+//!    snapshot, each cell, the three final report sinks — is written to a
+//!    `*.tmp` scratch file and `rename`d into place, so a crash leaves
+//!    either the old state or the new state, never a torn file. The
+//!    journal is append-only and its reader tolerates a torn final line.
+//! 2. **Cells are the source of truth.** Resume decodes the committed
+//!    `cells/*.json` files (checking each one's embedded canonical key
+//!    against the expected key) and recomputes exactly the cells that are
+//!    missing, torn, or mismatched. The journal is advisory — corrupting
+//!    or deleting it loses nothing.
+//! 3. **One decode path.** The final report is always aggregated from
+//!    *encoded* cells — freshly computed cells are round-tripped through
+//!    the same [`encode_cell`]/[`decode_cell`] pair that resume uses — so
+//!    an interrupted-and-resumed run emits byte-identical
+//!    `report.{json,csv,txt}` to an uninterrupted one by construction.
+//!
+//! Transient failures (real io errors and injected [`Fault::Io`]) are
+//! retried per the spec's [`RetryPolicy`] with bounded exponential
+//! backoff; cells whose simulation fails become typed `failed` entries in
+//! the final report instead of aborting the sweep.
+
+use crate::cell::{cell_keys, decode_cell, encode_cell, CellKey, StoredCell};
+use crate::failpoint::{Fault, FaultPlan};
+use crate::journal::{self, Journal, JournalEntry};
+use crate::spec::{ExperimentSpec, SpecLoadError};
+use fairsched_sim::{Report, SimError, Simulation};
+use fairsched_workloads::spec::{WorkloadContext, WorkloadRegistry};
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+/// The `schema` tag of the final aggregated `report.json`.
+pub const REPORT_SCHEMA: &str = "fairsched-experiment-report/v1";
+
+/// How a run executes.
+#[derive(Debug, Default)]
+pub struct RunnerOptions {
+    /// Continue a previous run in the same directory, skipping every
+    /// intact committed cell. Without this, a directory that already
+    /// holds a run is an error (never silently clobber results).
+    pub resume: bool,
+    /// The deterministic fault schedule (empty in production).
+    pub faults: FaultPlan,
+}
+
+/// What a completed run did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total cells in the grid.
+    pub total: u64,
+    /// Cells computed by this invocation.
+    pub computed: u64,
+    /// Cells skipped because an intact committed result existed.
+    pub skipped: u64,
+    /// Cells whose outcome is a typed failure (stored or fresh).
+    pub failed: u64,
+    /// Transient-failure retries performed across all writes.
+    pub retried: u64,
+}
+
+/// A point-in-time view of a run directory (`experiment status`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatusSummary {
+    /// Total cells in the grid.
+    pub total: u64,
+    /// Cells with an intact committed successful report.
+    pub done: u64,
+    /// Cells with an intact committed typed failure.
+    pub failed: u64,
+    /// Cells not yet committed (missing, torn, or key-mismatched).
+    pub pending: u64,
+    /// Intact journal entries.
+    pub journal_entries: u64,
+    /// Whether the journal ends in a torn line (crash signature).
+    pub journal_truncated: bool,
+}
+
+/// The three aggregated report sinks, as file contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FinalReport {
+    /// `report.json` — machine-readable, exact values.
+    pub json: String,
+    /// `report.csv` — one block per cell, exact values.
+    pub csv: String,
+    /// `report.txt` — human-oriented aligned tables.
+    pub table: String,
+}
+
+/// Why a run stopped (as opposed to degrading per cell).
+#[derive(Clone, Debug)]
+pub enum RunnerError {
+    /// An armed crash fail point fired (simulated `kill -9`).
+    Crash {
+        /// The site that fired.
+        site: String,
+    },
+    /// A filesystem operation failed even after retries, on a file the
+    /// run cannot proceed without (spec snapshot, journal, final report).
+    Io(SimError),
+    /// The spec document was rejected.
+    Spec(SpecLoadError),
+    /// The directory already holds a run and `--resume` was not given.
+    DirExists {
+        /// The offending directory.
+        dir: String,
+    },
+    /// Resuming against a directory whose spec snapshot differs from the
+    /// requested spec — the cells there answer a different experiment.
+    SpecMismatch {
+        /// The offending directory.
+        dir: String,
+    },
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::Crash { site } => {
+                write!(f, "simulated crash at fail point {site}")
+            }
+            RunnerError::Io(e) => write!(f, "{e}"),
+            RunnerError::Spec(e) => write!(f, "{e}"),
+            RunnerError::DirExists { dir } => write!(
+                f,
+                "run directory {dir} already holds an experiment \
+                 (pass --resume to continue it)"
+            ),
+            RunnerError::SpecMismatch { dir } => write!(
+                f,
+                "run directory {dir} was created by a different spec \
+                 (its cells answer a different experiment)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+/// A write-path outcome: crash aborts the run, io feeds the retry loop.
+enum WriteError {
+    Crash { site: String },
+    Io(SimError),
+}
+
+impl From<WriteError> for RunnerError {
+    fn from(e: WriteError) -> Self {
+        match e {
+            WriteError::Crash { site } => RunnerError::Crash { site },
+            WriteError::Io(e) => RunnerError::Io(e),
+        }
+    }
+}
+
+/// The durable experiment runner for one spec × one run directory.
+#[derive(Debug)]
+pub struct Runner {
+    spec: ExperimentSpec,
+    dir: PathBuf,
+    options: RunnerOptions,
+    retried: u64,
+}
+
+impl Runner {
+    /// Binds `spec` to run directory `dir` under `options`.
+    pub fn new(
+        spec: ExperimentSpec,
+        dir: impl Into<PathBuf>,
+        options: RunnerOptions,
+    ) -> Self {
+        Runner { spec, dir: dir.into(), options, retried: 0 }
+    }
+
+    /// The path of a cell's committed file.
+    fn cell_path(&self, key: &CellKey) -> PathBuf {
+        self.dir.join("cells").join(key.file_name())
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    fn spec_path(&self) -> PathBuf {
+        self.dir.join("spec.json")
+    }
+
+    /// Registers one pass through a fail point.
+    fn check_site(&mut self, site: &str) -> Result<(), WriteError> {
+        match self.options.faults.check(site) {
+            None => Ok(()),
+            Some(Fault::Crash { site }) => Err(WriteError::Crash { site }),
+            Some(Fault::Io { site }) => Err(WriteError::Io(SimError::Io {
+                op: "inject".into(),
+                path: site,
+                message: "injected io fault".into(),
+            })),
+        }
+    }
+
+    /// One write-then-rename commit, passing through the `{prefix}.tmp`
+    /// and `{prefix}.commit` fail points (the two distinct crash windows).
+    fn try_atomic_write(
+        &mut self,
+        prefix: &str,
+        path: &Path,
+        contents: &str,
+    ) -> Result<(), WriteError> {
+        let tmp = path.with_extension("json.tmp");
+        self.check_site(&format!("{prefix}.tmp"))?;
+        std::fs::write(&tmp, contents)
+            .map_err(|e| WriteError::Io(SimError::io("write", &tmp, &e)))?;
+        self.check_site(&format!("{prefix}.commit"))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| WriteError::Io(SimError::io("rename", path, &e)))
+    }
+
+    /// [`try_atomic_write`](Self::try_atomic_write) under the spec's
+    /// retry policy: transient io failures are retried with bounded
+    /// backoff; crashes are never retried (a dead process retries
+    /// nothing).
+    fn atomic_write(
+        &mut self,
+        prefix: &str,
+        path: &Path,
+        contents: &str,
+    ) -> Result<(), WriteError> {
+        let retry = self.spec.retry;
+        let mut attempt = 1u32;
+        loop {
+            match self.try_atomic_write(prefix, path, contents) {
+                Ok(()) => return Ok(()),
+                Err(WriteError::Crash { site }) => {
+                    return Err(WriteError::Crash { site })
+                }
+                Err(WriteError::Io(e)) => {
+                    if attempt >= retry.max_attempts {
+                        return Err(WriteError::Io(e));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        retry.backoff_for(attempt),
+                    ));
+                    attempt += 1;
+                    self.retried += 1;
+                }
+            }
+        }
+    }
+
+    /// One journal append under the `journal.append` fail point and the
+    /// retry policy.
+    fn journal_append(&mut self, entry: &JournalEntry) -> Result<(), WriteError> {
+        let retry = self.spec.retry;
+        let path = self.journal_path();
+        let mut attempt = 1u32;
+        loop {
+            let fired = self.check_site("journal.append");
+            let result = match fired {
+                Err(e) => Err(e),
+                Ok(()) => journal::append(&path, entry).map_err(WriteError::Io),
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(WriteError::Crash { site }) => {
+                    return Err(WriteError::Crash { site })
+                }
+                Err(WriteError::Io(e)) => {
+                    if attempt >= retry.max_attempts {
+                        return Err(WriteError::Io(e));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        retry.backoff_for(attempt),
+                    ));
+                    attempt += 1;
+                    self.retried += 1;
+                }
+            }
+        }
+    }
+
+    /// Reads and decodes a committed cell, validating its embedded key;
+    /// anything missing, torn, or mismatched is `None` (recompute).
+    fn read_stored(&self, key: &CellKey) -> Option<StoredCell> {
+        let text = std::fs::read_to_string(self.cell_path(key)).ok()?;
+        let value = serde_json::parse_value(&text).ok()?;
+        let stored = decode_cell(&value)?;
+        (stored.key == key.canonical()).then_some(stored)
+    }
+
+    /// Ensures the run directory exists and holds this spec's snapshot.
+    fn prepare_dir(&mut self) -> Result<(), RunnerError> {
+        let spec_path = self.spec_path();
+        let have_snapshot = spec_path.exists();
+        if have_snapshot && !self.options.resume {
+            return Err(RunnerError::DirExists { dir: self.dir.display().to_string() });
+        }
+        std::fs::create_dir_all(self.dir.join("cells"))
+            .map_err(|e| RunnerError::Io(SimError::io("create-dir", &self.dir, &e)))?;
+        let canonical = self.spec.to_json_value();
+        if have_snapshot {
+            let text = std::fs::read_to_string(&spec_path)
+                .map_err(|e| RunnerError::Io(SimError::io("read", &spec_path, &e)))?;
+            let stored = serde_json::parse_value(&text)
+                .ok()
+                .and_then(|v| ExperimentSpec::from_json_value(&v).ok().map(|_| v));
+            match stored {
+                Some(v) if v == canonical => Ok(()),
+                _ => {
+                    Err(RunnerError::SpecMismatch { dir: self.dir.display().to_string() })
+                }
+            }
+        } else {
+            let mut text = canonical.to_json_pretty();
+            text.push('\n');
+            self.atomic_write("spec", &spec_path, &text).map_err(RunnerError::from)
+        }
+    }
+
+    /// Runs the experiment to completion (or to the first crash /
+    /// non-degradable io failure), then writes the three aggregated
+    /// report sinks.
+    pub fn run(&mut self) -> Result<RunSummary, RunnerError> {
+        self.prepare_dir()?;
+        let keys = cell_keys(&self.spec);
+        let mut summary =
+            RunSummary { total: keys.len() as u64, ..RunSummary::default() };
+        let mut outcomes: Vec<(CellKey, StoredCell)> = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(stored) = self.read_stored(&key) {
+                summary.skipped += 1;
+                if stored.status == "failed" {
+                    summary.failed += 1;
+                }
+                outcomes.push((key, stored));
+                continue;
+            }
+            let canonical = key.canonical();
+            self.journal_append(&JournalEntry {
+                cell: canonical.clone(),
+                state: "running".into(),
+                attempt: 1,
+            })?;
+            let computed = compute_cell(&key);
+            let encoded = encode_cell(&key, &computed);
+            let mut text = encoded.to_json_pretty();
+            text.push('\n');
+            // The single decode path: even a freshly computed cell is
+            // consumed through the same decoder resume uses, so the
+            // aggregation below cannot depend on how the cell was obtained.
+            let Some(mut stored) = decode_cell(&encoded) else {
+                // encode/decode are inverses for every SimError and every
+                // Report the simulator can produce; reaching this means a
+                // bug, which must surface as a typed failure, not a panic.
+                return Err(RunnerError::Io(SimError::Io {
+                    op: "decode".into(),
+                    path: self.cell_path(&key).display().to_string(),
+                    message: "freshly encoded cell failed to decode".into(),
+                }));
+            };
+            let cell_path = self.cell_path(&key);
+            match self.atomic_write("cell", &cell_path, &text) {
+                Ok(()) => {}
+                Err(WriteError::Crash { site }) => {
+                    return Err(RunnerError::Crash { site })
+                }
+                Err(WriteError::Io(e)) => {
+                    // Degrade: the sweep continues, this cell's outcome is
+                    // a typed io failure (and, being uncommitted, resume
+                    // will recompute it).
+                    stored = match decode_cell(&encode_cell(&key, &Err(e))) {
+                        Some(s) => s,
+                        None => stored,
+                    };
+                }
+            }
+            summary.computed += 1;
+            let state = if stored.status == "failed" {
+                summary.failed += 1;
+                "failed"
+            } else {
+                "done"
+            };
+            self.journal_append(&JournalEntry {
+                cell: canonical,
+                state: state.into(),
+                attempt: 1,
+            })?;
+            outcomes.push((key, stored));
+        }
+        summary.retried = self.retried;
+        let report = aggregate(&self.spec, &outcomes);
+        for (name, contents) in [
+            ("report.json", &report.json),
+            ("report.csv", &report.csv),
+            ("report.txt", &report.table),
+        ] {
+            let path = self.dir.join(name);
+            self.atomic_write("report", &path, contents)?;
+        }
+        Ok(summary)
+    }
+
+    /// Inspects a run directory without executing anything.
+    pub fn status(spec: &ExperimentSpec, dir: &Path) -> Result<StatusSummary, SimError> {
+        let runner = Runner::new(spec.clone(), dir, RunnerOptions::default());
+        let mut status = StatusSummary::default();
+        for key in cell_keys(spec) {
+            status.total += 1;
+            match runner.read_stored(&key) {
+                Some(stored) if stored.status == "failed" => status.failed += 1,
+                Some(_) => status.done += 1,
+                None => status.pending += 1,
+            }
+        }
+        let Journal { entries, truncated } =
+            journal::read_journal(&runner.journal_path())?;
+        status.journal_entries = entries.len() as u64;
+        status.journal_truncated = truncated;
+        Ok(status)
+    }
+}
+
+/// Computes one cell, purely: no filesystem side effects, so a crash can
+/// never leave a half-computed cell behind. Coupled seed plans (equal
+/// strides) go through the exact [`Simulation::run_grid_reports`] code
+/// path — session seed drives both workload build and scheduler — so an
+/// experiment with default strides reproduces a grid sweep bit for bit.
+pub fn compute_cell(key: &CellKey) -> Result<Report, SimError> {
+    let mut session =
+        Simulation::session().metric_specs(key.metrics.clone()).validate(key.validate);
+    if let Some(h) = key.horizon {
+        session = session.horizon(h);
+    }
+    if key.workload_seed == key.scheduler_seed {
+        return session
+            .seed(key.workload_seed)
+            .workload_spec(key.workload.clone())
+            .scheduler_spec(key.scheduler.clone())
+            .run_report();
+    }
+    // Decoupled axes: build the trace at the workload seed, run the
+    // session at the scheduler seed, and keep workload provenance.
+    let trace = WorkloadRegistry::shared()
+        .build(&key.workload, &WorkloadContext { seed: key.workload_seed })
+        .map_err(SimError::Workload)?;
+    let mut session = Simulation::new(&trace)
+        .metric_specs(key.metrics.clone())
+        .validate(key.validate)
+        .seed(key.scheduler_seed)
+        .scheduler_spec(key.scheduler.clone());
+    if let Some(h) = key.horizon {
+        session = session.horizon(h);
+    }
+    let mut report = session.run_report()?;
+    report.workload_spec = Some(key.workload.clone());
+    Ok(report)
+}
+
+/// Builds the three final report sinks from decoded cells. Pure and
+/// deterministic in its inputs — this is the *only* producer of the final
+/// artifacts, which is what makes clean and resumed runs byte-identical.
+pub fn aggregate(spec: &ExperimentSpec, cells: &[(CellKey, StoredCell)]) -> FinalReport {
+    let done = cells.iter().filter(|(_, s)| s.status == "done").count();
+    let failed = cells.len() - done;
+
+    // report.json: schema + counts + every cell in grid order.
+    let mut cell_values = Vec::with_capacity(cells.len());
+    for (key, stored) in cells {
+        let mut fields = vec![
+            ("workload".into(), Value::String(key.workload.to_string())),
+            ("scheduler".into(), Value::String(key.scheduler.to_string())),
+            ("instance".into(), Value::Number(key.instance.to_string())),
+            ("workload_seed".into(), Value::Number(key.workload_seed.to_string())),
+            ("scheduler_seed".into(), Value::Number(key.scheduler_seed.to_string())),
+            ("status".into(), Value::String(stored.status.clone())),
+        ];
+        match (&stored.report, &stored.error) {
+            (Some(report), _) => fields.push(("report".into(), report.to_json_value())),
+            (None, Some(error)) => {
+                fields.push(("error".into(), Value::String(error.clone())))
+            }
+            (None, None) => {}
+        }
+        cell_values.push(Value::Object(fields));
+    }
+    let mut json = Value::Object(vec![
+        ("schema".into(), Value::String(REPORT_SCHEMA.into())),
+        ("name".into(), Value::String(spec.name.clone())),
+        ("total".into(), Value::Number(cells.len().to_string())),
+        ("done".into(), Value::Number(done.to_string())),
+        ("failed".into(), Value::Number(failed.to_string())),
+        ("cells".into(), Value::Array(cell_values)),
+    ])
+    .to_json_pretty();
+    json.push('\n');
+
+    // report.csv / report.txt: one block per cell, using the existing
+    // per-report sinks verbatim.
+    let mut csv = String::new();
+    let mut table = String::new();
+    for (i, (key, stored)) in cells.iter().enumerate() {
+        let head = format!(
+            "cell {i}: workload={} scheduler={} instance={} status={}",
+            key.workload, key.scheduler, key.instance, stored.status
+        );
+        if i > 0 {
+            csv.push('\n');
+            table.push('\n');
+        }
+        csv.push_str(&format!("# {head}\n"));
+        table.push_str(&format!("== {head} ==\n"));
+        match (&stored.report, &stored.error) {
+            (Some(report), _) => {
+                csv.push_str(&report.to_csv());
+                table.push_str(&report.render_table());
+            }
+            (None, Some(error)) => {
+                csv.push_str(&format!("error,{}\n", csv_field(error)));
+                table.push_str(&format!("error: {error}\n"));
+            }
+            (None, None) => {}
+        }
+    }
+    FinalReport { json, csv, table }
+}
+
+/// Minimal CSV quoting, matching the report sink's convention.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::FaultMode;
+    use crate::spec::SeedPlan;
+
+    fn tiny_spec(name: &str) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(
+            name,
+            vec!["fpt:horizon=200,k=2".parse().unwrap()],
+            vec!["fifo".parse().unwrap(), "roundrobin".parse().unwrap()],
+        );
+        spec.metrics = vec!["completed".parse().unwrap(), "psi".parse().unwrap()];
+        spec.horizon = Some(200);
+        spec.seeds =
+            SeedPlan { base: 3, count: 1, workload_stride: 1, scheduler_stride: 1 };
+        spec
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fairsched-runner-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn read(dir: &Path, name: &str) -> String {
+        std::fs::read_to_string(dir.join(name)).unwrap()
+    }
+
+    #[test]
+    fn clean_run_commits_everything_and_resume_recomputes_nothing() {
+        let spec = tiny_spec("clean");
+        let dir = fresh_dir("clean");
+        let summary =
+            Runner::new(spec.clone(), &dir, RunnerOptions::default()).run().unwrap();
+        assert_eq!((summary.total, summary.computed, summary.skipped), (2, 2, 0));
+        assert_eq!(summary.failed, 0);
+        let status = Runner::status(&spec, &dir).unwrap();
+        assert_eq!((status.done, status.pending, status.failed), (2, 0, 0));
+        assert!(!status.journal_truncated);
+        assert_eq!(status.journal_entries, 4); // running + done, per cell
+
+        // Re-running without --resume refuses; with it, zero recompute
+        // and byte-identical artifacts.
+        let before = (
+            read(&dir, "report.json"),
+            read(&dir, "report.csv"),
+            read(&dir, "report.txt"),
+        );
+        let again = Runner::new(spec.clone(), &dir, RunnerOptions::default()).run();
+        assert!(matches!(again, Err(RunnerError::DirExists { .. })));
+        let resumed = Runner::new(
+            spec,
+            &dir,
+            RunnerOptions { resume: true, ..RunnerOptions::default() },
+        )
+        .run()
+        .unwrap();
+        assert_eq!((resumed.computed, resumed.skipped), (0, 2));
+        let after = (
+            read(&dir, "report.json"),
+            read(&dir, "report.csv"),
+            read(&dir, "report.txt"),
+        );
+        assert_eq!(before, after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_faults_are_retried_within_policy() {
+        let spec = tiny_spec("retry");
+        let dir = fresh_dir("retry");
+        let faults = FaultPlan::none().arm("cell.tmp", 1, FaultMode::Io).arm(
+            "journal.append",
+            2,
+            FaultMode::Io,
+        );
+        let summary =
+            Runner::new(spec.clone(), &dir, RunnerOptions { resume: false, faults })
+                .run()
+                .unwrap();
+        assert_eq!(summary.computed, 2);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.retried, 2);
+        assert_eq!(Runner::status(&spec, &dir).unwrap().done, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_cell_write_degrades_to_failed_entry() {
+        let mut spec = tiny_spec("degrade");
+        spec.retry.max_attempts = 1;
+        let dir = fresh_dir("degrade");
+        // Arm the first cell's scratch write only.
+        let faults = FaultPlan::none().arm("cell.tmp", 1, FaultMode::Io);
+        let summary =
+            Runner::new(spec.clone(), &dir, RunnerOptions { resume: false, faults })
+                .run()
+                .unwrap();
+        assert_eq!((summary.computed, summary.failed), (2, 1));
+        assert!(read(&dir, "report.json").contains("injected io fault"));
+        // The degraded cell was never committed: resume recomputes it and
+        // heals the report.
+        let resumed = Runner::new(
+            spec.clone(),
+            &dir,
+            RunnerOptions { resume: true, ..RunnerOptions::default() },
+        )
+        .run()
+        .unwrap();
+        assert_eq!((resumed.computed, resumed.skipped, resumed.failed), (1, 1, 0));
+        assert!(!read(&dir, "report.json").contains("injected io fault"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_scheduler_is_a_typed_failed_cell_not_an_abort() {
+        let mut spec = tiny_spec("badcell");
+        spec.schedulers.push("no-such-policy".parse().unwrap());
+        let dir = fresh_dir("badcell");
+        let summary =
+            Runner::new(spec.clone(), &dir, RunnerOptions::default()).run().unwrap();
+        assert_eq!((summary.total, summary.failed), (3, 1));
+        let status = Runner::status(&spec, &dir).unwrap();
+        assert_eq!((status.done, status.failed, status.pending), (2, 1, 0));
+        assert!(read(&dir, "report.csv").contains("status=failed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_mismatch_on_resume_is_refused() {
+        let spec = tiny_spec("mismatch");
+        let dir = fresh_dir("mismatch");
+        Runner::new(spec.clone(), &dir, RunnerOptions::default()).run().unwrap();
+        let mut other = spec;
+        other.seeds.base = 99;
+        let err = Runner::new(
+            other,
+            &dir,
+            RunnerOptions { resume: true, ..RunnerOptions::default() },
+        )
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, RunnerError::SpecMismatch { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_fault_stops_the_run_with_the_site() {
+        let spec = tiny_spec("crash");
+        let dir = fresh_dir("crash");
+        let faults = FaultPlan::none().arm("cell.commit", 1, FaultMode::Crash);
+        let err = Runner::new(spec, &dir, RunnerOptions { resume: false, faults })
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(&err, RunnerError::Crash { site } if site == "cell.commit"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

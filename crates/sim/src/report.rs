@@ -917,8 +917,8 @@ impl Default for MetricRegistry {
             || {
                 vec![
                     MetricSpec::bare("utility"),
-                    "utility:kind=flowtime".parse().unwrap(),
-                    "utility:kind=contrib".parse().unwrap(),
+                    MetricSpec::bare("utility").with("kind", "flowtime"),
+                    MetricSpec::bare("utility").with("kind", "contrib"),
                 ]
             },
             false,
@@ -972,8 +972,8 @@ impl Default for MetricRegistry {
             || {
                 vec![
                     MetricSpec::bare("delay"),
-                    "delay:norm=none".parse().unwrap(),
-                    "delay:norm=ideal".parse().unwrap(),
+                    MetricSpec::bare("delay").with("norm", "none"),
+                    MetricSpec::bare("delay").with("norm", "ideal"),
                 ]
             },
             true,
@@ -1086,9 +1086,9 @@ impl Default for MetricRegistry {
             || {
                 vec![
                     MetricSpec::bare("timeline"),
-                    "timeline:samples=16".parse().unwrap(),
-                    "timeline:samples=8,stat=delta_psi".parse().unwrap(),
-                    "timeline:stat=ptot".parse().unwrap(),
+                    MetricSpec::bare("timeline").with("samples", 16),
+                    MetricSpec::bare("timeline").with("samples", 8).with("stat", "delta_psi"),
+                    MetricSpec::bare("timeline").with("stat", "ptot"),
                 ]
             },
             true,
@@ -1111,22 +1111,35 @@ impl Default for MetricRegistry {
                         format!("at most {MAX_TIMELINE_SAMPLES} samples per timeline"),
                     ));
                 }
-                let stat = spec.get("stat").unwrap_or("unfairness");
-                if !matches!(stat, "unfairness" | "delta_psi" | "ptot") {
-                    return Err(spec.bad_param(
-                        "stat",
-                        format!(
-                            "unknown stat {stat:?} (one of: unfairness, delta_psi, ptot)"
-                        ),
-                    ));
+                // Parse the stat into a closed enum up front so the
+                // per-sample dispatch below is exhaustive — bad values are
+                // a typed error here, not an unreachable arm later.
+                #[derive(Copy, Clone, PartialEq)]
+                enum Stat {
+                    Unfairness,
+                    DeltaPsi,
+                    Ptot,
                 }
+                let stat = match spec.get("stat").unwrap_or("unfairness") {
+                    "unfairness" => Stat::Unfairness,
+                    "delta_psi" => Stat::DeltaPsi,
+                    "ptot" => Stat::Ptot,
+                    other => {
+                        return Err(spec.bad_param(
+                            "stat",
+                            format!(
+                                "unknown stat {other:?} (one of: unfairness, delta_psi, ptot)"
+                            ),
+                        ))
+                    }
+                };
                 let times = timeline_sample_times(ctx.horizon, samples);
                 // One streaming pass per schedule: O(entries + samples·orgs),
                 // bit-identical to a per-sample sp_vector recompute. The
                 // ptot stat reads only the reference, so the evaluated
                 // schedule is swept only when a ψ comparison needs it.
                 let refs = schedule_series(ctx.trace, reference.schedule, &times);
-                let eval = (stat != "ptot")
+                let eval = (stat != Stat::Ptot)
                     .then(|| schedule_series(ctx.trace, ctx.schedule, &times));
                 let n = ctx.trace.n_orgs();
                 // (Vec::clone drops reserved capacity, so reserve per row.)
@@ -1150,7 +1163,7 @@ impl Default for MetricRegistry {
                         // same arithmetic as `FairnessReport::unfairness`
                         // (and `delay:norm=ptot`), so the final point is
                         // bit-identical to the endpoint metrics.
-                        "unfairness" => {
+                        Stat::Unfairness => {
                             let scale = |v: Util| {
                                 MetricValue::Float(if p_tot == 0 {
                                     0.0
@@ -1164,7 +1177,7 @@ impl Default for MetricRegistry {
                             aggregate.push(scale(delta_psi));
                         }
                         // Raw signed deviations + Manhattan distance.
-                        "delta_psi" => {
+                        Stat::DeltaPsi => {
                             for (u, &d) in devs.iter().enumerate() {
                                 per_org[u].push(MetricValue::Int(d));
                             }
@@ -1172,13 +1185,12 @@ impl Default for MetricRegistry {
                         }
                         // Reference throughput: unit parts completed in
                         // the REF schedule, per organization and total.
-                        "ptot" => {
+                        Stat::Ptot => {
                             for (row, &units) in per_org.iter_mut().zip(&refs.units[i]) {
                                 row.push(MetricValue::Int(units as i128));
                             }
                             aggregate.push(MetricValue::Int(p_tot as i128));
                         }
-                        _ => unreachable!("stat validated above"),
                     }
                 }
                 Ok(MetricOutput::Series(TimeSeriesColumn {
@@ -1395,6 +1407,173 @@ impl Report {
             fields.push(("series".to_string(), Value::Array(series)));
         }
         Value::Object(fields)
+    }
+
+    /// Parses a report back from its [`Report::to_json_value`] tree — the
+    /// inverse of the JSON sink, used by the durable experiment runner to
+    /// rebuild typed reports from committed cell files. Numbers are
+    /// classified by their literal text: integer literals become
+    /// [`MetricValue::Int`]; literals carrying a `.` or an exponent
+    /// (every finite float the sink emits has one) become
+    /// [`MetricValue::Float`]; and `null` — the sink's encoding for
+    /// non-finite floats — becomes `Float(NAN)`. For any report, feeding
+    /// `to_json_value` output back through here reproduces every sink
+    /// output (`to_json`, `to_csv`, `render_table`) byte for byte.
+    pub fn from_json_value(v: &serde::Value) -> Result<Report, serde::DeError> {
+        use serde::{DeError, Value};
+        fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DeError> {
+            v.get(key).ok_or_else(|| DeError(format!("report JSON is missing {key:?}")))
+        }
+        fn string(v: &Value, what: &str) -> Result<String, DeError> {
+            match v {
+                Value::String(s) => Ok(s.clone()),
+                _ => Err(DeError::expected("string", what)),
+            }
+        }
+        fn number<T: FromStr>(v: &Value, what: &str) -> Result<T, DeError> {
+            match v {
+                Value::Number(text) => text
+                    .parse()
+                    .map_err(|_| DeError(format!("bad number {text:?} for {what}"))),
+                _ => Err(DeError::expected("number", what)),
+            }
+        }
+        fn metric_value(v: &Value, what: &str) -> Result<MetricValue, DeError> {
+            match v {
+                Value::Number(text) if text.contains(['.', 'e', 'E']) => text
+                    .parse::<f64>()
+                    .map(MetricValue::Float)
+                    .map_err(|_| DeError(format!("bad float {text:?} for {what}"))),
+                Value::Number(text) => text
+                    .parse::<i128>()
+                    .map(MetricValue::Int)
+                    .map_err(|_| DeError(format!("bad integer {text:?} for {what}"))),
+                // The sink writes non-finite floats as null.
+                Value::Null => Ok(MetricValue::Float(f64::NAN)),
+                _ => Err(DeError::expected("number or null", what)),
+            }
+        }
+
+        let scheduler = string(field(v, "scheduler")?, "scheduler")?;
+        let opt_spec = |key: &str| -> Result<Option<String>, DeError> {
+            match field(v, key)? {
+                Value::Null => Ok(None),
+                other => string(other, key).map(Some),
+            }
+        };
+        let scheduler_spec = opt_spec("scheduler_spec")?
+            .map(|s| {
+                s.parse::<SchedulerSpec>()
+                    .map_err(|e| DeError(format!("bad scheduler_spec: {e}")))
+            })
+            .transpose()?;
+        let workload_spec = opt_spec("workload_spec")?
+            .map(|s| {
+                s.parse::<WorkloadSpec>()
+                    .map_err(|e| DeError(format!("bad workload_spec: {e}")))
+            })
+            .transpose()?;
+        let horizon: Time = number(field(v, "horizon")?, "horizon")?;
+        let seed: u64 = number(field(v, "seed")?, "seed")?;
+
+        let Value::Array(org_entries) = field(v, "orgs")? else {
+            return Err(DeError::expected("array", "orgs"));
+        };
+        let mut orgs = Vec::with_capacity(org_entries.len());
+        for entry in org_entries {
+            orgs.push(string(field(entry, "name")?, "org name")?);
+        }
+
+        // Series first: the scalar pass below needs to know which of the
+        // `metric_specs` entries are time-series columns.
+        let mut series = Vec::new();
+        if let Some(series_value) = v.get("series") {
+            let Value::Array(entries) = series_value else {
+                return Err(DeError::expected("array", "series"));
+            };
+            for entry in entries {
+                let spec_text = string(field(entry, "spec")?, "series spec")?;
+                let spec: MetricSpec = spec_text
+                    .parse()
+                    .map_err(|e: MetricError| DeError(format!("bad series spec: {e}")))?;
+                let Value::Array(time_values) = field(entry, "times")? else {
+                    return Err(DeError::expected("array", "series times"));
+                };
+                let times = time_values
+                    .iter()
+                    .map(|t| number::<Time>(t, "series time"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let Value::Array(series_orgs) = field(entry, "orgs")? else {
+                    return Err(DeError::expected("array", "series orgs"));
+                };
+                if series_orgs.len() != orgs.len() {
+                    return Err(DeError(format!(
+                        "series {spec_text:?} has {} org rows for {} orgs",
+                        series_orgs.len(),
+                        orgs.len()
+                    )));
+                }
+                let mut per_org = Vec::with_capacity(series_orgs.len());
+                for row in series_orgs {
+                    let Value::Array(vals) = field(row, "values")? else {
+                        return Err(DeError::expected("array", "series values"));
+                    };
+                    per_org.push(
+                        vals.iter()
+                            .map(|x| metric_value(x, "series value"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                let Value::Array(agg) = field(entry, "aggregate")? else {
+                    return Err(DeError::expected("array", "series aggregate"));
+                };
+                let aggregate = agg
+                    .iter()
+                    .map(|x| metric_value(x, "series aggregate"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                series.push(TimeSeriesColumn { spec, times, per_org, aggregate });
+            }
+        }
+
+        let Value::Array(spec_values) = field(v, "metric_specs")? else {
+            return Err(DeError::expected("array", "metric_specs"));
+        };
+        let aggregates = field(v, "aggregates")?;
+        let mut columns = Vec::new();
+        for sv in spec_values {
+            let text = string(sv, "metric spec")?;
+            if series.iter().any(|s| s.spec.to_string() == text) {
+                continue;
+            }
+            let spec: MetricSpec = text
+                .parse()
+                .map_err(|e: MetricError| DeError(format!("bad metric spec: {e}")))?;
+            let mut per_org = Vec::with_capacity(orgs.len());
+            for entry in org_entries {
+                let metrics = field(entry, "metrics")?;
+                let value = metrics
+                    .get(&text)
+                    .ok_or_else(|| DeError(format!("org is missing metric {text:?}")))?;
+                per_org.push(metric_value(value, "metric value")?);
+            }
+            let aggregate = metric_value(
+                aggregates
+                    .get(&text)
+                    .ok_or_else(|| DeError(format!("aggregates is missing {text:?}")))?,
+                "aggregate",
+            )?;
+            columns.push(MetricColumn { spec, per_org, aggregate });
+        }
+        Ok(Report {
+            scheduler,
+            scheduler_spec,
+            workload_spec,
+            horizon,
+            seed,
+            orgs,
+            columns,
+            series,
+        })
     }
 
     /// Machine-readable JSON: run provenance (`scheduler`,

@@ -114,6 +114,31 @@ pub enum SimError {
         /// The violated invariant.
         violation: ScheduleViolation,
     },
+    /// A filesystem operation on behalf of a run failed (the durable
+    /// experiment runner's cell/journal/report writes). The fields are
+    /// rendered strings so the error stays `Clone` like every other
+    /// variant and survives serialization into cell files.
+    Io {
+        /// The attempted operation (`read`, `write`, `rename`, …).
+        op: String,
+        /// The path involved.
+        path: String,
+        /// The rendered OS error.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// Wraps a [`std::io::Error`] with the operation and path it
+    /// interrupted, so filesystem failures surface as typed per-cell
+    /// errors instead of panics.
+    pub fn io(op: &str, path: impl AsRef<std::path::Path>, e: &std::io::Error) -> Self {
+        SimError::Io {
+            op: op.to_string(),
+            path: path.as_ref().display().to_string(),
+            message: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -140,6 +165,9 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidSchedule { scheduler, violation } => {
                 write!(f, "scheduler {scheduler} produced an invalid schedule: {violation}")
+            }
+            SimError::Io { op, path, message } => {
+                write!(f, "io error ({op} {path}): {message}")
             }
         }
     }
@@ -384,10 +412,9 @@ impl<'a> Simulation<'a> {
     /// [`DEFAULT_REPORT_METRICS`].
     fn effective_metrics(&self) -> Vec<MetricSpec> {
         if self.metrics.is_empty() {
-            DEFAULT_REPORT_METRICS
-                .iter()
-                .map(|s| s.parse().expect("default metric specs parse"))
-                .collect()
+            // All defaults are bare names, so no parse (and no panic path)
+            // is involved in constructing them.
+            DEFAULT_REPORT_METRICS.iter().map(|s| MetricSpec::bare(*s)).collect()
         } else {
             self.metrics.clone()
         }

@@ -68,6 +68,13 @@ scheduling:
   --seed S             RNG seed (default 42)
   --uniform-split      split machines uniformly instead of Zipf
 
+experiments:
+  experiment run SPEC.json [--dir DIR] [--resume]
+                       durable resumable grid sweep (crash-safe; see
+                       `fairsched experiment --help`)
+  experiment status SPEC.json [--dir DIR]
+                       progress of a run directory
+
 output:
   --metrics SPECS      comma-separated metric registry specs to evaluate
                        (default {default_metrics}); registered metrics:
@@ -100,8 +107,128 @@ output:
     exit(2)
 }
 
+/// `fairsched experiment run|status` — the durable grid runner.
+///
+/// Exit statuses: 0 on success, 1 on typed errors, 2 on usage errors, and
+/// 137 (the SIGKILL status) when an armed `FAIRSCHED_FAILPOINTS` crash
+/// site fires — so CI drives simulated and real kills through one path.
+fn experiment_main(args: &[String]) -> ! {
+    use fairsched::experiment::{
+        ExperimentSpec, FaultPlan, Runner, RunnerError, RunnerOptions,
+    };
+
+    fn experiment_usage() -> ! {
+        eprintln!(
+            "usage: fairsched experiment run SPEC.json [--dir DIR] [--resume]
+       fairsched experiment status SPEC.json [--dir DIR]
+
+Runs the (workload x scheduler x metric) grid named by an experiment spec
+(schema {schema}), committing each cell to DIR/cells/<hash>.json with an
+atomic write and journaling progress to DIR/journal.jsonl. `--resume`
+skips every intact committed cell, so an interrupted run continues where
+it stopped and emits byte-identical report.{{json,csv,txt}}.
+
+DIR defaults to the spec file name with its .json/.experiment.json suffix
+replaced by .run. Set FAIRSCHED_FAILPOINTS=site@N[:crash|io];... to
+inject deterministic faults (see docs/EXPERIMENTS.md).",
+            schema = fairsched::experiment::SPEC_SCHEMA,
+        );
+        exit(2)
+    }
+
+    let (Some(verb), Some(spec_path)) = (args.first(), args.get(1)) else {
+        experiment_usage();
+    };
+    if spec_path.starts_with("--") {
+        experiment_usage();
+    }
+    let mut dir: Option<String> = None;
+    let mut resume = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
+            "--dir" if i + 1 < args.len() => {
+                dir = Some(args[i + 1].clone());
+                i += 2;
+            }
+            _ => experiment_usage(),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| {
+        let stem = spec_path
+            .strip_suffix(".experiment.json")
+            .or_else(|| spec_path.strip_suffix(".json"))
+            .unwrap_or(spec_path);
+        format!("{stem}.run")
+    });
+    let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {spec_path}: {e}");
+        exit(1)
+    });
+    let spec = ExperimentSpec::from_json_str(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    match verb.as_str() {
+        "run" => {
+            let faults = match std::env::var("FAIRSCHED_FAILPOINTS") {
+                Ok(text) => FaultPlan::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(1)
+                }),
+                Err(_) => FaultPlan::none(),
+            };
+            let mut runner = Runner::new(spec, &dir, RunnerOptions { resume, faults });
+            match runner.run() {
+                Ok(s) => {
+                    println!(
+                        "{} cells: {} computed, {} skipped, {} failed ({} retries); reports in {dir}",
+                        s.total, s.computed, s.skipped, s.failed, s.retried
+                    );
+                    exit(if s.failed > 0 { 1 } else { 0 })
+                }
+                Err(RunnerError::Crash { site }) => {
+                    eprintln!("simulated crash at fail point {site}");
+                    exit(137)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    exit(1)
+                }
+            }
+        }
+        "status" => match Runner::status(&spec, std::path::Path::new(&dir)) {
+            Ok(s) => {
+                println!(
+                    "{}: {} cells — {} done, {} failed, {} pending; journal {} entries{}",
+                    dir,
+                    s.total,
+                    s.done,
+                    s.failed,
+                    s.pending,
+                    s.journal_entries,
+                    if s.journal_truncated { " (truncated tail)" } else { "" }
+                );
+                exit(0)
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1)
+            }
+        },
+        _ => experiment_usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("experiment") {
+        experiment_main(&args[1..]);
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         usage();
     }

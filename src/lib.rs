@@ -88,5 +88,6 @@
 
 pub use coopgame;
 pub use fairsched_core as core;
+pub use fairsched_experiment as experiment;
 pub use fairsched_sim as sim;
 pub use fairsched_workloads as workloads;
