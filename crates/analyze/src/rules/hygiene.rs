@@ -134,6 +134,11 @@ pub fn check_bench_lattice(path: &str, doc: &serde::Value, out: &mut Vec<Finding
                         ));
                     }
                 }
+                if let Some(serde::Value::String(name)) = get(case, "name") {
+                    if name.starts_with("scale/") {
+                        check_scale_case(path, i, name, case, out);
+                    }
+                }
             }
         }
         _ => out.push(Finding::new(
@@ -157,6 +162,72 @@ pub fn check_bench_lattice(path: &str, doc: &serde::Value, out: &mut Vec<Finding
             path,
             0,
             "bench artifact must carry a `summary` object".to_string(),
+        ));
+    }
+}
+
+/// Job-count floor a committed `scale/` bench row must report — the
+/// million-job tier's reason to exist.
+pub const SCALE_MIN_JOBS: u64 = 1_000_000;
+
+/// Validates one `scale/` case of the bench artifact: the million-job
+/// tier's rows must carry the full numeric timing schema, report a
+/// million-job trace (`scale/` at toy sizes would gate nothing), and have
+/// a `null` lattice — the coalition lattice is 2^k and the tier runs at
+/// `k = 100`, so a non-null lattice means the row was mislabeled.
+fn check_scale_case(
+    path: &str,
+    i: usize,
+    name: &str,
+    case: &serde::Value,
+    out: &mut Vec<Finding>,
+) {
+    let numeric = |key: &str| -> Option<u64> {
+        match get(case, key) {
+            Some(serde::Value::Number(n)) => n.parse::<u64>().ok(),
+            _ => None,
+        }
+    };
+    for key in [
+        "k",
+        "n_jobs",
+        "horizon",
+        "samples",
+        "wall_ns_min",
+        "wall_ns_mean",
+        "engine_events",
+    ] {
+        if numeric(key).is_none() {
+            out.push(Finding::new(
+                HYGIENE,
+                path,
+                0,
+                format!("bench cases[{i}] ({name}): scale row lacks numeric {key:?}"),
+            ));
+        }
+    }
+    if let Some(n_jobs) = numeric("n_jobs") {
+        if n_jobs < SCALE_MIN_JOBS {
+            out.push(Finding::new(
+                HYGIENE,
+                path,
+                0,
+                format!(
+                    "bench cases[{i}] ({name}): scale row reports {n_jobs} jobs, \
+                     below the {SCALE_MIN_JOBS} tier floor"
+                ),
+            ));
+        }
+    }
+    if !matches!(get(case, "lattice"), Some(serde::Value::Null) | None) {
+        out.push(Finding::new(
+            HYGIENE,
+            path,
+            0,
+            format!(
+                "bench cases[{i}] ({name}): scale rows must have a null lattice \
+                 (no 2^100 coalition lattice exists)"
+            ),
         ));
     }
 }
@@ -253,6 +324,39 @@ mod tests {
         let bad = parse(r#"{"schema": "v0", "cases": []}"#);
         check_bench_lattice("BENCH_lattice.json", &bad, &mut out);
         assert_eq!(out.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn scale_rows_get_schema_and_size_checks() {
+        let mut out = Vec::new();
+        let good = parse(
+            r#"{"schema": "fairsched-bench-lattice/v1",
+                "cases": [{"name": "scale/fifo/k=100", "scheduler": "Fifo",
+                           "k": 100, "n_jobs": 1047934, "horizon": 9999999,
+                           "samples": 2, "wall_ns_min": 1, "wall_ns_mean": 2,
+                           "engine_events": 3, "lattice": null}],
+                "timeline": [], "summary": {}}"#,
+        );
+        check_bench_lattice("BENCH_lattice.json", &good, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        // Sub-tier job count, missing timing key, non-null lattice: all
+        // reported; non-scale rows are untouched by the extra checks.
+        let bad = parse(
+            r#"{"schema": "fairsched-bench-lattice/v1",
+                "cases": [{"name": "scale/fifo/k=100", "scheduler": "Fifo",
+                           "k": 100, "n_jobs": 10, "horizon": 1,
+                           "samples": 2, "wall_ns_mean": 2,
+                           "engine_events": 3, "lattice": {"settles": 1}},
+                          {"name": "ref/k=8", "scheduler": "Ref",
+                           "lattice": {"settles": 1}}],
+                "timeline": [], "summary": {}}"#,
+        );
+        check_bench_lattice("BENCH_lattice.json", &bad, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().any(|f| f.message.contains("wall_ns_min")), "{out:?}");
+        assert!(out.iter().any(|f| f.message.contains("tier floor")), "{out:?}");
+        assert!(out.iter().any(|f| f.message.contains("null lattice")), "{out:?}");
     }
 
     #[test]

@@ -35,11 +35,15 @@
 //! JSON as an artifact.
 
 use fairsched_core::scheduler::lattice::LatticeStats;
-use fairsched_core::scheduler::{RandScheduler, RefScheduler, Scheduler};
+use fairsched_core::scheduler::{
+    FairShareScheduler, FifoScheduler, RandScheduler, RefScheduler, Scheduler,
+};
 use fairsched_core::Trace;
 use fairsched_sim::{simulate, SimResult};
 use fairsched_workloads::spec::{fpt_spec, WorkloadContext, WorkloadRegistry};
-use fairsched_workloads::{synth_spec, MachineSplit, PresetName};
+use fairsched_workloads::{
+    generate, synth_spec, to_trace, MachineSplit, PresetName, SynthConfig,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -191,6 +195,102 @@ pub fn bench_workload(k: usize, seed: u64) -> Trace {
         .expect("fpt family builds for any k >= 1")
 }
 
+/// Organization count of the million-job scale tier.
+pub const SCALE_K: usize = 100;
+
+/// Job-count floor the scale-tier workload is tuned to exceed.
+pub const SCALE_MIN_JOBS: usize = 1_000_000;
+
+/// The seed the committed `scale/` rows are measured at.
+pub const SCALE_SEED: u64 = 7;
+
+/// The million-job scale-tier workload: ≥ 10⁶ short sequential jobs from
+/// the synthetic generator, 2 000 Zipf-active users dealt over
+/// [`SCALE_K`] = 100 organizations on 400 machines (Zipf split). The
+/// parameters are tuned so the deterministic generator emits just over
+/// [`SCALE_MIN_JOBS`] jobs at any seed — the tier exercising the columnar
+/// trace layout, the streaming ψ sweep, and the O(n + k) per-org index at
+/// the scale the quadratic paths they replaced could not reach.
+pub fn scale_workload(seed: u64) -> Trace {
+    let config = SynthConfig {
+        n_users: 2_000,
+        horizon: 26_000,
+        n_machines: 4 * SCALE_K,
+        load: 0.95,
+        duration_median: 6.0,
+        duration_sigma: 1.0,
+        max_duration: 50,
+        user_zipf: 1.1,
+        session_jobs: 8.0,
+        intra_session_gap: 2.0,
+    };
+    let jobs = generate(&config, seed);
+    // lint:allow(panic-free) generator output over a 1-machine-floor split is always valid
+    to_trace(&jobs, SCALE_K, config.n_machines, MachineSplit::Zipf(1.0), seed)
+        .expect("scale workload builds")
+}
+
+/// Measures the scale tier: trace construction itself (one `scale/build`
+/// row — the columnar assembly is part of what the tier guards), then the
+/// non-lattice schedulers end to end. REF/RAND are absent by design: the
+/// coalition lattice is 2^k and `k = 100` here.
+fn run_scale(samples: usize) -> Vec<CaseResult> {
+    // Trace construction is timed like any other case: min over a few
+    // builds (a single sample is too noisy for the regression gate).
+    let build_samples = samples.clamp(1, 3);
+    let mut trace = scale_workload(SCALE_SEED);
+    let mut build_min = u128::MAX;
+    let mut build_total = 0u128;
+    for _ in 0..build_samples {
+        let started = Instant::now();
+        trace = std::hint::black_box(scale_workload(SCALE_SEED));
+        let ns = started.elapsed().as_nanos();
+        build_min = build_min.min(ns);
+        build_total += ns;
+    }
+    let n = trace.n_jobs();
+    assert!(
+        n >= SCALE_MIN_JOBS,
+        "scale workload regressed below {SCALE_MIN_JOBS} jobs: {n}"
+    );
+    // Event-driven engine: a generous horizon (every job can finish) costs
+    // nothing, and completed-schedule rows are what the tier tracks.
+    let horizon = trace.completion_horizon();
+    let mut out = vec![CaseResult {
+        name: format!("scale/build/k={SCALE_K}"),
+        scheduler: "trace-builder".to_string(),
+        k: SCALE_K,
+        n_jobs: n,
+        horizon,
+        samples: build_samples,
+        wall_ns_min: build_min as u64,
+        wall_ns_mean: (build_total / build_samples as u128) as u64,
+        engine_events: n as u64,
+        events_per_sec: n as f64 / (build_min as f64 / 1e9),
+        lattice: None,
+    }];
+    let s = samples.clamp(1, 2);
+    out.push(measure(
+        &format!("scale/fifo/k={SCALE_K}"),
+        &trace,
+        SCALE_K,
+        horizon,
+        s,
+        |_| FifoScheduler::new(),
+        |_: &FifoScheduler| None,
+    ));
+    out.push(measure(
+        &format!("scale/fairshare/k={SCALE_K}"),
+        &trace,
+        SCALE_K,
+        horizon,
+        s,
+        |_| FairShareScheduler::new(),
+        |_: &FairShareScheduler| None,
+    ));
+    out
+}
+
 /// Times `build() → simulate(horizon)` over `samples` runs (plus one
 /// untimed warmup) and gathers the counters from a final untimed run.
 fn measure<S: Scheduler, B: Fn(&Trace) -> S, L: Fn(&S) -> Option<LatticeCounters>>(
@@ -238,8 +338,10 @@ fn measure<S: Scheduler, B: Fn(&Trace) -> S, L: Fn(&S) -> Option<LatticeCounters
     }
 }
 
-/// Runs the baseline matrix and assembles the report.
-pub fn run_baseline(paper_scale: bool, samples: usize) -> BaselineReport {
+/// Runs the baseline matrix and assembles the report. `paper_scale`
+/// appends the paper-size LPC smoke matrix; `scale` appends the
+/// million-job tier ([`run_scale`]).
+pub fn run_baseline(paper_scale: bool, scale: bool, samples: usize) -> BaselineReport {
     let mut cases = Vec::new();
 
     // The FPT growth matrix (same family as benches/lattice.rs).
@@ -305,6 +407,10 @@ pub fn run_baseline(paper_scale: bool, samples: usize) -> BaselineReport {
         ));
     }
 
+    if scale {
+        cases.extend(run_scale(samples));
+    }
+
     let timeline = measure_timeline(&trace8, samples);
 
     let ref_k8 = cases
@@ -312,9 +418,15 @@ pub fn run_baseline(paper_scale: bool, samples: usize) -> BaselineReport {
         .find(|c| c.name == "ref/k=8")
         .expect("ref/k=8 is always measured")
         .wall_ns_min;
+    let mode = match (paper_scale, scale) {
+        (false, false) => "quick",
+        (true, false) => "paper-scale",
+        (false, true) => "scale",
+        (true, true) => "paper-scale+scale",
+    };
     BaselineReport {
         schema: SCHEMA.to_string(),
-        mode: if paper_scale { "paper-scale" } else { "quick" }.to_string(),
+        mode: mode.to_string(),
         reference: ReferencePoint {
             label: "pre-fastpath @ ecd7721 (HashMap index, from-scratch Shapley), \
                     min of 5, same harness/workload"
@@ -328,6 +440,83 @@ pub fn run_baseline(paper_scale: bool, samples: usize) -> BaselineReport {
             speedup_vs_reference: PRE_FASTPATH_REF_K8_WALL_NS as f64 / ref_k8 as f64,
         },
     }
+}
+
+/// Default regression-gate tolerance, percent: a fresh case slower than
+/// the committed baseline by more than this fails [`compare_reports`].
+pub const DEFAULT_TOLERANCE_PCT: f64 = 15.0;
+
+/// Committed cases faster than this are exempt from the gate —
+/// millisecond-scale cells flap by tens of percent run to run on a shared
+/// machine, so gating them would be pure noise. The rows the gate exists
+/// for (`ref/k=8`, the `scale/` tier) sit well above this.
+pub const COMPARE_FLOOR_NS: u64 = 10_000_000;
+
+/// One case compared against the committed baseline.
+#[derive(Clone, Debug, Serialize)]
+pub struct Comparison {
+    /// Case id (present in both reports).
+    pub name: String,
+    /// Committed `wall_ns_min`.
+    pub committed_wall_ns_min: u64,
+    /// Fresh `wall_ns_min`.
+    pub fresh_wall_ns_min: u64,
+    /// `fresh / committed` (> 1 means slower).
+    pub ratio: f64,
+    /// Whether this case breaches the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares a fresh report against the committed `BENCH_lattice.json`
+/// (parsed as a JSON tree so older files with fewer fields still compare):
+/// every case name present in both reports is matched on `wall_ns_min`,
+/// and a case is flagged as regressed when the fresh time exceeds the
+/// committed one by more than `tolerance_pct` percent — unless the
+/// committed time is under [`COMPARE_FLOOR_NS`]. Cases only in one report
+/// (new rows, retired rows) are skipped: the gate rachets what both know.
+///
+/// # Errors
+/// Returns a message if the committed tree lacks a well-formed `cases`
+/// array.
+pub fn compare_reports(
+    committed: &serde::Value,
+    fresh: &BaselineReport,
+    tolerance_pct: f64,
+) -> Result<Vec<Comparison>, String> {
+    let cases = committed
+        .get("cases")
+        .and_then(|c| match c {
+            serde::Value::Array(items) => Some(items),
+            _ => None,
+        })
+        .ok_or("committed baseline has no `cases` array")?;
+    let mut out = Vec::new();
+    for case in cases {
+        let name = match case.get("name") {
+            Some(serde::Value::String(s)) => s.clone(),
+            _ => return Err("committed case lacks a string `name`".to_string()),
+        };
+        let committed_ns = match case.get("wall_ns_min") {
+            Some(serde::Value::Number(n)) => n
+                .parse::<u64>()
+                .map_err(|_| format!("case {name}: bad wall_ns_min {n:?}"))?,
+            _ => return Err(format!("committed case {name} lacks wall_ns_min")),
+        };
+        let Some(fresh_case) = fresh.cases.iter().find(|c| c.name == name) else {
+            continue;
+        };
+        let ratio = fresh_case.wall_ns_min as f64 / committed_ns.max(1) as f64;
+        let regressed =
+            committed_ns >= COMPARE_FLOOR_NS && ratio > 1.0 + tolerance_pct / 100.0;
+        out.push(Comparison {
+            name,
+            committed_wall_ns_min: committed_ns,
+            fresh_wall_ns_min: fresh_case.wall_ns_min,
+            ratio,
+            regressed,
+        });
+    }
+    Ok(out)
 }
 
 /// Times the streaming timeline sweep against the naive per-sample oracle
@@ -409,7 +598,7 @@ mod tests {
     fn quick_baseline_smoke_produces_counters_and_summary() {
         // One sample on the small ks only would need a custom matrix; the
         // full quick matrix with 1 sample stays test-sized.
-        let report = run_baseline(false, 1);
+        let report = run_baseline(false, false, 1);
         assert_eq!(report.schema, SCHEMA);
         assert_eq!(report.mode, "quick");
         assert!(report.cases.iter().any(|c| c.name == "ref/k=8"));
@@ -436,5 +625,75 @@ mod tests {
         assert!(json.contains("events_per_sec"));
         assert!(json.contains("timeline/k=8/s=1024"));
         assert!(json.contains("speedup_vs_oracle"));
+    }
+
+    /// A fresh report against a synthetic committed tree: shared cases are
+    /// matched by name, the tolerance decides `regressed`, sub-floor cells
+    /// are exempt, and names only one side knows are skipped.
+    #[test]
+    fn compare_gate_flags_only_real_regressions() {
+        let fresh_case = |name: &str, ns: u64| CaseResult {
+            name: name.to_string(),
+            scheduler: "x".to_string(),
+            k: 8,
+            n_jobs: 1,
+            horizon: 1,
+            samples: 1,
+            wall_ns_min: ns,
+            wall_ns_mean: ns,
+            engine_events: 1,
+            events_per_sec: 1.0,
+            lattice: None,
+        };
+        let fresh = BaselineReport {
+            schema: SCHEMA.to_string(),
+            mode: "quick".to_string(),
+            reference: ReferencePoint { label: "t".to_string(), ref_k8_wall_ns_min: 1 },
+            cases: vec![
+                fresh_case("slow", 2_000_000_000), // 2x committed: regressed
+                fresh_case("ok", 1_050_000_000),   // +5%: inside tolerance
+                fresh_case("tiny", 9_000_000),     // committed below floor
+                fresh_case("fresh-only", 1_000_000_000), // no committed row
+            ],
+            timeline: Vec::new(),
+            summary: Summary { ref_k8_wall_ns_min: 1, speedup_vs_reference: 1.0 },
+        };
+        let committed_json = r#"{
+            "schema": "fairsched-bench-lattice/v1",
+            "cases": [
+                {"name": "slow", "wall_ns_min": 1000000000},
+                {"name": "ok", "wall_ns_min": 1000000000},
+                {"name": "tiny", "wall_ns_min": 500000},
+                {"name": "committed-only", "wall_ns_min": 1000000000}
+            ]
+        }"#;
+        let committed = serde_json::parse_value(committed_json).unwrap();
+        let cmp = compare_reports(&committed, &fresh, 15.0).unwrap();
+        let by_name = |n: &str| cmp.iter().find(|c| c.name == n);
+        assert_eq!(cmp.len(), 3, "one-sided names are skipped: {cmp:?}");
+        assert!(by_name("slow").unwrap().regressed);
+        assert!(!by_name("ok").unwrap().regressed);
+        assert!(!by_name("tiny").unwrap().regressed, "sub-floor cell exempt");
+        assert!(by_name("fresh-only").is_none());
+        assert!(by_name("committed-only").is_none());
+        // A looser tolerance (the BENCH_TOLERANCE escape hatch) clears it.
+        let loose = compare_reports(&committed, &fresh, 150.0).unwrap();
+        assert!(loose.iter().all(|c| !c.regressed));
+        // Malformed committed trees are typed errors, not panics.
+        let bad = serde_json::parse_value(r#"{"schema": "x"}"#).unwrap();
+        assert!(compare_reports(&bad, &fresh, 15.0).is_err());
+    }
+
+    /// The scale-tier workload is deterministic and actually million-job
+    /// sized. (Scheduling it is the `million_jobs_smoke` integration
+    /// test's job — ignored by default, run in CI's bench-smoke.)
+    #[test]
+    #[ignore = "builds a 10^6-job trace (~seconds); covered by CI bench-smoke"]
+    fn scale_workload_is_million_job_sized() {
+        let t = scale_workload(SCALE_SEED);
+        assert!(t.n_jobs() >= SCALE_MIN_JOBS, "{} jobs", t.n_jobs());
+        assert_eq!(t.n_orgs(), SCALE_K);
+        assert_eq!(t, scale_workload(SCALE_SEED), "must be deterministic");
+        t.validate().unwrap();
     }
 }

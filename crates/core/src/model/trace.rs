@@ -1,7 +1,19 @@
 //! Traces: the full input to a simulation — organizations, their machines,
 //! and the job stream.
+//!
+//! # Storage layout
+//!
+//! Jobs are stored column-wise (struct of arrays): flat `release`,
+//! `proc_time`, `org`, `id`, and `deadline` vectors indexed by position,
+//! plus a per-organization CSR index (offsets + positions grouped by
+//! organization). The engine's release loop and the fairness sweeps scan
+//! the release/processing-time columns cache-hot, and `jobs_of` is an O(1)
+//! index lookup instead of a full-trace filter. The [`Job`] struct remains
+//! the logical record: [`Trace::job`] and the [`Jobs`] view assemble it on
+//! the fly (it is `Copy`), so call sites keep iterating jobs as before.
 
 use super::{Job, JobId, MachineId, OrgId, Time};
+use crate::checked_time;
 use std::fmt;
 
 /// An organization's static description: a name and the number of machines
@@ -107,6 +119,16 @@ pub enum TraceError {
         /// Position of the first out-of-order job.
         position: usize,
     },
+    /// A time aggregate of the trace overflows the `Time` (u64) range —
+    /// e.g. an adversarial SWF log whose total work or completion horizon
+    /// cannot be represented. Detected by [`Trace::validate`] via
+    /// [`crate::checked_time`] so downstream arithmetic never wraps or
+    /// panics under `overflow-checks`.
+    TimeOverflow {
+        /// Which aggregate overflowed (`"total_work"` or
+        /// `"completion_horizon"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -125,11 +147,62 @@ impl fmt::Display for TraceError {
             TraceError::UnsortedJobs { position } => {
                 write!(f, "jobs not sorted by release time at position {position}")
             }
+            TraceError::TimeOverflow { what } => {
+                write!(f, "trace {what} overflows the Time (u64) range")
+            }
         }
     }
 }
 
 impl std::error::Error for TraceError {}
+
+/// The per-organization CSR job index: `positions[offsets[u]..offsets[u+1]]`
+/// are the job *positions* of organization `u`, in order of appearance in
+/// the release-sorted job list (= the documented per-org FIFO order).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct OrgIndex {
+    offsets: Vec<u32>,
+    positions: Vec<u32>,
+}
+
+impl OrgIndex {
+    /// Builds the index by counting sort over the org column — O(n + k).
+    /// Buckets cover `max(n_orgs, 1 + max job org)` so even a not-yet
+    /// validated trace (jobs referencing unknown organizations) indexes
+    /// every job.
+    fn build(n_orgs: usize, orgs: &[OrgId]) -> OrgIndex {
+        let buckets = orgs.iter().map(|o| o.index() + 1).max().unwrap_or(0).max(n_orgs);
+        let mut counts = vec![0u32; buckets];
+        for o in orgs {
+            counts[o.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(buckets + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut next = offsets[..buckets].to_vec();
+        let mut positions = vec![0u32; orgs.len()];
+        for (pos, o) in orgs.iter().enumerate() {
+            let slot = &mut next[o.index()];
+            positions[*slot as usize] = pos as u32;
+            *slot += 1;
+        }
+        OrgIndex { offsets, positions }
+    }
+
+    /// The job positions of one organization (empty for unknown orgs).
+    #[inline]
+    fn of(&self, org: OrgId) -> &[u32] {
+        let u = org.index();
+        if u + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.positions[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+}
 
 /// A complete simulation input: organizations (with machine counts) and the
 /// job stream, sorted by release time.
@@ -139,16 +212,42 @@ impl std::error::Error for TraceError {}
 /// matches the paper's "jobs of each individual organization should be
 /// started in the order in which they are presented".
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     orgs: Vec<OrgSpec>,
-    jobs: Vec<Job>,
+    // Job columns, indexed by position in the release-sorted job list.
+    ids: Vec<JobId>,
+    job_orgs: Vec<OrgId>,
+    releases: Vec<Time>,
+    proc_times: Vec<Time>,
+    deadlines: Vec<Option<Time>>,
+    org_index: OrgIndex,
 }
 
 impl Trace {
     /// Starts building a trace.
     pub fn builder() -> TraceBuilder {
         TraceBuilder::default()
+    }
+
+    /// Assembles a trace from organizations and a job list (any job list —
+    /// validity is checked separately by [`Trace::validate`], exactly as
+    /// with the old row-wise representation).
+    pub fn from_parts(orgs: Vec<OrgSpec>, jobs: Vec<Job>) -> Trace {
+        let n = jobs.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut job_orgs = Vec::with_capacity(n);
+        let mut releases = Vec::with_capacity(n);
+        let mut proc_times = Vec::with_capacity(n);
+        let mut deadlines = Vec::with_capacity(n);
+        for j in &jobs {
+            ids.push(j.id);
+            job_orgs.push(j.org);
+            releases.push(j.release);
+            proc_times.push(j.proc_time);
+            deadlines.push(j.deadline);
+        }
+        let org_index = OrgIndex::build(orgs.len(), &job_orgs);
+        Trace { orgs, ids, job_orgs, releases, proc_times, deadlines, org_index }
     }
 
     /// Number of organizations.
@@ -160,7 +259,7 @@ impl Trace {
     /// Number of jobs.
     #[inline]
     pub fn n_jobs(&self) -> usize {
-        self.jobs.len()
+        self.releases.len()
     }
 
     /// All organizations.
@@ -169,21 +268,69 @@ impl Trace {
         &self.orgs
     }
 
-    /// All jobs, sorted by release time; `jobs()[i].id == JobId(i)`.
+    /// All jobs as an iterable view, sorted by release time; the job at
+    /// position `i` has `id == JobId(i)` (on a valid trace). Jobs are
+    /// assembled from the columns on the fly — iterate the raw columns
+    /// ([`Trace::releases`], [`Trace::proc_times`], [`Trace::job_orgs`])
+    /// directly on hot paths that touch a single field.
     #[inline]
-    pub fn jobs(&self) -> &[Job] {
-        &self.jobs
+    pub fn jobs(&self) -> Jobs<'_> {
+        Jobs { trace: self }
     }
 
-    /// A single job by id.
+    /// A single job by id (position in the sorted job list).
     #[inline]
-    pub fn job(&self, id: JobId) -> &Job {
-        &self.jobs[id.index()]
+    pub fn job(&self, id: JobId) -> Job {
+        self.assemble(id.index())
     }
 
-    /// Jobs of one organization, in FIFO order.
-    pub fn jobs_of(&self, org: OrgId) -> impl Iterator<Item = &Job> {
-        self.jobs.iter().filter(move |j| j.org == org)
+    /// The release-time column (position-indexed, sorted ascending on a
+    /// valid trace).
+    #[inline]
+    pub fn releases(&self) -> &[Time] {
+        &self.releases
+    }
+
+    /// The processing-time column (position-indexed).
+    #[inline]
+    pub fn proc_times(&self) -> &[Time] {
+        &self.proc_times
+    }
+
+    /// The owning-organization column (position-indexed).
+    #[inline]
+    pub fn job_orgs(&self) -> &[OrgId] {
+        &self.job_orgs
+    }
+
+    /// The deadline column (position-indexed; `None` for jobs without one).
+    #[inline]
+    pub fn deadlines(&self) -> &[Option<Time>] {
+        &self.deadlines
+    }
+
+    #[inline]
+    fn assemble(&self, i: usize) -> Job {
+        Job {
+            id: self.ids[i],
+            org: self.job_orgs[i],
+            release: self.releases[i],
+            proc_time: self.proc_times[i],
+            deadline: self.deadlines[i],
+        }
+    }
+
+    /// Jobs of one organization, in FIFO order (order of appearance in the
+    /// release-sorted job list). Backed by the per-organization index:
+    /// O(jobs of `org`), not O(total jobs).
+    pub fn jobs_of(&self, org: OrgId) -> impl Iterator<Item = Job> + '_ {
+        self.org_index.of(org).iter().map(move |&p| self.assemble(p as usize))
+    }
+
+    /// Number of jobs of one organization — O(1) via the index.
+    #[inline]
+    pub fn n_jobs_of(&self, org: OrgId) -> usize {
+        self.org_index.of(org).len()
     }
 
     /// Derives the cluster layout (machine ownership).
@@ -191,46 +338,79 @@ impl Trace {
         ClusterInfo::new(self.orgs.iter().map(|o| o.n_machines).collect())
     }
 
-    /// Total processing time over all jobs.
+    /// Total processing time over all jobs, saturating at `Time::MAX`.
+    /// [`Trace::validate`] (and therefore [`TraceBuilder::build`]) rejects
+    /// traces where the exact sum overflows, so on a validated trace this
+    /// is exact; see [`Trace::try_total_work`] for the checked form.
     pub fn total_work(&self) -> Time {
-        self.jobs.iter().map(|j| j.proc_time).sum()
+        self.proc_times.iter().fold(0, |acc, &p| checked_time::completion(acc, p))
     }
 
-    /// The largest release time (0 for an empty trace).
+    /// Total processing time over all jobs, or
+    /// [`TraceError::TimeOverflow`] if the sum exceeds the `Time` range.
+    pub fn try_total_work(&self) -> Result<Time, TraceError> {
+        self.proc_times
+            .iter()
+            .try_fold(0, |acc, &p| checked_time::checked_add(acc, p))
+            .ok_or(TraceError::TimeOverflow { what: "total_work" })
+    }
+
+    /// The largest release time (0 for an empty trace). No arithmetic —
+    /// a pure maximum, so it cannot overflow.
     pub fn max_release(&self) -> Time {
-        self.jobs.iter().map(|j| j.release).max().unwrap_or(0)
+        self.releases.iter().copied().max().unwrap_or(0)
     }
 
     /// An upper bound on the time by which every job has completed under any
-    /// greedy schedule: `max_release + total_work`.
+    /// greedy schedule: `max_release + total_work`, saturating at
+    /// `Time::MAX` (exact on a validated trace; see
+    /// [`Trace::try_completion_horizon`] for the checked form).
     pub fn completion_horizon(&self) -> Time {
-        self.max_release() + self.total_work()
+        checked_time::completion(self.max_release(), self.total_work())
+    }
+
+    /// The completion horizon, or [`TraceError::TimeOverflow`] if
+    /// `max_release + total_work` exceeds the `Time` range.
+    pub fn try_completion_horizon(&self) -> Result<Time, TraceError> {
+        let total = self.try_total_work()?;
+        checked_time::checked_add(self.max_release(), total)
+            .ok_or(TraceError::TimeOverflow { what: "completion_horizon" })
     }
 
     /// Restricts the trace to the organizations in `keep` (a set of org
     /// indices), renumbering nothing: jobs of other organizations are
     /// dropped, organizations keep their ids but lose their machines if not
     /// kept. Used to build subcoalition inputs for testing.
+    ///
+    /// Gathers through the per-organization index — O(orgs + kept jobs),
+    /// no per-job set membership tests.
     pub fn restrict_to(&self, keep: &[OrgId]) -> Trace {
-        let keep_set: std::collections::HashSet<OrgId> = keep.iter().copied().collect();
+        let mut kept = vec![false; self.orgs.len()];
+        for o in keep {
+            if o.index() < kept.len() {
+                kept[o.index()] = true;
+            }
+        }
         let orgs = self
             .orgs
             .iter()
-            .enumerate()
-            .map(|(i, o)| {
-                if keep_set.contains(&OrgId(i as u32)) {
-                    o.clone()
-                } else {
-                    OrgSpec::new(o.name.clone(), 0)
-                }
-            })
+            .zip(&kept)
+            .map(|(o, &k)| if k { o.clone() } else { OrgSpec::new(o.name.clone(), 0) })
             .collect();
-        let mut jobs: Vec<Job> =
-            self.jobs.iter().filter(|j| keep_set.contains(&j.org)).copied().collect();
-        for (i, j) in jobs.iter_mut().enumerate() {
-            j.id = JobId(i as u32);
-        }
-        Trace { orgs, jobs }
+        let mut positions: Vec<u32> = kept
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k)
+            .flat_map(|(u, _)| self.org_index.of(OrgId(u as u32)).iter().copied())
+            .collect();
+        // Merging per-org runs back into release-sorted position order.
+        positions.sort_unstable();
+        let jobs: Vec<Job> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Job { id: JobId(i as u32), ..self.assemble(p as usize) })
+            .collect();
+        Trace::from_parts(orgs, jobs)
     }
 
     /// Validates every model invariant; [`TraceBuilder::build`] guarantees
@@ -239,21 +419,119 @@ impl Trace {
         if self.orgs.iter().all(|o| o.n_machines == 0) {
             return Err(TraceError::NoMachines);
         }
-        for (i, j) in self.jobs.iter().enumerate() {
-            if j.id.index() != i {
+        for i in 0..self.n_jobs() {
+            if self.ids[i].index() != i {
                 return Err(TraceError::NonContiguousIds { position: i });
             }
-            if j.org.index() >= self.orgs.len() {
-                return Err(TraceError::UnknownOrg { job: j.id, org: j.org });
+            if self.job_orgs[i].index() >= self.orgs.len() {
+                return Err(TraceError::UnknownOrg {
+                    job: self.ids[i],
+                    org: self.job_orgs[i],
+                });
             }
-            if j.proc_time == 0 {
-                return Err(TraceError::ZeroProcTime { job: j.id });
+            if self.proc_times[i] == 0 {
+                return Err(TraceError::ZeroProcTime { job: self.ids[i] });
             }
-            if i > 0 && self.jobs[i - 1].release > j.release {
+            if i > 0 && self.releases[i - 1] > self.releases[i] {
                 return Err(TraceError::UnsortedJobs { position: i });
             }
         }
+        self.try_completion_horizon()?;
         Ok(())
+    }
+}
+
+/// A cheap iterable view over a trace's jobs (assembled from the columns).
+#[derive(Copy, Clone, Debug)]
+pub struct Jobs<'a> {
+    trace: &'a Trace,
+}
+
+impl<'a> Jobs<'a> {
+    /// Number of jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trace.n_jobs()
+    }
+
+    /// Whether the trace has no jobs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trace.n_jobs() == 0
+    }
+
+    /// The job at a position, if in range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Job> {
+        (i < self.len()).then(|| self.trace.assemble(i))
+    }
+
+    /// Iterates all jobs in release-sorted order.
+    #[inline]
+    pub fn iter(&self) -> JobsIter<'a> {
+        JobsIter { trace: self.trace, range: 0..self.trace.n_jobs() }
+    }
+}
+
+impl<'a> IntoIterator for Jobs<'a> {
+    type Item = Job;
+    type IntoIter = JobsIter<'a>;
+
+    fn into_iter(self) -> JobsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a trace's jobs, assembling each [`Job`] from the columns.
+#[derive(Clone, Debug)]
+pub struct JobsIter<'a> {
+    trace: &'a Trace,
+    range: std::ops::Range<usize>,
+}
+
+impl Iterator for JobsIter<'_> {
+    type Item = Job;
+
+    #[inline]
+    fn next(&mut self) -> Option<Job> {
+        self.range.next().map(|i| self.trace.assemble(i))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for JobsIter<'_> {}
+
+impl DoubleEndedIterator for JobsIter<'_> {
+    #[inline]
+    fn next_back(&mut self) -> Option<Job> {
+        self.range.next_back().map(|i| self.trace.assemble(i))
+    }
+}
+
+// Hand-written serde impls preserving the historical row-wise shape
+// `{"orgs": [...], "jobs": [{id, org, release, proc_time, deadline}, ...]}`
+// byte for byte (the `trace:` workload family and the committed goldens pin
+// it), while the in-memory representation stays columnar.
+#[cfg(feature = "serde")]
+impl serde::Serialize for Trace {
+    fn to_value(&self) -> serde::Value {
+        let jobs: Vec<Job> = self.jobs().iter().collect();
+        serde::Value::Object(vec![
+            ("orgs".to_string(), serde::Serialize::to_value(&self.orgs)),
+            ("jobs".to_string(), serde::Serialize::to_value(&jobs)),
+        ])
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for Trace {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let orgs: Vec<OrgSpec> = serde::field(v, "orgs", "Trace")?;
+        let jobs: Vec<Job> = serde::field(v, "jobs", "Trace")?;
+        Ok(Trace::from_parts(orgs, jobs))
     }
 }
 
@@ -305,6 +583,11 @@ impl TraceBuilder {
         self
     }
 
+    /// Jobs added so far (streaming ingestion uses this to bound batches).
+    pub fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
     /// Finalizes the trace: stable-sorts by release time, assigns ids and
     /// validates.
     pub fn build(mut self) -> Result<Trace, TraceError> {
@@ -321,7 +604,7 @@ impl TraceBuilder {
                 deadline,
             })
             .collect();
-        let trace = Trace { orgs: self.orgs, jobs };
+        let trace = Trace::from_parts(self.orgs, jobs);
         trace.validate()?;
         Ok(trace)
     }
@@ -346,6 +629,7 @@ mod tests {
         assert_eq!(t.n_jobs(), 3);
         let releases: Vec<Time> = t.jobs().iter().map(|j| j.release).collect();
         assert_eq!(releases, vec![0, 1, 3]);
+        assert_eq!(t.releases(), &[0, 1, 3]);
         for (i, j) in t.jobs().iter().enumerate() {
             assert_eq!(j.id.index(), i);
         }
@@ -358,8 +642,25 @@ mod tests {
         // Two jobs released simultaneously: insertion order defines FIFO.
         b.job(a, 5, 10).job(a, 5, 20);
         let t = b.build().unwrap();
-        assert_eq!(t.jobs()[0].proc_time, 10);
-        assert_eq!(t.jobs()[1].proc_time, 20);
+        assert_eq!(t.proc_times(), &[10, 20]);
+        assert_eq!(t.jobs().get(0).unwrap().proc_time, 10);
+        assert_eq!(t.jobs().get(1).unwrap().proc_time, 20);
+        assert!(t.jobs().get(2).is_none());
+    }
+
+    #[test]
+    fn columns_match_assembled_jobs() {
+        let t = two_org_trace();
+        for (i, j) in t.jobs().iter().enumerate() {
+            assert_eq!(j, t.job(JobId(i as u32)));
+            assert_eq!(j.release, t.releases()[i]);
+            assert_eq!(j.proc_time, t.proc_times()[i]);
+            assert_eq!(j.org, t.job_orgs()[i]);
+            assert_eq!(j.deadline, t.deadlines()[i]);
+        }
+        let back: Vec<Time> = t.jobs().iter().rev().map(|j| j.release).collect();
+        assert_eq!(back, vec![3, 1, 0]);
+        assert_eq!(t.jobs().iter().len(), 3);
     }
 
     #[test]
@@ -380,6 +681,52 @@ mod tests {
         assert_eq!(t.total_work(), 8);
         assert_eq!(t.max_release(), 3);
         assert_eq!(t.completion_horizon(), 11);
+        assert_eq!(t.try_total_work(), Ok(8));
+        assert_eq!(t.try_completion_horizon(), Ok(11));
+    }
+
+    #[test]
+    fn overflowing_totals_error_not_panic() {
+        // Total work alone overflows u64: build() must surface the typed
+        // error (previously a raw `sum()` panicked under overflow-checks).
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        b.job(a, 0, Time::MAX - 1).job(a, 1, Time::MAX - 1);
+        let err = b.build().unwrap_err();
+        assert_eq!(err, TraceError::TimeOverflow { what: "total_work" });
+        assert!(err.to_string().contains("total_work"));
+
+        // Work fits, but max_release + total_work does not.
+        let mut b = Trace::builder();
+        let a = b.org("a", 1);
+        b.job(a, Time::MAX - 1, 5);
+        let err = b.build().unwrap_err();
+        assert_eq!(err, TraceError::TimeOverflow { what: "completion_horizon" });
+
+        // The infallible accessors saturate instead of wrapping on such a
+        // trace (constructed without validation via from_parts).
+        let t = Trace::from_parts(
+            vec![OrgSpec::new("a", 1)],
+            vec![
+                Job {
+                    id: JobId(0),
+                    org: OrgId(0),
+                    release: 0,
+                    proc_time: Time::MAX - 1,
+                    deadline: None,
+                },
+                Job {
+                    id: JobId(1),
+                    org: OrgId(0),
+                    release: 1,
+                    proc_time: Time::MAX - 1,
+                    deadline: None,
+                },
+            ],
+        );
+        assert_eq!(t.total_work(), Time::MAX);
+        assert_eq!(t.completion_horizon(), Time::MAX);
+        assert!(t.validate().is_err());
     }
 
     #[test]
@@ -422,6 +769,24 @@ mod tests {
         let t = two_org_trace();
         assert_eq!(t.jobs_of(OrgId(0)).count(), 2);
         assert_eq!(t.jobs_of(OrgId(1)).count(), 1);
+        assert_eq!(t.n_jobs_of(OrgId(0)), 2);
+        assert_eq!(t.n_jobs_of(OrgId(1)), 1);
+        // Unknown organizations have no jobs (and no index entry).
+        assert_eq!(t.jobs_of(OrgId(7)).count(), 0);
+        assert_eq!(t.n_jobs_of(OrgId(7)), 0);
+    }
+
+    /// A builder over arbitrary (org, release, proc) triples shared by the
+    /// oracle proptests below.
+    fn trace_of(specs: &[(u32, Time, Time)], n_orgs: u32) -> Trace {
+        let mut b = Trace::builder();
+        for u in 0..n_orgs {
+            b.org(format!("org{u}"), if u == 0 { 2 } else { 1 });
+        }
+        for &(u, r, p) in specs {
+            b.job(OrgId(u % n_orgs), r, p);
+        }
+        b.build().unwrap()
     }
 
     proptest! {
@@ -438,9 +803,72 @@ mod tests {
             let t = b.build().unwrap();
             prop_assert!(t.validate().is_ok());
             // Sorted by release.
-            for w in t.jobs().windows(2) {
-                prop_assert!(w[0].release <= w[1].release);
+            for w in t.releases().windows(2) {
+                prop_assert!(w[0] <= w[1]);
             }
+        }
+
+        /// The index-backed `jobs_of` must yield exactly what the naive
+        /// full-trace filter yields, in the same (FIFO-of-appearance)
+        /// order — the documented contract the CSR index must preserve.
+        #[test]
+        fn prop_jobs_of_matches_naive_filter(
+            specs in proptest::collection::vec(
+                (0u32..6, 0u64..50, 1u64..20), 1..60),
+            n_orgs in 1u32..6,
+        ) {
+            let t = trace_of(&specs, n_orgs);
+            for u in 0..n_orgs {
+                let org = OrgId(u);
+                let indexed: Vec<Job> = t.jobs_of(org).collect();
+                let naive: Vec<Job> =
+                    t.jobs().iter().filter(|j| j.org == org).collect();
+                prop_assert_eq!(indexed, naive);
+                prop_assert_eq!(t.n_jobs_of(org),
+                    t.jobs().iter().filter(|j| j.org == org).count());
+            }
+        }
+
+        /// `restrict_to` through the index must equal the retained naive
+        /// oracle: filter the job list by membership, renumber ids.
+        #[test]
+        fn prop_restrict_matches_naive_oracle(
+            specs in proptest::collection::vec(
+                (0u32..5, 0u64..50, 1u64..20), 1..50),
+            n_orgs in 1u32..5,
+            keep_mask in 1u32..31,
+        ) {
+            let t = trace_of(&specs, n_orgs);
+            let keep: Vec<OrgId> = (0..n_orgs)
+                .filter(|u| keep_mask & (1 << u) != 0)
+                .map(OrgId)
+                .collect();
+            let fast = t.restrict_to(&keep);
+
+            // The naive oracle (the pre-index implementation).
+            let keep_set: std::collections::HashSet<OrgId> =
+                keep.iter().copied().collect();
+            let naive_orgs: Vec<OrgSpec> = t
+                .orgs()
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    if keep_set.contains(&OrgId(i as u32)) {
+                        o.clone()
+                    } else {
+                        OrgSpec::new(o.name.clone(), 0)
+                    }
+                })
+                .collect();
+            let mut naive_jobs: Vec<Job> = t
+                .jobs()
+                .iter()
+                .filter(|j| keep_set.contains(&j.org))
+                .collect();
+            for (i, j) in naive_jobs.iter_mut().enumerate() {
+                j.id = JobId(i as u32);
+            }
+            prop_assert_eq!(fast, Trace::from_parts(naive_orgs, naive_jobs));
         }
     }
 }

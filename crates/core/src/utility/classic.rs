@@ -32,6 +32,19 @@ impl Utility for FlowTime {
             .sum()
     }
 
+    fn org_values(&self, trace: &Trace, schedule: &Schedule, t: Time) -> Vec<f64> {
+        // One pass over all entries instead of a per-org filter (O(E) vs
+        // O(E·k)); per-org accumulation order matches `value`, so the f64
+        // sums are bit-identical.
+        let mut out = vec![0.0; trace.n_orgs()];
+        for e in schedule.entries() {
+            if e.completion() <= t {
+                out[e.org.index()] += (e.completion() - trace.job(e.job).release) as f64;
+            }
+        }
+        out
+    }
+
     fn maximizing(&self) -> bool {
         false
     }
@@ -54,6 +67,18 @@ impl Utility for Makespan {
             .filter(|&c| c <= t)
             .max()
             .unwrap_or(0) as f64
+    }
+
+    fn org_values(&self, trace: &Trace, schedule: &Schedule, t: Time) -> Vec<f64> {
+        let mut max = vec![0 as Time; trace.n_orgs()];
+        for e in schedule.entries() {
+            let c = e.completion();
+            if c <= t {
+                let m = &mut max[e.org.index()];
+                *m = (*m).max(c);
+            }
+        }
+        max.into_iter().map(|c| c as f64).collect()
     }
 
     fn maximizing(&self) -> bool {
@@ -81,6 +106,20 @@ impl Utility for Tardiness {
             .sum()
     }
 
+    fn org_values(&self, trace: &Trace, schedule: &Schedule, t: Time) -> Vec<f64> {
+        let deadlines = trace.deadlines();
+        let mut out = vec![0.0; trace.n_orgs()];
+        for e in schedule.entries() {
+            let c = e.completion();
+            if c <= t {
+                if let Some(d) = deadlines[e.job.index()] {
+                    out[e.org.index()] += c.saturating_sub(d) as f64;
+                }
+            }
+        }
+        out
+    }
+
     fn maximizing(&self) -> bool {
         false
     }
@@ -104,6 +143,18 @@ impl Utility for ResourceShare {
         let busy: Time = schedule.entries_of(org).map(|e| e.units_before(t)).sum();
         let m = trace.cluster_info().n_machines();
         busy as f64 / (m as f64 * t as f64)
+    }
+
+    fn org_values(&self, trace: &Trace, schedule: &Schedule, t: Time) -> Vec<f64> {
+        if t == 0 {
+            return vec![0.0; trace.n_orgs()];
+        }
+        let mut busy = vec![0 as Time; trace.n_orgs()];
+        for e in schedule.entries() {
+            busy[e.org.index()] += e.units_before(t);
+        }
+        let m = trace.cluster_info().n_machines();
+        busy.into_iter().map(|b| b as f64 / (m as f64 * t as f64)).collect()
     }
 }
 
@@ -184,5 +235,89 @@ mod tests {
         let (t, _) = setup();
         let empty = Schedule::new();
         assert_eq!(FlowTime.value(&t, &empty, OrgId(0), 100), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::utility::SpUtility;
+        use proptest::prelude::*;
+
+        /// Arbitrary valid (trace, schedule) pairs: per-org jobs with
+        /// deadlines sometimes set, each scheduled on its own machine at a
+        /// start no earlier than its release.
+        fn arb_run() -> impl Strategy<Value = (Trace, Schedule)> {
+            (
+                proptest::collection::vec(
+                    (0u32..5, 0u64..30, 1u64..15, 0u64..10, 0u8..2),
+                    1..30,
+                ),
+                2u32..6,
+            )
+                .prop_map(|(specs, n_orgs)| {
+                    let mut b = Trace::builder();
+                    for u in 0..n_orgs {
+                        b.org(format!("org{u}"), 1);
+                    }
+                    for &(u, r, p, d, has_d) in &specs {
+                        if has_d == 1 {
+                            b.job_with_deadline(OrgId(u % n_orgs), r, p, r + p + d);
+                        } else {
+                            b.job(OrgId(u % n_orgs), r, p);
+                        }
+                    }
+                    let trace = b.build().unwrap();
+                    let schedule: Schedule = trace
+                        .jobs()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, j)| ScheduledJob {
+                            job: j.id,
+                            org: j.org,
+                            machine: MachineId(i as u32),
+                            start: j.release + (i as Time % 7),
+                            proc_time: j.proc_time,
+                        })
+                        .collect();
+                    (trace, schedule)
+                })
+        }
+
+        proptest! {
+            /// The single-pass `org_values` overrides must agree exactly
+            /// (bit-identical f64) with the retained per-org naive oracle
+            /// `(0..k).map(|u| value(u))` — the pre-optimization default.
+            #[test]
+            fn prop_org_values_match_per_org_oracle(
+                (trace, schedule) in arb_run(),
+                t in 0u64..60,
+            ) {
+                fn oracle<U: Utility>(
+                    u: &U, trace: &Trace, s: &Schedule, t: Time,
+                ) -> Vec<f64> {
+                    (0..trace.n_orgs())
+                        .map(|o| u.value(trace, s, OrgId(o as u32), t))
+                        .collect()
+                }
+                let cases: [&dyn Utility; 5] = [
+                    &FlowTime, &Makespan, &Tardiness, &ResourceShare, &SpUtility,
+                ];
+                for u in cases {
+                    let fast = u.org_values(&trace, &schedule, t);
+                    let naive: Vec<f64> = (0..trace.n_orgs())
+                        .map(|o| u.value(&trace, &schedule, OrgId(o as u32), t))
+                        .collect();
+                    prop_assert_eq!(
+                        &fast, &naive,
+                        "{} diverged at t={}", u.name(), t
+                    );
+                }
+                // Generic call through the static oracle too (exercises
+                // the monomorphized path).
+                prop_assert_eq!(
+                    FlowTime.org_values(&trace, &schedule, t),
+                    oracle(&FlowTime, &trace, &schedule, t)
+                );
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! into jobs (strategy resistance), and strictly rewards completing more
 //! work (task-count anonymity).
 
-use super::{Util, Utility};
+use super::{sp_vector, Util, Utility};
 use crate::model::{OrgId, Time, Trace};
 use crate::schedule::Schedule;
 
@@ -49,6 +49,11 @@ impl Utility for SpUtility {
     fn value(&self, _trace: &Trace, schedule: &Schedule, org: OrgId, t: Time) -> f64 {
         schedule.entries_of(org).map(|e| sp_value(e.start, e.proc_time, t)).sum::<Util>()
             as f64
+    }
+
+    fn org_values(&self, trace: &Trace, schedule: &Schedule, t: Time) -> Vec<f64> {
+        // One pass (the `sp_vector` sweep) instead of a per-org filter.
+        sp_vector(trace, schedule, t).into_iter().map(|v| v as f64).collect()
     }
 }
 

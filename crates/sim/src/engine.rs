@@ -127,12 +127,15 @@ pub fn run_scheduler(
 
     scheduler.init(&info);
 
-    let jobs = trace.jobs();
+    // The release loop walks the raw columns (cache-hot; assembling a
+    // full `Job` per release is only needed for the scheduler callback).
+    let releases = trace.releases();
+    let job_orgs = trace.job_orgs();
     let mut next_release = 0usize;
 
     loop {
         // Next event time: the earlier of the next release and completion.
-        let release_t = jobs.get(next_release).map(|j| j.release);
+        let release_t = releases.get(next_release).copied();
         let completion_t = completions.peek().map(|Reverse((t, _))| *t);
         let t = match (release_t, completion_t) {
             (None, None) => break,
@@ -157,12 +160,13 @@ pub fn run_scheduler(
         }
 
         // 2. Releases at t enter the queues.
-        while next_release < jobs.len() && jobs[next_release].release == t {
-            let job = &jobs[next_release];
-            waiting[job.org.index()].push_back(job.id);
-            waiting_counts[job.org.index()] += 1;
+        while next_release < releases.len() && releases[next_release] == t {
+            let org = job_orgs[next_release];
+            let id = JobId(next_release as u32);
+            waiting[org.index()].push_back(id);
+            waiting_counts[org.index()] += 1;
             total_waiting += 1;
-            scheduler.on_release(t, &job.meta());
+            scheduler.on_release(t, &trace.job(id).meta());
             next_release += 1;
         }
 

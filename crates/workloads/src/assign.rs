@@ -80,6 +80,35 @@ fn largest_remainder(total: usize, weights: &[f64], k: usize) -> Vec<usize> {
     counts
 }
 
+/// The deterministic user → organization assignment used by [`to_trace`]:
+/// distinct users are sorted, shuffled by `seed + 1`, and dealt round-robin
+/// to the `k` organizations. Depends only on the user *set* (not job order
+/// or multiplicity), which lets streaming ingestion reproduce the exact
+/// mapping from a first pass over the log.
+pub struct UserAssignment {
+    user_org: std::collections::HashMap<u32, usize>,
+}
+
+impl UserAssignment {
+    /// Builds the assignment from any collection of user ids (duplicates
+    /// and ordering are irrelevant).
+    pub fn new(mut users: Vec<u32>, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one organization");
+        users.sort_unstable();
+        users.dedup();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        users.shuffle(&mut rng);
+        let user_org = users.iter().enumerate().map(|(i, &u)| (u, i % k)).collect();
+        Self { user_org }
+    }
+
+    /// The organization index for `user`, or `None` if the user was not in
+    /// the set the assignment was built from.
+    pub fn org_of(&self, user: u32) -> Option<usize> {
+        self.user_org.get(&user).copied()
+    }
+}
+
 /// Builds a `k`-organization trace: users are shuffled (by `seed`) and
 /// dealt round-robin to organizations; machines are split per `split`.
 ///
@@ -93,26 +122,14 @@ pub fn to_trace(
     seed: u64,
 ) -> Result<Trace, TraceError> {
     let machines = split_machines(total_machines, k, split, seed);
-
-    // Uniform user -> organization assignment.
-    let mut users: Vec<u32> = jobs.iter().map(|j| j.user).collect();
-    users.sort_unstable();
-    users.dedup();
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
-    users.shuffle(&mut rng);
-    let org_of = |user: u32| -> usize {
-        users.iter().position(|&u| u == user).expect("user known") % k
-    };
-    // Positional lookup is O(users); build a map for speed.
-    let user_org: std::collections::HashMap<u32, usize> =
-        users.iter().enumerate().map(|(i, &u)| (u, i % k)).collect();
-    debug_assert!(users.iter().all(|&u| user_org[&u] == org_of(u)));
+    let assignment = UserAssignment::new(jobs.iter().map(|j| j.user).collect(), k, seed);
 
     let mut b = Trace::builder();
     let orgs: Vec<_> =
         machines.iter().enumerate().map(|(i, &m)| b.org(format!("org{i}"), m)).collect();
     for j in jobs {
-        b.job(orgs[user_org[&j.user]], j.release, j.proc_time);
+        let org = assignment.org_of(j.user).expect("user collected above");
+        b.job(orgs[org], j.release, j.proc_time);
     }
     b.build()
 }

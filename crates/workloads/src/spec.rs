@@ -740,18 +740,22 @@ impl Default for WorkloadRegistry {
                     ));
                 }
                 let split = split_from_spec(spec)?;
-                let text = std::fs::read_to_string(&path).map_err(|e| {
-                    WorkloadError::Io { path: path.clone(), message: e.to_string() }
-                })?;
-                let records = swf::parse(&text)?;
-                let jobs = swf::to_user_jobs(&records, start, end);
-                if jobs.is_empty() {
-                    return Err(spec.bad_param(
-                        "path",
-                        format!("submit window [{start}, {end}) selects no jobs"),
-                    ));
-                }
-                Ok(to_trace(&jobs, orgs, machines, split, ctx.seed)?)
+                // Streaming ingestion: two passes over the file, never a
+                // materialized `Vec<SwfJob>`/`Vec<UserJob>`. Produces the
+                // identical trace to the old parse → to_user_jobs →
+                // to_trace pipeline (pinned by a test in `swf`).
+                swf::stream_trace(&path, start, end, orgs, machines, split, ctx.seed)
+                    .map_err(|e| match e {
+                        swf::SwfStreamError::Io { path, message } => {
+                            WorkloadError::Io { path, message }
+                        }
+                        swf::SwfStreamError::Parse(e) => WorkloadError::from(e),
+                        swf::SwfStreamError::EmptyWindow => spec.bad_param(
+                            "path",
+                            format!("submit window [{start}, {end}) selects no jobs"),
+                        ),
+                        swf::SwfStreamError::Trace(e) => WorkloadError::from(e),
+                    })
             },
         );
         r.register_fn(
@@ -927,7 +931,7 @@ mod tests {
         assert_eq!(a.n_orgs(), 2);
         assert_eq!(a.n_jobs(), 4);
         assert_eq!(a.orgs()[0].name, "alpha");
-        assert_eq!(a.jobs()[2].deadline, Some(9));
+        assert_eq!(a.job(fairsched_core::JobId(2)).deadline, Some(9));
         // Seed-independent: the file is the trace.
         assert_eq!(a, registry.build(&spec, &ctx(99)).unwrap());
         // Export ∘ import is the identity.

@@ -50,47 +50,95 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+/// Parses one SWF line. `Ok(None)` for comment/blank/cancelled lines.
+fn parse_line(line_no: usize, raw: &str) -> Result<Option<SwfJob>, SwfError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with(';') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 12 {
+        return Err(SwfError {
+            line: line_no,
+            message: format!("expected at least 12 fields, found {}", fields.len()),
+        });
+    }
+    let parse_i64 = |idx: usize| -> Result<i64, SwfError> {
+        fields[idx].parse::<f64>().map(|v| v as i64).map_err(|_| SwfError {
+            line: line_no,
+            message: format!("field {} is not numeric: {:?}", idx + 1, fields[idx]),
+        })
+    };
+    let job_number = parse_i64(0)?;
+    let submit = parse_i64(1)?;
+    let runtime = parse_i64(3)?;
+    let processors = parse_i64(4)?;
+    let user = parse_i64(11)?;
+    if runtime <= 0 || processors <= 0 {
+        return Ok(None); // cancelled / failed record
+    }
+    Ok(Some(SwfJob {
+        job_number,
+        submit: submit.max(0) as Time,
+        runtime: runtime as Time,
+        processors: processors as u32,
+        user: user.max(0) as u32,
+    }))
+}
+
 /// Parses SWF text. Comment (`;`) and blank lines are skipped; cancelled
 /// jobs (non-positive runtime or processors) are dropped; malformed lines
 /// are errors.
 pub fn parse(text: &str) -> Result<Vec<SwfJob>, SwfError> {
-    let mut jobs = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with(';') {
-            continue;
+    records(text.as_bytes()).collect()
+}
+
+/// Streaming SWF reader: an iterator of records read line by line from any
+/// [`BufRead`] source, so archive logs larger than RAM never materialize a
+/// `Vec<SwfJob>`. Yields exactly what [`parse`] collects, in order, with
+/// the same per-line errors; I/O failures mid-stream are reported as an
+/// [`SwfError`] at the failing line.
+pub struct SwfRecords<R: std::io::BufRead> {
+    reader: R,
+    line_no: usize,
+    buf: String,
+    done: bool,
+}
+
+/// Starts streaming records from a [`BufRead`] source. `&[u8]` (in-memory
+/// text) and `std::io::BufReader<File>` both qualify.
+pub fn records<R: std::io::BufRead>(reader: R) -> SwfRecords<R> {
+    SwfRecords { reader, line_no: 0, buf: String::new(), done: false }
+}
+
+impl<R: std::io::BufRead> Iterator for SwfRecords<R> {
+    type Item = Result<SwfJob, SwfError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => self.done = true,
+                Ok(_) => match parse_line(self.line_no, &self.buf) {
+                    Ok(None) => continue,
+                    Ok(Some(job)) => return Some(Ok(job)),
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                },
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(SwfError {
+                        line: self.line_no,
+                        message: format!("I/O error: {e}"),
+                    }));
+                }
+            }
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 12 {
-            return Err(SwfError {
-                line: line_no,
-                message: format!("expected at least 12 fields, found {}", fields.len()),
-            });
-        }
-        let parse_i64 = |idx: usize| -> Result<i64, SwfError> {
-            fields[idx].parse::<f64>().map(|v| v as i64).map_err(|_| SwfError {
-                line: line_no,
-                message: format!("field {} is not numeric: {:?}", idx + 1, fields[idx]),
-            })
-        };
-        let job_number = parse_i64(0)?;
-        let submit = parse_i64(1)?;
-        let runtime = parse_i64(3)?;
-        let processors = parse_i64(4)?;
-        let user = parse_i64(11)?;
-        if runtime <= 0 || processors <= 0 {
-            continue; // cancelled / failed record
-        }
-        jobs.push(SwfJob {
-            job_number,
-            submit: submit.max(0) as Time,
-            runtime: runtime as Time,
-            processors: processors as u32,
-            user: user.max(0) as u32,
-        });
+        None
     }
-    Ok(jobs)
 }
 
 /// Serializes records back to SWF (unused fields written as `-1`), with a
@@ -194,6 +242,119 @@ pub fn stats(jobs: &[SwfJob]) -> SwfStats {
     }
 }
 
+/// Errors from the streaming log → trace path.
+#[derive(Debug)]
+pub enum SwfStreamError {
+    /// Opening the log failed.
+    Io {
+        /// The path that failed to open.
+        path: String,
+        /// The underlying I/O message.
+        message: String,
+    },
+    /// A line failed to parse (or the stream failed mid-read).
+    Parse(SwfError),
+    /// The submit window selected no jobs.
+    EmptyWindow,
+    /// The assembled trace failed validation.
+    Trace(fairsched_core::model::TraceError),
+}
+
+impl std::fmt::Display for SwfStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfStreamError::Io { path, message } => {
+                write!(f, "cannot open {path}: {message}")
+            }
+            SwfStreamError::Parse(e) => write!(f, "{e}"),
+            SwfStreamError::EmptyWindow => {
+                write!(f, "submit window selects no jobs")
+            }
+            SwfStreamError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwfStreamError {}
+
+impl From<SwfError> for SwfStreamError {
+    fn from(e: SwfError) -> Self {
+        SwfStreamError::Parse(e)
+    }
+}
+
+/// Streams an SWF log at `path` straight into a [`Trace`] without ever
+/// materializing a `Vec<SwfJob>` or `Vec<UserJob>`: pass one collects the
+/// distinct user set inside the submit window (enough to reproduce
+/// [`UserAssignment`] exactly, since the assignment depends only on the
+/// user set), pass two feeds each windowed record's processor copies to
+/// [`TraceBuilder`](fairsched_core::model::TraceBuilder) directly. Peak
+/// memory is O(users + output jobs), independent of log length, and the
+/// result is identical to the materializing
+/// `parse` → `to_user_jobs` → `to_trace` pipeline.
+pub fn stream_trace(
+    path: &str,
+    start: Time,
+    end: Time,
+    k: usize,
+    total_machines: usize,
+    split: crate::assign::MachineSplit,
+    seed: u64,
+) -> Result<fairsched_core::model::Trace, SwfStreamError> {
+    use crate::assign::{split_machines, UserAssignment};
+
+    let open = |p: &str| {
+        std::fs::File::open(p).map(std::io::BufReader::new).map_err(|e| {
+            SwfStreamError::Io { path: p.to_string(), message: e.to_string() }
+        })
+    };
+    let in_window = |j: &SwfJob| j.submit >= start && j.submit < end;
+
+    // Pass 1: the windowed user set (duplicates fine — `UserAssignment`
+    // sorts and dedups).
+    let mut users: Vec<u32> = Vec::new();
+    for rec in records(open(path)?) {
+        let j = rec?;
+        if in_window(&j) {
+            users.push(j.user);
+        }
+    }
+    if users.is_empty() {
+        return Err(SwfStreamError::EmptyWindow);
+    }
+    let assignment = UserAssignment::new(users, k, seed);
+    let machines = split_machines(total_machines, k, split, seed);
+
+    // Pass 2: feed the builder. The builder's stable sort by release puts
+    // equal-release jobs in file order — exactly what the materializing
+    // path's pre-sorted `Vec<UserJob>` produces, so traces are identical.
+    let mut b = fairsched_core::model::Trace::builder();
+    let orgs: Vec<_> =
+        machines.iter().enumerate().map(|(i, &m)| b.org(format!("org{i}"), m)).collect();
+    for rec in records(open(path)?) {
+        let j = rec?;
+        if !in_window(&j) {
+            continue;
+        }
+        // Every windowed user was collected in pass 1; a miss means the
+        // file changed between the two reads — report it, don't panic.
+        let Some(slot) = assignment.org_of(j.user) else {
+            return Err(SwfStreamError::Parse(SwfError {
+                line: 0,
+                message: format!(
+                    "user {} appeared only on the second pass (file changed mid-read?)",
+                    j.user
+                ),
+            }));
+        };
+        let org = orgs[slot];
+        for _ in 0..j.processors {
+            b.job(org, j.submit - start, j.runtime);
+        }
+    }
+    b.build().map_err(SwfStreamError::Trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +453,81 @@ mod tests {
         let s = stats(&[]);
         assert_eq!(s.jobs, 0);
         assert_eq!(s.load(10), 0.0);
+    }
+
+    #[test]
+    fn records_iterator_matches_parse() {
+        let streamed: Vec<SwfJob> =
+            records(SAMPLE.as_bytes()).collect::<Result<_, _>>().unwrap();
+        assert_eq!(streamed, parse(SAMPLE).unwrap());
+        // Errors carry the same 1-based line numbers as `parse`.
+        let bad = "; header\n1 2 3\n";
+        let stream_err =
+            records(bad.as_bytes()).find_map(Result::err).expect("short line must error");
+        assert_eq!(stream_err, parse(bad).unwrap_err());
+        assert_eq!(stream_err.line, 2);
+    }
+
+    #[test]
+    fn records_iterator_stops_after_error() {
+        let bad = "1 2 3\n1 0 10 100 2 -1 -1 2 -1 -1 1 7\n";
+        let items: Vec<_> = records(bad.as_bytes()).collect();
+        assert_eq!(items.len(), 1, "iterator must fuse after an error");
+        assert!(items[0].is_err());
+    }
+
+    /// The streaming two-pass ingestion must produce the *identical* trace
+    /// to the materializing parse → to_user_jobs → to_trace pipeline — the
+    /// `swf:` workload family's byte-for-byte determinism contract.
+    #[test]
+    fn stream_trace_matches_materialized_pipeline() {
+        use crate::assign::{to_trace, MachineSplit};
+
+        let path = crate::spec::sample_swf_path();
+        let text = std::fs::read_to_string(path).unwrap();
+        for seed in [0u64, 1, 42] {
+            for (start, end) in [(0, Time::MAX), (0, 80), (50, 500)] {
+                for split in
+                    [MachineSplit::Equal, MachineSplit::Zipf(1.0), MachineSplit::Uniform]
+                {
+                    let streamed =
+                        stream_trace(path, start, end, 2, 8, split, seed).unwrap();
+                    let records = parse(&text).unwrap();
+                    let jobs = to_user_jobs(&records, start, end);
+                    let materialized = to_trace(&jobs, 2, 8, split, seed).unwrap();
+                    assert_eq!(
+                        streamed, materialized,
+                        "streamed and materialized traces diverged \
+                         (seed {seed}, window [{start}, {end}))"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_trace_typed_errors() {
+        use crate::assign::MachineSplit;
+        let missing = stream_trace(
+            "/definitely/not/here.swf",
+            0,
+            Time::MAX,
+            2,
+            4,
+            MachineSplit::Equal,
+            0,
+        );
+        assert!(matches!(missing, Err(SwfStreamError::Io { .. })));
+        let empty = stream_trace(
+            crate::spec::sample_swf_path(),
+            1_000_000,
+            Time::MAX,
+            2,
+            4,
+            MachineSplit::Equal,
+            0,
+        );
+        assert!(matches!(empty, Err(SwfStreamError::EmptyWindow)));
     }
 
     mod properties {

@@ -131,8 +131,8 @@ fn conformance_violations(registry: &WorkloadRegistry) -> Vec<String> {
                 if trace.n_jobs() == 0 {
                     fail(&name, &label, format!("seed {seed}: empty trace"));
                 }
-                for w in trace.jobs().windows(2) {
-                    if w[0].release > w[1].release {
+                for w in trace.releases().windows(2) {
+                    if w[0] > w[1] {
                         fail(&name, &label, format!("seed {seed}: unsorted releases"));
                         break;
                     }
