@@ -66,12 +66,13 @@ pub struct SourceFile {
 /// The crate source trees held to the library-code rules (`panic-free`,
 /// `time-arith`). Tests, benches, the CLI facade, the compat stubs, and
 /// this analyzer are exempt.
-pub const LIBRARY_PREFIXES: [&str; 5] = [
+pub const LIBRARY_PREFIXES: [&str; 6] = [
     "crates/core/src/",
     "crates/sim/src/",
     "crates/workloads/src/",
     "crates/bench/src/",
     "crates/experiment/src/",
+    "crates/serve/src/",
 ];
 
 /// Directory names never descended into.

@@ -39,7 +39,7 @@ use fairsched_core::scheduler::{
     FairShareScheduler, FifoScheduler, RandScheduler, RefScheduler, Scheduler,
 };
 use fairsched_core::Trace;
-use fairsched_sim::{simulate, SimResult};
+use fairsched_sim::{simulate, SimResult, SimSession};
 use fairsched_workloads::spec::{fpt_spec, WorkloadContext, WorkloadRegistry};
 use fairsched_workloads::{
     generate, synth_spec, to_trace, MachineSplit, PresetName, SynthConfig,
@@ -291,6 +291,73 @@ fn run_scale(samples: usize) -> Vec<CaseResult> {
     out
 }
 
+/// How many `step` calls the stepper overhead row crosses the horizon in
+/// (the serving daemon's advance cadence, exaggerated for measurement).
+const STEP_CHUNKS: u64 = 100;
+
+/// Measures the resumable stepper against the batch engine on the
+/// lattice-bench workload (`fpt:k=8`, seed 5, horizon 2000): the same
+/// schedule built via [`SimSession::step`] in [`STEP_CHUNKS`] increments,
+/// timed against one `simulate` call. The pair of `serve/step_overhead`
+/// rows pins the abstraction cost `fairsched serve` pays for driving the
+/// event loop incrementally — both rows replay identical events, so any
+/// gap is pure stepper overhead.
+fn run_serve_overhead(samples: usize) -> Vec<CaseResult> {
+    let horizon: u64 = 2_000;
+    let trace = bench_workload(8, 5);
+    let batch = measure(
+        "serve/step_overhead/batch/k=8",
+        &trace,
+        8,
+        horizon,
+        samples,
+        RefScheduler::new,
+        |s: &RefScheduler| Some(s.lattice().stats().into()),
+    );
+
+    // The stepper's advance marks: an even u128 grid over the horizon
+    // (widened like timeline_sample_times), ending exactly at it.
+    let marks: Vec<u64> = (1..=STEP_CHUNKS)
+        .map(|i| ((horizon as u128 * i as u128) / STEP_CHUNKS as u128) as u64)
+        .collect();
+    let run = || -> SimResult {
+        // lint:allow(panic-free) registry scheduler on a registry workload; same contract as measure()
+        let mut session = SimSession::new(trace.clone(), "ref", 5).expect("session");
+        for mark in &marks {
+            // lint:allow(panic-free) same engine contract as the batch row
+            session.step(*mark).expect("engine contract");
+        }
+        // lint:allow(panic-free) same engine contract as the batch row
+        session.finish(horizon, true).expect("engine contract")
+    };
+    let warm: SimResult = run();
+    let engine_events = (trace.n_jobs() + warm.started_jobs + warm.completed_jobs) as u64;
+    let timed = samples.max(1);
+    let mut min = u128::MAX;
+    let mut total = 0u128;
+    for _ in 0..timed {
+        let started = Instant::now();
+        std::hint::black_box(run());
+        let ns = started.elapsed().as_nanos();
+        min = min.min(ns);
+        total += ns;
+    }
+    let stepper = CaseResult {
+        name: "serve/step_overhead/stepper/k=8".to_string(),
+        scheduler: warm.scheduler,
+        k: 8,
+        n_jobs: trace.n_jobs(),
+        horizon,
+        samples: timed,
+        wall_ns_min: min as u64,
+        wall_ns_mean: (total / timed as u128) as u64,
+        engine_events,
+        events_per_sec: engine_events as f64 / (min as f64 / 1e9),
+        lattice: None,
+    };
+    vec![batch, stepper]
+}
+
 /// Times `build() → simulate(horizon)` over `samples` runs (plus one
 /// untimed warmup) and gathers the counters from a final untimed run.
 fn measure<S: Scheduler, B: Fn(&Trace) -> S, L: Fn(&S) -> Option<LatticeCounters>>(
@@ -376,6 +443,8 @@ pub fn run_baseline(paper_scale: bool, scale: bool, samples: usize) -> BaselineR
         |t| RandScheduler::new(t, 75, 9),
         |s: &RandScheduler| Some(s.lattice().stats().into()),
     ));
+
+    cases.extend(run_serve_overhead(samples));
 
     if paper_scale {
         // Smoke matrix at the paper's experiment size: LPC-EGEE, scale
@@ -606,7 +675,13 @@ mod tests {
             assert!(c.wall_ns_min > 0);
             assert!(c.engine_events > 0);
             assert!(c.events_per_sec > 0.0);
-            let lattice = c.lattice.as_ref().expect("REF/RAND expose counters");
+            let Some(lattice) = c.lattice.as_ref() else {
+                // The stepper row drives a boxed registry scheduler, so
+                // its lattice counters are unreachable through the trait
+                // object; every other row must expose them.
+                assert!(c.name.starts_with("serve/step_overhead/stepper"), "{}", c.name);
+                continue;
+            };
             assert!(lattice.settles > 0);
             assert!(lattice.sim_starts > 0);
         }

@@ -41,6 +41,9 @@
 //!   the per-moment unfairness timeline.
 //! * [`checked_time`] — widening/saturating arithmetic on [`Time`]
 //!   values, the vocabulary the `time-arith-widening` lint rule approves.
+//! * [`journal`] — the crash-safe filesystem primitives (atomic
+//!   write-then-rename, torn-tail-tolerant line journals) shared by the
+//!   durable experiment runner and the online serving daemon.
 //! * [`analysis`] — materialize the cooperative game a trace induces
 //!   (supermodularity/core checks, Shapley shares, the Theorem 5.3 gap).
 //! * [`reduction`] — the executable SUBSETSUM reduction of Theorem 5.1.
@@ -51,6 +54,7 @@
 pub mod analysis;
 pub mod checked_time;
 pub mod fairness;
+pub mod journal;
 pub mod model;
 pub mod reduction;
 pub mod schedule;

@@ -413,6 +413,56 @@ impl Trace {
         Trace::from_parts(orgs, jobs)
     }
 
+    /// Admits one new job into the trace mid-run (online serving): the
+    /// job is inserted at its release-sorted position — after any
+    /// existing job with the same release time, so admission order
+    /// defines FIFO among ties, exactly like [`TraceBuilder::build`]'s
+    /// stable sort — and job ids are renumbered to stay the contiguous
+    /// position sequence. Returns the admitted job's assigned id.
+    ///
+    /// Ids of jobs releasing *later* than the new job shift by one; the
+    /// resumable engine only admits jobs releasing strictly after the
+    /// time it has stepped to, so every shifted id belongs to a job no
+    /// component has observed yet.
+    ///
+    /// # Errors
+    /// [`TraceError::UnknownOrg`] for an out-of-range organization,
+    /// [`TraceError::ZeroProcTime`] for an empty job, and
+    /// [`TraceError::TimeOverflow`] when the admitted work would push
+    /// the trace's total work or completion horizon past the `Time`
+    /// range (checked *before* mutating, so a rejected admit leaves the
+    /// trace untouched).
+    pub fn admit_job(
+        &mut self,
+        org: OrgId,
+        release: Time,
+        proc_time: Time,
+        deadline: Option<Time>,
+    ) -> Result<JobId, TraceError> {
+        let pos = self.releases.partition_point(|&r| r <= release);
+        if org.index() >= self.orgs.len() {
+            return Err(TraceError::UnknownOrg { job: JobId(pos as u32), org });
+        }
+        if proc_time == 0 {
+            return Err(TraceError::ZeroProcTime { job: JobId(pos as u32) });
+        }
+        let total = checked_time::checked_add(self.try_total_work()?, proc_time)
+            .ok_or(TraceError::TimeOverflow { what: "total_work" })?;
+        checked_time::checked_add(self.max_release().max(release), total)
+            .ok_or(TraceError::TimeOverflow { what: "completion_horizon" })?;
+        self.job_orgs.insert(pos, org);
+        self.releases.insert(pos, release);
+        self.proc_times.insert(pos, proc_time);
+        self.deadlines.insert(pos, deadline);
+        // Ids are positions; restore contiguity from the insertion point.
+        self.ids.insert(pos, JobId(pos as u32));
+        for i in pos + 1..self.ids.len() {
+            self.ids[i] = JobId(i as u32);
+        }
+        self.org_index = OrgIndex::build(self.orgs.len(), &self.job_orgs);
+        Ok(JobId(pos as u32))
+    }
+
     /// Validates every model invariant; [`TraceBuilder::build`] guarantees
     /// these, so this is mainly useful for externally constructed traces.
     pub fn validate(&self) -> Result<(), TraceError> {
@@ -776,6 +826,59 @@ mod tests {
         assert_eq!(t.n_jobs_of(OrgId(7)), 0);
     }
 
+    #[test]
+    fn admit_job_inserts_sorted_and_renumbers() {
+        let mut t = two_org_trace(); // releases [0, 1, 3]
+        let id = t.admit_job(OrgId(1), 2, 7, None).unwrap();
+        assert_eq!(id, JobId(2));
+        assert_eq!(t.releases(), &[0, 1, 2, 3]);
+        assert_eq!(t.proc_times()[2], 7);
+        assert_eq!(t.job_orgs()[2], OrgId(1));
+        t.validate().unwrap();
+        // FIFO among equal releases: a second admit at the same release
+        // lands after the first (admission order is FIFO order).
+        let id2 = t.admit_job(OrgId(0), 2, 9, None).unwrap();
+        assert_eq!(id2, JobId(3));
+        assert_eq!(t.proc_times()[2..4], [7, 9]);
+        t.validate().unwrap();
+        // The per-org index was rebuilt.
+        assert_eq!(t.n_jobs_of(OrgId(1)), 2);
+        assert_eq!(t.n_jobs_of(OrgId(0)), 3);
+    }
+
+    #[test]
+    fn admit_job_matches_builder_with_job_added() {
+        // Admitting into a built trace equals building with the job in
+        // the insertion list — the batch-equivalence anchor the serving
+        // determinism contract rests on.
+        let mut live = two_org_trace();
+        live.admit_job(OrgId(0), 1, 4, None).unwrap();
+        let mut b = Trace::builder();
+        let a = b.org("alpha", 2);
+        let c = b.org("beta", 1);
+        b.job(a, 0, 5).job(c, 3, 2).job(a, 1, 1).job(a, 1, 4);
+        assert_eq!(live, b.build().unwrap());
+    }
+
+    #[test]
+    fn admit_job_rejects_bad_inputs_without_mutating() {
+        let mut t = two_org_trace();
+        let before = t.clone();
+        assert!(matches!(
+            t.admit_job(OrgId(9), 5, 1, None),
+            Err(TraceError::UnknownOrg { .. })
+        ));
+        assert!(matches!(
+            t.admit_job(OrgId(0), 5, 0, None),
+            Err(TraceError::ZeroProcTime { .. })
+        ));
+        assert_eq!(
+            t.admit_job(OrgId(0), 5, Time::MAX - 1, None),
+            Err(TraceError::TimeOverflow { what: "total_work" })
+        );
+        assert_eq!(t, before, "rejected admits must leave the trace untouched");
+    }
+
     /// A builder over arbitrary (org, release, proc) triples shared by the
     /// oracle proptests below.
     fn trace_of(specs: &[(u32, Time, Time)], n_orgs: u32) -> Trace {
@@ -827,6 +930,32 @@ mod tests {
                 prop_assert_eq!(t.n_jobs_of(org),
                     t.jobs().iter().filter(|j| j.org == org).count());
             }
+        }
+
+        /// Admitting a stream of jobs one by one must equal building the
+        /// whole job list at once with [`TraceBuilder`] — the stable-sort
+        /// tie order *is* the admission order, the batch-equivalence
+        /// anchor the serving determinism contract rests on.
+        #[test]
+        fn prop_admit_stream_matches_batch_build(
+            base in proptest::collection::vec(
+                (0u32..4, 0u64..30, 1u64..10), 1..25),
+            admits in proptest::collection::vec(
+                (0u32..4, 0u64..30, 1u64..10), 1..15),
+        ) {
+            let n_orgs = 4u32;
+            let mut live = trace_of(&base, n_orgs);
+            for &(u, r, p) in &admits {
+                live.admit_job(OrgId(u % n_orgs), r, p, None).unwrap();
+            }
+            let mut b = Trace::builder();
+            for u in 0..n_orgs {
+                b.org(format!("org{u}"), if u == 0 { 2 } else { 1 });
+            }
+            for &(u, r, p) in base.iter().chain(&admits) {
+                b.job(OrgId(u % n_orgs), r, p);
+            }
+            prop_assert_eq!(live, b.build().unwrap());
         }
 
         /// `restrict_to` through the index must equal the retained naive

@@ -321,6 +321,15 @@ impl Scheduler for GeneralRefScheduler {
         );
     }
 
+    fn admits_jobs(&self) -> bool {
+        // The general REF holds an `Arc` of the trace it was built from
+        // and re-reads it on every release; splicing a shared snapshot is
+        // not possible, and the 2^k materialized sub-schedules make it a
+        // benchmark tool, not a serving scheduler. Decline, so sessions
+        // surface a typed error instead of desynchronizing.
+        false
+    }
+
     fn on_release(&mut self, t: Time, job: &JobMeta) {
         let proc = self.trace.job(job.id).proc_time;
         self.settle(t);

@@ -105,6 +105,30 @@ pub trait Scheduler {
     ) {
     }
 
+    /// Whether this scheduler supports mid-run job admission (online
+    /// serving). Schedulers that keep no per-job trace state (the
+    /// fair-share family, round robin, FIFO, DIRECTCONTR) admit for
+    /// free; duration-oracle schedulers splice their oracle in
+    /// [`Scheduler::on_admit`]. Return `false` (as the general REF
+    /// does) to make sessions reject admission with a typed error
+    /// *before* anything mutates.
+    fn admits_jobs(&self) -> bool {
+        true
+    }
+
+    /// A job not in the trace the scheduler was built from has been
+    /// admitted mid-run. Only called when [`Scheduler::admits_jobs`] is
+    /// true and the trace accepted the job.
+    ///
+    /// `job` is the full record *including* `proc_time`: schedulers
+    /// built with the duration oracle (the REF family reads every
+    /// processing time from the trace at construction) splice the new
+    /// duration into their oracle here. `job.id` is the id the trace
+    /// assigned — ids of jobs releasing later shift by one, but the
+    /// engine guarantees those are all unreleased, so no scheduler has
+    /// observed them.
+    fn on_admit(&mut self, _job: &crate::model::Job) {}
+
     /// Chooses the organization whose FIFO-head job is started next.
     /// Must return an organization with a waiting job.
     fn select(&mut self, ctx: &SelectContext<'_>) -> OrgId;

@@ -123,6 +123,13 @@ impl Scheduler for RandScheduler {
         );
     }
 
+    fn on_admit(&mut self, job: &crate::model::Job) {
+        // Same duration-oracle splice as REF: insert at the assigned id,
+        // shifting only unreleased jobs; the sampled lattice's φ caches
+        // stay live and learn of the job at its `on_release`.
+        self.durations.insert(job.id.index(), job.proc_time);
+    }
+
     fn on_release(&mut self, t: Time, job: &JobMeta) {
         let proc = self.durations[job.id.index()];
         self.lattice.release(t, job.org, proc);

@@ -8,10 +8,15 @@
 //! construction: appends may be torn mid-line by a kill, so the reader
 //! tolerates one trailing undecodable line (reported via
 //! [`Journal::truncated`]) instead of failing the whole run.
+//!
+//! The filesystem mechanics — single-`write_all` appends, the tolerant
+//! line reader — live in [`fairsched_core::journal`], shared with the
+//! serving daemon's submission queue; this module only owns the typed
+//! entry format.
 
+use fairsched_core::journal as fs_journal;
 use fairsched_sim::SimError;
 use serde::Value;
-use std::io::Write;
 use std::path::Path;
 
 /// One journaled transition: cell `cell` entered `state` on attempt
@@ -64,17 +69,9 @@ pub struct Journal {
 }
 
 /// Appends one entry (plus newline) to the journal at `path`, creating
-/// the file if needed. A single `write_all` of one line keeps the torn
-/// window as small as the filesystem allows.
+/// the file if needed ([`fairsched_core::journal::append_line`]).
 pub fn append(path: &Path, entry: &JournalEntry) -> Result<(), SimError> {
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .map_err(|e| SimError::io("open-append", path, &e))?;
-    let mut line = entry.to_json_line();
-    line.push('\n');
-    file.write_all(line.as_bytes()).map_err(|e| SimError::io("append", path, &e))
+    fs_journal::append_line(path, &entry.to_json_line()).map_err(SimError::from)
 }
 
 /// Reads the journal at `path`. A missing file is the empty journal;
@@ -82,32 +79,15 @@ pub fn append(path: &Path, entry: &JournalEntry) -> Result<(), SimError> {
 /// [`Journal::truncated`] rather than erroring — a torn final line is an
 /// expected crash artifact, not corruption.
 pub fn read_journal(path: &Path) -> Result<Journal, SimError> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(Journal::default())
-        }
-        Err(e) => return Err(SimError::io("read", path, &e)),
-    };
-    let mut journal = Journal::default();
-    for line in text.lines() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match JournalEntry::from_json_line(line) {
-            Some(entry) => journal.entries.push(entry),
-            None => {
-                journal.truncated = true;
-                break;
-            }
-        }
-    }
-    Ok(journal)
+    let (entries, truncated) =
+        fs_journal::read_lines_tolerant(path, JournalEntry::from_json_line)?;
+    Ok(Journal { entries, truncated })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn entry(cell: &str, state: &str, attempt: u64) -> JournalEntry {
         JournalEntry { cell: cell.into(), state: state.into(), attempt }

@@ -202,21 +202,21 @@ impl Runner {
         }
     }
 
-    /// One write-then-rename commit, passing through the `{prefix}.tmp`
-    /// and `{prefix}.commit` fail points (the two distinct crash windows).
+    /// One write-then-rename commit ([`fairsched_core::journal`]'s two
+    /// halves), passing through the `{prefix}.tmp` and `{prefix}.commit`
+    /// fail points (the two distinct crash windows).
     fn try_atomic_write(
         &mut self,
         prefix: &str,
         path: &Path,
         contents: &str,
     ) -> Result<(), WriteError> {
-        let tmp = path.with_extension("json.tmp");
         self.check_site(&format!("{prefix}.tmp"))?;
-        std::fs::write(&tmp, contents)
-            .map_err(|e| WriteError::Io(SimError::io("write", &tmp, &e)))?;
+        let tmp = fairsched_core::journal::write_scratch(path, contents)
+            .map_err(|e| WriteError::Io(SimError::from(e)))?;
         self.check_site(&format!("{prefix}.commit"))?;
-        std::fs::rename(&tmp, path)
-            .map_err(|e| WriteError::Io(SimError::io("rename", path, &e)))
+        fairsched_core::journal::commit_scratch(&tmp, path)
+            .map_err(|e| WriteError::Io(SimError::from(e)))
     }
 
     /// [`try_atomic_write`](Self::try_atomic_write) under the spec's

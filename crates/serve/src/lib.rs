@@ -1,0 +1,36 @@
+//! # fairsched-serve — the online scheduling daemon
+//!
+//! The batch engine answers "what would the fair schedule have been";
+//! this crate answers "what is it *now*": a daemon that owns a resumable
+//! [`fairsched_sim::SimSession`], accepts jobs while the clock runs, and
+//! survives `kill -9` without changing a byte of the schedule it builds.
+//!
+//! Three pieces, each std-only (no async runtime, no network deps):
+//!
+//! * [`SubmissionQueue`] — a journaled file queue under
+//!   `dir/queue/{inbox,accepted,results}/`. Producers commit messages
+//!   into the inbox with the shared write-then-rename idiom
+//!   ([`fairsched_core::journal`]); the daemon renames them into the
+//!   `accepted/` journal, which assigns the total order everything else
+//!   replays.
+//! * [`Daemon`] — the control loop: drain inbox → apply to session →
+//!   write result → snapshot. Recovery is *journal ∘ snapshot = state*:
+//!   restore the snapshot, replay the accepted tail, continue.
+//! * [`HttpServer`] — a minimal `std::net` listener serving the cached
+//!   [`Endpoints`] documents (`GET /status`, `/report`, `/series`).
+//!
+//! Driven by `fairsched serve --dir D` and `fairsched submit --dir D …`;
+//! see `docs/SERVE.md` for the protocol and an end-to-end walkthrough.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod http;
+pub mod message;
+pub mod queue;
+
+pub use daemon::{Daemon, ServeConfig, ServeError, CONFIG_SCHEMA, SNAPSHOT_SCHEMA};
+pub use http::{Endpoints, HttpServer};
+pub use message::Message;
+pub use queue::SubmissionQueue;

@@ -1,0 +1,124 @@
+//! Queue messages: the typed control-plane vocabulary and its JSON codec.
+//!
+//! Every file in `queue/inbox/` is one [`Message`], tagged by a `"type"`
+//! field. The codec is hand-written over the workspace serde facade's
+//! [`Value`] tree so malformed submissions surface as rendered strings
+//! (which the daemon journals as rejections) rather than panics.
+
+use fairsched_core::model::Time;
+use serde::{Deserialize, Serialize, Value};
+
+/// One control-plane message, as dropped into `queue/inbox/` and archived
+/// (verbatim) under `queue/accepted/`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Admit a job into the running trace: the online arrival.
+    Submit {
+        /// The submitting organization, by trace index.
+        org: u32,
+        /// Release time (must be strictly after the stepped-to mark).
+        release: Time,
+        /// Processing time (must be positive).
+        proc_time: Time,
+        /// Optional deadline (for the tardiness utility).
+        deadline: Option<Time>,
+    },
+    /// Advance the engine's event loop to a time high-water mark.
+    Advance {
+        /// The new stepped-to mark.
+        until: Time,
+    },
+    /// Drain, snapshot, finalize, and exit the daemon loop.
+    Stop,
+}
+
+impl Message {
+    /// The message as a JSON value tree (tagged by `"type"`).
+    pub fn to_value(&self) -> Value {
+        match self {
+            Message::Submit { org, release, proc_time, deadline } => Value::Object(vec![
+                ("type".to_string(), Value::String("submit".to_string())),
+                ("org".to_string(), org.to_value()),
+                ("release".to_string(), release.to_value()),
+                ("proc_time".to_string(), proc_time.to_value()),
+                ("deadline".to_string(), deadline.to_value()),
+            ]),
+            Message::Advance { until } => Value::Object(vec![
+                ("type".to_string(), Value::String("advance".to_string())),
+                ("until".to_string(), until.to_value()),
+            ]),
+            Message::Stop => Value::Object(vec![(
+                "type".to_string(),
+                Value::String("stop".to_string()),
+            )]),
+        }
+    }
+
+    /// Compact JSON rendering (one message per queue file).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// Decodes a message from a JSON value tree.
+    ///
+    /// # Errors
+    /// A rendered description of what was malformed (unknown `"type"`,
+    /// missing or mistyped fields).
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let tag: String =
+            serde::field(v, "type", "Message").map_err(|e| e.to_string())?;
+        match tag.as_str() {
+            "submit" => Ok(Message::Submit {
+                org: field(v, "org")?,
+                release: field(v, "release")?,
+                proc_time: field(v, "proc_time")?,
+                deadline: field(v, "deadline")?,
+            }),
+            "advance" => Ok(Message::Advance { until: field(v, "until")? }),
+            "stop" => Ok(Message::Stop),
+            other => Err(format!(
+                "unknown message type {other:?} (expected submit|advance|stop)"
+            )),
+        }
+    }
+
+    /// Decodes a message from JSON text.
+    ///
+    /// # Errors
+    /// A rendered description of the parse or shape failure.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+        Self::from_value(&v)
+    }
+}
+
+fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, String> {
+    serde::field(v, name, "Message").map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_variant() {
+        let messages = [
+            Message::Submit { org: 2, release: 7, proc_time: 3, deadline: None },
+            Message::Submit { org: 0, release: 1, proc_time: 1, deadline: Some(9) },
+            Message::Advance { until: 40 },
+            Message::Stop,
+        ];
+        for m in messages {
+            assert_eq!(Message::from_json(&m.to_json()).as_ref(), Ok(&m), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_with_rendered_reason() {
+        assert!(Message::from_json("{oops").is_err());
+        assert!(Message::from_json(r#"{"type":"warp"}"#)
+            .is_err_and(|e| e.contains("unknown message type")));
+        assert!(Message::from_json(r#"{"type":"submit","org":1}"#).is_err());
+        assert!(Message::from_json(r#"{"type":"advance"}"#).is_err());
+    }
+}

@@ -112,143 +112,226 @@ pub fn run_scheduler(
     scheduler: &mut dyn Scheduler,
     options: SimOptions,
 ) -> Result<SimResult, SimError> {
-    trace.validate().map_err(SimError::InvalidTrace)?;
-    let info = trace.cluster_info();
-    let horizon = options.horizon;
+    let mut state = EngineState::new(trace, scheduler)?;
+    state.step(trace, scheduler, options.horizon)?;
+    state.into_result(trace, scheduler, options)
+}
 
-    let mut cluster = Cluster::new(&info);
-    let mut waiting: Vec<VecDeque<JobId>> = vec![VecDeque::new(); trace.n_orgs()];
-    let mut waiting_counts: Vec<usize> = vec![0; trace.n_orgs()];
-    let mut total_waiting = 0usize;
-    // Completion events: (time, machine).
-    let mut completions: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
-    let mut schedule = Schedule::new();
-    let mut completed_jobs = 0usize;
+/// The resumable core of the engine: the complete event-loop position of
+/// a run in progress, factored out of [`run_scheduler`] so online
+/// sessions ([`SimSession`](crate::SimSession)) can advance a run in
+/// increments and admit jobs between steps while sharing the batch
+/// engine's exact loop (bit-identical schedules, pinned by the goldens).
+///
+/// Invariant after [`EngineState::step`]`(until)`: every release and
+/// completion event with time `<= until` has been processed, so
+/// `releases[next_release] > stepped_to` — which is what makes mid-run
+/// admission of a job with `release > stepped_to` safe: its insertion
+/// position is at or past `next_release`, and only ids of unreleased
+/// (never observed) jobs shift.
+#[derive(Clone, Debug)]
+pub(crate) struct EngineState {
+    cluster: Cluster,
+    waiting: Vec<VecDeque<JobId>>,
+    waiting_counts: Vec<usize>,
+    total_waiting: usize,
+    /// Completion events: (time, machine).
+    completions: BinaryHeap<Reverse<(Time, u32)>>,
+    schedule: Schedule,
+    completed_jobs: usize,
+    next_release: usize,
+    stepped_to: Option<Time>,
+}
 
-    scheduler.init(&info);
+impl EngineState {
+    /// Validates the trace, initializes the scheduler, and returns the
+    /// ready-to-step state (no events processed yet).
+    pub(crate) fn new(
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<Self, SimError> {
+        trace.validate().map_err(SimError::InvalidTrace)?;
+        let info = trace.cluster_info();
+        scheduler.init(&info);
+        Ok(EngineState {
+            cluster: Cluster::new(&info),
+            waiting: vec![VecDeque::new(); trace.n_orgs()],
+            waiting_counts: vec![0; trace.n_orgs()],
+            total_waiting: 0,
+            completions: BinaryHeap::new(),
+            schedule: Schedule::new(),
+            completed_jobs: 0,
+            next_release: 0,
+            stepped_to: None,
+        })
+    }
 
-    // The release loop walks the raw columns (cache-hot; assembling a
-    // full `Job` per release is only needed for the scheduler callback).
-    let releases = trace.releases();
-    let job_orgs = trace.job_orgs();
-    let mut next_release = 0usize;
+    /// The largest `until` stepped to so far (`None` before any step).
+    pub(crate) fn stepped_to(&self) -> Option<Time> {
+        self.stepped_to
+    }
 
-    loop {
-        // Next event time: the earlier of the next release and completion.
-        let release_t = releases.get(next_release).copied();
-        let completion_t = completions.peek().map(|Reverse((t, _))| *t);
-        let t = match (release_t, completion_t) {
-            (None, None) => break,
-            (Some(r), None) => r,
-            (None, Some(c)) => c,
-            (Some(r), Some(c)) => r.min(c),
-        };
-        if t > horizon {
-            break;
-        }
+    /// The schedule built so far.
+    pub(crate) fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
 
-        // 1. Completions at t free machines.
-        while let Some(&Reverse((ct, machine))) = completions.peek() {
-            if ct > t {
+    /// Jobs completed so far.
+    pub(crate) fn completed_jobs(&self) -> usize {
+        self.completed_jobs
+    }
+
+    /// Advances the event loop until the next event time would exceed
+    /// `until`, then records `until` as stepped-to. Stepping to an
+    /// earlier `until` than a previous step is a no-op (all events up to
+    /// the high-water mark are already processed).
+    pub(crate) fn step(
+        &mut self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        until: Time,
+    ) -> Result<(), SimError> {
+        // The release loop walks the raw columns (cache-hot; assembling a
+        // full `Job` per release is only needed for the scheduler callback).
+        let releases = trace.releases();
+        let job_orgs = trace.job_orgs();
+
+        loop {
+            // Next event time: the earlier of the next release and completion.
+            let release_t = releases.get(self.next_release).copied();
+            let completion_t = self.completions.peek().map(|Reverse((t, _))| *t);
+            let t = match (release_t, completion_t) {
+                (None, None) => break,
+                (Some(r), None) => r,
+                (None, Some(c)) => c,
+                (Some(r), Some(c)) => r.min(c),
+            };
+            if t > until {
                 break;
             }
-            completions.pop();
-            let machine = MachineId(machine);
-            let (job, start) = cluster.complete(machine);
-            completed_jobs += 1;
-            scheduler.on_complete(t, &trace.job(job).meta(), machine, start);
-        }
 
-        // 2. Releases at t enter the queues.
-        while next_release < releases.len() && releases[next_release] == t {
-            let org = job_orgs[next_release];
-            let id = JobId(next_release as u32);
-            waiting[org.index()].push_back(id);
-            waiting_counts[org.index()] += 1;
-            total_waiting += 1;
-            scheduler.on_release(t, &trace.job(id).meta());
-            next_release += 1;
-        }
+            // 1. Completions at t free machines.
+            while let Some(&Reverse((ct, machine))) = self.completions.peek() {
+                if ct > t {
+                    break;
+                }
+                self.completions.pop();
+                let machine = MachineId(machine);
+                let (job, start) = self.cluster.complete(machine);
+                self.completed_jobs += 1;
+                scheduler.on_complete(t, &trace.job(job).meta(), machine, start);
+            }
 
-        // 3. Greedy scheduling loop at t.
-        while cluster.has_free() && total_waiting > 0 {
-            let org = {
-                let ctx = SelectContext {
-                    t,
-                    waiting: &waiting_counts,
-                    free_machines: cluster.free_machines(),
+            // 2. Releases at t enter the queues.
+            while self.next_release < releases.len() && releases[self.next_release] == t {
+                let org = job_orgs[self.next_release];
+                let id = JobId(self.next_release as u32);
+                self.waiting[org.index()].push_back(id);
+                self.waiting_counts[org.index()] += 1;
+                self.total_waiting += 1;
+                scheduler.on_release(t, &trace.job(id).meta());
+                self.next_release += 1;
+            }
+
+            // 3. Greedy scheduling loop at t.
+            while self.cluster.has_free() && self.total_waiting > 0 {
+                let org = {
+                    let ctx = SelectContext {
+                        t,
+                        waiting: &self.waiting_counts,
+                        free_machines: self.cluster.free_machines(),
+                    };
+                    scheduler.select(&ctx)
                 };
-                scheduler.select(&ctx)
-            };
-            // Out-of-range ids and empty-queue picks are the same contract
-            // violation; the bounds check keeps this a typed error rather
-            // than an index panic.
-            if waiting_counts.get(org.index()).copied().unwrap_or(0) == 0 {
-                return Err(SimError::BadSelection {
+                // Out-of-range ids and empty-queue picks are the same contract
+                // violation; the bounds check keeps this a typed error rather
+                // than an index panic.
+                if self.waiting_counts.get(org.index()).copied().unwrap_or(0) == 0 {
+                    return Err(SimError::BadSelection {
+                        scheduler: scheduler.name(),
+                        org,
+                        t,
+                    });
+                }
+                let job_id =
+                    self.waiting[org.index()].pop_front().expect("count/queue mismatch");
+                self.waiting_counts[org.index()] -= 1;
+                self.total_waiting -= 1;
+                let job = trace.job(job_id);
+
+                let machine_idx = {
+                    let ctx = SelectContext {
+                        t,
+                        waiting: &self.waiting_counts,
+                        free_machines: self.cluster.free_machines(),
+                    };
+                    match scheduler.pick_machine(&ctx, &job.meta()) {
+                        None => 0,
+                        Some(i) if i < self.cluster.free_machines().len() => i,
+                        Some(i) => {
+                            return Err(SimError::BadMachinePick {
+                                scheduler: scheduler.name(),
+                                picked: i,
+                                free: self.cluster.free_machines().len(),
+                                t,
+                            })
+                        }
+                    }
+                };
+                let machine = self.cluster.start(machine_idx, job_id, t);
+                self.completions.push(Reverse((
+                    checked_time::completion(t, job.proc_time),
+                    machine.0,
+                )));
+                self.schedule.push(ScheduledJob {
+                    job: job_id,
+                    org: job.org,
+                    machine,
+                    start: t,
+                    proc_time: job.proc_time,
+                });
+                scheduler.on_start(t, &job.meta(), machine);
+            }
+        }
+
+        self.stepped_to = Some(self.stepped_to.map_or(until, |s| s.max(until)));
+        Ok(())
+    }
+
+    /// Evaluates the run at `options.horizon`, consuming the state. The
+    /// scheduler is only consulted for its display name.
+    pub(crate) fn into_result(
+        self,
+        trace: &Trace,
+        scheduler: &mut dyn Scheduler,
+        options: SimOptions,
+    ) -> Result<SimResult, SimError> {
+        let info = trace.cluster_info();
+        let horizon = options.horizon;
+        if options.validate {
+            if let Err(violation) =
+                self.schedule.validate_with_info(trace, &info, horizon)
+            {
+                return Err(SimError::InvalidSchedule {
                     scheduler: scheduler.name(),
-                    org,
-                    t,
+                    violation,
                 });
             }
-            let job_id = waiting[org.index()].pop_front().expect("count/queue mismatch");
-            waiting_counts[org.index()] -= 1;
-            total_waiting -= 1;
-            let job = trace.job(job_id);
-
-            let machine_idx = {
-                let ctx = SelectContext {
-                    t,
-                    waiting: &waiting_counts,
-                    free_machines: cluster.free_machines(),
-                };
-                match scheduler.pick_machine(&ctx, &job.meta()) {
-                    None => 0,
-                    Some(i) if i < cluster.free_machines().len() => i,
-                    Some(i) => {
-                        return Err(SimError::BadMachinePick {
-                            scheduler: scheduler.name(),
-                            picked: i,
-                            free: cluster.free_machines().len(),
-                            t,
-                        })
-                    }
-                }
-            };
-            let machine = cluster.start(machine_idx, job_id, t);
-            completions
-                .push(Reverse((checked_time::completion(t, job.proc_time), machine.0)));
-            schedule.push(ScheduledJob {
-                job: job_id,
-                org: job.org,
-                machine,
-                start: t,
-                proc_time: job.proc_time,
-            });
-            scheduler.on_start(t, &job.meta(), machine);
         }
-    }
 
-    if options.validate {
-        if let Err(violation) = schedule.validate_with_info(trace, &info, horizon) {
-            return Err(SimError::InvalidSchedule {
-                scheduler: scheduler.name(),
-                violation,
-            });
-        }
+        let psi = sp_vector(trace, &self.schedule, horizon);
+        let busy_time = self.schedule.busy_time(horizon);
+        Ok(SimResult {
+            scheduler: scheduler.name(),
+            utilization: self.schedule.utilization(info.n_machines(), horizon),
+            started_jobs: self.schedule.len(),
+            schedule: self.schedule,
+            horizon,
+            psi,
+            busy_time,
+            completed_jobs: self.completed_jobs,
+        })
     }
-
-    let psi = sp_vector(trace, &schedule, horizon);
-    let busy_time = schedule.busy_time(horizon);
-    Ok(SimResult {
-        scheduler: scheduler.name(),
-        utilization: schedule.utilization(info.n_machines(), horizon),
-        started_jobs: schedule.len(),
-        schedule,
-        horizon,
-        psi,
-        busy_time,
-        completed_jobs,
-    })
 }
 
 #[cfg(test)]

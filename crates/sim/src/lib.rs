@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod report;
 pub mod session;
+pub mod stepper;
 
 pub use cluster::Cluster;
 pub use engine::{run_scheduler, simulate, simulate_with_options, SimOptions, SimResult};
@@ -56,3 +57,4 @@ pub use report::{
     MetricRegistry, MetricSpec, MetricValue, Report, TimeSeriesColumn,
 };
 pub use session::{GridCell, ReportCell, SimError, Simulation, DEFAULT_REPORT_METRICS};
+pub use stepper::{Admission, SimSession, SNAPSHOT_SCHEMA};

@@ -114,6 +114,27 @@ pub enum SimError {
         /// The violated invariant.
         violation: ScheduleViolation,
     },
+    /// A mid-run admission was attempted on a scheduler that cannot
+    /// splice new jobs into its state (see
+    /// [`Scheduler::admits_jobs`](fairsched_core::scheduler::Scheduler::admits_jobs)).
+    AdmitUnsupported {
+        /// The declining scheduler's display name.
+        scheduler: String,
+    },
+    /// A mid-run admission's release time is not strictly after the
+    /// session's stepped-to high-water mark: the engine has already
+    /// processed that time moment, so admitting would rewrite history.
+    AdmitTooLate {
+        /// The rejected job's release time.
+        release: Time,
+        /// How far the session has stepped.
+        stepped_to: Time,
+    },
+    /// A session snapshot could not be parsed or replayed.
+    Snapshot {
+        /// What went wrong (rendered, so the variant stays `Clone`).
+        message: String,
+    },
     /// A filesystem operation on behalf of a run failed (the durable
     /// experiment runner's cell/journal/report writes). The fields are
     /// rendered strings so the error stays `Clone` like every other
@@ -166,6 +187,18 @@ impl fmt::Display for SimError {
             SimError::InvalidSchedule { scheduler, violation } => {
                 write!(f, "scheduler {scheduler} produced an invalid schedule: {violation}")
             }
+            SimError::AdmitUnsupported { scheduler } => write!(
+                f,
+                "scheduler {scheduler} does not support mid-run job admission"
+            ),
+            SimError::AdmitTooLate { release, stepped_to } => write!(
+                f,
+                "cannot admit a job releasing at t={release}: the session has already \
+                 stepped to t={stepped_to} (releases must be strictly later)"
+            ),
+            SimError::Snapshot { message } => {
+                write!(f, "bad session snapshot: {message}")
+            }
             SimError::Io { op, path, message } => {
                 write!(f, "io error ({op} {path}): {message}")
             }
@@ -188,6 +221,12 @@ impl std::error::Error for SimError {
 impl From<SpecError> for SimError {
     fn from(e: SpecError) -> Self {
         SimError::Spec(e)
+    }
+}
+
+impl From<fairsched_core::journal::FsError> for SimError {
+    fn from(e: fairsched_core::journal::FsError) -> Self {
+        SimError::Io { op: e.op, path: e.path, message: e.message }
     }
 }
 

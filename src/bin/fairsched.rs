@@ -75,6 +75,12 @@ experiments:
   experiment status SPEC.json [--dir DIR]
                        progress of a run directory
 
+serving:
+  serve --dir DIR [--workload SPEC --scheduler SPEC --seed S]
+                       online scheduling daemon over a journaled file
+                       queue (crash-safe; see `fairsched serve --help`)
+  submit --dir DIR ... drop a job / advance / stop message into the queue
+
 output:
   --metrics SPECS      comma-separated metric registry specs to evaluate
                        (default {default_metrics}); registered metrics:
@@ -224,10 +230,229 @@ inject deterministic faults (see docs/EXPERIMENTS.md).",
     }
 }
 
+/// Splits `args` into `--key value` options and bare `--flag` flags (the
+/// same shape `main` parses inline), bailing to `usage` on a positional.
+fn parse_flags(
+    args: &[String],
+    usage: fn() -> !,
+) -> (HashMap<String, String>, Vec<String>) {
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument {:?}", args[i]);
+            usage();
+        };
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            opts.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.push(key.to_string());
+            i += 1;
+        }
+    }
+    (opts, flags)
+}
+
+/// `fairsched serve` — the online scheduling daemon (see docs/SERVE.md).
+///
+/// Initializes (or verifies) DIR's identity, restores the snapshot,
+/// replays the accepted journal tail, and drains the inbox until a
+/// `stop` message arrives; then finalizes `trace.json`/`schedule.json`
+/// and optionally re-runs the batch engine over the grown trace to prove
+/// the incrementally built schedule byte-identical.
+fn serve_main(args: &[String]) -> ! {
+    use fairsched::serve::{Daemon, HttpServer, ServeConfig};
+
+    fn serve_usage() -> ! {
+        eprintln!(
+            "usage: fairsched serve --dir DIR [options]
+
+  --dir DIR            the serve directory (created if missing)
+  --workload SPEC      workload registry spec seeding the base trace
+                       (default fpt:k=4; fixed at first init)
+  --scheduler SPEC     scheduler registry spec (default fairshare)
+  --seed S             seed for workload and scheduler (default 42)
+  --http [ADDR]        serve GET /status /report /series on ADDR
+                       (default 127.0.0.1:0; bound address is printed
+                       and written to DIR/http.txt)
+  --poll-ms N          inbox poll interval (default 50)
+  --batch-check        after stopping, re-run the batch engine over the
+                       grown trace and exit 1 unless schedules match
+
+The daemon exits when a `fairsched submit --dir DIR --stop` message is
+applied. kill -9 at any point is safe: restart with the same command and
+the journal replays to the identical state."
+        );
+        exit(2)
+    }
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        serve_usage();
+    }
+    let (opts, flags) = parse_flags(args, serve_usage);
+    let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let has = |k: &str| flags.iter().any(|f| f == k);
+    let Some(dir) = opts.get("dir").map(std::path::PathBuf::from) else {
+        serve_usage();
+    };
+
+    // Identity: defaults come from the existing config when reopening, so
+    // `fairsched serve --dir D` resumes without restating the specs; any
+    // flag that *is* passed must agree with the stored identity.
+    let existing = ServeConfig::path(&dir).exists().then(|| {
+        ServeConfig::load(&dir).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(1)
+        })
+    });
+    let base = existing.unwrap_or_else(|| ServeConfig {
+        workload: "fpt:k=4".to_string(),
+        scheduler: "fairshare".to_string(),
+        seed: 42,
+    });
+    let config = ServeConfig {
+        workload: get("workload", &base.workload),
+        scheduler: get("scheduler", &base.scheduler),
+        seed: get("seed", &base.seed.to_string())
+            .parse()
+            .unwrap_or_else(|_| serve_usage()),
+    };
+    config.init(&dir).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+
+    let mut daemon = Daemon::open(&dir).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    let server = (has("http") || opts.contains_key("http")).then(|| {
+        let server = HttpServer::start(&get("http", "127.0.0.1:0"), daemon.endpoints())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot bind http listener: {e}");
+                exit(1)
+            });
+        let addr = server.addr().to_string();
+        println!("http: listening on {addr}");
+        fairsched::core::journal::atomic_write(&dir.join("http.txt"), &addr)
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1)
+            });
+        server
+    });
+    let poll_ms: u64 = get("poll-ms", "50").parse().unwrap_or_else(|_| serve_usage());
+
+    println!(
+        "serving {} — workload {}, scheduler {}, seed {} (applied_seq {})",
+        dir.display(),
+        config.workload,
+        config.scheduler,
+        config.seed,
+        daemon.applied_seq(),
+    );
+    daemon.run(poll_ms).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    if let Some(server) = server {
+        server.stop();
+    }
+    daemon.finalize().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    println!(
+        "stopped at t={:?}: {} jobs ({} admitted online), {} completed, {} messages applied",
+        daemon.session().stepped_to(),
+        daemon.session().trace().n_jobs(),
+        daemon.session().admissions().len(),
+        daemon.session().completed_jobs(),
+        daemon.applied_seq(),
+    );
+    if has("batch-check") {
+        match daemon.batch_check() {
+            Ok(true) => println!("batch check: schedules byte-identical"),
+            Ok(false) => {
+                eprintln!("batch check: MISMATCH (see schedule.batch.json)");
+                exit(1)
+            }
+            Err(e) => {
+                eprintln!("batch check failed: {e}");
+                exit(1)
+            }
+        }
+    }
+    exit(0)
+}
+
+/// `fairsched submit` — drop one message into a serve directory's inbox.
+fn submit_main(args: &[String]) -> ! {
+    use fairsched::serve::{Message, SubmissionQueue};
+
+    fn submit_usage() -> ! {
+        eprintln!(
+            "usage: fairsched submit --dir DIR --org N --release T --proc T [--deadline T]
+       fairsched submit --dir DIR --advance T
+       fairsched submit --dir DIR --stop
+
+Commits one message into DIR/queue/inbox/ with an atomic write-then-
+rename; a running `fairsched serve` daemon picks it up on its next poll."
+        );
+        exit(2)
+    }
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        submit_usage();
+    }
+    let (opts, flags) = parse_flags(args, submit_usage);
+    let has = |k: &str| flags.iter().any(|f| f == k);
+    let num = |k: &str| -> Option<u64> {
+        opts.get(k).map(|v| v.parse().unwrap_or_else(|_| submit_usage()))
+    };
+    let Some(dir) = opts.get("dir").map(std::path::PathBuf::from) else {
+        submit_usage();
+    };
+
+    let message = if has("stop") {
+        Message::Stop
+    } else if let Some(until) = num("advance") {
+        Message::Advance { until }
+    } else {
+        match (opts.get("org"), num("release"), num("proc")) {
+            (Some(org), Some(release), Some(proc_time)) => Message::Submit {
+                org: org.parse().unwrap_or_else(|_| submit_usage()),
+                release,
+                proc_time,
+                deadline: num("deadline"),
+            },
+            _ => submit_usage(),
+        }
+    };
+    let queue = SubmissionQueue::open(&dir).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    let path = queue.submit(&message).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1)
+    });
+    println!("submitted {}", path.display());
+    exit(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("experiment") {
         experiment_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        submit_main(&args[1..]);
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         usage();

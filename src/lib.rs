@@ -89,5 +89,6 @@
 pub use coopgame;
 pub use fairsched_core as core;
 pub use fairsched_experiment as experiment;
+pub use fairsched_serve as serve;
 pub use fairsched_sim as sim;
 pub use fairsched_workloads as workloads;
