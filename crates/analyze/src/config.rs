@@ -301,6 +301,99 @@ impl Ratchet {
     }
 }
 
+/// One registered on-disk format version: the id as it appears in source
+/// (`fairsched-<name>/vN`) and the decode test that proves the current
+/// code still reads it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaEntry {
+    /// The full version literal, e.g. `fairsched-session-snapshot/v1`.
+    pub id: String,
+    /// `workspace/relative/file.rs::test_fn_name` — the test that decodes
+    /// (or, for retired versions, provably rejects) this format.
+    pub decode_test: String,
+    /// Optional free-form context (e.g. "negative fixture: decoder must
+    /// reject unknown versions").
+    pub note: Option<String>,
+    /// Source line in `schema_registry.toml`.
+    pub line: u32,
+}
+
+/// The parsed `schema_registry.toml`: every `fairsched-*/vN` format
+/// literal in non-test library code must have an entry here, so
+/// snapshot/journal/report formats cannot fork silently.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchemaRegistry {
+    /// All entries, file order.
+    pub entries: Vec<SchemaEntry>,
+}
+
+impl SchemaRegistry {
+    /// Parses `schema_registry.toml` text: `[[schema]]` tables carrying
+    /// `id`, `decode_test`, and an optional `note`. Duplicate ids are
+    /// rejected at parse time.
+    pub fn parse(file_label: &str, text: &str) -> Result<Self, ConfigError> {
+        let tables = toml_lite::parse(file_label, text)?;
+        let mut entries: Vec<SchemaEntry> = Vec::new();
+        for t in tables {
+            if !(t.array && t.name == "schema") {
+                return Err(ConfigError {
+                    file: file_label.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "unexpected section {:?} (only [[schema]] entries are defined)",
+                        t.name
+                    ),
+                });
+            }
+            let entry = schema_entry(file_label, &t)?;
+            if entries.iter().any(|e| e.id == entry.id) {
+                return Err(ConfigError {
+                    file: file_label.to_string(),
+                    line: t.line,
+                    message: format!("duplicate [[schema]] entry for id {:?}", entry.id),
+                });
+            }
+            entries.push(entry);
+        }
+        Ok(SchemaRegistry { entries })
+    }
+
+    /// The entry registering `id`, if any.
+    pub fn get(&self, id: &str) -> Option<&SchemaEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+}
+
+fn schema_entry(file_label: &str, t: &Table) -> Result<SchemaEntry, ConfigError> {
+    let err = |message: String| ConfigError {
+        file: file_label.to_string(),
+        line: t.line,
+        message,
+    };
+    let mut id = None;
+    let mut decode_test = None;
+    let mut note = None;
+    for (k, v) in &t.entries {
+        match (k.as_str(), v) {
+            ("id", Value::Str(s)) => id = Some(s.clone()),
+            ("decode_test", Value::Str(s)) => decode_test = Some(s.clone()),
+            ("note", Value::Str(s)) => note = Some(s.clone()),
+            (k, _) => {
+                return Err(err(format!("unknown or mistyped key {k:?} in [[schema]]")))
+            }
+        }
+    }
+    let id = id.ok_or_else(|| err("[[schema]] missing id".into()))?;
+    let decode_test =
+        decode_test.ok_or_else(|| err("[[schema]] missing decode_test".into()))?;
+    if !decode_test.contains("::") {
+        return Err(err(format!(
+            "decode_test {decode_test:?} must be \"path/to/file.rs::test_fn\""
+        )));
+    }
+    Ok(SchemaEntry { id, decode_test, note, line: t.line })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +452,43 @@ reason = "deliberate malformed fixtures"
         assert!(Ratchet::parse("r", "[ratchet]\na = 1\na = 2\n").is_err());
         assert!(Ratchet::parse("r", "[ratchet]\na = \"1\"\n").is_err());
         assert!(Ratchet::parse("r", "[other]\na = 1\n").is_err());
+    }
+
+    #[test]
+    fn parses_schema_registry() {
+        let text = r#"
+[[schema]]
+id = "fairsched-session-snapshot/v1"
+decode_test = "crates/sim/src/stepper.rs::snapshot_restore_round_trips_mid_run"
+
+[[schema]]
+id = "fairsched-experiment/v2"
+decode_test = "crates/experiment/src/spec.rs::bad_documents_are_typed_errors"
+note = "negative fixture: decoder must reject unknown versions"
+"#;
+        let r = SchemaRegistry::parse("schema_registry.toml", text).unwrap();
+        assert_eq!(r.entries.len(), 2);
+        let e = r.get("fairsched-session-snapshot/v1").unwrap();
+        assert!(e.decode_test.ends_with("::snapshot_restore_round_trips_mid_run"));
+        assert!(e.note.is_none());
+        assert!(r.get("fairsched-experiment/v2").unwrap().note.is_some());
+        assert!(r.get("fairsched-nope/v1").is_none());
+    }
+
+    #[test]
+    fn schema_registry_rejects_duplicates_and_malformed_entries() {
+        let dup = "[[schema]]\nid = \"a/v1\"\ndecode_test = \"f.rs::t\"\n\
+                   [[schema]]\nid = \"a/v1\"\ndecode_test = \"f.rs::t\"\n";
+        assert!(SchemaRegistry::parse("s", dup)
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        let no_sep = "[[schema]]\nid = \"a/v1\"\ndecode_test = \"not-a-pointer\"\n";
+        assert!(SchemaRegistry::parse("s", no_sep).is_err());
+        let missing = "[[schema]]\nid = \"a/v1\"\n";
+        assert!(SchemaRegistry::parse("s", missing).is_err());
+        let wrong_section = "[schema]\nid = \"a/v1\"\n";
+        assert!(SchemaRegistry::parse("s", wrong_section).is_err());
     }
 
     #[test]

@@ -3,16 +3,20 @@
 //!
 //! Run as `cargo run -p fairsched-analyze -- check`. The tool scans every
 //! workspace `.rs` file plus the golden/bench JSON artifacts, entirely
-//! offline, and enforces four rule families (see [`rules`]):
+//! offline, and enforces seven rule families (see [`rules`]):
 //! panic-freedom in library code, `Time`-overflow widening, spec-literal
-//! validity against the live registries, and golden/bench hygiene.
+//! validity against the live registries, golden/bench hygiene, and —
+//! built on the [workspace symbol graph](symbols) — replay determinism,
+//! journaled-write durability, and schema-version registration.
 //!
-//! Two committed files govern the verdict:
+//! Three committed files govern the verdict:
 //!
 //! * `lint_allow.toml` — file-scoped suppressions, each with a mandatory
 //!   one-line justification;
 //! * `lint_ratchet.toml` — per-rule violation ceilings that may only
-//!   decrease (`--update-ratchet` rewrites them to the current counts).
+//!   decrease (`--update-ratchet` rewrites them to the current counts);
+//! * `schema_registry.toml` — the on-disk format registry the
+//!   `schema-version` rule enforces.
 //!
 //! Exit codes: `0` clean (stale ratchets and unused allowlist entries are
 //! warnings), `1` lint failure (some rule exceeds its ratchet), `2`
@@ -21,15 +25,21 @@
 pub mod config;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use config::{Allowlist, Ratchet};
+use config::{Allowlist, Ratchet, SchemaRegistry};
 use lexer::LexedFile;
-use rules::{hygiene, panic_free, spec_literals, time_arith, ALL_RULES};
+use rules::{
+    determinism, durability, hygiene, panic_free, schema_version, spec_literals,
+    time_arith, ALL_RULES,
+};
+use symbols::SymbolGraph;
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -169,6 +179,7 @@ impl Outcome {
 /// Runs the full check over a workspace root.
 pub fn run_check(opts: &Options) -> Result<Outcome, Box<dyn Error>> {
     let sources = load_sources(&opts.root)?;
+    let graph = SymbolGraph::build(&sources);
     let mut findings = Vec::new();
 
     // Library-code rules.
@@ -176,12 +187,20 @@ pub fn run_check(opts: &Options) -> Result<Outcome, Box<dyn Error>> {
         sources.iter().filter(|s| is_library(&s.rel)).collect();
     for src in &library {
         panic_free::check(&src.rel, &src.lexed, &mut findings);
+        durability::check(&src.rel, &src.lexed, &graph, &mut findings);
     }
     let lexed_refs: Vec<(&str, &LexedFile)> =
         library.iter().map(|s| (s.rel.as_str(), &s.lexed)).collect();
     let time_names = time_arith::collect_time_names(&lexed_refs);
     for src in &library {
         time_arith::check(&src.rel, &src.lexed, &time_names, &mut findings);
+    }
+
+    // The strict determinism tier: replay-critical crates only.
+    for src in &sources {
+        if determinism::is_replay_critical(&src.rel) {
+            determinism::check(&src.rel, &src.lexed, &graph, &mut findings);
+        }
     }
 
     // Spec literals: all Rust sources + golden artifacts, validated
@@ -191,6 +210,18 @@ pub fn run_check(opts: &Options) -> Result<Outcome, Box<dyn Error>> {
     let snap = spec_literals::RegistrySnapshot::live();
     let referenced = spec_literals::check(&snap, &literals, &mut findings);
     spec_literals::coverage(&snap, &referenced, &mut findings);
+
+    // Schema versions: the literal pool against the committed registry.
+    let registry_path = opts.root.join(schema_version::REGISTRY_PATH);
+    let registry = if registry_path.exists() {
+        Some(SchemaRegistry::parse(
+            schema_version::REGISTRY_PATH,
+            &fs::read_to_string(&registry_path)?,
+        )?)
+    } else {
+        None
+    };
+    schema_version::check(registry.as_ref(), &literals, &graph, &mut findings);
 
     // Hygiene: orphan goldens (schema checks ran during collection).
     hygiene::check_orphans(&goldens, &sources, &mut findings);

@@ -1,0 +1,385 @@
+//! `determinism`: nondeterminism sources in replay-critical library code.
+//!
+//! The paper's guarantee — and everything PRs 7–9 built on it — is that a
+//! fair-share schedule is a *deterministic function of the trace*: journal
+//! replay must reproduce the batch schedule bit-for-bit, and crash-resumed
+//! experiment runs must be byte-identical. Three source-level constructs
+//! silently break that contract, and this rule flags all of them in
+//! non-test library code of the replay-critical crates:
+//!
+//! * **wall-clock reads** — `SystemTime::now()` / `Instant::now()`
+//!   (including through `use ... as` aliases, resolved via the
+//!   [symbol graph](crate::symbols));
+//! * **unseeded RNG construction** — `thread_rng()`, `from_entropy()`,
+//!   `OsRng`: entropy that replay cannot reproduce (the workspace `rand`
+//!   stub deliberately ships only `SeedableRng`/`StdRng`, so any hit here
+//!   means someone widened the stub without thinking about replay);
+//! * **`HashMap`/`HashSet` iteration** — `.iter()` / `.keys()` /
+//!   `for x in map` on values *declared* with a hash-ordered type:
+//!   iteration order varies per process, so anything order-dependent
+//!   (output files, tie-breaks, floating-point accumulation) forks on
+//!   replay. Keyed lookup (`map[k]`, `map.get(k)`) is fine and not
+//!   flagged.
+//!
+//! Like `time-arith` this is a declared-name heuristic, not a type
+//! checker: a `HashMap` that escapes through a function boundary under
+//! another name is invisible, and a `BTreeMap` locally renamed `HashMap`
+//! would false-positive (nobody does this). Genuine exceptions carry
+//! `lint:allow(determinism)` with a reason — e.g. the serve queue's
+//! submission stamp, where wall time only pre-orders inbox files and the
+//! journal sequence number assigns the replayed total order.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{LexedFile, Tok};
+use crate::rules::DETERMINISM;
+use crate::symbols::SymbolGraph;
+use crate::Finding;
+
+/// The crate source trees held to the strict determinism tier: the crates
+/// whose behavior must be a pure function of trace + seed. `crates/bench`
+/// is deliberately absent — measuring wall time is its purpose.
+pub const REPLAY_CRITICAL_PREFIXES: [&str; 5] = [
+    "crates/core/src/",
+    "crates/sim/src/",
+    "crates/workloads/src/",
+    "crates/experiment/src/",
+    "crates/serve/src/",
+];
+
+/// Whether a workspace-relative path is in the strict tier.
+pub fn is_replay_critical(rel: &str) -> bool {
+    REPLAY_CRITICAL_PREFIXES.iter().any(|p| rel.starts_with(p))
+}
+
+/// Clock types whose `::now()` is a wall-clock read.
+const CLOCK_TYPES: [&str; 2] = ["SystemTime", "Instant"];
+
+/// Identifiers that construct or name unseeded entropy sources.
+const ENTROPY_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+
+/// Method names that observe a hash collection's iteration order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+    "into_keys",
+    "into_values",
+];
+
+/// Scans one replay-critical file.
+pub fn check(rel: &str, file: &LexedFile, graph: &SymbolGraph, out: &mut Vec<Finding>) {
+    let hash_types = hash_type_names(rel, graph);
+    let hash_names = collect_hash_names(file, &hash_types);
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let Tok::Ident(name) = &toks[i].tok else { continue };
+        if toks[i].in_test || file.allowed(DETERMINISM, toks[i].line) {
+            continue;
+        }
+        let line = toks[i].line;
+
+        // Wall-clock reads: `Clock::now(` where `Clock` is a std::time
+        // type (literally, via a full `std::time::SystemTime` path, or
+        // through a `use ... as` alias).
+        if is_clock_type(rel, name, graph)
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+            && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "now")
+            && matches!(toks.get(i + 4).map(|t| &t.tok), Some(Tok::Punct('(')))
+        {
+            out.push(Finding::new(
+                DETERMINISM,
+                rel,
+                line,
+                format!(
+                    "wall-clock read `{name}::now()` in replay-critical library code — \
+                     schedules must be functions of the trace; inject the value or \
+                     lint:allow(determinism) with a reason"
+                ),
+            ));
+            continue;
+        }
+
+        // Unseeded RNG: replay cannot reproduce entropy.
+        if ENTROPY_IDENTS.contains(&name.as_str()) {
+            out.push(Finding::new(
+                DETERMINISM,
+                rel,
+                line,
+                format!(
+                    "unseeded randomness `{name}` in replay-critical library code — \
+                     use SeedableRng with a trace-derived seed"
+                ),
+            ));
+            continue;
+        }
+
+        // Hash-collection iteration, method form: `name.iter()` etc.
+        if hash_names.contains(name.as_str())
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('.')))
+        {
+            if let Some(Tok::Ident(method)) = toks.get(i + 2).map(|t| &t.tok) {
+                if ITER_METHODS.contains(&method.as_str())
+                    && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Punct('(')))
+                {
+                    out.push(Finding::new(
+                        DETERMINISM,
+                        rel,
+                        line,
+                        format!(
+                            "iteration `.{method}()` over hash-ordered `{name}` — \
+                             order varies per process and forks replay; use BTreeMap/\
+                             BTreeSet or sort before observing order"
+                        ),
+                    ));
+                    continue;
+                }
+            }
+        }
+
+        // Hash-collection iteration, for-loop form: `for pat in [&]name {`.
+        if name == "in" {
+            if let Some((subject, at)) = for_subject(toks, i + 1) {
+                if hash_names.contains(subject.as_str())
+                    && matches!(toks.get(at).map(|t| &t.tok), Some(Tok::Punct('{')))
+                {
+                    out.push(Finding::new(
+                        DETERMINISM,
+                        rel,
+                        toks[i].line,
+                        format!(
+                            "for-loop over hash-ordered `{subject}` — order varies \
+                             per process and forks replay; use BTreeMap/BTreeSet or \
+                             sort before observing order"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Whether `name` denotes `std::time::SystemTime` / `std::time::Instant`
+/// in `rel`: either the literal type name or an import alias resolving to
+/// one (`use std::time::SystemTime as Clock`).
+fn is_clock_type(rel: &str, name: &str, graph: &SymbolGraph) -> bool {
+    if CLOCK_TYPES.contains(&name) {
+        return true;
+    }
+    graph
+        .resolve(rel, name)
+        .is_some_and(|full| CLOCK_TYPES.iter().any(|c| full == format!("std::time::{c}")))
+}
+
+/// The hash-ordered type names in scope in `rel`: the canonical two plus
+/// any import alias resolving to them.
+fn hash_type_names(rel: &str, graph: &SymbolGraph) -> BTreeSet<String> {
+    let mut names: BTreeSet<String> =
+        ["HashMap", "HashSet"].iter().map(|s| s.to_string()).collect();
+    if let Some(f) = graph.file(rel) {
+        for (alias, full) in &f.imports {
+            if full.ends_with("::HashMap") || full.ends_with("::HashSet") {
+                names.insert(alias.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Collects identifiers declared with a hash-ordered type in this file:
+/// `name: [&][mut] HashMap<...>` (fields, params, lets with annotation)
+/// and `let [mut] name = HashMap::new()/with_capacity(...)/default()`.
+fn collect_hash_names(
+    file: &LexedFile,
+    hash_types: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let Tok::Ident(name) = &toks[i].tok else { continue };
+        // Test-scope declarations stay out of the name set: a test-local
+        // `m: HashMap` must not taint an identically named library
+        // binding (usage sites in test scope are already exempt).
+        if toks[i].in_test {
+            continue;
+        }
+        // Annotated form: `name : [&'a][mut] Hash…`.
+        if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+            && !matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+        {
+            let mut j = i + 2;
+            while let Some(t) = toks.get(j) {
+                match &t.tok {
+                    Tok::Punct('&') | Tok::Lifetime => j += 1,
+                    Tok::Ident(m) if m == "mut" => j += 1,
+                    _ => break,
+                }
+            }
+            if let Some(Tok::Ident(ty)) = toks.get(j).map(|t| &t.tok) {
+                if hash_types.contains(ty.as_str()) {
+                    names.insert(name.clone());
+                }
+            }
+        }
+        // Constructor form: `let [mut] name = Hash…::… (`.
+        if name == "let" {
+            let mut j = i + 1;
+            if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "mut") {
+                j += 1;
+            }
+            let Some(Tok::Ident(bound)) = toks.get(j).map(|t| &t.tok) else { continue };
+            if !matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('='))) {
+                continue;
+            }
+            if let Some(Tok::Ident(ty)) = toks.get(j + 2).map(|t| &t.tok) {
+                if hash_types.contains(ty.as_str()) {
+                    names.insert(bound.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Resolves the subject of `for pat in <subject> {`: skips `&`/`mut`,
+/// takes the identifier, and follows `.field` chains to the final name.
+/// Returns `(final_name, index_after)`. A trailing `(` (method call) at
+/// the chain end is the caller's problem — it checks for `{` and so never
+/// fires on `for x in map.keys() {` (the method form already flagged it).
+fn for_subject(toks: &[crate::lexer::Token], mut i: usize) -> Option<(String, usize)> {
+    while let Some(t) = toks.get(i) {
+        match &t.tok {
+            Tok::Punct('&') => i += 1,
+            Tok::Ident(m) if m == "mut" => i += 1,
+            _ => break,
+        }
+    }
+    let Some(Tok::Ident(first)) = toks.get(i).map(|t| &t.tok) else { return None };
+    let mut name = first.clone();
+    while matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('.'))) {
+        match toks.get(i + 2).map(|t| &t.tok) {
+            Some(Tok::Ident(n)) => {
+                name = n.clone();
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    Some((name, i + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::SourceFile;
+
+    fn run_at(rel: &str, src: &str) -> Vec<Finding> {
+        let sources = vec![SourceFile {
+            rel: rel.to_string(),
+            text: src.to_string(),
+            lexed: lex(src),
+        }];
+        let graph = SymbolGraph::build(&sources);
+        let mut out = Vec::new();
+        check(rel, &sources[0].lexed, &graph, &mut out);
+        out
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        run_at("crates/sim/src/lib.rs", src)
+    }
+
+    #[test]
+    fn flags_clock_reads_including_aliases() {
+        let src = r#"
+            use std::time::{SystemTime, Instant as Tick};
+            fn stamp() -> u128 {
+                let a = SystemTime::now();
+                let b = Tick::now();
+                let c = std::time::Instant::now();
+                0
+            }
+        "#;
+        let found = run(src);
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert!(found.iter().all(|f| f.message.contains("wall-clock")));
+    }
+
+    #[test]
+    fn flags_unseeded_rng() {
+        let src =
+            "fn f() { let mut rng = thread_rng(); let r2 = StdRng::from_entropy(); }";
+        let found = run(src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|f| f.message.contains("unseeded")));
+    }
+
+    #[test]
+    fn flags_hash_iteration_but_not_keyed_lookup() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn f(hits: &HashMap<String, u64>) -> u64 {
+                let mut total = 0;
+                for (_k, v) in hits {
+                    total += v;
+                }
+                total + hits.values().sum::<u64>() + hits.get("x").copied().unwrap_or(0)
+            }
+        "#;
+        let found = run(src);
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn hash_alias_and_constructor_bindings_are_tracked() {
+        let src = r#"
+            use std::collections::HashMap as Map;
+            fn f(seen: Map<u64, u64>) {
+                let mut local = Map::new();
+                local.insert(1, 2);
+                for k in seen.keys() {
+                    let _ = k;
+                }
+                local.drain();
+            }
+        "#;
+        let found = run(src);
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn btree_collections_tests_and_allows_are_exempt() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            fn f(m: &BTreeMap<u64, u64>) -> Vec<u64> { m.keys().copied().collect() }
+            fn g() -> u128 {
+                // lint:allow(determinism) inbox pre-order only; journal seq is the real order
+                let t = std::time::SystemTime::now();
+                0
+            }
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                fn t(m: &HashMap<u64, u64>) { for _ in m.iter() {} }
+            }
+        "#;
+        let found = run(src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn strict_tier_is_the_five_replay_critical_crates() {
+        assert!(is_replay_critical("crates/core/src/fairness.rs"));
+        assert!(is_replay_critical("crates/serve/src/queue.rs"));
+        assert!(!is_replay_critical("crates/bench/src/runner.rs"));
+        assert!(!is_replay_critical("crates/analyze/src/lib.rs"));
+        assert!(!is_replay_critical("crates/core/tests/x.rs"));
+    }
+}

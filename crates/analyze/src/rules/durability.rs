@@ -1,0 +1,188 @@
+//! `durability`: raw filesystem writes in library code must route through
+//! `fairsched_core::journal`.
+//!
+//! The workspace's durability story (PRs 7–9) is scratch-write +
+//! commit-rename: a reader never observes a torn file, and crash replay
+//! can trust everything it finds on disk. A raw `std::fs::write` (or
+//! `File::create` / `OpenOptions` open-for-write) in library code
+//! sidesteps that discipline — exactly the bug class this PR fixes in
+//! `crates/bench/src/runner.rs` and `crates/workloads/src/spec.rs`.
+//!
+//! Flagged call shapes in non-test library code:
+//!
+//! * `fs::write(...)` / `std::fs::write(...)` — including through
+//!   aliases (`use std::fs as filesystem`, `use std::fs::write as w`),
+//!   resolved via the [symbol graph](crate::symbols);
+//! * `File::create(...)` / `File::create_new(...)`;
+//! * `OpenOptions::new(...)` — any options-builder open is assumed to be
+//!   a write (read-only opens use `File::open`).
+//!
+//! `crates/core/src/journal.rs` is the approved vocabulary and is exempt
+//! wholesale; everything else either uses the journal helpers
+//! (`atomic_write` / `write_scratch` + `commit_scratch` / `append_line`)
+//! or carries `lint:allow(durability)` with a reason.
+
+use crate::lexer::{LexedFile, Tok, Token};
+use crate::rules::DURABILITY;
+use crate::symbols::SymbolGraph;
+use crate::Finding;
+
+/// Full call paths that constitute a raw write.
+const RAW_WRITE_PATHS: [&str; 3] =
+    ["std::fs::write", "std::fs::File::create", "std::fs::OpenOptions::new"];
+
+/// Scans one library file. `rel` = `crates/core/src/journal.rs` is exempt
+/// (it is the approved vocabulary these findings point at).
+pub fn check(rel: &str, file: &LexedFile, graph: &SymbolGraph, out: &mut Vec<Finding>) {
+    if rel == "crates/core/src/journal.rs" {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        // Call sites only: `ident (`.
+        let Tok::Ident(_) = &toks[i].tok else { continue };
+        if !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+            continue;
+        }
+        if toks[i].in_test || file.allowed(DURABILITY, toks[i].line) {
+            continue;
+        }
+        let path = call_path(toks, i);
+        let Some(full) = resolve_path(rel, &path, graph) else { continue };
+        if full == "std::fs::File::create_new" || RAW_WRITE_PATHS.contains(&full.as_str())
+        {
+            let spelled = path.join("::");
+            out.push(Finding::new(
+                DURABILITY,
+                rel,
+                toks[i].line,
+                format!(
+                    "raw write `{spelled}(…)` resolves to `{full}` — library code must \
+                     route writes through fairsched_core::journal (atomic_write, \
+                     write_scratch+commit_scratch, append_line) or carry \
+                     lint:allow(durability) with a reason"
+                ),
+            ));
+        }
+    }
+}
+
+/// Reconstructs the `a::b::c` path whose final segment is the identifier
+/// at `end` (walking `:: ident` pairs backwards).
+fn call_path(toks: &[Token], end: usize) -> Vec<String> {
+    let mut segs = Vec::new();
+    let Tok::Ident(last) = &toks[end].tok else { return segs };
+    segs.push(last.clone());
+    let mut i = end;
+    while i >= 2
+        && matches!(toks[i - 1].tok, Tok::Punct(':'))
+        && matches!(toks[i - 2].tok, Tok::Punct(':'))
+    {
+        // Generic turbofish (`Vec::<u8>::new`) never occurs on the fs
+        // paths this rule targets; a plain ident is required.
+        match (i >= 3).then(|| &toks[i - 3].tok) {
+            Some(Tok::Ident(seg)) => {
+                segs.push(seg.clone());
+                i -= 3;
+            }
+            _ => break,
+        }
+    }
+    segs.reverse();
+    segs
+}
+
+/// Resolves a spelled path to its full form using `rel`'s imports: the
+/// first segment is looked up in the file's `use` map (`fs` →
+/// `std::fs`), and the remaining segments are appended. An unimported
+/// first segment is kept as spelled (covers the literal `std::fs::write`
+/// spelling).
+fn resolve_path(rel: &str, path: &[String], graph: &SymbolGraph) -> Option<String> {
+    let first = path.first()?;
+    let base = match graph.resolve(rel, first) {
+        Some(full) => full.to_string(),
+        None => first.clone(),
+    };
+    let mut full = base;
+    for seg in &path[1..] {
+        full.push_str("::");
+        full.push_str(seg);
+    }
+    Some(full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::SourceFile;
+
+    fn run_at(rel: &str, src: &str) -> Vec<Finding> {
+        let sources = vec![SourceFile {
+            rel: rel.to_string(),
+            text: src.to_string(),
+            lexed: lex(src),
+        }];
+        let graph = SymbolGraph::build(&sources);
+        let mut out = Vec::new();
+        check(rel, &sources[0].lexed, &graph, &mut out);
+        out
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        run_at("crates/bench/src/runner.rs", src)
+    }
+
+    #[test]
+    fn flags_raw_writes_in_all_spellings() {
+        let src = r#"
+            use std::fs;
+            use std::fs::File;
+            fn f(p: &std::path::Path, text: &str) {
+                fs::write(p, text).unwrap();
+                std::fs::write(p, text).unwrap();
+                let _ = File::create(p);
+                let _ = std::fs::OpenOptions::new().append(true).open(p);
+            }
+        "#;
+        let found = run(src);
+        assert_eq!(found.len(), 4, "{found:?}");
+        assert!(found.iter().all(|f| f.message.contains("fairsched_core::journal")));
+    }
+
+    #[test]
+    fn aliased_write_is_resolved_through_the_symbol_graph() {
+        let src = "use std::fs::write as raw;\nfn f(p: &std::path::Path) { raw(p, \"x\").unwrap(); }\n";
+        let found = run(src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("std::fs::write"));
+    }
+
+    #[test]
+    fn reads_journal_helpers_tests_and_allows_are_exempt() {
+        let src = r#"
+            use fairsched_core::journal::atomic_write;
+            use std::fs::File;
+            fn f(p: &std::path::Path) {
+                atomic_write(p, "x").unwrap();
+                let _ = File::open(p);
+                let _ = std::fs::read_to_string(p);
+                // lint:allow(durability) lock file is advisory, torn is fine
+                std::fs::write(p, "lock").unwrap();
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t(p: &std::path::Path) { std::fs::write(p, "fixture").unwrap(); }
+            }
+        "#;
+        let found = run(src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn journal_rs_itself_is_exempt() {
+        let src = "fn f(p: &std::path::Path) { std::fs::write(p, \"x\").unwrap(); }";
+        let found = run_at("crates/core/src/journal.rs", src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,18 +1,29 @@
-//! The four lint rule families.
+//! The seven lint rule families.
 //!
 //! Every rule produces [`crate::Finding`]s with a stable rule id — the id
 //! is what `lint_allow.toml`, `lint_ratchet.toml`, and inline
 //! `lint:allow(...)` comments key on:
 //!
-//! | id             | family                                             |
-//! |----------------|----------------------------------------------------|
-//! | `panic-free`   | panic sites in non-test library code               |
-//! | `time-arith`   | raw `*`/`+` on `Time`/`Frac`-typed values          |
-//! | `spec-literal` | spec-string literals vs the live registries        |
-//! | `hygiene`      | golden / bench JSON schema and orphan goldens      |
+//! | id               | family                                              |
+//! |------------------|-----------------------------------------------------|
+//! | `panic-free`     | panic sites in non-test library code                |
+//! | `time-arith`     | raw `*`/`+` on `Time`/`Frac`-typed values           |
+//! | `spec-literal`   | spec-string literals vs the live registries         |
+//! | `hygiene`        | golden / bench JSON schema and orphan goldens       |
+//! | `determinism`    | clock/entropy reads and hash iteration in replay-   |
+//! |                  | critical code (semantic, symbol-graph-backed)       |
+//! | `durability`     | raw fs writes that bypass `fairsched_core::journal` |
+//! | `schema-version` | `fairsched-*/vN` literals vs `schema_registry.toml` |
+//!
+//! The last three are the *semantic* passes: they consult the
+//! [workspace symbol graph](crate::symbols) (imports, item tables,
+//! test classification) rather than raw token shapes alone.
 
+pub mod determinism;
+pub mod durability;
 pub mod hygiene;
 pub mod panic_free;
+pub mod schema_version;
 pub mod spec_literals;
 pub mod time_arith;
 
@@ -24,6 +35,36 @@ pub const TIME_ARITH: &str = "time-arith";
 pub const SPEC_LITERAL: &str = "spec-literal";
 /// Rule id for golden/bench hygiene.
 pub const HYGIENE: &str = "hygiene";
+/// Rule id for the replay-determinism family.
+pub const DETERMINISM: &str = "determinism";
+/// Rule id for the journaled-write durability family.
+pub const DURABILITY: &str = "durability";
+/// Rule id for the schema-version registry family.
+pub const SCHEMA_VERSION: &str = "schema-version";
 
 /// All rule ids, in reporting order.
-pub const ALL_RULES: [&str; 4] = [PANIC_FREE, TIME_ARITH, SPEC_LITERAL, HYGIENE];
+pub const ALL_RULES: [&str; 7] = [
+    PANIC_FREE,
+    TIME_ARITH,
+    SPEC_LITERAL,
+    HYGIENE,
+    DETERMINISM,
+    DURABILITY,
+    SCHEMA_VERSION,
+];
+
+/// One-line description per rule id (SARIF `rules` metadata and docs).
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        PANIC_FREE => "panic sites (unwrap/expect/panic!/indexing) in non-test library code",
+        TIME_ARITH => "raw `*`/`+` on Time/Frac-typed values without widening",
+        SPEC_LITERAL => "spec-string literals validated against the live registries",
+        HYGIENE => "golden/bench artifact schema validity and orphan detection",
+        DETERMINISM => {
+            "wall-clock reads, unseeded RNG, and hash-ordered iteration in replay-critical code"
+        }
+        DURABILITY => "raw filesystem writes bypassing the fairsched_core::journal discipline",
+        SCHEMA_VERSION => "fairsched-*/vN format literals registered in schema_registry.toml",
+        _ => "unknown rule",
+    }
+}

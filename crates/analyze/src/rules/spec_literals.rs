@@ -99,6 +99,11 @@ pub struct Literal {
     pub line: u32,
     /// Whether an inline `lint:allow(spec-literal)` covers it.
     pub allowed: bool,
+    /// Whether the literal sits in test-only Rust code (always false for
+    /// JSON/golden sources). The `schema-version` rule skips test-scope
+    /// literals for the registration requirement while still counting
+    /// them as usage.
+    pub in_test: bool,
 }
 
 /// Extracts candidate literals from lexed Rust sources.
@@ -112,6 +117,7 @@ pub fn literals_from_rust(sources: &[SourceFile]) -> Vec<Literal> {
                     path: src.rel.clone(),
                     line: t.line,
                     allowed: src.lexed.allowed(SPEC_LITERAL, t.line),
+                    in_test: t.in_test,
                 });
             }
         }
@@ -128,6 +134,7 @@ pub fn literals_from_json(path: &str, value: &serde::Value, out: &mut Vec<Litera
             path: path.to_string(),
             line: 0,
             allowed: false,
+            in_test: false,
         });
     }
     match value {
@@ -156,6 +163,7 @@ pub fn literal_from_workload_golden(path: &str, text: &str) -> Option<Literal> {
         path: path.to_string(),
         line: 1,
         allowed: false,
+        in_test: false,
     })
 }
 
@@ -272,7 +280,13 @@ mod tests {
     }
 
     fn lit(text: &str) -> Literal {
-        Literal { text: text.to_string(), path: "x.rs".into(), line: 3, allowed: false }
+        Literal {
+            text: text.to_string(),
+            path: "x.rs".into(),
+            line: 3,
+            allowed: false,
+            in_test: false,
+        }
     }
 
     #[test]

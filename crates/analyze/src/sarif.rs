@@ -1,0 +1,166 @@
+//! Minimal SARIF 2.1.0 rendering of an analysis [`Outcome`], so CI can
+//! upload the run and annotate PRs with inline findings.
+//!
+//! Only the subset GitHub code scanning actually consumes is emitted:
+//! `runs[0].tool.driver` with per-rule metadata, and one `result` per
+//! finding with `ruleId`, `level`, `message.text`, and a physical
+//! location. Findings of a rule that is **over** its committed ratchet
+//! ceiling render at `error` level (the regression CI fails on); findings
+//! within the ceiling — known debt being burned down — render as `note`.
+
+use crate::rules::{describe, ALL_RULES};
+use crate::Outcome;
+use serde::Value;
+
+/// SARIF schema/version constants.
+const SARIF_VERSION: &str = "2.1.0";
+const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders the outcome as a SARIF 2.1.0 document.
+pub fn render(outcome: &Outcome) -> Value {
+    let rules: Vec<Value> = ALL_RULES
+        .iter()
+        .map(|rule| {
+            Value::Object(vec![
+                ("id".into(), Value::String((*rule).to_string())),
+                (
+                    "shortDescription".into(),
+                    Value::Object(vec![(
+                        "text".into(),
+                        Value::String(describe(rule).to_string()),
+                    )]),
+                ),
+            ])
+        })
+        .collect();
+
+    let results: Vec<Value> = outcome
+        .findings
+        .iter()
+        .map(|f| {
+            let over = outcome.totals.get(&f.rule).copied().unwrap_or(0)
+                > outcome.ratchet.get(&f.rule).copied().unwrap_or(0);
+            let level = if over { "error" } else { "note" };
+            let mut region = Vec::new();
+            // SARIF regions are 1-based; line 0 (JSON artifacts) means
+            // "whole file" and omits the region entirely.
+            if f.line > 0 {
+                region.push((
+                    "region".into(),
+                    Value::Object(vec![(
+                        "startLine".into(),
+                        Value::Number(f.line.to_string()),
+                    )]),
+                ));
+            }
+            let mut physical = vec![(
+                "artifactLocation".into(),
+                Value::Object(vec![
+                    ("uri".into(), Value::String(f.path.clone())),
+                    ("uriBaseId".into(), Value::String("SRCROOT".into())),
+                ]),
+            )];
+            physical.extend(region);
+            Value::Object(vec![
+                ("ruleId".into(), Value::String(f.rule.clone())),
+                ("level".into(), Value::String(level.into())),
+                (
+                    "message".into(),
+                    Value::Object(vec![(
+                        "text".into(),
+                        Value::String(f.message.clone()),
+                    )]),
+                ),
+                (
+                    "locations".into(),
+                    Value::Array(vec![Value::Object(vec![(
+                        "physicalLocation".into(),
+                        Value::Object(physical),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+
+    let driver = Value::Object(vec![
+        ("name".into(), Value::String("fairsched-analyze".into())),
+        ("informationUri".into(), Value::String("docs/STATIC_ANALYSIS.md".into())),
+        ("rules".into(), Value::Array(rules)),
+    ]);
+    let run = Value::Object(vec![
+        ("tool".into(), Value::Object(vec![("driver".into(), driver)])),
+        (
+            "originalUriBaseIds".into(),
+            Value::Object(vec![(
+                "SRCROOT".into(),
+                Value::Object(vec![("uri".into(), Value::String("file:///".into()))]),
+            )]),
+        ),
+        ("results".into(), Value::Array(results)),
+    ]);
+    Value::Object(vec![
+        ("$schema".into(), Value::String(SARIF_SCHEMA.into())),
+        ("version".into(), Value::String(SARIF_VERSION.into())),
+        ("runs".into(), Value::Array(vec![run])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    fn outcome() -> Outcome {
+        let mut o = Outcome {
+            findings: vec![
+                Finding::new(
+                    "determinism",
+                    "crates/sim/src/lib.rs",
+                    12,
+                    "clock read".into(),
+                ),
+                Finding::new("panic-free", "crates/core/src/x.rs", 3, "unwrap".into()),
+            ],
+            ..Outcome::default()
+        };
+        o.totals.insert("determinism".into(), 1);
+        o.ratchet.insert("determinism".into(), 0); // over: error level
+        o.totals.insert("panic-free".into(), 1);
+        o.ratchet.insert("panic-free".into(), 5); // within: note level
+        o
+    }
+
+    #[test]
+    fn sarif_document_shape_and_levels() {
+        let doc = render(&outcome());
+        let text = doc.to_json_pretty();
+        assert!(text.contains("\"version\": \"2.1.0\""));
+        assert!(text.contains("\"name\": \"fairsched-analyze\""));
+        // All seven rules are described even when only two fire.
+        for rule in ALL_RULES {
+            assert!(text.contains(&format!("\"id\": \"{rule}\"")), "{rule}");
+        }
+        assert!(text.contains("\"error\""), "over-ratchet finding must be error level");
+        assert!(text.contains("\"note\""), "within-ratchet finding must be note level");
+        assert!(text.contains("\"startLine\": 12"));
+        assert!(text.contains("crates/sim/src/lib.rs"));
+    }
+
+    #[test]
+    fn line_zero_findings_omit_the_region() {
+        let mut o = Outcome {
+            findings: vec![Finding::new(
+                "hygiene",
+                "BENCH_lattice.json",
+                0,
+                "bad schema".into(),
+            )],
+            ..Outcome::default()
+        };
+        o.totals.insert("hygiene".into(), 1);
+        let text = render(&o).to_json_pretty();
+        assert!(!text.contains("startLine"));
+        assert!(text.contains("BENCH_lattice.json"));
+    }
+}

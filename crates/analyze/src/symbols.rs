@@ -1,0 +1,467 @@
+//! The workspace symbol graph: a second pass over the lexed token
+//! streams that gives the semantic rules what token patterns alone
+//! cannot.
+//!
+//! Three products, all per file:
+//!
+//! * an **item table** — every `fn` / `struct` / `enum` / `trait` /
+//!   `mod` / `const` / `static` / `type` / `impl` declaration with its
+//!   line and test-vs-library classification (inherited through
+//!   `#[cfg(test)]` / `#[test]` / `mod tests` scopes by the lexer);
+//! * an **import map** — `use` declarations resolved to full paths,
+//!   including `{...}` groups, `as` renames, and glob imports, with
+//!   `crate::` normalized to the owning `fairsched_*` crate name;
+//! * a **name-resolution seam** — [`SymbolGraph::resolve`] answers "what
+//!   does the first segment of this path mean in this file?", which is
+//!   exactly enough for the semantic rules to ask questions like *does
+//!   this call route through `fairsched_core::journal`?* or *is this
+//!   `HashMap` really `std::collections::HashMap`?*
+//!
+//! This is deliberately not a type checker: it resolves names, not
+//! types, and it only follows `use` declarations — method receivers stay
+//! unknowable, which is why the rules built on top remain heuristics
+//! with inline-allow escape hatches.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{LexedFile, Tok, Token};
+use crate::SourceFile;
+
+/// What kind of declaration an [`ItemDecl`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` declaration.
+    Fn,
+    /// A `struct` declaration.
+    Struct,
+    /// An `enum` declaration.
+    Enum,
+    /// A `trait` declaration.
+    Trait,
+    /// A `mod` declaration.
+    Mod,
+    /// A `const` declaration.
+    Const,
+    /// A `static` declaration.
+    Static,
+    /// A `type` alias.
+    TypeAlias,
+    /// An `impl` block (the name is the first type identifier after the
+    /// generics, i.e. the trait for `impl Trait for Type`).
+    Impl,
+}
+
+/// One declared item in one file.
+#[derive(Clone, Debug)]
+pub struct ItemDecl {
+    /// The declaration kind.
+    pub kind: ItemKind,
+    /// The declared name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Whether the declaration sits in test-only code.
+    pub in_test: bool,
+}
+
+/// The symbols of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct FileSymbols {
+    /// Declared items, source order.
+    pub items: Vec<ItemDecl>,
+    /// Local binding → full path, from `use` declarations (`use
+    /// std::time::SystemTime as Clock` maps `Clock` →
+    /// `std::time::SystemTime`; `use std::fs;` maps `fs` → `std::fs`).
+    pub imports: BTreeMap<String, String>,
+    /// Prefixes glob-imported with `use path::*;`.
+    pub globs: Vec<String>,
+}
+
+impl FileSymbols {
+    /// Whether any import (named or glob) brings in a path under
+    /// `prefix` — e.g. `routes_through("fairsched_core::journal")` is
+    /// true for `use fairsched_core::journal::atomic_write;`, `use
+    /// fairsched_core::journal;`, and `use fairsched_core::journal::*;`.
+    pub fn routes_through(&self, prefix: &str) -> bool {
+        self.imports
+            .values()
+            .any(|p| p == prefix || p.starts_with(&format!("{prefix}::")))
+            || self.globs.iter().any(|g| g == prefix)
+    }
+}
+
+/// The workspace-wide symbol graph: file → symbols.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolGraph {
+    /// Workspace-relative path → that file's symbols.
+    pub files: BTreeMap<String, FileSymbols>,
+}
+
+impl SymbolGraph {
+    /// Builds the graph from the lexed sources.
+    pub fn build(sources: &[SourceFile]) -> Self {
+        let mut graph = SymbolGraph::default();
+        for src in sources {
+            graph.files.insert(src.rel.clone(), scan_file(&src.rel, &src.lexed));
+        }
+        graph
+    }
+
+    /// The symbols of one file, if it was scanned.
+    pub fn file(&self, rel: &str) -> Option<&FileSymbols> {
+        self.files.get(rel)
+    }
+
+    /// Resolves the first segment of a path as written in `rel`: the
+    /// full path its `use` declarations bind it to, or `None` when the
+    /// name is not imported (a local item, a prelude name, or something
+    /// arriving through a glob).
+    pub fn resolve(&self, rel: &str, first_segment: &str) -> Option<&str> {
+        self.files.get(rel)?.imports.get(first_segment).map(String::as_str)
+    }
+
+    /// Whether `rel` declares a `#[test]` (or `mod tests`-scoped)
+    /// function named `name` — the existence check behind
+    /// `schema_registry.toml`'s `decode_test` pointers.
+    pub fn has_test_fn(&self, rel: &str, name: &str) -> bool {
+        self.files.get(rel).is_some_and(|f| {
+            f.items.iter().any(|i| i.kind == ItemKind::Fn && i.in_test && i.name == name)
+        })
+    }
+}
+
+/// The crate a workspace-relative path belongs to, as a `crate::` path
+/// prefix: `crates/core/src/journal.rs` → `fairsched_core`. The root
+/// `src/` facade is the `fairsched` crate.
+pub fn crate_of(rel: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let name = rest.split('/').next()?;
+        if name == "compat" {
+            // Compat stubs keep their upstream crate names (second
+            // component): crates/compat/rand/src/lib.rs → rand.
+            return rest.split('/').nth(1).map(str::to_string);
+        }
+        return Some(format!("fairsched_{name}"));
+    }
+    if rel.starts_with("src/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+    {
+        return Some("fairsched".to_string());
+    }
+    None
+}
+
+/// Scans one lexed file into its symbol table.
+fn scan_file(rel: &str, file: &LexedFile) -> FileSymbols {
+    let mut out = FileSymbols::default();
+    let toks = &file.tokens;
+    let crate_name = crate_of(rel);
+    let mut i = 0;
+    while i < toks.len() {
+        let Tok::Ident(kw) = &toks[i].tok else {
+            i += 1;
+            continue;
+        };
+        let kind = match kw.as_str() {
+            "fn" => Some(ItemKind::Fn),
+            "struct" => Some(ItemKind::Struct),
+            "enum" => Some(ItemKind::Enum),
+            "trait" => Some(ItemKind::Trait),
+            "mod" => Some(ItemKind::Mod),
+            "const" => Some(ItemKind::Const),
+            "static" => Some(ItemKind::Static),
+            "type" => Some(ItemKind::TypeAlias),
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            // The name is the next identifier (`const FN: fn()` and
+            // `fn()` pointer types have punctuation there instead and
+            // are skipped).
+            if let Some(Token { tok: Tok::Ident(name), line, in_test }) = toks.get(i + 1)
+            {
+                // `mod tests;` file declarations and `impl Trait for`
+                // keywords never collide here: plain keyword + ident.
+                if name != "for" && name != "mut" {
+                    out.items.push(ItemDecl {
+                        kind,
+                        name: name.clone(),
+                        line: *line,
+                        in_test: *in_test,
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if kw == "impl" {
+            if let Some((name, line, in_test)) = impl_target(toks, i + 1) {
+                out.items.push(ItemDecl { kind: ItemKind::Impl, name, line, in_test });
+            }
+            i += 1;
+            continue;
+        }
+        if kw == "use" {
+            i = parse_use(toks, i + 1, crate_name.as_deref(), &mut out);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The first type identifier of an `impl` header, skipping a leading
+/// `<...>` generic parameter list.
+fn impl_target(toks: &[Token], mut i: usize) -> Option<(String, u32, bool)> {
+    if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            match &t.tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Skip reference/lifetime noise (`impl<'a> &'a T` does not occur,
+    // but `impl Trait for &T` headers do after the `for`).
+    while let Some(t) = toks.get(i) {
+        match &t.tok {
+            Tok::Punct('&') | Tok::Lifetime => i += 1,
+            _ => break,
+        }
+    }
+    match toks.get(i).map(|t| (&t.tok, t.line, t.in_test)) {
+        Some((Tok::Ident(name), line, in_test)) => Some((name.clone(), line, in_test)),
+        _ => None,
+    }
+}
+
+/// Parses one `use` declaration starting at the token after `use`,
+/// registering its bindings; returns the index after the closing `;`.
+fn parse_use(
+    toks: &[Token],
+    mut i: usize,
+    crate_name: Option<&str>,
+    out: &mut FileSymbols,
+) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    i = parse_use_tree(toks, i, &mut prefix, crate_name, out);
+    // Consume through the terminating `;` (malformed input just runs to
+    // the next statement; the lexer guarantees no infinite loop because
+    // we always advance).
+    while let Some(t) = toks.get(i) {
+        i += 1;
+        if matches!(t.tok, Tok::Punct(';')) {
+            break;
+        }
+    }
+    i
+}
+
+/// Recursively parses a use-tree (`a::b`, `a::{b, c as d}`, `a::*`),
+/// accumulating `prefix` segments, and registers bindings into `out`.
+/// Returns the index of the first token it did not consume.
+fn parse_use_tree(
+    toks: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    crate_name: Option<&str>,
+    out: &mut FileSymbols,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    loop {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(seg)) => {
+                let seg = match (seg.as_str(), crate_name) {
+                    // Normalize crate-relative paths to the owning
+                    // crate's external name so cross-file questions
+                    // ("does this route through fairsched_core::
+                    // journal?") have one spelling.
+                    ("crate", Some(name)) if prefix.is_empty() => name.to_string(),
+                    _ => seg.clone(),
+                };
+                prefix.push(seg);
+                i += 1;
+                // `as` rename terminates this leaf.
+                if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Ident(kw)) if kw == "as")
+                {
+                    if let Some(Tok::Ident(alias)) = toks.get(i + 1).map(|t| &t.tok) {
+                        out.imports.insert(alias.clone(), prefix.join("::"));
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    prefix.truncate(depth_at_entry);
+                    return i;
+                }
+                // `::` continues the path; anything else ends the leaf.
+                if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(':')))
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                {
+                    i += 2;
+                    continue;
+                }
+                let leaf = prefix.last().cloned().unwrap_or_default();
+                if leaf != "self" {
+                    out.imports.insert(leaf, prefix.join("::"));
+                } else {
+                    // `use a::b::{self, c}`: `self` binds the prefix.
+                    prefix.pop();
+                    if let Some(name) = prefix.last().cloned() {
+                        out.imports.insert(name, prefix.join("::"));
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                return i;
+            }
+            Some(Tok::Punct('{')) => {
+                i += 1;
+                loop {
+                    match toks.get(i).map(|t| &t.tok) {
+                        Some(Tok::Punct('}')) => {
+                            i += 1;
+                            break;
+                        }
+                        Some(Tok::Punct(',')) => i += 1,
+                        Some(_) => {
+                            i = parse_use_tree(toks, i, prefix, crate_name, out);
+                        }
+                        None => break,
+                    }
+                }
+                prefix.truncate(depth_at_entry);
+                return i;
+            }
+            Some(Tok::Punct('*')) => {
+                out.globs.push(prefix.join("::"));
+                prefix.truncate(depth_at_entry);
+                return i + 1;
+            }
+            _ => {
+                prefix.truncate(depth_at_entry);
+                return i;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph_of(rel: &str, src: &str) -> SymbolGraph {
+        let sources = vec![SourceFile {
+            rel: rel.to_string(),
+            text: src.to_string(),
+            lexed: lex(src),
+        }];
+        SymbolGraph::build(&sources)
+    }
+
+    #[test]
+    fn item_table_records_decls_with_test_classification() {
+        let src = r#"
+            pub struct Engine { x: u32 }
+            pub fn run() {}
+            impl Engine { fn helper(&self) {} }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn engine_runs() {}
+                fn helper_in_tests() {}
+            }
+        "#;
+        let g = graph_of("crates/core/src/lib.rs", src);
+        let f = g.file("crates/core/src/lib.rs").unwrap();
+        let find = |name: &str| f.items.iter().find(|i| i.name == name).unwrap();
+        assert_eq!(find("Engine").kind, ItemKind::Struct);
+        assert!(!find("run").in_test);
+        assert!(f.items.iter().any(|i| i.kind == ItemKind::Impl && i.name == "Engine"));
+        assert!(g.has_test_fn("crates/core/src/lib.rs", "engine_runs"));
+        assert!(g.has_test_fn("crates/core/src/lib.rs", "helper_in_tests"));
+        assert!(!g.has_test_fn("crates/core/src/lib.rs", "run"));
+        assert!(!g.has_test_fn("crates/core/src/lib.rs", "no_such_fn"));
+    }
+
+    #[test]
+    fn imports_resolve_groups_renames_and_globs() {
+        let src = r#"
+            use std::collections::{BTreeMap, HashMap as Map};
+            use std::time::SystemTime;
+            use std::fs;
+            use fairsched_core::journal::{self, atomic_write};
+            use fairsched_core::spec::*;
+        "#;
+        let g = graph_of("crates/serve/src/queue.rs", src);
+        assert_eq!(
+            g.resolve("crates/serve/src/queue.rs", "Map"),
+            Some("std::collections::HashMap")
+        );
+        assert_eq!(
+            g.resolve("crates/serve/src/queue.rs", "BTreeMap"),
+            Some("std::collections::BTreeMap")
+        );
+        assert_eq!(
+            g.resolve("crates/serve/src/queue.rs", "SystemTime"),
+            Some("std::time::SystemTime")
+        );
+        assert_eq!(g.resolve("crates/serve/src/queue.rs", "fs"), Some("std::fs"));
+        assert_eq!(
+            g.resolve("crates/serve/src/queue.rs", "atomic_write"),
+            Some("fairsched_core::journal::atomic_write")
+        );
+        assert_eq!(
+            g.resolve("crates/serve/src/queue.rs", "journal"),
+            Some("fairsched_core::journal")
+        );
+        let f = g.file("crates/serve/src/queue.rs").unwrap();
+        assert!(f.routes_through("fairsched_core::journal"));
+        assert!(f.globs.contains(&"fairsched_core::spec".to_string()));
+        assert!(!f.routes_through("fairsched_core::fairness"));
+    }
+
+    #[test]
+    fn crate_relative_imports_normalize_to_the_crate_name() {
+        let src = "use crate::journal::atomic_write;\n";
+        let g = graph_of("crates/core/src/scheduler/lattice.rs", src);
+        assert_eq!(
+            g.resolve("crates/core/src/scheduler/lattice.rs", "atomic_write"),
+            Some("fairsched_core::journal::atomic_write")
+        );
+        assert!(g
+            .file("crates/core/src/scheduler/lattice.rs")
+            .unwrap()
+            .routes_through("fairsched_core::journal"));
+    }
+
+    #[test]
+    fn crate_of_maps_workspace_layout() {
+        assert_eq!(crate_of("crates/core/src/lib.rs").as_deref(), Some("fairsched_core"));
+        assert_eq!(
+            crate_of("crates/serve/src/queue.rs").as_deref(),
+            Some("fairsched_serve")
+        );
+        assert_eq!(crate_of("crates/compat/rand/src/lib.rs").as_deref(), Some("rand"));
+        assert_eq!(crate_of("src/lib.rs").as_deref(), Some("fairsched"));
+        assert_eq!(crate_of("rogue.rs"), None);
+    }
+
+    #[test]
+    fn nested_group_imports_bind_all_leaves() {
+        let src = "use a::{b, c::{d, e as f}};\n";
+        let g = graph_of("crates/core/src/x.rs", src);
+        assert_eq!(g.resolve("crates/core/src/x.rs", "b"), Some("a::b"));
+        assert_eq!(g.resolve("crates/core/src/x.rs", "d"), Some("a::c::d"));
+        assert_eq!(g.resolve("crates/core/src/x.rs", "f"), Some("a::c::e"));
+        assert_eq!(g.resolve("crates/core/src/x.rs", "e"), None);
+    }
+}

@@ -1,0 +1,22 @@
+//! Allowlist fixture for the semantic rules: one determinism site and
+//! one durability site, both covered by the fixture's `lint_allow.toml`,
+//! plus a schema literal registered with a live decode test.
+
+pub const ENGINE_SCHEMA: &str = "fairsched-engine-state/v1";
+
+pub fn covered_clock() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}
+
+pub fn covered_write(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, "covered")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn state_round_trips() {
+        assert!(decode(super::ENGINE_SCHEMA).is_ok());
+    }
+}

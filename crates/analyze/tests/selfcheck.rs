@@ -75,17 +75,62 @@ fn violations_fixture_trips_every_rule_family() {
                 && f.message.contains("orphan"))
     );
 
+    // determinism: the wall-clock read, the hash-map for-loop, and the
+    // unseeded RNG in the replay-critical sim file — but neither the
+    // inline-allowed clock read nor anything in the #[cfg(test)] module.
+    let det = of_rule(&o, "determinism");
+    assert_eq!(det.len(), 3, "{det:?}");
+    assert!(det.iter().all(|f| f.path == "crates/sim/src/engine.rs"));
+    assert!(det.iter().any(|f| f.message.contains("wall-clock")));
+    assert!(det.iter().any(|f| f.message.contains("for-loop over hash-ordered")));
+    assert!(det.iter().any(|f| f.message.contains("unseeded")));
+
+    // durability: the raw fs::write, but not the inline-allowed one.
+    let du = of_rule(&o, "durability");
+    assert_eq!(du.len(), 1, "{du:?}");
+    assert!(du[0].path == "crates/sim/src/engine.rs");
+    assert!(du[0].message.contains("fairsched_core::journal"));
+
+    // schema-version: the unregistered literal in library code, plus the
+    // rotten registry entry (dead decode test + id used nowhere). The
+    // healthy entry — live decode test, id kept alive by a test-scope
+    // literal — produces nothing.
+    let sv = of_rule(&o, "schema-version");
+    assert_eq!(sv.len(), 3, "{sv:?}");
+    assert!(sv.iter().any(|f| f.path == "crates/sim/src/engine.rs"
+        && f.message.contains("fairsched-engine-state/v1")
+        && f.message.contains("not registered")));
+    assert!(
+        sv.iter()
+            .any(|f| f.path == "schema_registry.toml"
+                && f.message.contains("no #[test] fn"))
+    );
+    assert!(sv
+        .iter()
+        .any(|f| f.path == "schema_registry.toml"
+            && f.message.contains("no longer appears")));
+
     // With no committed ratchet every non-zero family is a failure.
     assert!(o.failures.iter().any(|f| f.contains("panic-free")));
     assert!(o.failures.iter().any(|f| f.contains("time-arith")));
+    assert!(o.failures.iter().any(|f| f.contains("determinism")));
+    assert!(o.failures.iter().any(|f| f.contains("durability")));
+    assert!(o.failures.iter().any(|f| f.contains("schema-version")));
 }
 
 #[test]
 fn allowlist_suppresses_and_unused_entries_are_flagged() {
     let o = check("allowed");
     assert!(o.ok(), "fully covered fixture must pass: {:?}", o.failures);
-    assert_eq!(o.suppressed, 2, "both seeded panic sites suppressed");
+    assert_eq!(
+        o.suppressed, 4,
+        "both panic sites plus the determinism and durability sites suppressed"
+    );
     assert_eq!(of_rule(&o, "panic-free").len(), 0);
+    assert_eq!(of_rule(&o, "determinism").len(), 0);
+    assert_eq!(of_rule(&o, "durability").len(), 0);
+    // The registered schema literal with a live decode test is clean.
+    assert_eq!(of_rule(&o, "schema-version").len(), 0);
     assert!(
         o.warnings
             .iter()
@@ -105,6 +150,11 @@ fn too_high_ratchet_is_reported_stale_but_passes() {
         "stale ratchet must be surfaced: {:?}",
         o.warnings
     );
+    assert!(
+        o.warnings.iter().any(|w| w.contains("determinism") && w.contains("stale")),
+        "stale determinism ratchet must be surfaced: {:?}",
+        o.warnings
+    );
 }
 
 #[test]
@@ -115,9 +165,32 @@ fn report_json_carries_rule_counts_and_verdict() {
     let get = |k: &str| entries.iter().find(|(n, _)| n == k).map(|(_, v)| v);
     assert!(matches!(get("ok"), Some(serde::Value::Bool(false))));
     let Some(serde::Value::Object(rules)) = get("rules") else { panic!("rules object") };
-    assert_eq!(rules.len(), 4);
+    assert_eq!(rules.len(), 7);
     // Round-trips through the JSON writer/parser.
     let text = report.to_json_pretty();
     let parsed = serde_json::parse_value(&text).expect("report parses");
     assert_eq!(format!("{parsed:?}"), format!("{report:?}"));
+}
+
+#[test]
+fn sarif_rendering_of_the_violations_fixture() {
+    let o = check("violations");
+    let text = fairsched_analyze::sarif::render(&o).to_json_pretty();
+    let parsed = serde_json::parse_value(&text).expect("SARIF parses");
+    let runs = match parsed.get("runs") {
+        Some(serde::Value::Array(r)) => r,
+        other => panic!("runs array, got {other:?}"),
+    };
+    assert_eq!(runs.len(), 1);
+    let results = match runs[0].get("results") {
+        Some(serde::Value::Array(r)) => r,
+        other => panic!("results array, got {other:?}"),
+    };
+    assert_eq!(results.len(), o.findings.len());
+    // Every rule over its (absent ⇒ 0) ratchet renders at error level.
+    assert!(text.contains("\"level\": \"error\""));
+    assert!(text.contains("\"ruleId\": \"determinism\""));
+    assert!(text.contains("\"ruleId\": \"durability\""));
+    assert!(text.contains("\"ruleId\": \"schema-version\""));
+    assert!(text.contains("crates/sim/src/engine.rs"));
 }

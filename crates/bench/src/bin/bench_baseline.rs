@@ -40,8 +40,11 @@ fn main() {
     let report = run_baseline(paper_scale, scale, samples);
     let json = serde_json::to_string_pretty(&report)
         .unwrap_or_else(|e| fail(format!("report does not serialize: {e}")));
-    std::fs::write(&out, format!("{json}\n"))
-        .unwrap_or_else(|e| fail(format!("cannot write {out}: {e}")));
+    fairsched_core::journal::atomic_write(
+        std::path::Path::new(&out),
+        &format!("{json}\n"),
+    )
+    .unwrap_or_else(|e| fail(format!("cannot write {out}: {e}")));
 
     if !cli.has("quiet") {
         for c in &report.cases {

@@ -345,9 +345,7 @@ pub fn persist_instance_cells(
         let mut text = encode_cell(&keys[i], &outcome).to_json_pretty();
         text.push('\n');
         let path = &out.paths[i];
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, &text).map_err(|e| SimError::io("write", &tmp, &e))?;
-        std::fs::rename(&tmp, path).map_err(|e| SimError::io("rename", path, &e))?;
+        fairsched_core::journal::atomic_write(path, &text)?;
         out.written += 1;
     }
     Ok(out)

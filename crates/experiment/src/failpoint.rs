@@ -21,7 +21,7 @@
 //! every run — which is what makes the kill-point sweep test
 //! deterministic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Every fail point the runner passes through. The kill-point sweep test
@@ -97,7 +97,10 @@ impl std::error::Error for PlanParseError {}
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     arms: Vec<Arm>,
-    hits: HashMap<String, u64>,
+    // BTreeMap, not HashMap: `Debug`-printing a plan (test diagnostics)
+    // must render hit counters in a stable order — replay-critical crates
+    // keep even incidental iteration deterministic.
+    hits: BTreeMap<String, u64>,
 }
 
 impl FaultPlan {

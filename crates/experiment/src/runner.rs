@@ -606,6 +606,34 @@ mod tests {
     }
 
     #[test]
+    fn report_json_decodes_with_committed_schema() {
+        // The decode test schema_registry.toml points at for
+        // "fairsched-experiment-report/v1": a fresh run's report.json
+        // must parse and carry the committed schema tag plus the
+        // structural fields downstream consumers key on, so a silent
+        // format bump breaks here before it breaks an archive reader.
+        let spec = tiny_spec("schema");
+        let dir = fresh_dir("schema");
+        Runner::new(spec, &dir, RunnerOptions::default()).run().unwrap();
+        let doc = serde_json::parse_value(&read(&dir, "report.json")).unwrap();
+        assert_eq!(doc.get("schema"), Some(&Value::String(REPORT_SCHEMA.into())));
+        assert_eq!(doc.get("total"), Some(&Value::Number("2".into())));
+        assert_eq!(doc.get("done"), Some(&Value::Number("2".into())));
+        assert_eq!(doc.get("failed"), Some(&Value::Number("0".into())));
+        let Some(Value::Array(cells)) = doc.get("cells") else {
+            panic!("report.json has no cells array: {doc:?}");
+        };
+        assert_eq!(cells.len(), 2);
+        for cell in cells {
+            for field in ["workload", "scheduler", "instance", "status", "report"] {
+                assert!(cell.get(field).is_some(), "cell missing {field}");
+            }
+            assert_eq!(cell.get("status"), Some(&Value::String("done".into())));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn io_faults_are_retried_within_policy() {
         let spec = tiny_spec("retry");
         let dir = fresh_dir("retry");

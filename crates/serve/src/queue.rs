@@ -25,10 +25,49 @@ use crate::message::Message;
 use fairsched_core::journal::{atomic_write, commit_scratch, write_scratch, FsError};
 use serde::Value;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Width of the zero-padded sequence number in journal file names
 /// (`seq-000042.json`): lexicographic order equals numeric order.
 const SEQ_WIDTH: usize = 6;
+
+/// Where a submission stamp's leading component comes from.
+///
+/// Inbox stamps only *pre-order* submissions — the daemon's acceptance
+/// rename assigns the journal sequence number, which is the replayed
+/// total order — so a wall-clock default is sound in production. Tests
+/// (and any caller wanting reproducible inbox file names) inject a
+/// deterministic counter instead.
+#[derive(Clone, Debug)]
+pub enum StampSource {
+    /// Zero-padded nanoseconds since the Unix epoch (production default).
+    WallClock,
+    /// A shared monotonically increasing counter: stamps are a pure
+    /// function of submission count.
+    Counter(Arc<AtomicU64>),
+}
+
+impl StampSource {
+    /// A fresh deterministic counter source starting at zero.
+    pub fn counter() -> Self {
+        StampSource::Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// The next leading stamp component.
+    fn next_lead(&self) -> u128 {
+        match self {
+            StampSource::WallClock => {
+                // lint:allow(determinism) wall time only pre-orders inbox files; the journal seq assigned at acceptance is the replayed total order
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .unwrap_or(std::time::Duration::ZERO)
+                    .as_nanos()
+            }
+            StampSource::Counter(c) => u128::from(c.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+}
 
 /// Handle on the three queue directories. Cheap to construct; all state
 /// lives on disk.
@@ -37,16 +76,24 @@ pub struct SubmissionQueue {
     inbox: PathBuf,
     accepted: PathBuf,
     results: PathBuf,
+    stamps: StampSource,
 }
 
 impl SubmissionQueue {
-    /// Opens (creating if needed) the queue under `dir/queue/`.
+    /// Opens (creating if needed) the queue under `dir/queue/` with
+    /// wall-clock submission stamps.
     pub fn open(dir: &Path) -> Result<Self, FsError> {
+        Self::open_with_stamps(dir, StampSource::WallClock)
+    }
+
+    /// [`SubmissionQueue::open`] with an explicit [`StampSource`].
+    pub fn open_with_stamps(dir: &Path, stamps: StampSource) -> Result<Self, FsError> {
         let root = dir.join("queue");
         let queue = SubmissionQueue {
             inbox: root.join("inbox"),
             accepted: root.join("accepted"),
             results: root.join("results"),
+            stamps,
         };
         for d in [&queue.inbox, &queue.accepted, &queue.results] {
             std::fs::create_dir_all(d).map_err(|e| FsError::new("create-dir", d, &e))?;
@@ -59,7 +106,7 @@ impl SubmissionQueue {
     /// draining: the daemon only sees the committed `.json`, never the
     /// `.json.tmp` scratch.
     pub fn submit(&self, message: &Message) -> Result<PathBuf, FsError> {
-        let stamp = submission_stamp();
+        let stamp = submission_stamp(&self.stamps);
         let mut bump = 0u32;
         let target = loop {
             let name = if bump == 0 {
@@ -129,19 +176,16 @@ impl SubmissionQueue {
     }
 }
 
-/// A lexicographically ordered, collision-resistant inbox stamp:
-/// zero-padded nanoseconds since the epoch, a process-local monotonic
-/// counter (so two submissions in the same nanosecond still sort in
-/// submission order — the clock is coarser than a `submit` call), and
-/// the submitter's pid.
-fn submission_stamp() -> String {
-    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let nanos = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .unwrap_or(std::time::Duration::ZERO)
-        .as_nanos();
-    let count = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    format!("{nanos:020}-{count:06}-{}", std::process::id())
+/// A lexicographically ordered, collision-resistant inbox stamp: the
+/// zero-padded [`StampSource`] lead (nanoseconds since the epoch, or a
+/// deterministic counter), a process-local monotonic counter (so two
+/// submissions with the same lead still sort in submission order — the
+/// wall clock is coarser than a `submit` call), and the submitter's pid.
+fn submission_stamp(stamps: &StampSource) -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let lead = stamps.next_lead();
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{lead:020}-{count:06}-{}", std::process::id())
 }
 
 /// Committed `.json` files directly under `dir` (scratch `.json.tmp`
@@ -203,6 +247,21 @@ mod tests {
         q.write_result(1, &Value::Bool(true)).unwrap();
         q.write_result(1, &Value::Bool(true)).unwrap(); // idempotent rewrite
         assert!(q.result_path(1).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counter_stamps_are_deterministic_and_ordered() {
+        let dir = temp_dir("counter-stamps");
+        let q = SubmissionQueue::open_with_stamps(&dir, StampSource::counter()).unwrap();
+        let first = q.submit(&Message::Advance { until: 1 }).unwrap();
+        let second = q.submit(&Message::Advance { until: 2 }).unwrap();
+        let name = |p: &PathBuf| p.file_name().unwrap().to_str().unwrap().to_string();
+        // The lead component is the injected counter, not wall time:
+        // submission 0 then 1, zero-padded to sort lexicographically.
+        assert!(name(&first).starts_with("00000000000000000000-"), "{first:?}");
+        assert!(name(&second).starts_with("00000000000000000001-"), "{second:?}");
+        assert_eq!(q.pending().unwrap(), vec![first, second]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

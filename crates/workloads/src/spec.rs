@@ -569,12 +569,16 @@ pub fn trace_to_json(trace: &Trace) -> String {
 }
 
 /// Writes [`trace_to_json`] to a file, so the canonical export/import
-/// cycle is `write_trace_json(&trace, p)` → `trace:path=p`.
+/// cycle is `write_trace_json(&trace, p)` → `trace:path=p`. The write is
+/// scratch + commit-rename ([`fairsched_core::journal::atomic_write`]):
+/// a crash mid-export leaves the previous file intact, never a torn
+/// trace that `trace:path=...` would later half-read.
 pub fn write_trace_json(
     trace: &Trace,
     path: impl AsRef<std::path::Path>,
 ) -> std::io::Result<()> {
-    std::fs::write(path, trace_to_json(trace))
+    fairsched_core::journal::atomic_write(path.as_ref(), &trace_to_json(trace))
+        .map_err(|e| std::io::Error::other(e.to_string()))
 }
 
 fn synth_conformance() -> Vec<WorkloadSpec> {
